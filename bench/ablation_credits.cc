@@ -1,0 +1,69 @@
+// Ablation: credit count of the RDMA channel (Sec. 8.3.2).
+//
+// The paper fixes c = 8 credits as the best configuration and reports that
+// c = 16 costs up to ~3% and c = 64 up to ~10% throughput (larger rings
+// spread the working set over more memory and deepen queues), while too
+// few credits cannot cover the bandwidth-delay product of the link.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util/harness.h"
+#include "bench_util/transfer.h"
+
+namespace slash::bench {
+namespace {
+
+SeriesTable* Table() {
+  static SeriesTable* table =
+      new SeriesTable("Ablation: RDMA channel credits (RO, 2 threads, 4 KiB slots)");
+  return table;
+}
+
+void RunCase(benchmark::State& state, uint32_t credits) {
+  TransferConfig cfg;
+  cfg.producers = 2;
+  cfg.consumers = 2;  // one lane per producer: credits gate the pipeline
+  cfg.update_state = false;  // pure transfer: isolate flow-control effects
+  // Small buffers: the bandwidth-delay product spans several slots, so the
+  // credit count visibly gates pipelining (with 64 KiB slots a single
+  // credit already covers the BDP and the sweep is flat).
+  cfg.slot_bytes = 4 * kKiB;
+  cfg.credits = credits;
+  cfg.records_per_producer = BenchRecords(300'000);
+  TransferResult result;
+  for (auto _ : state) {
+    result = RunTransfer(cfg);
+  }
+  state.counters["GB/s"] = result.goodput_gbps();
+  state.counters["p50_lat_us"] =
+      double(result.buffer_latency.Percentile(50)) / double(kMicrosecond);
+  Table()->Add("Slash channel", "c=" + std::to_string(credits),
+               "goodput [GB/s]", result.goodput_gbps());
+  Table()->Add("Slash channel", "c=" + std::to_string(credits),
+               "latency p50 [us]",
+               double(result.buffer_latency.Percentile(50)) /
+                   double(kMicrosecond));
+}
+
+}  // namespace
+}  // namespace slash::bench
+
+int main(int argc, char** argv) {
+  for (const uint32_t credits : {1, 2, 4, 8, 16, 32, 64}) {
+    const std::string name =
+        "ablation_credits/c:" + std::to_string(credits);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [credits](benchmark::State& state) {
+          slash::bench::RunCase(state, credits);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  slash::bench::Table()->PrintAll();
+  return 0;
+}

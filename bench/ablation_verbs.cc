@@ -1,0 +1,74 @@
+// Ablation: push-based RDMA WRITE channels versus a pull-based RDMA READ
+// design (Sec. 6.3, "RDMA verbs").
+//
+// The paper selects WRITE because a READ costs a full round-trip per
+// message and pull-model polling generates network traffic (the consumer
+// repeatedly reads remote memory until data appears). This ablation
+// measures both designs on the same RO transfer: the pull channel's
+// goodput collapses and its wire volume exceeds the payload.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util/harness.h"
+#include "bench_util/transfer.h"
+
+namespace slash::bench {
+namespace {
+
+SeriesTable* Table() {
+  static SeriesTable* table =
+      new SeriesTable("Ablation: WRITE push vs READ pull channels (RO)");
+  return table;
+}
+
+void RunCase(benchmark::State& state, bool pull, uint64_t slot_kib) {
+  TransferConfig cfg;
+  cfg.producers = 2;
+  cfg.consumers = 2;
+  cfg.slot_bytes = slot_kib * kKiB;
+  cfg.records_per_producer = BenchRecords(50'000);
+  cfg.pull = pull;
+  TransferResult result;
+  for (auto _ : state) {
+    result = RunTransfer(cfg);
+  }
+  state.counters["GB/s"] = result.goodput_gbps();
+  state.counters["wire_amplification"] =
+      result.payload_bytes > 0
+          ? double(result.wire_bytes) / double(result.payload_bytes)
+          : 0.0;
+  Table()->Add(pull ? "READ pull" : "WRITE push",
+               std::to_string(slot_kib) + "KiB", "goodput [GB/s]",
+               result.goodput_gbps());
+  Table()->Add(pull ? "READ pull" : "WRITE push",
+               std::to_string(slot_kib) + "KiB", "wire amplification",
+               result.payload_bytes > 0
+                   ? double(result.wire_bytes) / double(result.payload_bytes)
+                   : 0.0);
+}
+
+}  // namespace
+}  // namespace slash::bench
+
+int main(int argc, char** argv) {
+  for (const bool pull : {false, true}) {
+    for (const uint64_t kib : {16, 64, 256}) {
+      const std::string name = std::string("ablation_verbs/") +
+                               (pull ? "READ_pull" : "WRITE_push") +
+                               "/buffer:" + std::to_string(kib) + "KiB";
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [pull, kib](benchmark::State& state) {
+            slash::bench::RunCase(state, pull, kib);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  slash::bench::Table()->PrintAll();
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 6a: YSB throughput (records/s) of Flink, RDMA UpPar, and Slash on
+// 2/4/8/16 nodes (weak scaling, uniform keys from a 10M range, 10-minute
+// tumbling count window).
+//
+// Paper shape: Slash scales near-linearly, up to 12x over UpPar and 25x
+// over Flink.
+#include "fig6_common.h"
+#include "workloads/ysb.h"
+
+int main(int argc, char** argv) {
+  return slash::bench::WeakScalingMain(
+      argc, argv, "Fig 6a: YSB",
+      [] {
+        slash::workloads::YsbConfig cfg;
+        cfg.key_range = 100'000;  // keyspace scaled with input size (see DESIGN.md)
+        return std::make_unique<slash::workloads::YsbWorkload>(cfg);
+      },
+      /*base_records_per_worker=*/8000);
+}

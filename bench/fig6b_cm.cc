@@ -1,0 +1,17 @@
+// Figure 6b: Cluster Monitoring throughput of Flink, RDMA UpPar, and Slash
+// on 2/4/8/16 nodes (weak scaling; 2 s tumbling AVG of per-job CPU usage
+// over a Google-trace-shaped stream).
+//
+// Paper shape: Slash up to two orders of magnitude over UpPar and Flink.
+#include "fig6_common.h"
+#include "workloads/cluster_monitoring.h"
+
+int main(int argc, char** argv) {
+  return slash::bench::WeakScalingMain(
+      argc, argv, "Fig 6b: Cluster Monitoring",
+      [] {
+        return std::make_unique<slash::workloads::CmWorkload>(
+            slash::workloads::CmConfig{});
+      },
+      /*base_records_per_worker=*/8000);
+}

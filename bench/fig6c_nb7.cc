@@ -1,0 +1,17 @@
+// Figure 6c: NEXMark query 7 throughput of Flink, RDMA UpPar, and Slash on
+// 2/4/8/16 nodes (weak scaling; 60 s tumbling MAX-price aggregation on the
+// bid stream, Pareto keys with heavy hitters).
+//
+// Paper shape: Slash up to 22x over UpPar and 104x over Flink.
+#include "fig6_common.h"
+#include "workloads/nexmark.h"
+
+int main(int argc, char** argv) {
+  return slash::bench::WeakScalingMain(
+      argc, argv, "Fig 6c: NEXMark Q7",
+      [] {
+        return std::make_unique<slash::workloads::Nb7Workload>(
+            slash::workloads::NexmarkConfig{});
+      },
+      /*base_records_per_worker=*/8000);
+}

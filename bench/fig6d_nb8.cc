@@ -1,0 +1,18 @@
+// Figure 6d: NEXMark query 8 throughput of Flink, RDMA UpPar, and Slash on
+// 2/4/8/16 nodes (weak scaling; 12 h tumbling-window join auction x seller
+// at a 4:1 ratio; append-heavy state, large tuples).
+//
+// Paper shape: Slash up to 8x over UpPar and 128x over Flink; the gain is
+// smaller than for aggregations because joins are memory-intensive.
+#include "fig6_common.h"
+#include "workloads/nexmark.h"
+
+int main(int argc, char** argv) {
+  return slash::bench::WeakScalingMain(
+      argc, argv, "Fig 6d: NEXMark Q8",
+      [] {
+        return std::make_unique<slash::workloads::Nb8Workload>(
+            slash::workloads::NexmarkConfig{});
+      },
+      /*base_records_per_worker=*/4000);
+}

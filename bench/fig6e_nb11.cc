@@ -1,0 +1,17 @@
+// Figure 6e: NEXMark query 11 throughput of Flink, RDMA UpPar, and Slash
+// on 2/4/8/16 nodes (weak scaling; session-window join bid x seller, small
+// tuples).
+//
+// Paper shape: Slash up to 1.7x over UpPar and 40x over Flink.
+#include "fig6_common.h"
+#include "workloads/nexmark.h"
+
+int main(int argc, char** argv) {
+  return slash::bench::WeakScalingMain(
+      argc, argv, "Fig 6e: NEXMark Q11",
+      [] {
+        return std::make_unique<slash::workloads::Nb11Workload>(
+            slash::workloads::NexmarkConfig{});
+      },
+      /*base_records_per_worker=*/4000);
+}

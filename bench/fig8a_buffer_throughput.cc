@@ -1,0 +1,65 @@
+// Figure 8a: throughput versus buffer size on the RO benchmark, for the
+// direct (Slash) and partitioned (RDMA UpPar) transfer modes on two nodes.
+//
+// Paper shape: Slash reaches ~95% of the 11.8 GB/s achievable bandwidth
+// from 32 KiB buffers with two producer threads; RDMA UpPar plateaus
+// around 50% at the same thread count because per-record partitioning
+// saturates the sender CPU first.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util/harness.h"
+#include "bench_util/transfer.h"
+
+namespace slash::bench {
+namespace {
+
+SeriesTable* Table() {
+  static SeriesTable* table =
+      new SeriesTable("Fig 8a: RO throughput vs buffer size (2 threads)");
+  return table;
+}
+
+void RunCase(benchmark::State& state, bool partitioned, uint64_t slot_kib) {
+  TransferConfig cfg;
+  cfg.producers = 2;
+  cfg.consumers = 10;
+  cfg.slot_bytes = slot_kib * kKiB;
+  cfg.records_per_producer = BenchRecords(400'000);
+  cfg.partitioned = partitioned;
+  TransferResult result;
+  for (auto _ : state) {
+    result = RunTransfer(cfg);
+  }
+  state.counters["GB/s"] = result.goodput_gbps();
+  state.counters["pct_line_rate"] = result.goodput_gbps() / 11.8 * 100.0;
+  Table()->Add(partitioned ? "RDMA UpPar" : "Slash",
+               std::to_string(slot_kib) + "KiB", "goodput [GB/s]",
+               result.goodput_gbps());
+}
+
+}  // namespace
+}  // namespace slash::bench
+
+int main(int argc, char** argv) {
+  for (const bool partitioned : {false, true}) {
+    for (const uint64_t kib : {1, 4, 16, 32, 64, 128, 256, 1024}) {
+      const std::string name = std::string("fig8a/") +
+                               (partitioned ? "UpPar" : "Slash") + "/buffer:" +
+                               std::to_string(kib) + "KiB";
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [partitioned, kib](benchmark::State& state) {
+            slash::bench::RunCase(state, partitioned, kib);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  slash::bench::Table()->PrintAll();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 8b: per-buffer transfer latency versus buffer size on the RO
+// benchmark (acquire-to-poll, two nodes).
+//
+// Paper shape: latencies stay below 100 us for buffers under 128 KiB and
+// reach ~1 ms at 1 MiB; RDMA UpPar runs ~10% above Slash at every size.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util/harness.h"
+#include "bench_util/transfer.h"
+
+namespace slash::bench {
+namespace {
+
+SeriesTable* Table() {
+  static SeriesTable* table =
+      new SeriesTable("Fig 8b: RO buffer latency vs buffer size");
+  return table;
+}
+
+void RunCase(benchmark::State& state, bool partitioned, uint64_t slot_kib) {
+  TransferConfig cfg;
+  cfg.producers = 2;
+  cfg.consumers = 10;
+  cfg.slot_bytes = slot_kib * kKiB;
+  cfg.records_per_producer = BenchRecords(200'000);
+  cfg.partitioned = partitioned;
+  TransferResult result;
+  for (auto _ : state) {
+    result = RunTransfer(cfg);
+  }
+  const double p50_us =
+      double(result.buffer_latency.Percentile(50)) / double(kMicrosecond);
+  const double p99_us =
+      double(result.buffer_latency.Percentile(99)) / double(kMicrosecond);
+  state.counters["p50_us"] = p50_us;
+  state.counters["p99_us"] = p99_us;
+  Table()->Add(partitioned ? "RDMA UpPar" : "Slash",
+               std::to_string(slot_kib) + "KiB", "latency p50 [us]", p50_us);
+  Table()->Add(partitioned ? "RDMA UpPar" : "Slash",
+               std::to_string(slot_kib) + "KiB", "latency p99 [us]", p99_us);
+}
+
+}  // namespace
+}  // namespace slash::bench
+
+int main(int argc, char** argv) {
+  for (const bool partitioned : {false, true}) {
+    for (const uint64_t kib : {4, 16, 32, 64, 128, 256, 1024}) {
+      const std::string name = std::string("fig8b/") +
+                               (partitioned ? "UpPar" : "Slash") + "/buffer:" +
+                               std::to_string(kib) + "KiB";
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [partitioned, kib](benchmark::State& state) {
+            slash::bench::RunCase(state, partitioned, kib);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  slash::bench::Table()->PrintAll();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 9: execution breakdown of the RO benchmark — top-down pipeline
+// categories (Retiring, Front-end, Bad speculation, Back-end memory,
+// Back-end core) for the senders and receivers of Slash (direct transfer)
+// and RDMA UpPar (partitioned transfer), with 2 and 10 producer threads at
+// 64 KiB buffers.
+//
+// Paper shape: UpPar senders are front-end bound (22-33% of cycles) from
+// the branchy partitioning code and retire up to 2x the u-ops of Slash;
+// Slash senders are core-bound (pause loops while the saturated NIC
+// drains) and its receivers memory-bound (waiting for in-flight data).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util/harness.h"
+#include "bench_util/transfer.h"
+
+namespace slash::bench {
+namespace {
+
+void PrintBreakdown(const char* label, const perf::Counters& c) {
+  std::printf("%-22s", label);
+  for (int i = 0; i < perf::kNumCategories; ++i) {
+    std::printf("  %s=%5.1f%%",
+                std::string(perf::CategoryName(perf::Category(i))).c_str(),
+                c.fraction(perf::Category(i)) * 100.0);
+  }
+  std::printf("  instr=%.0fM\n", c.instructions / 1e6);
+}
+
+void RunCase(benchmark::State& state, bool partitioned, int threads) {
+  TransferConfig cfg;
+  cfg.producers = threads;
+  cfg.consumers = 10;
+  cfg.slot_bytes = 64 * kKiB;
+  cfg.records_per_producer = BenchRecords(200'000);
+  cfg.partitioned = partitioned;
+  TransferResult result;
+  for (auto _ : state) {
+    result = RunTransfer(cfg);
+  }
+  char label[64];
+  std::snprintf(label, sizeof(label), "%s snd (t=%d)",
+                partitioned ? "UpPar" : "Slash", threads);
+  PrintBreakdown(label, result.sender);
+  std::snprintf(label, sizeof(label), "%s rcv (t=%d)",
+                partitioned ? "UpPar" : "Slash", threads);
+  PrintBreakdown(label, result.receiver);
+  state.counters["snd_FeB_pct"] =
+      result.sender.fraction(perf::Category::kFrontEnd) * 100.0;
+  state.counters["snd_instr_M"] = result.sender.instructions / 1e6;
+  state.counters["rcv_MemB_pct"] =
+      result.receiver.fraction(perf::Category::kBackEndMemory) * 100.0;
+}
+
+}  // namespace
+}  // namespace slash::bench
+
+int main(int argc, char** argv) {
+  std::printf("Fig 9: execution breakdown of RO (top-down categories)\n");
+  for (const bool partitioned : {false, true}) {
+    for (const int threads : {2, 10}) {
+      const std::string name = std::string("fig9/") +
+                               (partitioned ? "UpPar" : "Slash") +
+                               "/threads:" + std::to_string(threads);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [partitioned, threads](benchmark::State& state) {
+            slash::bench::RunCase(state, partitioned, threads);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

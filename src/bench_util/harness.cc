@@ -1,0 +1,69 @@
+#include "bench_util/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace slash::bench {
+
+engines::ClusterConfig BenchCluster(int nodes, int workers) {
+  engines::ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.workers_per_node = workers;
+  cfg.channel.slot_bytes = 32 * kKiB;
+  cfg.channel.credits = 8;
+  cfg.epoch_bytes = 1 * kMiB;  // keeps the paper input:epoch ratio at bench scale
+  cfg.state_lss_capacity = 1ULL << 20;
+  cfg.state_index_buckets = 1ULL << 14;
+  cfg.collect_rows = false;
+  return cfg;
+}
+
+uint64_t BenchRecords(uint64_t base) {
+  const char* scale = std::getenv("SLASH_BENCH_SCALE");
+  if (scale == nullptr) return base;
+  const double factor = std::atof(scale);
+  if (factor <= 0) return base;
+  return static_cast<uint64_t>(double(base) * factor);
+}
+
+void SeriesTable::Add(const std::string& series, const std::string& x,
+                      const std::string& metric, double value) {
+  if (std::find(series_order_.begin(), series_order_.end(), series) ==
+      series_order_.end()) {
+    series_order_.push_back(series);
+  }
+  if (std::find(x_order_.begin(), x_order_.end(), x) == x_order_.end()) {
+    x_order_.push_back(x);
+  }
+  data_[metric][series][x] = value;
+}
+
+void SeriesTable::Print(const std::string& metric) const {
+  auto it = data_.find(metric);
+  if (it == data_.end()) return;
+  std::printf("\n%s — %s\n", title_.c_str(), metric.c_str());
+  std::printf("%-24s", "");
+  for (const auto& x : x_order_) std::printf("%14s", x.c_str());
+  std::printf("\n");
+  for (const auto& series : series_order_) {
+    auto sit = it->second.find(series);
+    if (sit == it->second.end()) continue;
+    std::printf("%-24s", series.c_str());
+    for (const auto& x : x_order_) {
+      auto vit = sit->second.find(x);
+      if (vit == sit->second.end()) {
+        std::printf("%14s", "-");
+      } else {
+        std::printf("%14.3f", vit->second);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void SeriesTable::PrintAll() const {
+  for (const auto& [metric, unused] : data_) Print(metric);
+}
+
+}  // namespace slash::bench

@@ -1,0 +1,51 @@
+// Helpers for the benchmark binaries (one binary per paper table/figure):
+// shared cluster presets, environment-controlled scaling, and a
+// paper-style series table printed after each google-benchmark run.
+#ifndef SLASH_BENCH_UTIL_HARNESS_H_
+#define SLASH_BENCH_UTIL_HARNESS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engines/engine.h"
+
+namespace slash::bench {
+
+/// The simulated-cluster preset used by the end-to-end figures. Scaled-down
+/// worker counts keep host memory bounded (the paper's 10 threads/node
+/// times 16 nodes with per-lane channel queues exceeds a laptop); set
+/// `workers` explicitly where the figure depends on it.
+engines::ClusterConfig BenchCluster(int nodes, int workers);
+
+/// Records per worker for end-to-end figures, scaled by the
+/// SLASH_BENCH_SCALE environment variable (default 1.0). Raising it runs
+/// the experiments at larger input sizes.
+uint64_t BenchRecords(uint64_t base);
+
+/// Accumulates (series, x, metric) points and renders matrices like the
+/// paper's figures: one row per series, one column per x value.
+class SeriesTable {
+ public:
+  explicit SeriesTable(std::string title) : title_(std::move(title)) {}
+
+  void Add(const std::string& series, const std::string& x,
+           const std::string& metric, double value);
+
+  /// Prints one metric as a series-by-x matrix to stdout.
+  void Print(const std::string& metric) const;
+
+  /// Prints every metric seen.
+  void PrintAll() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> series_order_;
+  std::vector<std::string> x_order_;
+  std::map<std::string, std::map<std::string, std::map<std::string, double>>>
+      data_;  // metric -> series -> x -> value
+};
+
+}  // namespace slash::bench
+
+#endif  // SLASH_BENCH_UTIL_HARNESS_H_

@@ -1,0 +1,314 @@
+#include "channel/rdma_channel.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace slash::channel {
+
+namespace {
+
+void WriteFooter(uint8_t* dst, const SlotFooter& footer) {
+  std::memcpy(dst, &footer, sizeof(footer));
+}
+
+SlotFooter ReadFooter(const uint8_t* src) {
+  SlotFooter footer;
+  std::memcpy(&footer, src, sizeof(footer));
+  return footer;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RdmaChannel (push model, the production path)
+// ---------------------------------------------------------------------------
+
+RdmaChannel::RdmaChannel(rdma::Fabric* fabric, int producer_node,
+                         int consumer_node, const ChannelConfig& config)
+    : fabric_(fabric),
+      sim_(fabric->simulator()),
+      producer_node_(producer_node),
+      consumer_node_(consumer_node),
+      config_(config),
+      credit_event_(fabric->simulator()),
+      data_event_(fabric->simulator()) {}
+
+std::unique_ptr<RdmaChannel> RdmaChannel::Create(rdma::Fabric* fabric,
+                                                 int producer_node,
+                                                 int consumer_node,
+                                                 const ChannelConfig& config) {
+  SLASH_CHECK_GT(config.credits, 0u);
+  SLASH_CHECK_GT(config.slot_bytes, kFooterBytes);
+  auto channel = std::unique_ptr<RdmaChannel>(
+      new RdmaChannel(fabric, producer_node, consumer_node, config));
+
+  const uint64_t queue_bytes = uint64_t(config.credits) * config.slot_bytes;
+  channel->staging_ = fabric->pd(producer_node)->RegisterRegion(queue_bytes);
+  channel->queue_ = fabric->pd(consumer_node)->RegisterRegion(queue_bytes);
+  channel->credit_mr_ = fabric->pd(producer_node)->RegisterRegion(64);
+  channel->credit_src_ = fabric->pd(consumer_node)->RegisterRegion(64);
+
+  rdma::QpPair qp = fabric->Connect(producer_node, consumer_node);
+  channel->producer_qp_ = qp.first;
+  channel->consumer_qp_ = qp.second;
+
+  RdmaChannel* ch = channel.get();
+  channel->queue_->AddRemoteWriteListener([ch](uint64_t, uint64_t) {
+    ch->data_event_.Notify();
+    for (sim::Event* observer : ch->data_observers_) observer->Notify();
+  });
+  channel->credit_mr_->AddRemoteWriteListener([ch](uint64_t, uint64_t) {
+    ch->credit_event_.Notify();
+    for (sim::Event* observer : ch->credit_observers_) observer->Notify();
+  });
+  return channel;
+}
+
+uint64_t RdmaChannel::released_acked() const {
+  uint64_t v;
+  std::memcpy(&v, credit_mr_->data(), sizeof(v));
+  return v;
+}
+
+bool RdmaChannel::has_credit() const {
+  return acquired_count_ - released_acked() < config_.credits;
+}
+
+bool RdmaChannel::TryAcquire(SlotRef* out, perf::CpuContext* cpu) {
+  if (!has_credit()) {
+    // Empty credit check: one pause-loop iteration on the producer.
+    cpu->Charge(perf::Op::kPollPause);
+    return false;
+  }
+  const uint32_t slot = static_cast<uint32_t>(acquired_count_ % config_.credits);
+  out->payload = staging_->data() + SlotOffset(slot);
+  out->capacity = payload_capacity();
+  out->slot_index = slot;
+  out->acquire_time = sim_->now();
+  ++acquired_count_;
+  return true;
+}
+
+Status RdmaChannel::Post(const SlotRef& slot, uint64_t payload_len,
+                         uint64_t user_tag, int64_t watermark,
+                         perf::CpuContext* cpu) {
+  if (payload_len > payload_capacity()) {
+    return Status::InvalidArgument("payload exceeds slot capacity");
+  }
+  const uint32_t expected_slot =
+      static_cast<uint32_t>(sent_count_ % config_.credits);
+  if (slot.slot_index != expected_slot) {
+    return Status::FailedPrecondition("slots must be posted in order");
+  }
+
+  SlotFooter footer;
+  footer.payload_len = static_cast<uint32_t>(payload_len);
+  footer.seq = static_cast<uint32_t>(sent_count_ / config_.credits + 1);
+  footer.user_tag = user_tag;
+  footer.watermark = watermark;
+  footer.send_time = slot.acquire_time;
+  WriteFooter(staging_->data() + FooterOffset(slot.slot_index), footer);
+
+  // One RDMA WRITE of the whole fixed-size slot (flat layout: payload and
+  // footer move in a single request). Unsignaled: credit return already
+  // proves completion, so no sender CQE is needed (selective signaling).
+  cpu->Charge(perf::Op::kRdmaPost);
+  ++sent_count_;
+  return producer_qp_->PostWrite(
+      rdma::MemorySpan{staging_, SlotOffset(slot.slot_index),
+                       config_.slot_bytes},
+      queue_->remote_key(), SlotOffset(slot.slot_index),
+      /*wr_id=*/sent_count_, /*signaled=*/false);
+}
+
+Status RdmaChannel::PostExternal(rdma::MemorySpan payload, uint64_t user_tag,
+                                 int64_t watermark, perf::CpuContext* cpu) {
+  if (!has_credit()) {
+    return Status::FailedPrecondition("no credit available");
+  }
+  if (payload.length > payload_capacity()) {
+    return Status::InvalidArgument("payload exceeds slot capacity");
+  }
+  const uint32_t slot = static_cast<uint32_t>(acquired_count_ % config_.credits);
+  SLASH_CHECK_EQ(acquired_count_, sent_count_);  // no interleave with Post
+
+  SlotFooter footer;
+  footer.payload_len = static_cast<uint32_t>(payload.length);
+  footer.seq = static_cast<uint32_t>(sent_count_ / config_.credits + 1);
+  footer.user_tag = user_tag;
+  footer.watermark = watermark;
+  footer.send_time = sim_->now();
+  // The footer still goes through a (tiny) staging slot; the payload ships
+  // zero-copy from the external region (the LSS). Two writes on one RC QP
+  // stay ordered, so the footer is visible only after the payload.
+  WriteFooter(staging_->data() + FooterOffset(slot), footer);
+
+  cpu->Charge(perf::Op::kRdmaPost, 2);
+  ++acquired_count_;
+  ++sent_count_;
+  SLASH_RETURN_IF_ERROR(producer_qp_->PostWrite(
+      payload, queue_->remote_key(), SlotOffset(slot), sent_count_,
+      /*signaled=*/false));
+  return producer_qp_->PostWrite(
+      rdma::MemorySpan{staging_, FooterOffset(slot), kFooterBytes},
+      queue_->remote_key(), FooterOffset(slot), sent_count_,
+      /*signaled=*/false);
+}
+
+bool RdmaChannel::TryPoll(InboundBuffer* out, perf::CpuContext* cpu) {
+  const uint32_t slot = static_cast<uint32_t>(received_count_ % config_.credits);
+  const SlotFooter footer = ReadFooter(queue_->data() + FooterOffset(slot));
+  const uint32_t expected_seq =
+      static_cast<uint32_t>(received_count_ / config_.credits + 1);
+  if (footer.seq != expected_seq) {
+    cpu->Charge(perf::Op::kPollPause);
+    return false;
+  }
+  cpu->Charge(perf::Op::kCqPoll);
+  out->payload = queue_->data() + SlotOffset(slot);
+  out->payload_len = footer.payload_len;
+  out->user_tag = footer.user_tag;
+  out->watermark = footer.watermark;
+  out->send_time = footer.send_time;
+  out->slot_index = slot;
+  ++received_count_;
+  return true;
+}
+
+Status RdmaChannel::Release(const InboundBuffer& buffer,
+                            perf::CpuContext* cpu) {
+  const uint32_t expected_slot =
+      static_cast<uint32_t>(released_count_ % config_.credits);
+  if (buffer.slot_index != expected_slot) {
+    return Status::FailedPrecondition("buffers must be released in order");
+  }
+  ++released_count_;
+  // Publish the cumulative release count into the producer's credit
+  // counter: one header-only RDMA WRITE, idempotent and coalescing.
+  std::memcpy(credit_src_->data(), &released_count_, 8);
+  cpu->Charge(perf::Op::kCreditUpdate);
+  return consumer_qp_->PostWrite(rdma::MemorySpan{credit_src_, 0, 8},
+                                 credit_mr_->remote_key(), /*remote_offset=*/0,
+                                 /*wr_id=*/released_count_,
+                                 /*signaled=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// PullChannel (READ-based pull model, ablation only)
+// ---------------------------------------------------------------------------
+
+PullChannel::PullChannel(rdma::Fabric* fabric, int producer_node,
+                         int consumer_node, const ChannelConfig& config)
+    : fabric_(fabric),
+      sim_(fabric->simulator()),
+      producer_node_(producer_node),
+      consumer_node_(consumer_node),
+      config_(config),
+      credit_event_(fabric->simulator()) {}
+
+std::unique_ptr<PullChannel> PullChannel::Create(rdma::Fabric* fabric,
+                                                 int producer_node,
+                                                 int consumer_node,
+                                                 const ChannelConfig& config) {
+  SLASH_CHECK_GT(config.credits, 0u);
+  SLASH_CHECK_GT(config.slot_bytes, kFooterBytes);
+  auto channel = std::unique_ptr<PullChannel>(
+      new PullChannel(fabric, producer_node, consumer_node, config));
+  const uint64_t queue_bytes = uint64_t(config.credits) * config.slot_bytes;
+  channel->source_ = fabric->pd(producer_node)->RegisterRegion(queue_bytes);
+  channel->credit_mr_ = fabric->pd(producer_node)->RegisterRegion(64);
+  channel->read_buffer_ =
+      fabric->pd(consumer_node)->RegisterRegion(config.slot_bytes + 64);
+  rdma::QpPair qp = fabric->Connect(producer_node, consumer_node);
+  channel->producer_qp_ = qp.first;
+  channel->consumer_qp_ = qp.second;
+  PullChannel* ch = channel.get();
+  channel->credit_mr_->AddRemoteWriteListener(
+      [ch](uint64_t, uint64_t) { ch->credit_event_.Notify(); });
+  return channel;
+}
+
+bool PullChannel::TryAcquire(SlotRef* out, perf::CpuContext* cpu) {
+  uint64_t released;
+  std::memcpy(&released, credit_mr_->data(), sizeof(released));
+  if (acquired_count_ - released >= config_.credits) {
+    cpu->Charge(perf::Op::kPollPause);
+    return false;
+  }
+  const uint32_t slot = static_cast<uint32_t>(acquired_count_ % config_.credits);
+  out->payload = source_->data() + SlotOffset(slot);
+  out->capacity = payload_capacity();
+  out->slot_index = slot;
+  out->acquire_time = sim_->now();
+  ++acquired_count_;
+  return true;
+}
+
+Status PullChannel::Post(const SlotRef& slot, uint64_t payload_len,
+                         uint64_t user_tag, int64_t watermark,
+                         perf::CpuContext* cpu) {
+  if (payload_len > payload_capacity()) {
+    return Status::InvalidArgument("payload exceeds slot capacity");
+  }
+  SlotFooter footer;
+  footer.payload_len = static_cast<uint32_t>(payload_len);
+  footer.seq = static_cast<uint32_t>(produced_count_ / config_.credits + 1);
+  footer.user_tag = user_tag;
+  footer.watermark = watermark;
+  footer.send_time = slot.acquire_time;
+  WriteFooter(source_->data() + SlotOffset(slot.slot_index) +
+                  config_.slot_bytes - kFooterBytes,
+              footer);
+  ++produced_count_;
+  // Publication is a local store; the consumer pulls over the network.
+  cpu->Charge(perf::Op::kProjectField);
+  return Status::OK();
+}
+
+sim::Task PullChannel::Pull(PullResult* result, perf::CpuContext* cpu) {
+  result->ready = false;
+  const uint32_t slot = static_cast<uint32_t>(pulled_count_ % config_.credits);
+  cpu->Charge(perf::Op::kRdmaPost);
+  co_await cpu->Sync();
+  const uint64_t wr_id = pulled_count_ + 1;
+  SLASH_CHECK(consumer_qp_
+                  ->PostRead(rdma::MemorySpan{read_buffer_, 0,
+                                              config_.slot_bytes},
+                             source_->remote_key(), SlotOffset(slot), wr_id)
+                  .ok());
+  rdma::Completion c;
+  while (!consumer_qp_->send_cq().TryPoll(&c)) {
+    const Nanos wait_start = sim_->now();
+    co_await consumer_qp_->send_cq().ready_event().Wait();
+    cpu->ChargeWait(sim_->now() - wait_start);
+  }
+  cpu->Charge(perf::Op::kCqPoll);
+  const SlotFooter footer =
+      ReadFooter(read_buffer_->data() + config_.slot_bytes - kFooterBytes);
+  const uint32_t expected_seq =
+      static_cast<uint32_t>(pulled_count_ / config_.credits + 1);
+  if (footer.seq != expected_seq) co_return;  // not ready: wasted round-trip
+
+  result->ready = true;
+  result->buffer.payload = read_buffer_->data();
+  result->buffer.payload_len = footer.payload_len;
+  result->buffer.user_tag = footer.user_tag;
+  result->buffer.watermark = footer.watermark;
+  result->buffer.send_time = footer.send_time;
+  result->buffer.slot_index = slot;
+  ++pulled_count_;
+}
+
+Status PullChannel::Release(const InboundBuffer& buffer,
+                            perf::CpuContext* cpu) {
+  ++released_count_;
+  std::memcpy(read_buffer_->data() + config_.slot_bytes, &released_count_, 8);
+  cpu->Charge(perf::Op::kCreditUpdate);
+  return consumer_qp_->PostWrite(
+      rdma::MemorySpan{read_buffer_, config_.slot_bytes, 8},
+      credit_mr_->remote_key(), /*remote_offset=*/0,
+      /*wr_id=*/released_count_, /*signaled=*/false);
+}
+
+}  // namespace slash::channel

@@ -1,0 +1,276 @@
+// The RDMA Channel: Slash's data channel for streaming records between
+// nodes at line rate (paper Sec. 6).
+//
+// An RDMA channel connects one producer to one consumer through an
+// RDMA-shared circular queue with credit-based flow control (CFC):
+//
+//   * Setup phase: both sides allocate a circular queue of `c` fixed-size
+//     RDMA-capable slots of `m` bytes and connect a reliable QP.
+//   * Transfer phase: the producer (1) acquires the next free local slot
+//     and fills it, (2) posts one RDMA WRITE of the whole slot into the
+//     consumer's mirror slot, (3) waits for credit when none remain. The
+//     consumer (1) polls the footer of the next expected slot, (2) marks
+//     the buffer for processing, (3) returns a credit after processing.
+//
+// Design choices from Sec. 6.3, reproduced here:
+//   * Flat memory layout: the queue is one contiguous region of c*m bytes;
+//     payload and footer are contiguous inside a slot, so one WRITE moves
+//     both (no pointer chasing, single request per message).
+//   * Push-based transfer via RDMA WRITE: one network trip per message and
+//     the consumer polls *local* memory. (A READ-based pull variant exists
+//     for the ablation study: every poll crosses the network.)
+//   * Footer polling: the footer sits at the fixed tail of the slot and is
+//     written last (RDMA WRITE fills memory from lower to higher
+//     addresses), so observing the footer guarantees the payload is fully
+//     visible. The footer carries a wrapping sequence number, so slots
+//     never need to be scrubbed between rounds.
+//
+// Credits return as a cumulative count: the consumer RDMA-WRITEs its total
+// number of released buffers into a small counter region on the producer,
+// which computes available credits as `c - (sent - released)`. A cumulative
+// ack is idempotent and naturally coalesces.
+#ifndef SLASH_CHANNEL_RDMA_CHANNEL_H_
+#define SLASH_CHANNEL_RDMA_CHANNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "perf/cost_model.h"
+#include "rdma/fabric.h"
+#include "sim/simulator.h"
+
+namespace slash::channel {
+
+/// Channel sizing parameters. The paper's best configuration is c = 8
+/// credits with 32-64 KiB buffers (Sec. 8.3.2).
+struct ChannelConfig {
+  uint32_t credits = 8;
+  uint64_t slot_bytes = 64 * kKiB;  // includes the footer
+};
+
+/// Slot footer, stored in the last kFooterBytes of every slot and written
+/// (conceptually) last. `seq` is the 1-based message sequence number for
+/// this slot's queue position; a consumer expecting round r polls for
+/// seq == r. `user_tag` and `watermark` let engines piggyback metadata
+/// (e.g. epoch ids and event-time watermarks) for free.
+struct SlotFooter {
+  uint32_t payload_len = 0;
+  uint32_t seq = 0;
+  uint64_t user_tag = 0;
+  int64_t watermark = 0;
+  Nanos send_time = 0;  // producer acquire time, for latency accounting
+};
+
+inline constexpr uint64_t kFooterBytes = sizeof(SlotFooter);
+
+/// A writable slot handed to the producer.
+struct SlotRef {
+  uint8_t* payload = nullptr;   // fill up to `capacity` bytes
+  uint64_t capacity = 0;
+  uint32_t slot_index = 0;
+  Nanos acquire_time = 0;
+};
+
+/// A received buffer handed to the consumer (points into the consumer's
+/// queue memory: zero-copy). Must be released to return the credit.
+struct InboundBuffer {
+  const uint8_t* payload = nullptr;
+  uint64_t payload_len = 0;
+  uint64_t user_tag = 0;
+  int64_t watermark = 0;
+  Nanos send_time = 0;
+  uint32_t slot_index = 0;
+};
+
+/// A unidirectional producer->consumer RDMA channel.
+///
+/// The producer-side API (TryAcquire/Post/credit_event) must only be used
+/// from coroutines of the producer node, the consumer-side API
+/// (TryPoll/Release/data_event) only from the consumer node. All CPU costs
+/// are charged to the CpuContext passed per call.
+class RdmaChannel {
+ public:
+  /// Creates a channel: registers both circular queues and the credit
+  /// counter, and connects the QP.
+  static std::unique_ptr<RdmaChannel> Create(rdma::Fabric* fabric,
+                                             int producer_node,
+                                             int consumer_node,
+                                             const ChannelConfig& config);
+
+  RdmaChannel(const RdmaChannel&) = delete;
+  RdmaChannel& operator=(const RdmaChannel&) = delete;
+
+  int producer_node() const { return producer_node_; }
+  int consumer_node() const { return consumer_node_; }
+  const ChannelConfig& config() const { return config_; }
+
+  /// Usable payload bytes per slot.
+  uint64_t payload_capacity() const {
+    return config_.slot_bytes - kFooterBytes;
+  }
+
+  // --- Producer side -------------------------------------------------------
+
+  /// Acquires the next slot if a credit is available. Returns false when
+  /// the producer must wait (then: co_await credit_event().Wait()).
+  bool TryAcquire(SlotRef* out, perf::CpuContext* cpu);
+
+  /// Publishes `payload_len` bytes of the acquired slot to the consumer as
+  /// one RDMA WRITE of the whole fixed-size slot. Consumes one credit.
+  /// Slots must be posted in acquisition order.
+  Status Post(const SlotRef& slot, uint64_t payload_len, uint64_t user_tag,
+              int64_t watermark, perf::CpuContext* cpu);
+
+  /// Zero-copy variant used by the state backend (Sec. 7.2.1): ships
+  /// `payload` directly from an external registered region (the LSS) into
+  /// the next slot, then publishes the footer with a second, RC-ordered
+  /// write. Requires an available credit (TryAcquire-style flow applies:
+  /// call only when has_credit()).
+  Status PostExternal(rdma::MemorySpan payload, uint64_t user_tag,
+                      int64_t watermark, perf::CpuContext* cpu);
+
+  /// True when at least one credit is available.
+  bool has_credit() const;
+
+  /// Notified when credits return from the consumer.
+  sim::Event& credit_event() { return credit_event_; }
+
+  /// Registers an additional event notified when credits return (lets a
+  /// producer park on one event across many channels and other conditions).
+  void AddCreditObserver(sim::Event* event) {
+    credit_observers_.push_back(event);
+  }
+
+  /// Messages posted so far.
+  uint64_t sent_count() const { return sent_count_; }
+
+  // --- Consumer side -------------------------------------------------------
+
+  /// Polls the next expected slot's footer. On success fills `out` (which
+  /// points into channel memory) and marks the buffer as in-processing.
+  /// On failure charges one pause-loop iteration.
+  bool TryPoll(InboundBuffer* out, perf::CpuContext* cpu);
+
+  /// Finishes processing a polled buffer and returns its credit to the
+  /// producer (one small RDMA WRITE of the cumulative release counter).
+  Status Release(const InboundBuffer& buffer, perf::CpuContext* cpu);
+
+  /// Notified when a new buffer lands in the consumer queue.
+  sim::Event& data_event() { return data_event_; }
+
+  /// Registers an additional event notified on buffer arrival. Lets one
+  /// consumer coroutine park on a single event while polling many channels
+  /// (the fan-in pattern of re-partitioning receivers and SSB leaders).
+  void AddDataObserver(sim::Event* event) { data_observers_.push_back(event); }
+
+  /// Messages fully received (polled) so far.
+  uint64_t received_count() const { return received_count_; }
+
+ private:
+  RdmaChannel(rdma::Fabric* fabric, int producer_node, int consumer_node,
+              const ChannelConfig& config);
+
+  uint64_t SlotOffset(uint32_t slot) const {
+    return uint64_t(slot) * config_.slot_bytes;
+  }
+  uint64_t FooterOffset(uint32_t slot) const {
+    return SlotOffset(slot) + config_.slot_bytes - kFooterBytes;
+  }
+  uint64_t released_acked() const;  // producer-visible cumulative releases
+
+  rdma::Fabric* fabric_;
+  sim::Simulator* sim_;
+  int producer_node_;
+  int consumer_node_;
+  ChannelConfig config_;
+
+  // Producer-side state.
+  rdma::MemoryRegion* staging_ = nullptr;   // producer circular queue
+  rdma::MemoryRegion* credit_mr_ = nullptr; // cumulative release counter
+  rdma::QpEndpoint* producer_qp_ = nullptr;
+  uint64_t sent_count_ = 0;
+  uint64_t acquired_count_ = 0;
+  sim::Event credit_event_;
+  std::vector<sim::Event*> credit_observers_;
+
+  // Consumer-side state.
+  rdma::MemoryRegion* queue_ = nullptr;      // consumer circular queue
+  rdma::MemoryRegion* credit_src_ = nullptr; // staging for the credit write
+  rdma::QpEndpoint* consumer_qp_ = nullptr;
+  uint64_t received_count_ = 0;
+  uint64_t released_count_ = 0;
+  sim::Event data_event_;
+  std::vector<sim::Event*> data_observers_;
+};
+
+/// READ-based pull channel used only by the verbs ablation
+/// (bench/ablation_verbs). The consumer polls the *producer's* memory over
+/// the network with RDMA READs until a slot's footer becomes valid — the
+/// pull model the paper rejects (extra network traffic per poll, full
+/// round-trip latency).
+class PullChannel {
+ public:
+  static std::unique_ptr<PullChannel> Create(rdma::Fabric* fabric,
+                                             int producer_node,
+                                             int consumer_node,
+                                             const ChannelConfig& config);
+
+  PullChannel(const PullChannel&) = delete;
+  PullChannel& operator=(const PullChannel&) = delete;
+
+  uint64_t payload_capacity() const {
+    return config_.slot_bytes - kFooterBytes;
+  }
+
+  /// Producer: acquire + publish locally (no network; data stays local
+  /// until the consumer pulls it).
+  bool TryAcquire(SlotRef* out, perf::CpuContext* cpu);
+  Status Post(const SlotRef& slot, uint64_t payload_len, uint64_t user_tag,
+              int64_t watermark, perf::CpuContext* cpu);
+  sim::Event& credit_event() { return credit_event_; }
+
+  /// Consumer: issues one RDMA READ of the next expected slot and waits
+  /// for it; fills `out` and reports whether the slot was ready. Each call
+  /// costs a full network round-trip regardless of readiness. The returned
+  /// payload points into the consumer-local read buffer.
+  struct PullResult {
+    bool ready = false;
+    InboundBuffer buffer;
+  };
+  sim::Task Pull(PullResult* result, perf::CpuContext* cpu);
+
+  /// Returns the credit for a pulled buffer.
+  Status Release(const InboundBuffer& buffer, perf::CpuContext* cpu);
+
+ private:
+  PullChannel(rdma::Fabric* fabric, int producer_node, int consumer_node,
+              const ChannelConfig& config);
+
+  uint64_t SlotOffset(uint32_t slot) const {
+    return uint64_t(slot) * config_.slot_bytes;
+  }
+
+  rdma::Fabric* fabric_;
+  sim::Simulator* sim_;
+  int producer_node_;
+  int consumer_node_;
+  ChannelConfig config_;
+
+  rdma::MemoryRegion* source_ = nullptr;      // producer-side slots
+  rdma::MemoryRegion* credit_mr_ = nullptr;   // producer-side release counter
+  rdma::MemoryRegion* read_buffer_ = nullptr; // consumer-side landing area
+  rdma::QpEndpoint* producer_qp_ = nullptr;
+  rdma::QpEndpoint* consumer_qp_ = nullptr;
+  uint64_t produced_count_ = 0;
+  uint64_t acquired_count_ = 0;
+  uint64_t pulled_count_ = 0;
+  uint64_t released_count_ = 0;
+  sim::Event credit_event_;
+};
+
+}  // namespace slash::channel
+
+#endif  // SLASH_CHANNEL_RDMA_CHANNEL_H_

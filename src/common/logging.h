@@ -1,0 +1,63 @@
+// Minimal logging and invariant-checking macros.
+//
+// SLASH_CHECK* terminate the process on violation; they guard internal
+// invariants that indicate programming errors (not recoverable conditions,
+// which use Status). SLASH_LOG writes a single line to stderr.
+#ifndef SLASH_COMMON_LOGGING_H_
+#define SLASH_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace slash::internal_logging {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               msg.c_str());
+  std::abort();
+}
+
+inline void LogLine(const char* level, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", level, msg.c_str());
+}
+
+}  // namespace slash::internal_logging
+
+/// Terminates the process if `cond` is false.
+#define SLASH_CHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::slash::internal_logging::CheckFail(__FILE__, __LINE__, #cond, "");   \
+    }                                                                        \
+  } while (0)
+
+/// Terminates with a formatted message if `cond` is false.
+#define SLASH_CHECK_MSG(cond, msg)                                           \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream _oss;                                               \
+      _oss << msg;                                                           \
+      ::slash::internal_logging::CheckFail(__FILE__, __LINE__, #cond,        \
+                                           _oss.str());                      \
+    }                                                                        \
+  } while (0)
+
+#define SLASH_CHECK_EQ(a, b) SLASH_CHECK_MSG((a) == (b), "(" << (a) << " vs " << (b) << ")")
+#define SLASH_CHECK_NE(a, b) SLASH_CHECK_MSG((a) != (b), "(" << (a) << " vs " << (b) << ")")
+#define SLASH_CHECK_LT(a, b) SLASH_CHECK_MSG((a) < (b), "(" << (a) << " vs " << (b) << ")")
+#define SLASH_CHECK_LE(a, b) SLASH_CHECK_MSG((a) <= (b), "(" << (a) << " vs " << (b) << ")")
+#define SLASH_CHECK_GT(a, b) SLASH_CHECK_MSG((a) > (b), "(" << (a) << " vs " << (b) << ")")
+#define SLASH_CHECK_GE(a, b) SLASH_CHECK_MSG((a) >= (b), "(" << (a) << " vs " << (b) << ")")
+
+/// Logs one line at the given level ("INFO", "WARN", "ERROR").
+#define SLASH_LOG(level, msg)                            \
+  do {                                                   \
+    std::ostringstream _oss;                             \
+    _oss << msg;                                         \
+    ::slash::internal_logging::LogLine(level, _oss.str()); \
+  } while (0)
+
+#endif  // SLASH_COMMON_LOGGING_H_

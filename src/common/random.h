@@ -1,0 +1,73 @@
+// Deterministic random number generation and the key distributions used by
+// the paper's workloads: uniform, Zipfian (Fig 8d skew sweep), and Pareto
+// (NEXMark bid keys, Sec. 8.2.2).
+#ifndef SLASH_COMMON_RANDOM_H_
+#define SLASH_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace slash {
+
+/// xoshiro256** PRNG: fast, high quality, fully deterministic per seed.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same sequence.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Draws keys from a Zipfian distribution over [0, n) with exponent `z`.
+///
+/// Uses the Gray/Jim-Gray transformation with precomputed zeta constants so
+/// each draw is O(1). z == 0 degenerates to uniform.
+class ZipfGenerator {
+ public:
+  /// Precomputes constants for `n` items and skew `z` (>= 0).
+  ZipfGenerator(uint64_t n, double z, uint64_t seed);
+
+  /// Next key in [0, n), item 0 being the most popular.
+  uint64_t Next();
+
+  double skew() const { return z_; }
+
+ private:
+  uint64_t n_;
+  double z_;
+  double zetan_;
+  double theta_denominator_;  // zeta(2, z)
+  double alpha_;
+  double eta_;
+  Rng rng_;
+};
+
+/// Draws keys from a bounded Pareto (power-law) distribution over [0, n).
+/// Produces the heavy-hitter long tail the paper uses for NB7 bid keys.
+class ParetoGenerator {
+ public:
+  /// `shape` > 0 controls tail heaviness (smaller == heavier tail).
+  ParetoGenerator(uint64_t n, double shape, uint64_t seed);
+
+  /// Next key in [0, n); small keys are the heavy hitters.
+  uint64_t Next();
+
+ private:
+  uint64_t n_;
+  double shape_;
+  Rng rng_;
+};
+
+}  // namespace slash
+
+#endif  // SLASH_COMMON_RANDOM_H_

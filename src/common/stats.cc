@@ -1,0 +1,95 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace slash {
+
+void RunningSummary::Add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+LatencyHistogram::LatencyHistogram() {
+  // Geometric bucket bounds from 1 ns to ~100 s with ratio 1.08.
+  Nanos bound = 1;
+  while (bound < 100 * kSecond) {
+    bounds_.push_back(bound);
+    Nanos next = static_cast<Nanos>(std::ceil(double(bound) * 1.08));
+    bound = std::max(next, bound + 1);
+  }
+  bounds_.push_back(100 * kSecond);
+  buckets_.assign(bounds_.size(), 0);
+}
+
+size_t LatencyHistogram::BucketFor(Nanos v) const {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  if (it == bounds_.end()) return bounds_.size() - 1;
+  return static_cast<size_t>(it - bounds_.begin());
+}
+
+void LatencyHistogram::Record(Nanos latency) {
+  if (latency < 1) latency = 1;
+  ++buckets_[BucketFor(latency)];
+  ++count_;
+  sum_ += double(latency);
+}
+
+Nanos LatencyHistogram::Percentile(double p) const {
+  SLASH_CHECK_GE(p, 0.0);
+  SLASH_CHECK_LE(p, 100.0);
+  if (count_ == 0) return 0;
+  const uint64_t target =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * double(count_)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) return bounds_[i];
+  }
+  return bounds_.back();
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kGiB && bytes % kGiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu GiB",
+                  static_cast<unsigned long long>(bytes / kGiB));
+  } else if (bytes >= kMiB && bytes % kMiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu MiB",
+                  static_cast<unsigned long long>(bytes / kMiB));
+  } else if (bytes >= kKiB && bytes % kKiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu KiB",
+                  static_cast<unsigned long long>(bytes / kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatNanos(Nanos ns) {
+  char buf[64];
+  if (ns >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", double(ns) / double(kSecond));
+  } else if (ns >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms",
+                  double(ns) / double(kMillisecond));
+  } else if (ns >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f us",
+                  double(ns) / double(kMicrosecond));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace slash

@@ -1,0 +1,29 @@
+// Byte- and time-unit helpers shared across modules.
+#ifndef SLASH_COMMON_UNITS_H_
+#define SLASH_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace slash {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+/// Virtual time in nanoseconds (the unit of the simulation clock).
+using Nanos = int64_t;
+
+inline constexpr Nanos kMicrosecond = 1000;
+inline constexpr Nanos kMillisecond = 1000 * kMicrosecond;
+inline constexpr Nanos kSecond = 1000 * kMillisecond;
+
+/// Formats a byte count as a short human-readable string ("64 KiB").
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats a duration in nanoseconds ("1.25 ms").
+std::string FormatNanos(Nanos ns);
+
+}  // namespace slash
+
+#endif  // SLASH_COMMON_UNITS_H_

@@ -1,0 +1,66 @@
+// Shared windowed-join evaluation (paper Sec. 5.2, "Windowed Join").
+//
+// Slash eagerly appends both streams' records into the distributed hash
+// table; when a window terminates, the trigger probes the merged state and
+// outputs per-key pairwise combinations. This helper implements the
+// pairwise counting — including the lazy per-session split for session
+// windows — and is used by every engine's trigger AND by the sequential
+// oracle, so any engine/oracle divergence is attributable to the engine's
+// distributed execution, never to trigger logic.
+#ifndef SLASH_CORE_JOIN_H_
+#define SLASH_CORE_JOIN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/window.h"
+
+namespace slash::core {
+
+/// One record's join-relevant digest inside a (bucket, key) group.
+struct JoinElement {
+  int64_t ts = 0;
+  uint16_t stream_id = 0;
+
+  auto operator<=>(const JoinElement&) const = default;
+};
+
+/// Counts (left, right) pairs among `elements` of one (bucket, key) group.
+/// Tumbling windows pair every left with every right in the bucket;
+/// session windows first split the sorted elements into gap-separated
+/// sessions and pair within each. Sorts `elements` in place.
+inline uint64_t CountJoinPairs(const WindowSpec& window, uint16_t left_stream,
+                               uint16_t right_stream,
+                               std::vector<JoinElement>* elements) {
+  if (window.type == WindowSpec::Type::kTumbling) {
+    uint64_t left = 0, right = 0;
+    for (const JoinElement& e : *elements) {
+      if (e.stream_id == left_stream) ++left;
+      if (e.stream_id == right_stream) ++right;
+    }
+    return left * right;
+  }
+  // Session windows: lazy split of the merged, sorted state.
+  std::sort(elements->begin(), elements->end());
+  uint64_t pairs = 0;
+  uint64_t left = 0, right = 0;
+  int64_t last_ts = 0;
+  bool in_session = false;
+  for (const JoinElement& e : *elements) {
+    if (in_session && e.ts - last_ts > window.gap) {
+      pairs += left * right;
+      left = right = 0;
+    }
+    if (e.stream_id == left_stream) ++left;
+    if (e.stream_id == right_stream) ++right;
+    last_ts = e.ts;
+    in_session = true;
+  }
+  pairs += left * right;
+  return pairs;
+}
+
+}  // namespace slash::core
+
+#endif  // SLASH_CORE_JOIN_H_

@@ -1,0 +1,67 @@
+#include "core/oracle.h"
+
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "core/join.h"
+#include "core/sliding.h"
+#include "state/crdt.h"
+
+namespace slash::core {
+
+OracleOutput ComputeOracle(const QuerySpec& query, const SourceFactory& source,
+                           int total_flows) {
+  OracleOutput out;
+  ResultSink sink(/*keep_rows=*/true);
+
+  using GroupKey = std::pair<int64_t, uint64_t>;  // (bucket, key)
+  std::map<GroupKey, state::AggState> agg_state;
+  std::map<GroupKey, std::vector<JoinElement>> join_state;
+
+  for (int flow = 0; flow < total_flows; ++flow) {
+    auto src = source(flow, total_flows);
+    Record r;
+    while (src->Next(&r)) {
+      ++out.records_in;
+      if (query.filter && !query.filter(r)) continue;
+      if (query.project) query.project(&r);
+      const int64_t bucket = query.window.BucketOf(r.timestamp);
+      if (query.is_join()) {
+        join_state[{bucket, r.key}].push_back(
+            JoinElement{r.timestamp, r.stream_id});
+      } else {
+        agg_state[{bucket, r.key}].Apply(r.value);
+      }
+    }
+  }
+
+  if (query.window.type == WindowSpec::Type::kSliding) {
+    std::vector<SliceAggregate> slices;
+    for (const auto& [group, s] : agg_state) {
+      slices.push_back(SliceAggregate{group.first, group.second, s});
+    }
+    EmitSlidingWindows(query.window, query.agg, slices,
+                       std::numeric_limits<int64_t>::min(),
+                       std::numeric_limits<int64_t>::max(), &sink);
+  } else if (query.is_join()) {
+    for (auto& [group, elements] : join_state) {
+      const uint64_t pairs = CountJoinPairs(
+          query.window, query.left_stream, query.right_stream, &elements);
+      if (pairs > 0) {
+        sink.Emit(group.first, group.second, int64_t(pairs));
+      }
+    }
+  } else {
+    for (const auto& [group, s] : agg_state) {
+      sink.Emit(group.first, group.second, s.Extract(query.agg));
+    }
+  }
+
+  out.count = sink.count();
+  out.checksum = sink.checksum();
+  out.rows = sink.SortedRows();
+  return out;
+}
+
+}  // namespace slash::core

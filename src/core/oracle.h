@@ -1,0 +1,33 @@
+// The sequential reference computation ("oracle").
+//
+// Consistency property P2 (paper Sec. 5.1): a distributed computation over
+// a stream D must, after lazy merging, produce the same output a sequential
+// computation over D would. The oracle *is* that sequential computation:
+// it replays every flow through the query's stateless stages into plain
+// in-memory state and triggers every window. Integration tests compare
+// each engine's emitted rows/checksum against it exactly.
+#ifndef SLASH_CORE_ORACLE_H_
+#define SLASH_CORE_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "core/result_sink.h"
+
+namespace slash::core {
+
+struct OracleOutput {
+  uint64_t count = 0;
+  uint64_t checksum = 0;
+  std::vector<WindowResult> rows;  // sorted
+  uint64_t records_in = 0;
+};
+
+/// Runs the query sequentially over all `total_flows` flows.
+OracleOutput ComputeOracle(const QuerySpec& query, const SourceFactory& source,
+                           int total_flows);
+
+}  // namespace slash::core
+
+#endif  // SLASH_CORE_ORACLE_H_

@@ -1,0 +1,2 @@
+// pipeline.h is header-only; this translation unit anchors it.
+#include "core/pipeline.h"

@@ -1,0 +1,89 @@
+// The stateless prefix of an operator pipeline, with cost accounting.
+//
+// Every engine pushes each record through the query's filter/projection
+// chain before the stateful operator; RecordPipeline centralizes that logic
+// and charges the per-record CPU costs (parse, branchy predicate,
+// projection) so all engines pay identical stateless costs and differ only
+// in their execution strategy — which is exactly the comparison the paper
+// makes.
+#ifndef SLASH_CORE_PIPELINE_H_
+#define SLASH_CORE_PIPELINE_H_
+
+#include <cstdint>
+
+#include "core/query.h"
+#include "perf/cost_model.h"
+
+namespace slash::core {
+
+/// How the operator pipeline executes (paper Sec. 5.3: Slash "is agnostic
+/// to the execution strategy, as it supports compilation-based and
+/// interpretation-based strategies").
+enum class ExecutionStrategy {
+  /// One dispatch per operator per record (virtual calls, branchy).
+  kInterpreted,
+  /// Operators fused and compiled into one code unit (Grizzly/LightSaber
+  /// style): one fused charge covers parse + filter + projection + window
+  /// assignment + key hash. Result semantics are identical.
+  kCompiled,
+};
+
+class RecordPipeline {
+ public:
+  RecordPipeline(const QuerySpec* query, perf::CpuContext* cpu,
+                 ExecutionStrategy strategy = ExecutionStrategy::kInterpreted)
+      : query_(query), cpu_(cpu), strategy_(strategy) {}
+
+  /// Runs the stateless stages on `r` in place. Returns false if the record
+  /// is filtered out. Charges parse/filter/projection costs (or one fused
+  /// charge under compiled execution).
+  bool Process(Record* r) {
+    if (strategy_ == ExecutionStrategy::kCompiled) {
+      cpu_->Charge(perf::Op::kFusedPipeline);
+      if (query_->filter && !query_->filter(*r)) {
+        ++filtered_;
+        return false;
+      }
+      if (query_->project) query_->project(r);
+      ++passed_;
+      return true;
+    }
+    cpu_->Charge(perf::Op::kRecordParse);
+    if (query_->filter) {
+      cpu_->Charge(perf::Op::kFilterBranch);
+      if (!query_->filter(*r)) {
+        ++filtered_;
+        return false;
+      }
+    }
+    if (query_->project) {
+      cpu_->Charge(perf::Op::kProjectField);
+      query_->project(r);
+    }
+    ++passed_;
+    return true;
+  }
+
+  /// Charges the stateful operator's prologue (window assignment and key
+  /// hashing); under compiled execution these are part of the fused unit.
+  void ChargeStatefulPrologue() {
+    if (strategy_ == ExecutionStrategy::kInterpreted) {
+      cpu_->Charge(perf::Op::kWindowAssign);
+      cpu_->Charge(perf::Op::kHashCompute);
+    }
+  }
+
+  uint64_t passed() const { return passed_; }
+  uint64_t filtered() const { return filtered_; }
+
+ private:
+  const QuerySpec* query_;
+  perf::CpuContext* cpu_;
+  ExecutionStrategy strategy_;
+  uint64_t passed_ = 0;
+  uint64_t filtered_ = 0;
+};
+
+}  // namespace slash::core
+
+#endif  // SLASH_CORE_PIPELINE_H_

@@ -1,0 +1,2 @@
+// record.h is header-only; this translation unit anchors it in the library.
+#include "core/record.h"

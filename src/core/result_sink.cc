@@ -1,0 +1,13 @@
+#include "core/result_sink.h"
+
+#include <algorithm>
+
+namespace slash::core {
+
+std::vector<WindowResult> ResultSink::SortedRows() const {
+  std::vector<WindowResult> sorted = rows_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace slash::core

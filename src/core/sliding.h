@@ -1,0 +1,70 @@
+// Sliding-window emission over slices (general stream slicing, paper
+// Sec. 5.2 / Traub et al. EDBT'19).
+//
+// With slicing, state holds one partial aggregate per (slice, key); a
+// sliding window of k = size/slide slices is emitted by merging the k
+// consecutive slice aggregates — each slice is computed once and shared by
+// all k windows covering it. This helper turns slice aggregates into
+// window emissions and is used by both the engines' trigger and the
+// sequential oracle, so emission semantics are identical by construction.
+//
+// Window identity: a window is named by its last slice `e`; it covers
+// slices [e-k+1, e] and event time [(e-k+1)*slide, (e+1)*slide). Only
+// windows fully within the stream (e >= k-1, i.e. start >= 0) are emitted.
+#ifndef SLASH_CORE_SLIDING_H_
+#define SLASH_CORE_SLIDING_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/result_sink.h"
+#include "core/window.h"
+#include "state/crdt.h"
+
+namespace slash::core {
+
+/// One (slice, key) partial aggregate.
+struct SliceAggregate {
+  int64_t slice = 0;
+  uint64_t key = 0;
+  state::AggState state;
+};
+
+/// Emits every sliding window `e` with `last_emitted < e <= threshold` that
+/// contains at least one populated slice. Returns the number of
+/// slice-merge operations performed (for cost accounting).
+inline uint64_t EmitSlidingWindows(const WindowSpec& window,
+                                   state::AggKind agg,
+                                   const std::vector<SliceAggregate>& slices,
+                                   int64_t last_emitted, int64_t threshold,
+                                   ResultSink* sink) {
+  const int64_t k = window.SlicesPerWindow();
+  uint64_t merges = 0;
+  // Window accumulators keyed by (window id, key).
+  std::map<std::pair<int64_t, uint64_t>, state::AggState> acc;
+  for (const SliceAggregate& s : slices) {
+    const int64_t first_window = std::max(s.slice, k - 1);
+    const int64_t last_window = s.slice + k - 1;
+    for (int64_t e = first_window; e <= last_window; ++e) {
+      if (e <= last_emitted || e > threshold) continue;
+      acc[{e, s.key}].Merge(s.state);
+      ++merges;
+    }
+  }
+  for (const auto& [window_key, state] : acc) {
+    sink->Emit(window_key.first, window_key.second, state.Extract(agg));
+  }
+  return merges;
+}
+
+/// The newest slice that may be retired once windows up to `threshold`
+/// have been emitted: slice s participates in windows up to s + k - 1.
+inline int64_t RetirableSlice(const WindowSpec& window, int64_t threshold) {
+  return threshold - (window.SlicesPerWindow() - 1);
+}
+
+}  // namespace slash::core
+
+#endif  // SLASH_CORE_SLIDING_H_

@@ -1,0 +1,2 @@
+// engine.h is header-only; this translation unit anchors it.
+#include "engines/engine.h"

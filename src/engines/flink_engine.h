@@ -1,0 +1,29 @@
+// The Flink-like baseline: "plug-and-play integration" (paper Sec. 3.1),
+// standing in for Apache Flink 1.9 deployed on IPoIB (Sec. 8.1.1).
+//
+// Architecture modeled: operator fission with queue-based hash
+// re-partitioning, socket transport over IP-over-InfiniBand (kernel
+// syscalls, user<->kernel copies, interrupts, far-below-line-rate
+// goodput), dedicated network threads decoupled from processing threads by
+// software queues, and a managed-runtime per-record overhead (object
+// (de)serialization, virtual dispatch). The paper shows this design gains
+// almost nothing from RDMA hardware; this engine reproduces why.
+#ifndef SLASH_ENGINES_FLINK_ENGINE_H_
+#define SLASH_ENGINES_FLINK_ENGINE_H_
+
+#include "engines/engine.h"
+
+namespace slash::engines {
+
+class FlinkLikeEngine : public Engine {
+ public:
+  std::string_view name() const override { return "Flink (IPoIB)"; }
+
+  RunStats Run(const core::QuerySpec& query,
+               const workloads::Workload& workload,
+               const ClusterConfig& config) override;
+};
+
+}  // namespace slash::engines
+
+#endif  // SLASH_ENGINES_FLINK_ENGINE_H_

@@ -1,0 +1,528 @@
+#include "engines/slash_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/record.h"
+#include "core/vector_clock.h"
+#include "engines/trigger.h"
+#include "state/state_backend.h"
+
+namespace slash::engines {
+
+namespace {
+
+using channel::InboundBuffer;
+using channel::RdmaChannel;
+using channel::SlotRef;
+using core::Record;
+using perf::Op;
+
+struct NodeState {
+  int node = 0;
+  std::unique_ptr<state::StateBackend> ssb;
+  std::vector<std::unique_ptr<perf::CpuContext>> worker_cpus;
+  std::vector<int64_t> worker_watermarks;
+  int finished_workers = 0;
+  // Epoch coordination: any worker that observes the byte threshold bumps
+  // `epoch_seq`; every worker then drains *its assigned partitions* for
+  // that epoch (parallel drain). `epoch_low_wm` is the node low watermark
+  // frozen at the bump.
+  uint64_t epoch_seq = 0;
+  int64_t epoch_low_wm = core::kWatermarkMin;
+  bool final_bumped = false;  // the end-of-stream epoch has been announced
+  core::VectorClock vclock;
+  int64_t last_trigger_wm = core::kWatermarkMin;
+  core::ResultSink sink;
+  // out[p]: channel towards partition p's leader; in[h]: from helper h.
+  std::vector<RdmaChannel*> out;
+  std::vector<RdmaChannel*> in;
+  std::vector<RdmaChannel*> ingest;  // per worker (rdma_ingestion only)
+  std::vector<bool> helper_final;              // per helper node
+  int finals_received = 0;
+  std::vector<int> all_helpers;                // every h != node
+  // Notified on any inbound arrival or credit return at this node; the
+  // epoch-drain loop parks here so it can keep pumping inbound channels
+  // (releasing their credits) while waiting for its own send credits —
+  // without this, two nodes draining towards each other can deadlock.
+  std::unique_ptr<sim::Event> activity;
+
+  explicit NodeState(int nodes) : vclock(nodes) {}
+
+  int64_t NodeLowWatermark() const {
+    return *std::min_element(worker_watermarks.begin(),
+                             worker_watermarks.end());
+  }
+};
+
+struct SlashRun {
+  const core::QuerySpec* query;
+  const workloads::Workload* workload;
+  ClusterConfig config;
+  sim::Simulator sim;
+  std::unique_ptr<rdma::Fabric> fabric;
+  std::vector<std::unique_ptr<RdmaChannel>> channels;
+  std::vector<std::unique_ptr<NodeState>> nodes;
+  std::vector<std::unique_ptr<perf::CpuContext>> generator_cpus;
+  uint64_t records_in = 0;
+  LatencyHistogram latency;
+
+  int total_workers() const {
+    return config.nodes * config.workers_per_node;
+  }
+};
+
+/// Emits and retires every primary-partition bucket whose trigger
+/// watermark passed min(V).
+void TryTrigger(SlashRun* run, NodeState* ns, perf::CpuContext* cpu) {
+  TriggerWindows(*run->query, ns->vclock.Min(), ns->ssb->primary(), &ns->sink,
+                 cpu, &ns->last_trigger_wm);
+}
+
+/// Polls the node's inbound channels and merges delta chunks into the
+/// primary partition. Every chunk is entry-aligned and independently
+/// mergeable, so *any* worker can take any chunk — merge work spreads
+/// across all worker cores, interleaved with query processing
+/// (Sec. 7.2.1: "Slash interleaves reception and merging of delta changes
+/// with query processing"). Returns true if anything was consumed.
+///
+/// Watermark rule: only a delta's last chunk (user_tag == 1) carries the
+/// helper's low watermark; earlier chunks must not advance the vector
+/// clock or a window could trigger before all its state arrived.
+bool PollAndMerge(SlashRun* run, NodeState* ns, perf::CpuContext* cpu) {
+  bool progressed = false;
+  for (int h : ns->all_helpers) {
+    InboundBuffer buffer;
+    while (ns->in[h]->TryPoll(&buffer, cpu)) {
+      progressed = true;
+      run->latency.Record(run->sim.now() - buffer.send_time);
+      state::DeltaEnvelope envelope;
+      SLASH_CHECK(ns->ssb
+                      ->MergeIntoPrimary(buffer.payload, buffer.payload_len,
+                                         &envelope)
+                      .ok());
+      cpu->Charge(Op::kCrdtMergePerPair, double(envelope.entry_count));
+      const bool last_chunk = buffer.user_tag == 1;
+      const int64_t watermark = buffer.watermark;
+      SLASH_CHECK(ns->in[h]->Release(buffer, cpu).ok());
+      if (last_chunk) {
+        ns->vclock.Update(h, watermark);
+        if (watermark == core::kWatermarkMax && !ns->helper_final[h]) {
+          ns->helper_final[h] = true;
+          ++ns->finals_received;
+        }
+      }
+    }
+  }
+  return progressed;
+}
+
+/// The helper partitions worker `w` is responsible for draining (and whose
+/// channels it effectively owns as a producer).
+std::vector<int> AssignedPartitions(const SlashRun& run, int node, int w) {
+  std::vector<int> partitions;
+  for (int p = 0; p < run.config.nodes; ++p) {
+    if (p == node) continue;
+    const int slot = p < node ? p : p - 1;  // dense index
+    if (slot % run.config.workers_per_node == w) partitions.push_back(p);
+  }
+  return partitions;
+}
+
+/// A serialized delta queued for transmission on one channel: the drain is
+/// *non-blocking* — a worker serializes its fragments the moment it
+/// observes a new epoch (freeing them for fresh RMWs immediately) and then
+/// ships the chunks opportunistically between processing batches, never
+/// stalling on credits. This is the full compute/RDMA interleaving of
+/// Sec. 5.3: an out-of-credit channel parks only the *send*, not the core.
+struct PendingDelta {
+  int partition = 0;
+  state::DeltaEnvelope envelope;
+  std::vector<uint8_t> bytes;  // entries only (envelope re-written per chunk)
+  std::vector<state::Partition::DeltaChunk> chunks;
+  size_t next_chunk = 0;
+  int64_t low_wm = 0;
+};
+
+/// Serializes this worker's share of the fragments for the current epoch
+/// and appends the resulting deltas to its send queue (protocol steps 1-2
+/// and the sender half of step 4).
+void SerializeShare(SlashRun* run, NodeState* ns,
+                    const std::vector<int>& partitions, int64_t low_wm,
+                    std::deque<PendingDelta>* queue, perf::CpuContext* cpu) {
+  for (int p : partitions) {
+    PendingDelta delta;
+    delta.partition = p;
+    delta.low_wm = low_wm;
+    std::vector<uint8_t> scratch;
+    delta.envelope = ns->ssb->DrainFragment(p, low_wm, &scratch);
+    cpu->Charge(Op::kEpochScanPerByte, double(scratch.size()));
+    delta.bytes.assign(scratch.begin() + sizeof(state::DeltaEnvelope),
+                       scratch.end());
+    delta.chunks = state::Partition::SplitDelta(
+        delta.bytes.data(), delta.bytes.size(),
+        ns->out[p]->payload_capacity() - sizeof(state::DeltaEnvelope));
+    queue->push_back(std::move(delta));
+  }
+}
+
+/// Ships as many queued delta chunks as credits currently allow (protocol
+/// step 3). Never blocks; returns true if anything was sent.
+bool PumpSendQueue(SlashRun* run, NodeState* ns,
+                   std::deque<PendingDelta>* queue, perf::CpuContext* cpu) {
+  bool sent = false;
+  while (!queue->empty()) {
+    PendingDelta& delta = queue->front();
+    RdmaChannel* ch = ns->out[delta.partition];
+    while (delta.next_chunk < delta.chunks.size()) {
+      SlotRef slot;
+      if (!ch->TryAcquire(&slot, cpu)) return sent;  // out of credit: later
+      const auto& chunk = delta.chunks[delta.next_chunk];
+      state::DeltaEnvelope chunk_envelope = delta.envelope;
+      chunk_envelope.entry_count = chunk.entries;
+      std::memcpy(slot.payload, &chunk_envelope, sizeof(chunk_envelope));
+      std::memcpy(slot.payload + sizeof(chunk_envelope),
+                  delta.bytes.data() + chunk.offset, chunk.length);
+      cpu->ChargeBytes(Op::kBufferCopyPerByte,
+                       sizeof(chunk_envelope) + chunk.length);
+      const bool last = delta.next_chunk + 1 == delta.chunks.size();
+      SLASH_CHECK(ch->Post(slot, sizeof(chunk_envelope) + chunk.length,
+                           /*user_tag=*/last ? 1 : 0,
+                           /*watermark=*/last ? delta.low_wm
+                                              : core::kWatermarkMin,
+                           cpu)
+                      .ok());
+      sent = true;
+      ++delta.next_chunk;
+    }
+    queue->pop_front();
+  }
+  return sent;
+}
+
+/// Bumps the node epoch (step 1): freezes the low watermark and advances
+/// the per-partition epoch counters; workers drain their shares when they
+/// observe the new sequence number.
+void BumpEpoch(SlashRun* run, NodeState* ns) {
+  ns->ssb->BeginEpoch();
+  ++ns->epoch_seq;
+  ns->epoch_low_wm = ns->NodeLowWatermark();
+  ns->vclock.Update(ns->node, ns->epoch_low_wm);
+  ns->activity->Notify();  // wake idle workers to drain their shares
+}
+
+/// A source-node generator (rdma_ingestion mode): streams one flow's wire
+/// records into its executor worker's ingest channel at line rate, then
+/// posts a final marker. This is the paper's Fig. 1 ingestion path — the
+/// executor receives data through the same credit-controlled RDMA channels
+/// it uses for state exchange.
+sim::Task Generator(SlashRun* run, RdmaChannel* ch, int flow,
+                    perf::CpuContext* cpu) {
+  auto source = run->workload->MakeFlow(flow, run->total_workers(),
+                                        run->config.records_per_worker,
+                                        run->config.seed);
+  Record r;
+  bool more = source->Next(&r);
+  int64_t last_ts = core::kWatermarkMin;
+  while (more) {
+    SlotRef slot;
+    while (!ch->TryAcquire(&slot, cpu)) {
+      const Nanos wait_start = run->sim.now();
+      co_await ch->credit_event().Wait();
+      cpu->ChargeWait(run->sim.now() - wait_start);
+    }
+    core::RecordWriter writer(slot.payload, ch->payload_capacity());
+    do {
+      const uint16_t wire_size = run->workload->wire_size(r.stream_id);
+      cpu->ChargeBytes(Op::kSourceReadPerByte, wire_size);
+      cpu->ChargeBytes(Op::kBufferCopyPerByte, wire_size);
+      if (!writer.Append(r, wire_size)) break;
+      last_ts = r.timestamp;
+      more = source->Next(&r);
+    } while (more);
+    SLASH_CHECK(ch->Post(slot, writer.bytes_used(), /*user_tag=*/0,
+                         /*watermark=*/last_ts, cpu)
+                    .ok());
+    co_await cpu->Sync();
+  }
+  SlotRef final_slot;
+  while (!ch->TryAcquire(&final_slot, cpu)) {
+    const Nanos wait_start = run->sim.now();
+    co_await ch->credit_event().Wait();
+    cpu->ChargeWait(run->sim.now() - wait_start);
+  }
+  SLASH_CHECK(ch->Post(final_slot, 0, /*user_tag=*/1,
+                       /*watermark=*/core::kWatermarkMax, cpu)
+                  .ok());
+  co_await cpu->Sync();
+}
+
+/// One worker coroutine: one physical data flow, processed push-based,
+/// interleaved with merging the deltas of its assigned helper channels —
+/// the compute/RDMA coroutine interleaving of Sec. 5.3.
+sim::Task Worker(SlashRun* run, NodeState* ns, int w) {
+  perf::CpuContext* cpu = ns->worker_cpus[w].get();
+  core::RecordPipeline pipeline(run->query, cpu, run->config.execution);
+  const int flow = ns->node * run->config.workers_per_node + w;
+  std::unique_ptr<core::RecordSource> source;
+  if (!run->config.rdma_ingestion) {
+    source = run->workload->MakeFlow(flow, run->total_workers(),
+                                     run->config.records_per_worker,
+                                     run->config.seed);
+  }
+  const std::vector<int> my_partitions =
+      AssignedPartitions(*run, ns->node, w);
+  uint64_t drained_seq = 0;
+  std::deque<PendingDelta> send_queue;
+  uint8_t wire_buf[512];
+  Record r;
+  bool more = true;
+
+  auto channels_done = [&] {
+    return ns->finals_received == int(ns->all_helpers.size());
+  };
+
+  // A worker may only exit once the node's end-of-stream epoch has been
+  // announced and it has shipped its share of it — otherwise its
+  // partitions' final deltas (and watermarks) would never reach their
+  // leaders.
+  while (more || !channels_done() || drained_seq < ns->epoch_seq ||
+         !ns->final_bumped || !send_queue.empty()) {
+    // Serialize this worker's share of any newly announced epoch (frees
+    // the fragments for fresh RMWs immediately) and ship whatever chunks
+    // current credits allow — without ever stalling the core.
+    if (drained_seq < ns->epoch_seq) {
+      drained_seq = ns->epoch_seq;
+      SerializeShare(run, ns, my_partitions, ns->epoch_low_wm, &send_queue,
+                     cpu);
+      TryTrigger(run, ns, cpu);
+    }
+    const bool sent = PumpSendQueue(run, ns, &send_queue, cpu);
+    // RDMA coroutine work: merge inbound delta chunks (cheap when none
+    // pending); any worker takes any chunk.
+    const bool merged = PollAndMerge(run, ns, cpu);
+    if (merged) TryTrigger(run, ns, cpu);
+
+    bool input_progress = false;
+    if (more) {
+      uint64_t batch_records = 0;
+      uint64_t batch_bytes = 0;
+      int64_t last_ts = ns->worker_watermarks[w];
+      InboundBuffer ingest_buffer;
+      std::unique_ptr<core::RecordReader> ingest_reader;
+      if (run->config.rdma_ingestion) {
+        // Ingest one RDMA-delivered buffer, if any has landed.
+        if (!ns->ingest[w]->TryPoll(&ingest_buffer, cpu)) {
+          ingest_reader = nullptr;
+        } else if (ingest_buffer.user_tag == 1) {
+          more = false;
+          SLASH_CHECK(ns->ingest[w]->Release(ingest_buffer, cpu).ok());
+        } else {
+          ingest_reader = std::make_unique<core::RecordReader>(
+              ingest_buffer.payload, ingest_buffer.payload_len);
+        }
+      }
+      auto next_record = [&]() -> bool {
+        if (!run->config.rdma_ingestion) {
+          more = source->Next(&r);
+          return more;
+        }
+        // Ingestion mode: the buffer is the batch; `more` only flips when
+        // the generator's final marker arrives.
+        return ingest_reader != nullptr && ingest_reader->Next(&r);
+      };
+      while ((run->config.rdma_ingestion ||
+              batch_records < run->config.source_batch) &&
+             next_record()) {
+        ++batch_records;
+        const uint16_t wire_size = run->workload->wire_size(r.stream_id);
+        batch_bytes += wire_size;
+        if (!run->config.rdma_ingestion) {
+          cpu->ChargeBytes(Op::kSourceReadPerByte, wire_size);
+        }
+        last_ts = r.timestamp;
+        if (!pipeline.Process(&r)) continue;
+
+        pipeline.ChargeStatefulPrologue();
+        const int64_t bucket = run->query->window.BucketOf(r.timestamp);
+        cpu->Charge(Op::kIndexProbe);
+        if (run->query->is_join()) {
+          // Holistic state: append the full wire record (state realism).
+          SLASH_CHECK_LE(size_t{wire_size}, sizeof(wire_buf));
+          SerializeWireRecord(r, wire_size, wire_buf);
+          cpu->Charge(Op::kStateAppend);
+          cpu->ChargeBytes(Op::kBufferCopyPerByte, wire_size);
+          ns->ssb->Append(r.key, bucket, r.stream_id, wire_buf, wire_size);
+        } else {
+          cpu->Charge(Op::kStateRmw);
+          ns->ssb->UpdateAggregate(r.key, bucket, r.value);
+        }
+      }
+      if (run->config.rdma_ingestion && ingest_reader != nullptr) {
+        SLASH_CHECK(ns->ingest[w]->Release(ingest_buffer, cpu).ok());
+      }
+      input_progress = batch_records > 0 || !more;
+      run->records_in += batch_records;
+      cpu->CountRecords(batch_records);
+      ns->worker_watermarks[w] = last_ts;
+      ns->ssb->AccountProcessedBytes(batch_bytes);
+      co_await cpu->Sync();
+      if (more && ns->ssb->EpochDue()) {
+        BumpEpoch(run, ns);
+      }
+      if (!more) {
+        ns->worker_watermarks[w] = core::kWatermarkMax;
+        if (++ns->finished_workers == run->config.workers_per_node) {
+          // Ahead-of-time epoch termination at end of stream: the final
+          // drain carries watermark kWatermarkMax.
+          ns->final_bumped = true;
+          BumpEpoch(run, ns);
+        }
+      }
+    }
+    if (!merged && !sent && !input_progress &&
+        drained_seq == ns->epoch_seq &&
+        (more || !channels_done() || !ns->final_bumped ||
+         !send_queue.empty())) {
+      // Nothing mergeable, nothing sendable (blocked on credits), no input
+      // left, but not exit-ready either: park until credits return, data
+      // arrives, or a new epoch is announced. The exit-readiness check in
+      // the condition guarantees we never park past the last event.
+      const Nanos wait_start = run->sim.now();
+      co_await ns->activity->Wait();
+      cpu->ChargeWait(run->sim.now() - wait_start);
+    } else {
+      co_await cpu->Sync();
+    }
+  }
+  // Final safety trigger: whichever worker observes global completion last
+  // emits the remaining windows (idempotent via last_trigger_wm).
+  TryTrigger(run, ns, cpu);
+  co_await cpu->Sync();
+}
+
+}  // namespace
+
+RunStats SlashEngine::Run(const core::QuerySpec& query,
+                          const workloads::Workload& workload,
+                          const ClusterConfig& config) {
+  SlashRun run;
+  run.query = &query;
+  run.workload = &workload;
+  run.config = config;
+
+  rdma::FabricConfig fabric_config;
+  // Ingestion mode adds one dedicated source node per executor node.
+  fabric_config.nodes = config.rdma_ingestion ? 2 * config.nodes
+                                              : config.nodes;
+  fabric_config.nic = config.nic;
+  run.fabric = std::make_unique<rdma::Fabric>(&run.sim, fabric_config);
+
+  const state::SsbConfig ssb_config = [&] {
+    state::SsbConfig c;
+    c.nodes = config.nodes;
+    c.kind = query.is_join() ? state::StateKind::kAppend
+                             : state::StateKind::kAggregate;
+    c.lss_capacity = config.state_lss_capacity;
+    c.index_buckets = config.state_index_buckets;
+    c.epoch_bytes = config.epoch_bytes;
+    return c;
+  }();
+
+  for (int node = 0; node < config.nodes; ++node) {
+    auto ns = std::make_unique<NodeState>(config.nodes);
+    ns->node = node;
+    ns->ssb = std::make_unique<state::StateBackend>(node, ssb_config);
+    ns->worker_watermarks.assign(config.workers_per_node, core::kWatermarkMin);
+    ns->out.assign(config.nodes, nullptr);
+    ns->in.assign(config.nodes, nullptr);
+    ns->helper_final.assign(config.nodes, false);
+    ns->activity = std::make_unique<sim::Event>(&run.sim);
+    for (int h = 0; h < config.nodes; ++h) {
+      if (h != node) ns->all_helpers.push_back(h);
+    }
+    ns->sink = core::ResultSink(config.collect_rows);
+    for (int w = 0; w < config.workers_per_node; ++w) {
+      ns->worker_cpus.push_back(std::make_unique<perf::CpuContext>(
+          &run.sim, config.cost_model, config.cpu_ghz));
+    }
+    run.nodes.push_back(std::move(ns));
+  }
+
+  // The n^2 mesh of state-synchronization channels (Sec. 7.2.2 setup).
+  for (int helper = 0; helper < config.nodes; ++helper) {
+    for (int leader = 0; leader < config.nodes; ++leader) {
+      if (helper == leader) continue;
+      auto ch =
+          RdmaChannel::Create(run.fabric.get(), helper, leader, config.channel);
+      run.nodes[helper]->out[leader] = ch.get();
+      run.nodes[leader]->in[helper] = ch.get();
+      ch->AddDataObserver(run.nodes[leader]->activity.get());
+      ch->AddCreditObserver(run.nodes[helper]->activity.get());
+      run.channels.push_back(std::move(ch));
+    }
+  }
+
+  // Ingestion channels: generator node (config.nodes + n) feeds each of
+  // node n's workers through a dedicated RDMA channel (Fig. 1).
+  if (config.rdma_ingestion) {
+    for (int node = 0; node < config.nodes; ++node) {
+      NodeState* ns = run.nodes[node].get();
+      for (int w = 0; w < config.workers_per_node; ++w) {
+        auto ch = RdmaChannel::Create(run.fabric.get(), config.nodes + node,
+                                      node, config.channel);
+        ch->AddDataObserver(ns->activity.get());
+        ns->ingest.push_back(ch.get());
+        run.generator_cpus.push_back(std::make_unique<perf::CpuContext>(
+            &run.sim, config.cost_model, config.cpu_ghz));
+        run.sim.Spawn(Generator(&run, ch.get(),
+                                node * config.workers_per_node + w,
+                                run.generator_cpus.back().get()));
+        run.channels.push_back(std::move(ch));
+      }
+    }
+  }
+
+  for (auto& ns : run.nodes) {
+    for (int w = 0; w < config.workers_per_node; ++w) {
+      run.sim.Spawn(Worker(&run, ns.get(), w));
+    }
+  }
+
+  RunStats stats;
+  stats.engine = std::string(name());
+  stats.makespan = run.sim.Run();
+  SLASH_CHECK_MSG(run.sim.pending_tasks() == 0,
+                  "Slash run deadlocked with " << run.sim.pending_tasks()
+                                               << " pending tasks");
+
+  stats.records_in = run.records_in;
+  stats.network_bytes = run.fabric->total_tx_bytes();
+  stats.buffer_latency = run.latency;
+  perf::Counters workers;
+  for (auto& ns : run.nodes) {
+    stats.records_emitted += ns->sink.count();
+    stats.result_checksum += ns->sink.checksum();
+    if (config.collect_rows) {
+      const auto& rows = ns->sink.rows();
+      stats.rows.insert(stats.rows.end(), rows.begin(), rows.end());
+    }
+    for (auto& cpu : ns->worker_cpus) workers.Merge(cpu->counters());
+  }
+  stats.role_counters["worker"] = workers;
+  if (!run.generator_cpus.empty()) {
+    perf::Counters generators;
+    for (auto& cpu : run.generator_cpus) generators.Merge(cpu->counters());
+    stats.role_counters["generator"] = generators;
+  }
+  return stats;
+}
+
+}  // namespace slash::engines

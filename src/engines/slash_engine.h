@@ -1,0 +1,39 @@
+// The Slash stateful executor (paper Secs. 4-5): native RDMA integration.
+//
+// Execution strategy per node:
+//   * W worker coroutines, one per physical data flow, run the operator
+//     pipeline push-based and *eagerly* update partial state in the local
+//     SSB instance — a per-record RMW (aggregations) or append (joins),
+//     never a partition-and-forward. There is no data re-partitioning.
+//   * At epoch boundaries (every `epoch_bytes` of input, or ahead of time
+//     at stream end) a worker drains every helper fragment, ships the delta
+//     over the n^2 mesh of RDMA channels to the partition leaders, and
+//     resets the fragments. Low watermarks piggyback on the deltas.
+//   * A leader coroutine per node reassembles inbound deltas, CRDT-merges
+//     them into the primary partition, advances the vector clock, and
+//     triggers windows whose trigger watermark passed min(V) — emitting
+//     per-key results from the merged, consistent state (properties P1/P2).
+//
+// The coroutine scheduler interleaves compute and RDMA work exactly as
+// Sec. 5.3 describes: a coroutine blocked on an empty channel or missing
+// credit parks on an event (charging pause-loop cycles for the wait) and
+// other coroutines of the node keep running.
+#ifndef SLASH_ENGINES_SLASH_ENGINE_H_
+#define SLASH_ENGINES_SLASH_ENGINE_H_
+
+#include "engines/engine.h"
+
+namespace slash::engines {
+
+class SlashEngine : public Engine {
+ public:
+  std::string_view name() const override { return "Slash"; }
+
+  RunStats Run(const core::QuerySpec& query,
+               const workloads::Workload& workload,
+               const ClusterConfig& config) override;
+};
+
+}  // namespace slash::engines
+
+#endif  // SLASH_ENGINES_SLASH_ENGINE_H_

@@ -1,0 +1,33 @@
+// RDMA UpPar: the "lightweight integration" straw man (paper Sec. 3.1).
+//
+// UpPar keeps the classic scale-out SPE architecture — operator fission
+// with hash re-partitioning so every physical window operator owns a
+// disjoint key partition — and merely replaces socket transports with
+// Slash's RDMA channels. Per node, half the worker threads are *senders*
+// (source, filter/projection, per-record partitioning, fan-out buffers)
+// and half are *receivers* (co-partitioned window state, triggering).
+//
+// This is the paper's strongest baseline, and its failure mode is the
+// paper's central claim: partitioning is CPU-bound (front-end stalls from
+// the branchy fan-out code), the sender throughput caps the pipeline, and
+// skewed keys overload single receivers — RDMA alone does not fix a
+// re-partitioning design.
+#ifndef SLASH_ENGINES_UPPAR_ENGINE_H_
+#define SLASH_ENGINES_UPPAR_ENGINE_H_
+
+#include "engines/engine.h"
+
+namespace slash::engines {
+
+class UpParEngine : public Engine {
+ public:
+  std::string_view name() const override { return "RDMA UpPar"; }
+
+  RunStats Run(const core::QuerySpec& query,
+               const workloads::Workload& workload,
+               const ClusterConfig& config) override;
+};
+
+}  // namespace slash::engines
+
+#endif  // SLASH_ENGINES_UPPAR_ENGINE_H_

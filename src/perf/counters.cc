@@ -1,0 +1,60 @@
+#include "perf/counters.h"
+
+#include <cstdio>
+
+namespace slash::perf {
+
+std::string_view CategoryName(Category c) {
+  switch (c) {
+    case Category::kRetiring:
+      return "Retiring";
+    case Category::kFrontEnd:
+      return "FrontEnd";
+    case Category::kBadSpeculation:
+      return "BadSpec";
+    case Category::kBackEndMemory:
+      return "BackEndMem";
+    case Category::kBackEndCore:
+      return "BackEndCore";
+  }
+  return "Unknown";
+}
+
+double Counters::total_cycles() const {
+  double t = 0;
+  for (double c : cycles) t += c;
+  return t;
+}
+
+double Counters::ipc() const {
+  const double t = total_cycles();
+  return t > 0 ? instructions / t : 0;
+}
+
+double Counters::fraction(Category c) const {
+  const double t = total_cycles();
+  return t > 0 ? cycles[static_cast<int>(c)] / t : 0;
+}
+
+void Counters::Merge(const Counters& other) {
+  instructions += other.instructions;
+  for (int i = 0; i < kNumCategories; ++i) cycles[i] += other.cycles[i];
+  l1d_misses += other.l1d_misses;
+  l2d_misses += other.l2d_misses;
+  llc_misses += other.llc_misses;
+  mem_bytes += other.mem_bytes;
+  records += other.records;
+}
+
+std::string Counters::Summary() const {
+  char buf[256];
+  const double r = records ? double(records) : 1.0;
+  std::snprintf(buf, sizeof(buf),
+                "ipc=%.2f instr/rec=%.1f cyc/rec=%.1f "
+                "l1/rec=%.2f l2/rec=%.2f llc/rec=%.2f",
+                ipc(), instructions / r, total_cycles() / r, l1d_misses / r,
+                l2d_misses / r, llc_misses / r);
+  return buf;
+}
+
+}  // namespace slash::perf

@@ -1,0 +1,64 @@
+// Top-down micro-architecture accounting (Yasin 2014), in software.
+//
+// The paper explains its throughput results with hardware performance
+// counters (Figs. 9-10, Table 1): retired u-ops, front-end stalls, back-end
+// memory/core stalls, bad speculation, cache misses, and memory bandwidth.
+// We do not have the authors' CPUs, so this module provides the counter
+// *sinks*; src/perf/cost_model.h provides the calibrated per-operation costs
+// that engines charge as they execute. The combination reproduces the
+// paper's breakdowns as a calibrated cost model rather than as silicon
+// measurements (see DESIGN.md, substitution table).
+#ifndef SLASH_PERF_COUNTERS_H_
+#define SLASH_PERF_COUNTERS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace slash::perf {
+
+/// Top-down pipeline-slot categories.
+enum class Category : uint8_t {
+  kRetiring = 0,        // useful work: u-ops retired
+  kFrontEnd = 1,        // instruction fetch/decode starvation
+  kBadSpeculation = 2,  // cancelled u-ops after branch mispredictions
+  kBackEndMemory = 3,   // stalls waiting on the memory subsystem
+  kBackEndCore = 4,     // stalls waiting on execution units (incl. pause)
+};
+
+inline constexpr int kNumCategories = 5;
+
+/// Stable display name of a category ("Retiring", "FrontEnd", ...).
+std::string_view CategoryName(Category c);
+
+/// Accumulated execution counters for one logical CPU role (e.g. "UpPar
+/// sender threads"). All values are totals since construction.
+struct Counters {
+  double instructions = 0;
+  std::array<double, kNumCategories> cycles = {};
+  double l1d_misses = 0;
+  double l2d_misses = 0;
+  double llc_misses = 0;
+  uint64_t mem_bytes = 0;   // simulated DRAM traffic
+  uint64_t records = 0;     // records processed by this role
+
+  /// Sum of cycles across all categories.
+  double total_cycles() const;
+
+  /// Instructions per cycle.
+  double ipc() const;
+
+  /// Fraction of cycles in `c`, in [0, 1].
+  double fraction(Category c) const;
+
+  /// Element-wise accumulation.
+  void Merge(const Counters& other);
+
+  /// Renders a one-line summary (IPC, instr/rec, cyc/rec, misses/rec).
+  std::string Summary() const;
+};
+
+}  // namespace slash::perf
+
+#endif  // SLASH_PERF_COUNTERS_H_

@@ -1,0 +1,167 @@
+#include "rdma/fabric.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace slash::rdma {
+
+Fabric::Fabric(sim::Simulator* sim, const FabricConfig& config)
+    : sim_(sim), config_(config) {
+  SLASH_CHECK_GT(config.nodes, 0);
+  pds_.reserve(config.nodes);
+  nics_.reserve(config.nodes);
+  for (int n = 0; n < config.nodes; ++n) {
+    pds_.push_back(std::make_unique<ProtectionDomain>(n));
+    nics_.push_back(std::make_unique<Nic>(n, config.nic));
+  }
+}
+
+ProtectionDomain* Fabric::pd(int node) {
+  SLASH_CHECK_GE(node, 0);
+  SLASH_CHECK_LT(node, config_.nodes);
+  return pds_[node].get();
+}
+
+Nic* Fabric::nic(int node) {
+  SLASH_CHECK_GE(node, 0);
+  SLASH_CHECK_LT(node, config_.nodes);
+  return nics_[node].get();
+}
+
+QpPair Fabric::Connect(int node_a, int node_b) {
+  auto a = std::make_unique<QpEndpoint>(this, node_a, next_qp_num_++);
+  auto b = std::make_unique<QpEndpoint>(this, node_b, next_qp_num_++);
+  a->peer_ = b.get();
+  b->peer_ = a.get();
+  QpPair pair{a.get(), b.get()};
+  endpoints_.push_back(std::move(a));
+  endpoints_.push_back(std::move(b));
+  return pair;
+}
+
+uint64_t Fabric::total_tx_bytes() const {
+  uint64_t total = 0;
+  for (const auto& nic : nics_) total += nic->tx_bytes();
+  return total;
+}
+
+Status Fabric::ExecuteWrite(QpEndpoint* from, MemorySpan local, RemoteKey rkey,
+                            uint64_t remote_offset, uint64_t wr_id,
+                            bool signaled, uint32_t immediate,
+                            bool has_immediate) {
+  QpEndpoint* to = from->peer();
+  MemoryRegion* remote = pd(to->node())->FindByRkey(rkey.rkey);
+  if (remote == nullptr) {
+    return Status::NotFound("unknown rkey on destination node");
+  }
+  if (remote_offset + local.length > remote->size()) {
+    return Status::OutOfRange("remote write beyond region bounds");
+  }
+
+  const Nanos now = sim_->now();
+  const Nanos lat = config_.nic.wire_latency;
+  const Nanos tx_end = nic(from->node())->ReserveTx(now, local.length);
+  const Nanos arrival = nic(to->node())->ReserveRx(tx_end + lat, local.length);
+
+  ++from->outstanding_;
+  // Capture the source bytes lazily at delivery time: RDMA reads the send
+  // buffer via DMA as the message serializes, and our protocol layers never
+  // reuse a slot before its credit returns, so reading at arrival is
+  // equivalent and avoids a copy in the common case.
+  const uint64_t len = local.length;
+  sim_->ScheduleAt(arrival, [=, this] {
+    std::memcpy(remote->data() + remote_offset, local.data(), len);
+    // RDMA WRITE fills memory from lower to higher addresses: the channel
+    // layer relies on this to poll the final footer byte (Sec. 6.3). In the
+    // simulation the whole message materializes atomically at `arrival`,
+    // which preserves exactly the "footer last" guarantee.
+    remote->NotifyRemoteWrite(remote_offset, len);
+    if (has_immediate) {
+      to->recv_cq().Push(Completion{wr_id, WorkType::kRecv, len, immediate,
+                                    /*has_immediate=*/true});
+    }
+  });
+  // The sender's completion means "acked by the responder": one extra
+  // latency after remote delivery.
+  sim_->ScheduleAt(arrival + lat, [=] {
+    --from->outstanding_;
+    if (signaled) {
+      from->send_cq().Push(Completion{wr_id, WorkType::kWrite, len});
+    }
+  });
+  return Status::OK();
+}
+
+Status Fabric::ExecuteRead(QpEndpoint* from, MemorySpan local, RemoteKey rkey,
+                           uint64_t remote_offset, uint64_t wr_id) {
+  QpEndpoint* to = from->peer();
+  MemoryRegion* remote = pd(to->node())->FindByRkey(rkey.rkey);
+  if (remote == nullptr) {
+    return Status::NotFound("unknown rkey on destination node");
+  }
+  if (remote_offset + local.length > remote->size()) {
+    return Status::OutOfRange("remote read beyond region bounds");
+  }
+
+  constexpr uint64_t kReadRequestBytes = 16;
+  const Nanos now = sim_->now();
+  const Nanos lat = config_.nic.wire_latency;
+  // Request travels to the responder...
+  const Nanos req_tx = nic(from->node())->ReserveTx(now, kReadRequestBytes);
+  const Nanos req_arrival =
+      nic(to->node())->ReserveRx(req_tx + lat, kReadRequestBytes);
+  // ...the responder NIC DMA-reads and serializes the payload back...
+  const Nanos resp_tx = nic(to->node())->ReserveTx(req_arrival, local.length);
+  const Nanos resp_arrival =
+      nic(from->node())->ReserveRx(resp_tx + lat, local.length);
+
+  ++from->outstanding_;
+  const uint64_t len = local.length;
+  sim_->ScheduleAt(resp_arrival, [=] {
+    std::memcpy(local.data(), remote->data() + remote_offset, len);
+    local.region->NotifyRemoteWrite(local.offset, len);
+    --from->outstanding_;
+    from->send_cq().Push(Completion{wr_id, WorkType::kRead, len});
+  });
+  return Status::OK();
+}
+
+Status Fabric::ExecuteSend(QpEndpoint* from, MemorySpan local, uint64_t wr_id,
+                           bool signaled, uint32_t immediate,
+                           bool has_immediate) {
+  QpEndpoint* to = from->peer();
+  if (to->recv_queue_.empty()) {
+    // Receiver-not-ready on a reliable connection; a real NIC would retry,
+    // our protocols are required to pre-post. Surface it as an error.
+    return Status::FailedPrecondition("no posted receive buffer on peer");
+  }
+  QpEndpoint::PostedRecv recv = to->recv_queue_.front();
+  if (recv.buffer.length < local.length) {
+    return Status::InvalidArgument("posted receive buffer too small");
+  }
+  to->recv_queue_.pop_front();
+
+  const Nanos now = sim_->now();
+  const Nanos lat = config_.nic.wire_latency;
+  const Nanos tx_end = nic(from->node())->ReserveTx(now, local.length);
+  const Nanos arrival = nic(to->node())->ReserveRx(tx_end + lat, local.length);
+
+  ++from->outstanding_;
+  const uint64_t len = local.length;
+  sim_->ScheduleAt(arrival, [=] {
+    std::memcpy(recv.buffer.data(), local.data(), len);
+    recv.buffer.region->NotifyRemoteWrite(recv.buffer.offset, len);
+    to->recv_cq().Push(Completion{recv.wr_id, WorkType::kRecv, len, immediate,
+                                  has_immediate});
+  });
+  sim_->ScheduleAt(arrival + lat, [=] {
+    --from->outstanding_;
+    if (signaled) {
+      from->send_cq().Push(Completion{wr_id, WorkType::kSend, len});
+    }
+  });
+  return Status::OK();
+}
+
+}  // namespace slash::rdma

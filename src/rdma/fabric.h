@@ -1,0 +1,80 @@
+// The simulated RDMA fabric: nodes, NICs, protection domains, and reliable
+// connections, all driven by the DES clock.
+//
+// A Fabric models the paper's rack: n nodes, one single-port NIC each, one
+// full-bisection switch (the only contended resources are the per-node NIC
+// transmit and receive paths). It owns all RDMA objects so lifetime is
+// simple: build a fabric, connect QPs, run the simulation, read stats.
+#ifndef SLASH_RDMA_FABRIC_H_
+#define SLASH_RDMA_FABRIC_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "rdma/memory.h"
+#include "rdma/nic.h"
+#include "rdma/queue_pair.h"
+#include "sim/simulator.h"
+
+namespace slash::rdma {
+
+/// Fabric topology and link parameters.
+struct FabricConfig {
+  int nodes = 2;
+  NicConfig nic;
+};
+
+/// A connected pair of QP endpoints.
+struct QpPair {
+  QpEndpoint* first = nullptr;   // endpoint on node a
+  QpEndpoint* second = nullptr;  // endpoint on node b
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator* sim, const FabricConfig& config);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  sim::Simulator* simulator() const { return sim_; }
+  const FabricConfig& config() const { return config_; }
+  int nodes() const { return config_.nodes; }
+
+  /// The protection domain of `node`.
+  ProtectionDomain* pd(int node);
+
+  /// The NIC of `node`.
+  Nic* nic(int node);
+
+  /// Creates a reliable connection between `node_a` and `node_b`.
+  /// Both endpoints (and their CQs) are owned by the fabric.
+  QpPair Connect(int node_a, int node_b);
+
+  /// Total bytes moved across all NICs (transmit side).
+  uint64_t total_tx_bytes() const;
+
+ private:
+  friend class QpEndpoint;
+
+  // Executes the timing model + data movement of the verbs. Called by
+  // QpEndpoint.
+  Status ExecuteWrite(QpEndpoint* from, MemorySpan local, RemoteKey rkey,
+                      uint64_t remote_offset, uint64_t wr_id, bool signaled,
+                      uint32_t immediate, bool has_immediate);
+  Status ExecuteRead(QpEndpoint* from, MemorySpan local, RemoteKey rkey,
+                     uint64_t remote_offset, uint64_t wr_id);
+  Status ExecuteSend(QpEndpoint* from, MemorySpan local, uint64_t wr_id,
+                     bool signaled, uint32_t immediate, bool has_immediate);
+
+  sim::Simulator* sim_;
+  FabricConfig config_;
+  std::vector<std::unique_ptr<ProtectionDomain>> pds_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<std::unique_ptr<QpEndpoint>> endpoints_;
+  uint32_t next_qp_num_ = 1;
+};
+
+}  // namespace slash::rdma
+
+#endif  // SLASH_RDMA_FABRIC_H_

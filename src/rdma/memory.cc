@@ -1,0 +1,41 @@
+#include "rdma/memory.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace slash::rdma {
+
+uint32_t ProtectionDomain::next_key_ = 1;
+
+MemoryRegion::MemoryRegion(int node, uint32_t lkey, uint32_t rkey,
+                           uint64_t size)
+    : node_(node),
+      lkey_(lkey),
+      rkey_(rkey),
+      size_(size),
+      data_(new uint8_t[size]) {
+  std::memset(data_.get(), 0, size);
+}
+
+void MemoryRegion::NotifyRemoteWrite(uint64_t offset, uint64_t len) {
+  for (auto& listener : listeners_) listener(offset, len);
+}
+
+MemoryRegion* ProtectionDomain::RegisterRegion(uint64_t size) {
+  SLASH_CHECK_GT(size, 0u);
+  const uint32_t lkey = next_key_++;
+  const uint32_t rkey = next_key_++;
+  regions_.push_back(std::make_unique<MemoryRegion>(node_, lkey, rkey, size));
+  registered_bytes_ += size;
+  return regions_.back().get();
+}
+
+MemoryRegion* ProtectionDomain::FindByRkey(uint32_t rkey) const {
+  for (const auto& r : regions_) {
+    if (r->remote_key().rkey == rkey) return r.get();
+  }
+  return nullptr;
+}
+
+}  // namespace slash::rdma

@@ -1,0 +1,116 @@
+// RDMA-capable memory: protection domains and registered memory regions.
+//
+// This mirrors the ibverbs memory model: a node registers a region of its
+// memory with its NIC (ibv_reg_mr), obtaining a local key and a remote key;
+// a peer that knows the remote key can target the region with one-sided
+// verbs. In the simulation, regions are plain host allocations (all nodes
+// live in one process) — what is preserved is the *protocol*: a QP write
+// only lands in registered memory, addressing is (rkey, offset), and remote
+// writes bypass the remote CPU entirely (no callback into engine code other
+// than optional poll-wakeup hooks; see RemoteWriteListener).
+#ifndef SLASH_RDMA_MEMORY_H_
+#define SLASH_RDMA_MEMORY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace slash::rdma {
+
+/// Remote-key handle: what a peer needs to address a region with one-sided
+/// verbs.
+struct RemoteKey {
+  uint32_t rkey = 0;
+};
+
+/// A registered, RDMA-capable memory region on one node.
+///
+/// Regions are allocated 64-byte aligned (cache lines) in 2 MiB-aligned
+/// slabs, matching the paper's hugepage configuration (Sec. 8.1.1), which in
+/// real deployments reduces NIC TLB misses.
+class MemoryRegion {
+ public:
+  /// Notification hook invoked when a remote one-sided WRITE lands in this
+  /// region. This models "polled memory changed" for the simulation's
+  /// event-driven pollers; it carries no data and does not involve the
+  /// remote CPU.
+  using RemoteWriteListener = std::function<void(uint64_t offset, uint64_t len)>;
+
+  MemoryRegion(int node, uint32_t lkey, uint32_t rkey, uint64_t size);
+  MemoryRegion(const MemoryRegion&) = delete;
+  MemoryRegion& operator=(const MemoryRegion&) = delete;
+
+  int node() const { return node_; }
+  uint32_t lkey() const { return lkey_; }
+  RemoteKey remote_key() const { return RemoteKey{rkey_}; }
+  uint64_t size() const { return size_; }
+
+  /// Raw access to the region's memory.
+  uint8_t* data() { return data_.get(); }
+  const uint8_t* data() const { return data_.get(); }
+
+  /// Registers a listener fired after each inbound remote write.
+  void AddRemoteWriteListener(RemoteWriteListener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  /// Invoked by the fabric when a remote write to [offset, offset+len) has
+  /// been materialized.
+  void NotifyRemoteWrite(uint64_t offset, uint64_t len);
+
+ private:
+  int node_;
+  uint32_t lkey_;
+  uint32_t rkey_;
+  uint64_t size_;
+  std::unique_ptr<uint8_t[]> data_;
+  std::vector<RemoteWriteListener> listeners_;
+};
+
+/// A span into a local registered region (ibv_sge analogue).
+struct MemorySpan {
+  MemoryRegion* region = nullptr;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+
+  uint8_t* data() const { return region->data() + offset; }
+
+  /// True iff the span lies entirely within its region.
+  bool valid() const {
+    return region != nullptr && offset + length <= region->size();
+  }
+};
+
+/// A protection domain: owns the registered regions of one node.
+class ProtectionDomain {
+ public:
+  explicit ProtectionDomain(int node) : node_(node) {}
+  ProtectionDomain(const ProtectionDomain&) = delete;
+  ProtectionDomain& operator=(const ProtectionDomain&) = delete;
+
+  int node() const { return node_; }
+
+  /// Registers a new region of `size` bytes. The domain owns the region.
+  MemoryRegion* RegisterRegion(uint64_t size);
+
+  /// Looks up a region by remote key; nullptr if unknown. Used by the
+  /// fabric to resolve one-sided accesses.
+  MemoryRegion* FindByRkey(uint32_t rkey) const;
+
+  /// Total registered bytes on this node.
+  uint64_t registered_bytes() const { return registered_bytes_; }
+
+ private:
+  int node_;
+  std::vector<std::unique_ptr<MemoryRegion>> regions_;
+  uint64_t registered_bytes_ = 0;
+  static uint32_t next_key_;
+};
+
+}  // namespace slash::rdma
+
+#endif  // SLASH_RDMA_MEMORY_H_

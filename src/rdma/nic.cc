@@ -1,0 +1,31 @@
+#include "rdma/nic.h"
+
+#include <algorithm>
+
+namespace slash::rdma {
+
+Nanos Nic::TransferDuration(uint64_t bytes) const {
+  return config_.per_message_overhead +
+         static_cast<Nanos>(double(bytes) / config_.bandwidth_bps * 1e9);
+}
+
+Nanos Nic::ReserveTx(Nanos now, uint64_t bytes) {
+  const Nanos start = std::max(now, tx_free_);
+  tx_free_ = start + TransferDuration(bytes);
+  tx_bytes_ += bytes;
+  ++tx_messages_;
+  return tx_free_;
+}
+
+Nanos Nic::ReserveRx(Nanos earliest, uint64_t bytes) {
+  // The receive path drains at line rate. If it is busy (fan-in), delivery
+  // is pushed back; if idle, the message flows through store-and-forward
+  // style with no extra serialization charge beyond the overhead (the bytes
+  // were already serialized on the wire by the sender).
+  rx_free_ = std::max(earliest, rx_free_ + TransferDuration(bytes));
+  rx_bytes_ += bytes;
+  ++rx_messages_;
+  return rx_free_;
+}
+
+}  // namespace slash::rdma

@@ -1,0 +1,72 @@
+// The simulated RDMA NIC: a serialization resource with line rate and
+// per-message latency.
+//
+// Model (see DESIGN.md substitution table): each node has one single-port
+// NIC. A transfer of `size` bytes occupies the sender NIC's transmit path
+// for `overhead + size/bandwidth` and arrives at the receiver after an
+// additional one-way wire latency, subject to the receiver NIC's receive
+// path also being free (this is what creates fan-in contention — the hot
+// consumer in skewed re-partitioning). Defaults reproduce the paper's
+// testbed: ConnectX-4 EDR whose achievable bandwidth the authors measured
+// at 11.8 GB/s with ib_write_bw, and ~2 us round-trip latency.
+#ifndef SLASH_RDMA_NIC_H_
+#define SLASH_RDMA_NIC_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace slash::rdma {
+
+/// NIC and link model parameters.
+struct NicConfig {
+  /// Achievable unidirectional bandwidth in bytes/second.
+  double bandwidth_bps = 11.8e9;
+  /// One-way wire + switch latency.
+  Nanos wire_latency = 900;
+  /// Fixed per-message NIC processing overhead (WQE fetch, DMA setup).
+  Nanos per_message_overhead = 60;
+};
+
+/// Per-node NIC state: transmit/receive serialization clocks and traffic
+/// accounting.
+class Nic {
+ public:
+  Nic(int node, const NicConfig& config) : node_(node), config_(config) {}
+
+  int node() const { return node_; }
+  const NicConfig& config() const { return config_; }
+
+  /// Reserves the transmit path for a message of `bytes` starting no
+  /// earlier than `now`. Returns the time the last byte leaves the NIC.
+  Nanos ReserveTx(Nanos now, uint64_t bytes);
+
+  /// Reserves the receive path for a message whose last byte reaches this
+  /// NIC no earlier than `earliest`. Returns delivery-complete time.
+  Nanos ReserveRx(Nanos earliest, uint64_t bytes);
+
+  /// Duration the wire transfer of `bytes` occupies the link.
+  Nanos TransferDuration(uint64_t bytes) const;
+
+  uint64_t tx_bytes() const { return tx_bytes_; }
+  uint64_t rx_bytes() const { return rx_bytes_; }
+  uint64_t tx_messages() const { return tx_messages_; }
+  uint64_t rx_messages() const { return rx_messages_; }
+
+  /// Time at which the transmit path becomes idle.
+  Nanos tx_busy_until() const { return tx_free_; }
+
+ private:
+  int node_;
+  NicConfig config_;
+  Nanos tx_free_ = 0;
+  Nanos rx_free_ = 0;
+  uint64_t tx_bytes_ = 0;
+  uint64_t rx_bytes_ = 0;
+  uint64_t tx_messages_ = 0;
+  uint64_t rx_messages_ = 0;
+};
+
+}  // namespace slash::rdma
+
+#endif  // SLASH_RDMA_NIC_H_

@@ -1,0 +1,79 @@
+#include "rdma/queue_pair.h"
+
+#include "rdma/fabric.h"
+
+namespace slash::rdma {
+
+bool CompletionQueue::TryPoll(Completion* out) {
+  if (entries_.empty()) return false;
+  *out = entries_.front();
+  entries_.pop_front();
+  return true;
+}
+
+void CompletionQueue::Push(const Completion& c) {
+  entries_.push_back(c);
+  ready_.Notify();
+}
+
+QpEndpoint::QpEndpoint(Fabric* fabric, int node, uint32_t qp_num)
+    : fabric_(fabric),
+      node_(node),
+      qp_num_(qp_num),
+      send_cq_(std::make_unique<CompletionQueue>(fabric->simulator())),
+      recv_cq_(std::make_unique<CompletionQueue>(fabric->simulator())) {}
+
+Status QpEndpoint::ValidateLocal(const MemorySpan& local) const {
+  if (!local.valid()) {
+    return Status::InvalidArgument("local span out of region bounds");
+  }
+  if (local.region->node() != node_) {
+    return Status::InvalidArgument("local span not registered on this node");
+  }
+  if (outstanding_ >= max_outstanding_) {
+    return Status::ResourceExhausted("QP send queue full");
+  }
+  return Status::OK();
+}
+
+Status QpEndpoint::PostWrite(MemorySpan local, RemoteKey rkey,
+                             uint64_t remote_offset, uint64_t wr_id,
+                             bool signaled) {
+  SLASH_RETURN_IF_ERROR(ValidateLocal(local));
+  return fabric_->ExecuteWrite(this, local, rkey, remote_offset, wr_id,
+                               signaled, 0, /*has_immediate=*/false);
+}
+
+Status QpEndpoint::PostWriteWithImm(MemorySpan local, RemoteKey rkey,
+                                    uint64_t remote_offset, uint64_t wr_id,
+                                    bool signaled, uint32_t immediate) {
+  SLASH_RETURN_IF_ERROR(ValidateLocal(local));
+  return fabric_->ExecuteWrite(this, local, rkey, remote_offset, wr_id,
+                               signaled, immediate, /*has_immediate=*/true);
+}
+
+Status QpEndpoint::PostRead(MemorySpan local, RemoteKey rkey,
+                            uint64_t remote_offset, uint64_t wr_id) {
+  SLASH_RETURN_IF_ERROR(ValidateLocal(local));
+  return fabric_->ExecuteRead(this, local, rkey, remote_offset, wr_id);
+}
+
+Status QpEndpoint::PostSend(MemorySpan local, uint64_t wr_id, bool signaled,
+                            uint32_t immediate, bool has_immediate) {
+  SLASH_RETURN_IF_ERROR(ValidateLocal(local));
+  return fabric_->ExecuteSend(this, local, wr_id, signaled, immediate,
+                              has_immediate);
+}
+
+Status QpEndpoint::PostRecv(MemorySpan buffer, uint64_t wr_id) {
+  if (!buffer.valid()) {
+    return Status::InvalidArgument("recv buffer out of region bounds");
+  }
+  if (buffer.region->node() != node_) {
+    return Status::InvalidArgument("recv buffer not registered on this node");
+  }
+  recv_queue_.push_back(PostedRecv{buffer, wr_id});
+  return Status::OK();
+}
+
+}  // namespace slash::rdma

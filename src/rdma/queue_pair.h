@@ -1,0 +1,138 @@
+// Reliable-connection queue pairs, completion queues, and the one-sided /
+// two-sided verb set (ibverbs analogue).
+//
+// Supported verbs, matching what the paper's protocol needs (Sec. 6):
+//  * RDMA WRITE (one-sided, push): passive receiver; bytes land in the
+//    target region; optional immediate value generates a receive completion.
+//  * RDMA READ (one-sided, pull): full network round-trip, used by the
+//    verbs ablation (bench/ablation_verbs).
+//  * SEND/RECV (two-sided): receiver must pre-post buffers.
+// Reliable connections deliver in order; selective signaling is supported
+// (unsignaled writes produce no sender completion).
+#ifndef SLASH_RDMA_QUEUE_PAIR_H_
+#define SLASH_RDMA_QUEUE_PAIR_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "common/status.h"
+#include "rdma/memory.h"
+#include "sim/simulator.h"
+
+namespace slash::rdma {
+
+class Fabric;
+
+/// Type of a completed work request.
+enum class WorkType : uint8_t {
+  kWrite,
+  kRead,
+  kSend,
+  kRecv,
+};
+
+/// One completion-queue entry.
+struct Completion {
+  uint64_t wr_id = 0;
+  WorkType type = WorkType::kWrite;
+  uint64_t byte_len = 0;
+  uint32_t immediate = 0;
+  bool has_immediate = false;
+};
+
+/// A completion queue with a coroutine wakeup event.
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(sim::Simulator* sim) : ready_(sim) {}
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  /// Dequeues one completion if available.
+  bool TryPoll(Completion* out);
+
+  /// Number of queued completions.
+  size_t depth() const { return entries_.size(); }
+
+  /// Event notified whenever a completion is pushed. Poll loops park here:
+  ///   while (!cq.TryPoll(&c)) co_await cq.ready_event().Wait();
+  sim::Event& ready_event() { return ready_; }
+
+  /// Enqueues a completion (fabric-internal).
+  void Push(const Completion& c);
+
+ private:
+  std::deque<Completion> entries_;
+  sim::Event ready_;
+};
+
+/// One endpoint of a reliable connection.
+///
+/// Created in connected pairs by Fabric::Connect. Each endpoint has a send
+/// CQ, a receive CQ, and a FIFO of pre-posted receive buffers.
+class QpEndpoint {
+ public:
+  QpEndpoint(Fabric* fabric, int node, uint32_t qp_num);
+  QpEndpoint(const QpEndpoint&) = delete;
+  QpEndpoint& operator=(const QpEndpoint&) = delete;
+
+  int node() const { return node_; }
+  uint32_t qp_num() const { return qp_num_; }
+  QpEndpoint* peer() const { return peer_; }
+  CompletionQueue& send_cq() { return *send_cq_; }
+  CompletionQueue& recv_cq() { return *recv_cq_; }
+
+  /// One-sided write of `local` into the peer region identified by `rkey`
+  /// at `remote_offset`. If `signaled`, a kWrite completion is delivered to
+  /// this endpoint's send CQ once the write is remotely visible and acked.
+  Status PostWrite(MemorySpan local, RemoteKey rkey, uint64_t remote_offset,
+                   uint64_t wr_id, bool signaled);
+
+  /// Like PostWrite, but additionally delivers a kRecv completion carrying
+  /// `immediate` to the peer's receive CQ (RDMA WRITE_WITH_IMM).
+  Status PostWriteWithImm(MemorySpan local, RemoteKey rkey,
+                          uint64_t remote_offset, uint64_t wr_id,
+                          bool signaled, uint32_t immediate);
+
+  /// One-sided read of the peer region (rkey, remote_offset, local.length)
+  /// into `local`. Costs a full round-trip; completion is always signaled.
+  Status PostRead(MemorySpan local, RemoteKey rkey, uint64_t remote_offset,
+                  uint64_t wr_id);
+
+  /// Two-sided send of `local` to the peer, consuming the peer's oldest
+  /// posted receive buffer.
+  Status PostSend(MemorySpan local, uint64_t wr_id, bool signaled,
+                  uint32_t immediate = 0, bool has_immediate = false);
+
+  /// Posts a receive buffer for inbound SENDs.
+  Status PostRecv(MemorySpan buffer, uint64_t wr_id);
+
+  /// Number of posted-but-unmatched receive buffers.
+  size_t posted_recvs() const { return recv_queue_.size(); }
+
+  /// Work requests posted but not yet completed on the wire.
+  int outstanding() const { return outstanding_; }
+
+ private:
+  friend class Fabric;
+
+  struct PostedRecv {
+    MemorySpan buffer;
+    uint64_t wr_id;
+  };
+
+  Status ValidateLocal(const MemorySpan& local) const;
+
+  Fabric* fabric_;
+  int node_;
+  uint32_t qp_num_;
+  QpEndpoint* peer_ = nullptr;
+  std::unique_ptr<CompletionQueue> send_cq_;
+  std::unique_ptr<CompletionQueue> recv_cq_;
+  std::deque<PostedRecv> recv_queue_;
+  int outstanding_ = 0;
+  int max_outstanding_ = 1024;
+};
+
+}  // namespace slash::rdma
+
+#endif  // SLASH_RDMA_QUEUE_PAIR_H_

@@ -1,0 +1,39 @@
+#include "sim/simulator.h"
+
+namespace slash::sim {
+
+void Simulator::ScheduleAt(Nanos t, std::function<void()> fn) {
+  SLASH_CHECK_GE(t, now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::Spawn(Task task) {
+  ++pending_tasks_;
+  task.handle_.promise().on_done = [this] { --pending_tasks_; };
+  auto h = task.handle_;
+  spawned_.push_back(std::move(task));
+  ScheduleAt(now_, [h] { h.resume(); });
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // Copy out before pop: the callback may schedule new events.
+  Event ev = queue_.top();
+  queue_.pop();
+  SLASH_CHECK_GE(ev.time, now_);
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+Nanos Simulator::Run(uint64_t max_events) {
+  uint64_t fired = 0;
+  while (Step()) {
+    SLASH_CHECK_MSG(++fired <= max_events,
+                    "simulator exceeded max_events=" << max_events
+                                                     << " (livelock?)");
+  }
+  return now_;
+}
+
+}  // namespace slash::sim

@@ -1,0 +1,232 @@
+// The discrete-event simulation (DES) kernel.
+//
+// Slash's entire distributed execution — 16 nodes, 10 workers each, NICs,
+// links, epochs — runs as C++20 coroutines scheduled on this kernel's
+// virtual nanosecond clock. This replaces the paper's physical cluster (see
+// DESIGN.md, "Hardware-gate substitutions"): all protocol logic is real code
+// acting on real bytes; only the passage of time is virtual, which makes
+// every run deterministic and independent of host parallelism.
+//
+// The kernel intentionally mirrors the paper's coroutine-based event-driven
+// scheduler (Sec. 5.3): compute coroutines and RDMA coroutines interleave on
+// a worker, and a coroutine blocked on an empty RDMA channel parks itself
+// (awaits an Event) instead of stalling the worker.
+#ifndef SLASH_SIM_SIMULATOR_H_
+#define SLASH_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace slash::sim {
+
+class Simulator;
+
+/// A coroutine task: the unit of concurrent activity on the simulator.
+///
+/// Tasks are lazy: the body does not run until the task is either spawned on
+/// a Simulator (top-level process) or co_awaited by another task (subtask).
+/// A task's frame is owned by the Task object; co_awaiting a task resumes
+/// the awaiter when the subtask completes.
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        auto& p = h.promise();
+        p.done = true;
+        if (p.on_done) p.on_done();
+        if (p.continuation) return p.continuation;
+        return std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() {
+      SLASH_CHECK_MSG(false, "unhandled exception escaped a sim::Task");
+    }
+
+    std::coroutine_handle<> continuation;
+    std::function<void()> on_done;  // completion hook used by Simulator
+    bool done = false;
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  /// True once the task body ran to completion.
+  bool done() const { return handle_ && handle_.promise().done; }
+
+  /// Awaiting a task starts it and resumes the awaiter on completion.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> callee;
+      bool await_ready() const noexcept { return callee.promise().done; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> caller) noexcept {
+        callee.promise().continuation = caller;
+        return callee;  // symmetric transfer into the subtask
+      }
+      void await_resume() noexcept {}
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class Simulator;
+
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// The event-queue kernel with a virtual nanosecond clock.
+///
+/// Not thread-safe: a simulation runs on one host thread (determinism is the
+/// point). Multiple simulators may run on different threads independently.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Nanos now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `t` (>= now).
+  /// Events with equal time run in scheduling (FIFO) order.
+  void ScheduleAt(Nanos t, std::function<void()> fn);
+
+  /// Schedules resumption of a coroutine at absolute time `t`.
+  void ResumeAt(Nanos t, std::coroutine_handle<> h) {
+    ScheduleAt(t, [h] { h.resume(); });
+  }
+
+  /// Starts a top-level coroutine process. The simulator owns the task; its
+  /// body begins at the current virtual time.
+  void Spawn(Task task);
+
+  /// Runs events until the queue is empty. Returns the final virtual time.
+  /// Check-fails if more than `max_events` fire (deadlock/livelock guard).
+  Nanos Run(uint64_t max_events = UINT64_MAX);
+
+  /// Runs a single event. Returns false if the queue is empty.
+  bool Step();
+
+  /// Number of spawned top-level tasks that have not completed. A non-zero
+  /// value after Run() indicates a deadlock (tasks waiting on events that
+  /// will never fire).
+  int pending_tasks() const { return pending_tasks_; }
+
+  /// Awaitable: suspends the current coroutine for `delay` virtual ns.
+  auto Delay(Nanos delay) {
+    struct Awaiter {
+      Simulator* sim;
+      Nanos delay;
+      // Always suspends: Delay(0) acts as a cooperative yield that runs
+      // after all already-queued events at the current time.
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim->ResumeAt(sim->now_ + (delay > 0 ? delay : 0), h);
+      }
+      void await_resume() noexcept {}
+    };
+    return Awaiter{this, delay};
+  }
+
+  /// Awaitable: reschedules the current coroutine at the current time, after
+  /// all already-queued events (a cooperative yield).
+  auto Yield() { return Delay(0); }
+
+ private:
+  struct Event {
+    Nanos time;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Task> spawned_;
+  Nanos now_ = 0;
+  uint64_t next_seq_ = 0;
+  int pending_tasks_ = 0;
+};
+
+/// A broadcast notification primitive for coroutines.
+///
+/// Waiters suspend until the next Notify() after they began waiting; Notify
+/// wakes all current waiters at the current virtual time. Use in a loop:
+///   while (!predicate()) co_await event.Wait();
+/// The Event must outlive all waiters.
+class Event {
+ public:
+  explicit Event(Simulator* sim) : sim_(sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  /// Wakes every coroutine currently waiting.
+  void Notify() {
+    if (waiters_.empty()) return;
+    std::vector<std::coroutine_handle<>> to_wake;
+    to_wake.swap(waiters_);
+    for (auto h : to_wake) sim_->ResumeAt(sim_->now(), h);
+  }
+
+  /// Awaitable: suspends until the next Notify().
+  auto Wait() {
+    struct Awaiter {
+      Event* event;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        event->waiters_.push_back(h);
+      }
+      void await_resume() noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Number of coroutines currently parked on this event.
+  size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Simulator* sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace slash::sim
+
+#endif  // SLASH_SIM_SIMULATOR_H_

@@ -1,0 +1,36 @@
+#include "state/crdt.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace slash::state {
+
+namespace {
+
+uint64_t ElementHash(const AppendElement& e) {
+  return HashBytes(e.payload.data(), e.payload.size(), e.stream_id + 1);
+}
+
+}  // namespace
+
+bool AppendSet::EquivalentTo(const AppendSet& other) const {
+  if (elements_.size() != other.elements_.size()) return false;
+  std::vector<uint64_t> a, b;
+  a.reserve(elements_.size());
+  b.reserve(elements_.size());
+  for (const auto& e : elements_) a.push_back(ElementHash(e));
+  for (const auto& e : other.elements_) b.push_back(ElementHash(e));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+uint64_t AppendSet::Fingerprint() const {
+  // Sum of element hashes: order-insensitive by construction.
+  uint64_t fp = 0;
+  for (const auto& e : elements_) fp += ElementHash(e);
+  return Mix64(fp ^ elements_.size());
+}
+
+}  // namespace slash::state

@@ -1,0 +1,134 @@
+// Conflict-free replicated data types for window state (paper Sec. 5.1).
+//
+// Slash does not re-partition streams, so the same key may be updated
+// concurrently on several executors. Partial state must therefore be a CRDT
+// so that lazy merging yields the result a sequential computation would
+// produce (consistency property P2):
+//
+//  * Non-holistic window computations (sum/count/min/max/avg aggregations)
+//    use `AggState`: a commutative monoid — each executor accumulates a
+//    partial aggregate and merging combines partials.
+//  * Holistic window computations (joins) use an append set: the
+//    join-semilattice of sets of observed records, merged by union, with
+//    epoch transfers acting as delta updates (delta-state CRDT).
+//
+// Both types satisfy the CRDT laws (commutativity, associativity,
+// idempotence of merging identical replicas for the semilattice, identity
+// element), which the unit tests verify property-style.
+#ifndef SLASH_STATE_CRDT_H_
+#define SLASH_STATE_CRDT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace slash::state {
+
+/// Which scalar an aggregation query finally extracts from AggState.
+enum class AggKind : uint8_t {
+  kSum = 0,
+  kCount = 1,
+  kMin = 2,
+  kMax = 3,
+  kAvg = 4,
+};
+
+/// The partial-aggregate CRDT: one fixed-size accumulator supporting every
+/// non-holistic aggregation at once. POD so it can live inside the
+/// log-structured store and be shipped raw over RDMA.
+struct AggState {
+  int64_t sum = 0;
+  int64_t count = 0;
+  int64_t min = std::numeric_limits<int64_t>::max();
+  int64_t max = std::numeric_limits<int64_t>::min();
+
+  /// The identity element (merging it changes nothing).
+  static AggState Identity() { return AggState{}; }
+
+  /// Folds one record value into the accumulator.
+  void Apply(int64_t value) {
+    sum += value;
+    count += 1;
+    if (value < min) min = value;
+    if (value > max) max = value;
+  }
+
+  /// CRDT merge: combines another partial accumulator (commutative and
+  /// associative).
+  void Merge(const AggState& other) {
+    sum += other.sum;
+    count += other.count;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+
+  /// Extracts the final value for `kind`. Avg is rounded toward zero;
+  /// min/max of an empty state return the identity sentinels.
+  int64_t Extract(AggKind kind) const {
+    switch (kind) {
+      case AggKind::kSum:
+        return sum;
+      case AggKind::kCount:
+        return count;
+      case AggKind::kMin:
+        return min;
+      case AggKind::kMax:
+        return max;
+      case AggKind::kAvg:
+        return count == 0 ? 0 : sum / count;
+    }
+    return 0;
+  }
+
+  bool operator==(const AggState& other) const = default;
+};
+
+static_assert(sizeof(AggState) == 32, "AggState must stay a 32-byte POD");
+
+/// One element of the holistic (join) CRDT: an observed record tagged with
+/// the stream it came from.
+struct AppendElement {
+  uint16_t stream_id = 0;
+  std::vector<uint8_t> payload;
+
+  bool operator==(const AppendElement& other) const = default;
+};
+
+/// The holistic-window CRDT: a grow-only multiset of observed records,
+/// merged by (multiset) union. Used by windowed joins, where the final
+/// result concatenates all partial values with the same key (Sec. 5.2).
+///
+/// Element identity for idempotence checks is (stream_id, payload); Slash's
+/// epoch protocol never re-delivers the same delta (the LSS fragment is
+/// invalidated after transfer), so multiset semantics match a sequential
+/// execution.
+class AppendSet {
+ public:
+  void Add(uint16_t stream_id, std::vector<uint8_t> payload) {
+    elements_.push_back(AppendElement{stream_id, std::move(payload)});
+  }
+
+  /// Delta-merge: unions another replica's elements into this one.
+  void Merge(const AppendSet& other) {
+    elements_.insert(elements_.end(), other.elements_.begin(),
+                     other.elements_.end());
+  }
+
+  const std::vector<AppendElement>& elements() const { return elements_; }
+  size_t size() const { return elements_.size(); }
+
+  /// Order-insensitive equality (the CRDT is a multiset; replicas may
+  /// interleave differently).
+  bool EquivalentTo(const AppendSet& other) const;
+
+  /// A canonical content fingerprint, also order-insensitive.
+  uint64_t Fingerprint() const;
+
+ private:
+  std::vector<AppendElement> elements_;
+};
+
+}  // namespace slash::state
+
+#endif  // SLASH_STATE_CRDT_H_

@@ -1,0 +1,139 @@
+#include "state/log_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace slash::state {
+
+namespace {
+
+bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+uint64_t AlignUp32(uint64_t v) { return (v + 31) & ~31ULL; }
+
+}  // namespace
+
+LogStructuredStore::LogStructuredStore(uint64_t initial_capacity)
+    : data_(new uint8_t[initial_capacity]), capacity_(initial_capacity) {
+  SLASH_CHECK_MSG(IsPowerOfTwo(initial_capacity),
+                  "LSS capacity must be a power of two, got "
+                      << initial_capacity);
+  SLASH_CHECK_GE(initial_capacity, 2 * sizeof(EntryHeader));
+  std::memset(data_.get(), 0, capacity_);
+}
+
+uint8_t* LogStructuredStore::At(uint64_t addr) {
+  SLASH_CHECK_MSG(addr >= head_ && addr < tail_,
+                  "address " << addr << " outside live range [" << head_
+                             << ", " << tail_ << ")");
+  return data_.get() + Physical(addr);
+}
+
+const uint8_t* LogStructuredStore::At(uint64_t addr) const {
+  SLASH_CHECK_MSG(addr >= head_ && addr < tail_,
+                  "address " << addr << " outside live range [" << head_
+                             << ", " << tail_ << ")");
+  return data_.get() + Physical(addr);
+}
+
+uint64_t LogStructuredStore::Allocate(uint32_t size) {
+  const uint64_t need = AlignUp32(size);
+  SLASH_CHECK_MSG(need + sizeof(EntryHeader) <= capacity_ ||
+                      need <= capacity_ / 2,
+                  "allocation of " << size << " bytes too large for LSS");
+
+  // Avoid straddling the wrap point: if the allocation would cross a lap
+  // boundary, pad with a filler entry and start at the next lap.
+  uint64_t addr = tail_;
+  const uint64_t lap_remaining = capacity_ - Physical(addr);
+  if (need > lap_remaining) {
+    // The filler needs a header to stay scannable; if not even a header
+    // fits, the remaining bytes become anonymous padding that ForEachEntry
+    // cannot step over — so we always require header-sized laps. Grow first
+    // if the padded allocation would overflow the live window.
+    if (tail_ + lap_remaining + need - head_ > capacity_) {
+      Grow(tail_ + lap_remaining + need - head_);
+      return Allocate(size);
+    }
+    // All allocations are 32-byte aligned and headers are 32 bytes, so the
+    // remainder always fits at least a bare filler header.
+    SLASH_CHECK_GE(lap_remaining, sizeof(EntryHeader));
+    auto* filler =
+        reinterpret_cast<EntryHeader*>(data_.get() + Physical(addr));
+    *filler = EntryHeader{};
+    filler->flags = kEntryFiller;
+    filler->value_len =
+        static_cast<uint32_t>(lap_remaining - sizeof(EntryHeader));
+    tail_ += lap_remaining;
+    addr = tail_;
+  }
+
+  if (tail_ + need - head_ > capacity_) {
+    Grow(tail_ + need - head_);
+    return Allocate(size);
+  }
+  tail_ += need;
+  return addr;
+}
+
+void LogStructuredStore::Grow(uint64_t needed_capacity) {
+  uint64_t new_capacity = capacity_;
+  while (new_capacity < needed_capacity) new_capacity *= 2;
+  auto new_data = std::make_unique<uint8_t[]>(new_capacity);
+  std::memset(new_data.get(), 0, new_capacity);
+  // Re-place every live byte at its logical address modulo the new capacity.
+  for (uint64_t addr = head_; addr < tail_;) {
+    const uint64_t old_lap_end = addr - Physical(addr) + capacity_;
+    const uint64_t chunk_end = std::min(tail_, old_lap_end);
+    uint64_t src = Physical(addr);
+    uint64_t pos = addr;
+    while (pos < chunk_end) {
+      const uint64_t new_lap_remaining = new_capacity - (pos & (new_capacity - 1));
+      const uint64_t n = std::min(chunk_end - pos, new_lap_remaining);
+      std::memcpy(new_data.get() + (pos & (new_capacity - 1)),
+                  data_.get() + src, n);
+      pos += n;
+      src += n;
+    }
+    addr = chunk_end;
+  }
+  data_ = std::move(new_data);
+  capacity_ = new_capacity;
+  ++resize_count_;
+}
+
+void LogStructuredStore::MarkReadOnlyUpTo(uint64_t addr) {
+  SLASH_CHECK_GE(addr, read_only_);
+  SLASH_CHECK_LE(addr, tail_);
+  read_only_ = addr;
+}
+
+void LogStructuredStore::TruncateTo(uint64_t addr) {
+  SLASH_CHECK_GE(addr, head_);
+  SLASH_CHECK_LE(addr, tail_);
+  head_ = addr;
+  if (read_only_ < head_) read_only_ = head_;
+}
+
+void LogStructuredStore::ForEachEntry(
+    uint64_t from, uint64_t to,
+    const std::function<void(uint64_t, const EntryHeader&)>& fn) const {
+  SLASH_CHECK_GE(from, head_);
+  SLASH_CHECK_LE(to, tail_);
+  uint64_t addr = from;
+  while (addr < to) {
+    const auto* header = HeaderAt(addr);
+    const uint64_t entry_bytes =
+        AlignUp32(sizeof(EntryHeader) + header->value_len);
+    if ((header->flags & kEntryFiller) == 0) {
+      fn(addr, *header);
+    }
+    addr += (header->flags & kEntryFiller)
+                ? sizeof(EntryHeader) + header->value_len
+                : entry_bytes;
+  }
+}
+
+}  // namespace slash::state

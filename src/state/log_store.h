@@ -1,0 +1,132 @@
+// The log-structured storage (LSS) of the Slash State Backend
+// (paper Sec. 7.2.1).
+//
+// The LSS is a circular buffer of densely packed key-value entries,
+// partially following FASTER's in-memory hybrid log: new entries are
+// appended at the tail; entries in the mutable region are updated in place
+// (RMW); the region below the read-only boundary must not be mutated by the
+// CPU while the NIC DMA-reads it during an epoch transfer.
+//
+// Extensions over FASTER for the distributed setting:
+//  * Logical addressing: entry addresses are monotonically increasing
+//    logical offsets, independent of physical position, so the buffer can
+//    *adaptively resize* when partitions grow (frequency shifts in the key
+//    distribution, Sec. 7.2.1) without invalidating addresses.
+//  * Temporal delta locality: everything appended or updated since the last
+//    epoch lives in the contiguous range [delta mark, tail), so a helper
+//    ships the delta with straight-line scans — no pointer chasing.
+//  * Truncation: after a transfer the shipped portion is invalidated so it
+//    can serve further RMWs from a zero value (Sec. 7.2.2 step 4).
+//
+// Entries never straddle the physical wrap point: Allocate inserts a filler
+// entry and skips to the next lap when needed, so every entry is physically
+// contiguous and scans can walk headers sequentially.
+#ifndef SLASH_STATE_LOG_STORE_H_
+#define SLASH_STATE_LOG_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace slash::state {
+
+/// Entry flags stored in EntryHeader::flags.
+enum EntryFlags : uint16_t {
+  kEntryAggregate = 1 << 0,  // value is an AggState accumulator
+  kEntryAppend = 1 << 1,     // value is one appended element (join state)
+  kEntryFiller = 1 << 2,     // padding inserted at the wrap point
+  kEntryTombstone = 1 << 3,  // logically deleted (triggered window)
+};
+
+/// Fixed header preceding every LSS entry.
+struct EntryHeader {
+  uint64_t key = 0;       // user key
+  int64_t bucket = 0;     // window bucket / slice id
+  uint64_t prev = 0;      // previous entry address in this hash chain
+  uint32_t value_len = 0; // bytes of value following the header
+  uint16_t flags = 0;
+  uint16_t stream_id = 0; // source stream (joins)
+};
+
+static_assert(sizeof(EntryHeader) == 32, "EntryHeader must stay 32 bytes");
+
+/// The log-structured store.
+///
+/// Thread-safety: Allocate is lock-free (atomic tail bump) and entry values
+/// may be concurrently mutated through atomic_ref by the partition layer;
+/// resizing and scans require external quiescence (Slash performs them at
+/// epoch boundaries, where the coherence protocol guarantees it).
+class LogStructuredStore {
+ public:
+  static constexpr uint64_t kInvalidAddress = ~0ULL;
+
+  /// `initial_capacity` must be a power of two.
+  explicit LogStructuredStore(uint64_t initial_capacity);
+
+  LogStructuredStore(const LogStructuredStore&) = delete;
+  LogStructuredStore& operator=(const LogStructuredStore&) = delete;
+
+  /// Allocates `size` bytes (rounded up to 32-byte alignment, one cache
+  /// line half) and returns the logical address. Grows the buffer when the
+  /// live region would exceed capacity (adaptive resize). `size` must fit a
+  /// single lap.
+  uint64_t Allocate(uint32_t size);
+
+  /// Pointer to the bytes at logical address `addr` (must be live).
+  uint8_t* At(uint64_t addr);
+  const uint8_t* At(uint64_t addr) const;
+
+  /// Typed header access.
+  EntryHeader* HeaderAt(uint64_t addr) {
+    return reinterpret_cast<EntryHeader*>(At(addr));
+  }
+  const EntryHeader* HeaderAt(uint64_t addr) const {
+    return reinterpret_cast<const EntryHeader*>(At(addr));
+  }
+
+  /// First live logical address.
+  uint64_t head() const { return head_; }
+  /// Next append address (== end of live data).
+  uint64_t tail() const { return tail_; }
+  /// Read-only boundary: addresses below it must not be CPU-mutated.
+  uint64_t read_only_boundary() const { return read_only_; }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t live_bytes() const { return tail_ - head_; }
+  uint64_t resize_count() const { return resize_count_; }
+
+  /// Marks [head, addr) read-only prior to an RDMA transfer, preventing
+  /// inconsistency between DMA reads and CPU writes (Sec. 7.2.2 step 2).
+  void MarkReadOnlyUpTo(uint64_t addr);
+
+  /// True iff `addr` may be mutated in place.
+  bool Mutable(uint64_t addr) const {
+    return addr >= read_only_ && addr < tail_;
+  }
+
+  /// Invalidates everything below `addr` after a transfer (step 4).
+  void TruncateTo(uint64_t addr);
+
+  /// Walks entries in [from, to) in log order, skipping fillers.
+  /// The callback receives the entry's logical address and header.
+  void ForEachEntry(uint64_t from, uint64_t to,
+                    const std::function<void(uint64_t, const EntryHeader&)>&
+                        fn) const;
+
+ private:
+  uint64_t Physical(uint64_t addr) const { return addr & (capacity_ - 1); }
+  void Grow(uint64_t needed_capacity);
+
+  std::unique_ptr<uint8_t[]> data_;
+  uint64_t capacity_;
+  uint64_t head_ = 0;
+  uint64_t tail_ = 0;
+  uint64_t read_only_ = 0;
+  uint64_t resize_count_ = 0;
+};
+
+}  // namespace slash::state
+
+#endif  // SLASH_STATE_LOG_STORE_H_

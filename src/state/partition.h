@@ -1,0 +1,182 @@
+// A state partition: one hash-indexed, log-structured slice of operator
+// state (paper Sec. 7.1.2 / 7.2.1).
+//
+// The SSB divides the key-value space into disjoint partitions; each node
+// is *leader* of exactly one (its primary partition) and *helper* for the
+// others, holding a local fragment that accumulates this epoch's updates.
+// A Partition object is one such local store — primary or fragment; the
+// distinction lives in StateBackend.
+//
+// Supported state shapes:
+//  * Aggregate state (non-holistic windows): one in-place-updated AggState
+//    accumulator per (key, bucket). The per-record RMW is the common case
+//    the whole design optimizes (atomic fetch-add / CAS; no queueing, no
+//    partitioning).
+//  * Append state (holistic windows / joins): one log entry per observed
+//    record, chained per (key, bucket) through the hash index.
+//
+// Thread-safety: concurrent UpdateAggregate/Append/Merge* calls are safe
+// (atomic RMW on values, CAS on chain heads, spinlock only on log
+// allocation). Scans, serialization, Reset and tombstoning require
+// quiescence, which Slash's epoch protocol provides by construction.
+#ifndef SLASH_STATE_PARTITION_H_
+#define SLASH_STATE_PARTITION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "state/crdt.h"
+#include "state/hash_index.h"
+#include "state/log_store.h"
+
+namespace slash::state {
+
+/// What a partition stores.
+enum class StateKind : uint8_t {
+  kAggregate = 0,
+  kAppend = 1,
+};
+
+/// Composite state key: user key plus window bucket (or slice) id.
+struct StateKey {
+  uint64_t key = 0;
+  int64_t bucket = 0;
+
+  bool operator==(const StateKey&) const = default;
+};
+
+/// Hashes the composite key for index placement.
+inline KeyHash HashStateKey(const StateKey& k) {
+  return HashKey(Mix64(k.key) ^ (uint64_t(k.bucket) * 0x9e3779b97f4a7c15ULL));
+}
+
+/// Partition sizing.
+struct PartitionConfig {
+  StateKind kind = StateKind::kAggregate;
+  uint64_t lss_capacity = 1ULL << 20;   // grows adaptively
+  size_t index_buckets = 1ULL << 12;
+};
+
+class Partition {
+ public:
+  Partition(int id, const PartitionConfig& config);
+
+  Partition(const Partition&) = delete;
+  Partition& operator=(const Partition&) = delete;
+
+  int id() const { return id_; }
+  StateKind kind() const { return config_.kind; }
+
+  // --- Aggregate state (kAggregate) ---------------------------------------
+
+  /// Folds one record value into (key, bucket)'s accumulator: the
+  /// read-modify-write that dominates streaming workloads. Thread-safe.
+  void UpdateAggregate(StateKey k, int64_t value);
+
+  /// CRDT-merges a transferred partial accumulator. Thread-safe.
+  void MergeAggregate(StateKey k, const AggState& delta);
+
+  /// Reads the current accumulator; false if absent.
+  bool LookupAggregate(StateKey k, AggState* out) const;
+
+  // --- Append state (kAppend) ----------------------------------------------
+
+  /// Appends one observed record for (key, bucket). Thread-safe.
+  void Append(StateKey k, uint16_t stream_id, const uint8_t* data,
+              uint32_t len);
+
+  /// Collects every appended element of (key, bucket), newest first.
+  void CollectAppends(StateKey k, AppendSet* out) const;
+
+  // --- Scans (require quiescence) ------------------------------------------
+
+  /// Visits every live (non-tombstoned) entry with its value bytes.
+  void ForEachLive(
+      const std::function<void(const EntryHeader&, const uint8_t*)>& fn) const;
+
+  /// Marks all entries of buckets <= `bucket` tombstoned (window triggered
+  /// and emitted; the state is dead). Returns the number tombstoned.
+  size_t TombstoneBucketsUpTo(int64_t bucket);
+
+  // --- Epoch support --------------------------------------------------------
+
+  /// Serializes every live entry into the delta wire format (appended to
+  /// `out`). Marks the region read-only first, modeling the DMA/CPU
+  /// exclusion of protocol step 2. Returns the number of entries.
+  size_t SerializeDelta(std::vector<uint8_t>* out) const;
+
+  /// Serializes every live entry like SerializeDelta but *without* the
+  /// read-only marking: a consistent snapshot for checkpointing. Epoch
+  /// boundaries are the natural snapshot points (Sec. 7.2.2: epoch-based
+  /// systems use them for checkpointing); callers are responsible for the
+  /// quiescence an epoch boundary provides.
+  size_t Snapshot(std::vector<uint8_t>* out) const;
+
+  /// Rebuilds state from a Snapshot/SerializeDelta byte stream. Typically
+  /// applied to an empty partition (recovery); applying to a non-empty one
+  /// CRDT-merges, which is also well-defined.
+  Status Restore(const uint8_t* data, size_t len) {
+    return MergeDelta(data, len);
+  }
+
+  /// Applies a serialized delta produced by SerializeDelta. Must match the
+  /// partition kind.
+  Status MergeDelta(const uint8_t* data, size_t len);
+
+  /// Invalidates all content after a transfer (protocol step 4): the
+  /// fragment restarts from zero values.
+  void Reset();
+
+  /// One entry-aligned piece of a serialized delta.
+  struct DeltaChunk {
+    size_t offset = 0;       // byte offset into the delta
+    size_t length = 0;       // byte length
+    uint64_t entries = 0;    // whole entries contained
+  };
+
+  /// Splits a serialized delta (as produced by SerializeDelta) into
+  /// entry-aligned chunks of at most `max_chunk_bytes` each, so every chunk
+  /// is independently mergeable — receivers can merge chunks on any worker
+  /// without reassembling the full delta. Every entry must fit one chunk.
+  static std::vector<DeltaChunk> SplitDelta(const uint8_t* data, size_t len,
+                                            size_t max_chunk_bytes);
+
+  /// Current epoch counter (incremented by the owner at sync points).
+  uint64_t epoch() const { return epoch_; }
+  void AdvanceEpoch() { ++epoch_; }
+
+  // --- Introspection ---------------------------------------------------------
+
+  uint64_t live_bytes() const { return lss_.live_bytes(); }
+  uint64_t entry_count() const { return entry_count_.load(std::memory_order_relaxed); }
+  const LogStructuredStore& lss() const { return lss_; }
+
+ private:
+  // Finds the live entry for `k`, walking the chain from the index head.
+  // Returns kInvalidAddress if absent.
+  uint64_t FindEntry(StateKey k) const;
+
+  // Allocates and links a new entry; returns its address, or the address of
+  // a concurrently inserted entry for the same key (losing allocation is
+  // tombstoned). `init` fills the value bytes before publication.
+  uint64_t InsertEntry(StateKey k, uint16_t stream_id, uint16_t flags,
+                       uint32_t value_len,
+                       const std::function<void(uint8_t*)>& init,
+                       bool* inserted);
+
+  int id_;
+  PartitionConfig config_;
+  HashIndex index_;
+  LogStructuredStore lss_;
+  std::atomic<uint64_t> entry_count_{0};
+  uint64_t epoch_ = 0;
+  mutable std::atomic_flag alloc_lock_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace slash::state
+
+#endif  // SLASH_STATE_PARTITION_H_

@@ -1,0 +1,71 @@
+#include "state/state_backend.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace slash::state {
+
+StateBackend::StateBackend(int node, const SsbConfig& config)
+    : node_(node), config_(config) {
+  SLASH_CHECK_GE(node, 0);
+  SLASH_CHECK_LT(node, config.nodes);
+  PartitionConfig pcfg;
+  pcfg.kind = config.kind;
+  pcfg.lss_capacity = config.lss_capacity;
+  pcfg.index_buckets = config.index_buckets;
+  partitions_.reserve(config.nodes);
+  for (int p = 0; p < config.nodes; ++p) {
+    partitions_.push_back(std::make_unique<Partition>(p, pcfg));
+  }
+}
+
+void StateBackend::BeginEpoch() {
+  for (int p = 0; p < config_.nodes; ++p) {
+    if (p != node_) partitions_[p]->AdvanceEpoch();
+  }
+  epoch_bytes_acc_ = 0;
+}
+
+DeltaEnvelope StateBackend::DrainFragment(int p, int64_t low_watermark,
+                                          std::vector<uint8_t>* out) {
+  SLASH_CHECK_NE(p, node_);  // primaries are never drained
+  Partition* fragment = partitions_[p].get();
+  DeltaEnvelope envelope;
+  envelope.partition = static_cast<uint32_t>(p);
+  envelope.helper_node = static_cast<uint32_t>(node_);
+  envelope.epoch = fragment->epoch();
+  envelope.low_watermark = low_watermark;
+
+  const size_t envelope_pos = out->size();
+  out->resize(envelope_pos + sizeof(DeltaEnvelope));
+  envelope.entry_count = fragment->SerializeDelta(out);
+  std::memcpy(out->data() + envelope_pos, &envelope, sizeof(envelope));
+  // Step 4 (sender half): the transferred content is invalidated so RMWs
+  // restart from a zero value.
+  fragment->Reset();
+  return envelope;
+}
+
+Status StateBackend::MergeIntoPrimary(const uint8_t* data, size_t len,
+                                      DeltaEnvelope* envelope_out) {
+  if (len < sizeof(DeltaEnvelope)) {
+    return Status::InvalidArgument("delta shorter than its envelope");
+  }
+  DeltaEnvelope envelope;
+  std::memcpy(&envelope, data, sizeof(envelope));
+  if (envelope.partition != static_cast<uint32_t>(node_)) {
+    return Status::InvalidArgument("delta addressed to another leader");
+  }
+  if (envelope_out != nullptr) *envelope_out = envelope;
+  return primary()->MergeDelta(data + sizeof(DeltaEnvelope),
+                               len - sizeof(DeltaEnvelope));
+}
+
+uint64_t StateBackend::total_live_bytes() const {
+  uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->live_bytes();
+  return total;
+}
+
+}  // namespace slash::state

@@ -1,0 +1,53 @@
+#include "workloads/cluster_monitoring.h"
+
+namespace slash::workloads {
+
+namespace {
+
+class CmFlow : public core::RecordSource {
+ public:
+  CmFlow(const CmConfig& config, uint64_t records, uint64_t seed)
+      : config_(config),
+        records_(records),
+        span_(config.windows * config.window_ms),
+        keys_(config.keys, config.jobs, seed),
+        usage_rng_(seed ^ 0xC10C4ULL) {}
+
+  bool Next(core::Record* out) override {
+    if (produced_ >= records_) return false;
+    out->timestamp = int64_t(produced_) * span_ / int64_t(records_);
+    out->key = keys_.Next();
+    // CPU utilization sample in per-mille, mildly key-correlated as in the
+    // trace (busy jobs stay busy).
+    out->value = int64_t((out->key * 131 + usage_rng_.NextBounded(200)) % 1000);
+    out->stream_id = 0;
+    ++produced_;
+    return true;
+  }
+
+ private:
+  CmConfig config_;
+  uint64_t records_;
+  int64_t span_;
+  KeyGenerator keys_;
+  Rng usage_rng_;
+  uint64_t produced_ = 0;
+};
+
+}  // namespace
+
+core::QuerySpec CmWorkload::MakeQuery() const {
+  core::QuerySpec q;
+  q.name = "cm";
+  q.type = core::QuerySpec::Type::kAggregate;
+  q.window = core::WindowSpec::Tumbling(config_.window_ms);
+  q.agg = state::AggKind::kAvg;  // mean CPU utilization per job
+  return q;
+}
+
+std::unique_ptr<core::RecordSource> CmWorkload::MakeFlow(
+    int flow, int total_flows, uint64_t records, uint64_t seed) const {
+  return std::make_unique<CmFlow>(config_, records, FlowSeed(seed, flow));
+}
+
+}  // namespace slash::workloads

@@ -1,0 +1,49 @@
+// The Cluster Monitoring (CM) benchmark (Sec. 8.1.2): a stateful
+// aggregation over timestamped task-usage records shaped like the public
+// Google cluster trace — 64-byte records (8-byte job key, 8-byte
+// timestamp), a 2-second tumbling window computing the mean CPU
+// utilization of each job.
+//
+// Hardware-gate substitution (see DESIGN.md): the original trace file is
+// not available offline, so the generator reproduces its published shape —
+// ~12.5k-machine cluster, heavy-tailed job popularity, per-mille CPU
+// usage samples.
+#ifndef SLASH_WORKLOADS_CLUSTER_MONITORING_H_
+#define SLASH_WORKLOADS_CLUSTER_MONITORING_H_
+
+#include "workloads/distributions.h"
+#include "workloads/workload.h"
+
+namespace slash::workloads {
+
+struct CmConfig {
+  uint64_t jobs = 12'500;
+  /// Job popularity is heavy-tailed in the Google trace.
+  KeyDistribution keys = KeyDistribution::Zipf(0.9);
+  int64_t window_ms = 2'000;  // 2 second tumbling window
+  int64_t windows = 4;
+  uint16_t record_bytes = 64;
+};
+
+class CmWorkload : public Workload {
+ public:
+  explicit CmWorkload(const CmConfig& config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "CM"; }
+  core::QuerySpec MakeQuery() const override;
+  uint16_t wire_size(uint16_t stream_id) const override {
+    return config_.record_bytes;
+  }
+  std::unique_ptr<core::RecordSource> MakeFlow(int flow, int total_flows,
+                                               uint64_t records,
+                                               uint64_t seed) const override;
+
+  const CmConfig& config() const { return config_; }
+
+ private:
+  CmConfig config_;
+};
+
+}  // namespace slash::workloads
+
+#endif  // SLASH_WORKLOADS_CLUSTER_MONITORING_H_

@@ -1,0 +1,32 @@
+#include "workloads/distributions.h"
+
+namespace slash::workloads {
+
+KeyGenerator::KeyGenerator(const KeyDistribution& dist, uint64_t range,
+                           uint64_t seed)
+    : dist_(dist), range_(range), uniform_(seed) {
+  switch (dist.kind) {
+    case KeyDistribution::Kind::kZipf:
+      zipf_ = std::make_unique<ZipfGenerator>(range, dist.param, seed);
+      break;
+    case KeyDistribution::Kind::kPareto:
+      pareto_ = std::make_unique<ParetoGenerator>(range, dist.param, seed);
+      break;
+    case KeyDistribution::Kind::kUniform:
+      break;
+  }
+}
+
+uint64_t KeyGenerator::Next() {
+  switch (dist_.kind) {
+    case KeyDistribution::Kind::kZipf:
+      return zipf_->Next();
+    case KeyDistribution::Kind::kPareto:
+      return pareto_->Next();
+    case KeyDistribution::Kind::kUniform:
+      return uniform_.NextBounded(range_);
+  }
+  return 0;
+}
+
+}  // namespace slash::workloads

@@ -1,0 +1,44 @@
+// Pluggable key distributions for workload generators: uniform, Zipfian
+// (the skew knob of Fig. 8d), and Pareto (NB7's heavy-hitter bid keys).
+#ifndef SLASH_WORKLOADS_DISTRIBUTIONS_H_
+#define SLASH_WORKLOADS_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.h"
+
+namespace slash::workloads {
+
+/// Key-distribution selector carried in workload configs.
+struct KeyDistribution {
+  enum class Kind { kUniform, kZipf, kPareto };
+
+  Kind kind = Kind::kUniform;
+  double param = 0.0;  // Zipf exponent z, or Pareto shape
+
+  static KeyDistribution Uniform() { return {Kind::kUniform, 0.0}; }
+  static KeyDistribution Zipf(double z) { return {Kind::kZipf, z}; }
+  static KeyDistribution Pareto(double shape) {
+    return {Kind::kPareto, shape};
+  }
+};
+
+/// A seeded draw stream over [0, range) following a KeyDistribution.
+class KeyGenerator {
+ public:
+  KeyGenerator(const KeyDistribution& dist, uint64_t range, uint64_t seed);
+
+  uint64_t Next();
+
+ private:
+  KeyDistribution dist_;
+  uint64_t range_;
+  Rng uniform_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+  std::unique_ptr<ParetoGenerator> pareto_;
+};
+
+}  // namespace slash::workloads
+
+#endif  // SLASH_WORKLOADS_DISTRIBUTIONS_H_

@@ -1,0 +1,129 @@
+#include "workloads/nexmark.h"
+
+namespace slash::workloads {
+
+namespace {
+
+/// Bid-only flow for NB7.
+class BidFlow : public core::RecordSource {
+ public:
+  BidFlow(const NexmarkConfig& config, uint64_t records, uint64_t seed)
+      : records_(records),
+        span_(config.windows * config.nb7_window_ms),
+        keys_(config.bid_keys, config.auctions, seed),
+        price_rng_(seed ^ 0xB1DULL) {}
+
+  bool Next(core::Record* out) override {
+    if (produced_ >= records_) return false;
+    out->timestamp = int64_t(produced_) * span_ / int64_t(records_);
+    out->key = keys_.Next();
+    out->value = 100 + int64_t(price_rng_.NextBounded(100'000));  // price
+    out->stream_id = kBidStream;
+    ++produced_;
+    return true;
+  }
+
+ private:
+  uint64_t records_;
+  int64_t span_;
+  KeyGenerator keys_;
+  Rng price_rng_;
+  uint64_t produced_ = 0;
+};
+
+/// Two-stream join flow: interleaves `ratio` left-stream records per
+/// right-stream (seller) record, keyed by seller id so joins find partners
+/// ("every bid has always a valid seller": sellers are drawn from a dense
+/// id range that the right stream also covers).
+class JoinFlow : public core::RecordSource {
+ public:
+  JoinFlow(uint16_t left_stream, const NexmarkConfig& config, int64_t span,
+           uint64_t records, uint64_t seed)
+      : left_stream_(left_stream),
+        ratio_(config.ratio),
+        records_(records),
+        span_(span),
+        left_keys_(KeyDistribution::Uniform(), config.sellers, seed),
+        right_keys_(KeyDistribution::Uniform(), config.sellers,
+                    seed ^ 0x5E11E4ULL),
+        value_rng_(seed ^ 0x10FULL) {}
+
+  bool Next(core::Record* out) override {
+    if (produced_ >= records_) return false;
+    out->timestamp = int64_t(produced_) * span_ / int64_t(records_);
+    const bool is_seller = (produced_ % uint64_t(ratio_ + 1)) == 0;
+    if (is_seller) {
+      out->stream_id = kSellerStream;
+      out->key = right_keys_.Next();
+    } else {
+      out->stream_id = left_stream_;
+      out->key = left_keys_.Next();
+    }
+    out->value = int64_t(value_rng_.NextBounded(100'000));
+    ++produced_;
+    return true;
+  }
+
+ private:
+  uint16_t left_stream_;
+  int ratio_;
+  uint64_t records_;
+  int64_t span_;
+  KeyGenerator left_keys_;
+  KeyGenerator right_keys_;
+  Rng value_rng_;
+  uint64_t produced_ = 0;
+};
+
+}  // namespace
+
+core::QuerySpec Nb7Workload::MakeQuery() const {
+  core::QuerySpec q;
+  q.name = "nb7";
+  q.type = core::QuerySpec::Type::kAggregate;
+  q.window = core::WindowSpec::Tumbling(config_.nb7_window_ms);
+  q.agg = state::AggKind::kMax;  // highest bid per auction and window
+  return q;
+}
+
+std::unique_ptr<core::RecordSource> Nb7Workload::MakeFlow(
+    int flow, int total_flows, uint64_t records, uint64_t seed) const {
+  return std::make_unique<BidFlow>(config_, records, FlowSeed(seed, flow));
+}
+
+core::QuerySpec Nb8Workload::MakeQuery() const {
+  core::QuerySpec q;
+  q.name = "nb8";
+  q.type = core::QuerySpec::Type::kJoin;
+  q.window = core::WindowSpec::Tumbling(config_.nb8_window_ms);
+  q.left_stream = kAuctionStream;
+  q.right_stream = kSellerStream;
+  return q;
+}
+
+std::unique_ptr<core::RecordSource> Nb8Workload::MakeFlow(
+    int flow, int total_flows, uint64_t records, uint64_t seed) const {
+  return std::make_unique<JoinFlow>(kAuctionStream, config_,
+                                    config_.windows * config_.nb8_window_ms,
+                                    records, FlowSeed(seed, flow));
+}
+
+core::QuerySpec Nb11Workload::MakeQuery() const {
+  core::QuerySpec q;
+  q.name = "nb11";
+  q.type = core::QuerySpec::Type::kJoin;
+  q.window = core::WindowSpec::Session(config_.nb11_gap_ms);
+  q.left_stream = kBidStream;
+  q.right_stream = kSellerStream;
+  return q;
+}
+
+std::unique_ptr<core::RecordSource> Nb11Workload::MakeFlow(
+    int flow, int total_flows, uint64_t records, uint64_t seed) const {
+  return std::make_unique<JoinFlow>(
+      kBidStream, config_,
+      config_.windows * config_.nb11_gap_ms * 16 /* horizon buckets */,
+      records, FlowSeed(seed, flow));
+}
+
+}  // namespace slash::workloads

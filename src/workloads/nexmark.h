@@ -1,0 +1,95 @@
+// The NEXMark benchmark suite (Sec. 8.1.2): a simulated real-time auction
+// platform with bid (32 B), auction (269 B), and seller (206 B) streams.
+// The paper evaluates:
+//   NB7  — 60 s tumbling windowed aggregation on the bid stream; keys
+//          follow a Pareto distribution with heavy hitters; RMW updates.
+//   NB8  — 12 h tumbling-window join of auction and seller streams (4:1
+//          record ratio); append-pattern state with large tuples.
+//   NB11 — session-window join of bid and seller streams; small tuples.
+#ifndef SLASH_WORKLOADS_NEXMARK_H_
+#define SLASH_WORKLOADS_NEXMARK_H_
+
+#include "workloads/distributions.h"
+#include "workloads/workload.h"
+
+namespace slash::workloads {
+
+/// NEXMark stream ids and record sizes.
+inline constexpr uint16_t kBidStream = 0;
+inline constexpr uint16_t kAuctionStream = 1;
+inline constexpr uint16_t kSellerStream = 2;
+inline constexpr uint16_t kBidBytes = 32;
+inline constexpr uint16_t kAuctionBytes = 269;
+inline constexpr uint16_t kSellerBytes = 206;
+
+struct NexmarkConfig {
+  /// Seller/auction key space (join key domain).
+  uint64_t sellers = 10'000;
+  /// Bid key space for NB7 (auction ids).
+  uint64_t auctions = 1'000'000;
+  /// Heavy-hitter bid keys (Sec. 8.2.2: Pareto with a long tail).
+  KeyDistribution bid_keys = KeyDistribution::Pareto(1.1);
+  /// Records per seller record in join workloads (benchmark spec: 4:1).
+  int ratio = 4;
+  /// Flow event-time span, in windows.
+  int64_t windows = 3;
+  int64_t nb7_window_ms = 60'000;                // 60 s tumbling
+  int64_t nb8_window_ms = 12LL * 3600 * 1000;    // 12 h tumbling
+  int64_t nb11_gap_ms = 5'000;                   // session gap
+};
+
+/// NB7: windowed MAX-price aggregation over bids.
+class Nb7Workload : public Workload {
+ public:
+  explicit Nb7Workload(const NexmarkConfig& config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "NB7"; }
+  core::QuerySpec MakeQuery() const override;
+  uint16_t wire_size(uint16_t stream_id) const override { return kBidBytes; }
+  std::unique_ptr<core::RecordSource> MakeFlow(int flow, int total_flows,
+                                               uint64_t records,
+                                               uint64_t seed) const override;
+
+ private:
+  NexmarkConfig config_;
+};
+
+/// NB8: 12 h tumbling-window join auction x seller on the seller key.
+class Nb8Workload : public Workload {
+ public:
+  explicit Nb8Workload(const NexmarkConfig& config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "NB8"; }
+  core::QuerySpec MakeQuery() const override;
+  uint16_t wire_size(uint16_t stream_id) const override {
+    return stream_id == kSellerStream ? kSellerBytes : kAuctionBytes;
+  }
+  std::unique_ptr<core::RecordSource> MakeFlow(int flow, int total_flows,
+                                               uint64_t records,
+                                               uint64_t seed) const override;
+
+ private:
+  NexmarkConfig config_;
+};
+
+/// NB11: session-window join bid x seller on the seller key.
+class Nb11Workload : public Workload {
+ public:
+  explicit Nb11Workload(const NexmarkConfig& config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "NB11"; }
+  core::QuerySpec MakeQuery() const override;
+  uint16_t wire_size(uint16_t stream_id) const override {
+    return stream_id == kSellerStream ? kSellerBytes : kBidBytes;
+  }
+  std::unique_ptr<core::RecordSource> MakeFlow(int flow, int total_flows,
+                                               uint64_t records,
+                                               uint64_t seed) const override;
+
+ private:
+  NexmarkConfig config_;
+};
+
+}  // namespace slash::workloads
+
+#endif  // SLASH_WORKLOADS_NEXMARK_H_

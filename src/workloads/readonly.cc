@@ -1,0 +1,44 @@
+#include "workloads/readonly.h"
+
+namespace slash::workloads {
+
+namespace {
+
+class RoFlow : public core::RecordSource {
+ public:
+  RoFlow(const RoConfig& config, uint64_t records, uint64_t seed)
+      : records_(records), keys_(config.keys, config.key_range, seed) {}
+
+  bool Next(core::Record* out) override {
+    if (produced_ >= records_) return false;
+    out->timestamp = int64_t(produced_);
+    out->key = keys_.Next();
+    out->value = 1;
+    out->stream_id = 0;
+    ++produced_;
+    return true;
+  }
+
+ private:
+  uint64_t records_;
+  KeyGenerator keys_;
+  uint64_t produced_ = 0;
+};
+
+}  // namespace
+
+core::QuerySpec RoWorkload::MakeQuery() const {
+  core::QuerySpec q;
+  q.name = "ro";
+  q.type = core::QuerySpec::Type::kAggregate;
+  q.window = core::WindowSpec::Tumbling(config_.window_ms);
+  q.agg = state::AggKind::kCount;
+  return q;
+}
+
+std::unique_ptr<core::RecordSource> RoWorkload::MakeFlow(
+    int flow, int total_flows, uint64_t records, uint64_t seed) const {
+  return std::make_unique<RoFlow>(config_, records, FlowSeed(seed, flow));
+}
+
+}  // namespace slash::workloads

@@ -1,0 +1,45 @@
+// The Read-Only (RO) benchmark (Sec. 8.1.2): the paper's self-developed
+// drill-down workload. Data flows through the system with no costly
+// computation — a stateful operator merely counts occurrences of each key —
+// exposing I/O bottlenecks. Records carry an 8-byte key and an 8-byte
+// timestamp; keys are drawn uniformly from a 100M-wide range (Zipfian for
+// the skew sweep of Fig. 8d).
+#ifndef SLASH_WORKLOADS_READONLY_H_
+#define SLASH_WORKLOADS_READONLY_H_
+
+#include "workloads/distributions.h"
+#include "workloads/workload.h"
+
+namespace slash::workloads {
+
+struct RoConfig {
+  uint64_t key_range = 100'000'000;
+  KeyDistribution keys = KeyDistribution::Uniform();
+  /// One huge tumbling window: RO has no windowing semantics; the count
+  /// state lives in a single bucket.
+  int64_t window_ms = 1LL << 40;
+  uint16_t record_bytes = 32;
+};
+
+class RoWorkload : public Workload {
+ public:
+  explicit RoWorkload(const RoConfig& config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "RO"; }
+  core::QuerySpec MakeQuery() const override;
+  uint16_t wire_size(uint16_t stream_id) const override {
+    return config_.record_bytes;
+  }
+  std::unique_ptr<core::RecordSource> MakeFlow(int flow, int total_flows,
+                                               uint64_t records,
+                                               uint64_t seed) const override;
+
+  const RoConfig& config() const { return config_; }
+
+ private:
+  RoConfig config_;
+};
+
+}  // namespace slash::workloads
+
+#endif  // SLASH_WORKLOADS_READONLY_H_

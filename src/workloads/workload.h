@@ -1,0 +1,54 @@
+// The benchmark workloads of the paper's evaluation (Sec. 8.1.2): the
+// Yahoo! Streaming Benchmark, NEXMark queries 7/8/11, Cluster Monitoring
+// over a synthetic Google-trace-shaped stream, and the self-developed
+// Read-Only benchmark used in the drill-down analysis.
+//
+// A Workload supplies (1) the declarative query and (2) deterministic
+// record generators for each physical data flow, plus per-stream wire
+// sizes so the network carries the paper's record sizes byte-for-byte.
+#ifndef SLASH_WORKLOADS_WORKLOAD_H_
+#define SLASH_WORKLOADS_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "core/query.h"
+
+namespace slash::workloads {
+
+/// Abstract benchmark workload.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// The continuous query this workload runs.
+  virtual core::QuerySpec MakeQuery() const = 0;
+
+  /// On-wire bytes of one record of `stream_id`.
+  virtual uint16_t wire_size(uint16_t stream_id) const = 0;
+
+  /// Deterministic generator for flow `flow` of `total_flows`, producing
+  /// `records` records from `seed`.
+  virtual std::unique_ptr<core::RecordSource> MakeFlow(
+      int flow, int total_flows, uint64_t records, uint64_t seed) const = 0;
+
+  /// Convenience SourceFactory binding record count and seed.
+  core::SourceFactory Sources(uint64_t records_per_flow,
+                              uint64_t seed = 42) const {
+    return [this, records_per_flow, seed](int flow, int total_flows) {
+      return MakeFlow(flow, total_flows, records_per_flow, seed);
+    };
+  }
+};
+
+/// Derives a per-flow RNG seed.
+inline uint64_t FlowSeed(uint64_t seed, int flow) {
+  return seed * 1315423911ULL + uint64_t(flow) * 2654435761ULL + 1;
+}
+
+}  // namespace slash::workloads
+
+#endif  // SLASH_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,55 @@
+#include "workloads/ysb.h"
+
+namespace slash::workloads {
+
+namespace {
+
+class YsbFlow : public core::RecordSource {
+ public:
+  YsbFlow(const YsbConfig& config, uint64_t records, uint64_t seed)
+      : config_(config),
+        records_(records),
+        span_(config.windows * config.window_ms),
+        keys_(config.keys, config.key_range, seed),
+        event_rng_(seed ^ 0xE4E47ULL) {}
+
+  bool Next(core::Record* out) override {
+    if (produced_ >= records_) return false;
+    out->timestamp = int64_t(produced_) * span_ / int64_t(records_);
+    out->key = keys_.Next();
+    out->value = int64_t(event_rng_.NextBounded(3));  // event type 0..2
+    out->stream_id = 0;
+    ++produced_;
+    return true;
+  }
+
+ private:
+  YsbConfig config_;
+  uint64_t records_;
+  int64_t span_;
+  KeyGenerator keys_;
+  Rng event_rng_;
+  uint64_t produced_ = 0;
+};
+
+}  // namespace
+
+core::QuerySpec YsbWorkload::MakeQuery() const {
+  core::QuerySpec q;
+  q.name = "ysb";
+  q.type = core::QuerySpec::Type::kAggregate;
+  // Filter: only "view" events (type 0) pass — one in three.
+  q.filter = [](const core::Record& r) { return r.value == 0; };
+  // Projection: the downstream aggregate is a count; normalize the value.
+  q.project = [](core::Record* r) { r->value = 1; };
+  q.window = core::WindowSpec::Tumbling(config_.window_ms);
+  q.agg = state::AggKind::kCount;
+  return q;
+}
+
+std::unique_ptr<core::RecordSource> YsbWorkload::MakeFlow(
+    int flow, int total_flows, uint64_t records, uint64_t seed) const {
+  return std::make_unique<YsbFlow>(config_, records, FlowSeed(seed, flow));
+}
+
+}  // namespace slash::workloads

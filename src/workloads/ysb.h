@@ -1,0 +1,46 @@
+// The Yahoo! Streaming Benchmark (YSB), as configured in Sec. 8.1.2 /
+// 8.2.2: 78-byte records with an 8-byte key and an 8-byte creation
+// timestamp; a filter (1-in-3 event types pass), a projection, and a
+// 10-minute event-time tumbling count window per key. Keys are drawn
+// uniformly from a wide range by default; the distribution is pluggable
+// for the skew experiments (Fig. 8d).
+#ifndef SLASH_WORKLOADS_YSB_H_
+#define SLASH_WORKLOADS_YSB_H_
+
+#include "workloads/distributions.h"
+#include "workloads/workload.h"
+
+namespace slash::workloads {
+
+struct YsbConfig {
+  uint64_t key_range = 10'000'000;
+  KeyDistribution keys = KeyDistribution::Uniform();
+  int64_t window_ms = 600'000;  // 10 minute tumbling window
+  /// Event-time span of each flow, in windows. The generator spreads its
+  /// records' timestamps uniformly over `windows` full windows.
+  int64_t windows = 3;
+  uint16_t record_bytes = 78;
+};
+
+class YsbWorkload : public Workload {
+ public:
+  explicit YsbWorkload(const YsbConfig& config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "YSB"; }
+  core::QuerySpec MakeQuery() const override;
+  uint16_t wire_size(uint16_t stream_id) const override {
+    return config_.record_bytes;
+  }
+  std::unique_ptr<core::RecordSource> MakeFlow(int flow, int total_flows,
+                                               uint64_t records,
+                                               uint64_t seed) const override;
+
+  const YsbConfig& config() const { return config_; }
+
+ private:
+  YsbConfig config_;
+};
+
+}  // namespace slash::workloads
+
+#endif  // SLASH_WORKLOADS_YSB_H_

@@ -1,0 +1,351 @@
+// Tests for the RDMA channel: credit-based flow control invariants, FIFO
+// delivery, footer semantics, zero-copy external posts, and the pull-model
+// ablation channel. Includes parameterized property sweeps over credit
+// counts, slot sizes, and message counts (Sec. 6.2 "Properties": FIFO
+// order, no overwrite of unread buffers, producer stalls without credit).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "channel/rdma_channel.h"
+#include "common/random.h"
+#include "perf/cost_model.h"
+#include "rdma/fabric.h"
+#include "sim/simulator.h"
+
+namespace slash::channel {
+namespace {
+
+struct Harness {
+  sim::Simulator sim;
+  rdma::Fabric fabric;
+  perf::CpuContext producer_cpu;
+  perf::CpuContext consumer_cpu;
+
+  explicit Harness(int nodes = 2)
+      : fabric(&sim,
+               [] {
+                 rdma::FabricConfig cfg;
+                 cfg.nodes = 2;
+                 return cfg;
+               }()),
+        producer_cpu(&sim, &perf::CostModel::Default()),
+        consumer_cpu(&sim, &perf::CostModel::Default()) {}
+};
+
+// Producer: sends `count` messages, each payload filled with a marker byte
+// derived from the message id and carrying the id as user_tag.
+sim::Task Producer(RdmaChannel* ch, int count, uint64_t payload_len,
+                   perf::CpuContext* cpu, uint64_t* max_in_flight) {
+  for (int i = 0; i < count; ++i) {
+    SlotRef slot;
+    while (!ch->TryAcquire(&slot, cpu)) {
+      co_await ch->credit_event().Wait();
+    }
+    std::memset(slot.payload, i % 251, payload_len);
+    SLASH_CHECK(ch->Post(slot, payload_len, /*user_tag=*/i,
+                         /*watermark=*/i * 10, cpu)
+                    .ok());
+    const uint64_t in_flight = ch->sent_count() - ch->received_count();
+    if (in_flight > *max_in_flight) *max_in_flight = in_flight;
+    co_await cpu->Sync();
+  }
+}
+
+// Consumer: polls `count` messages, verifies content and order.
+sim::Task Consumer(RdmaChannel* ch, int count, uint64_t payload_len,
+                   perf::CpuContext* cpu, std::vector<uint64_t>* tags,
+                   Nanos process_time = 0) {
+  for (int i = 0; i < count; ++i) {
+    InboundBuffer buffer;
+    while (!ch->TryPoll(&buffer, cpu)) {
+      co_await ch->data_event().Wait();
+    }
+    EXPECT_EQ(buffer.payload_len, payload_len);
+    bool intact = true;
+    for (uint64_t b = 0; b < buffer.payload_len; ++b) {
+      intact &= buffer.payload[b] == buffer.user_tag % 251;
+    }
+    EXPECT_TRUE(intact) << "corrupted payload in message " << buffer.user_tag;
+    tags->push_back(buffer.user_tag);
+    EXPECT_EQ(buffer.watermark, int64_t(buffer.user_tag) * 10);
+    if (process_time > 0) co_await cpu->simulator()->Delay(process_time);
+    SLASH_CHECK(ch->Release(buffer, cpu).ok());
+    co_await cpu->Sync();
+  }
+}
+
+TEST(RdmaChannelTest, DeliversMessagesFifoWithIntactPayload) {
+  Harness h;
+  ChannelConfig cfg;
+  cfg.credits = 4;
+  cfg.slot_bytes = 4096;
+  auto ch = RdmaChannel::Create(&h.fabric, 0, 1, cfg);
+  std::vector<uint64_t> tags;
+  uint64_t max_in_flight = 0;
+  h.sim.Spawn(Producer(ch.get(), 50, 1000, &h.producer_cpu, &max_in_flight));
+  h.sim.Spawn(Consumer(ch.get(), 50, 1000, &h.consumer_cpu, &tags));
+  h.sim.Run();
+  ASSERT_EQ(tags.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(tags[i], uint64_t(i));
+  EXPECT_EQ(h.sim.pending_tasks(), 0);
+}
+
+TEST(RdmaChannelTest, ProducerNeverExceedsCredits) {
+  Harness h;
+  ChannelConfig cfg;
+  cfg.credits = 3;
+  cfg.slot_bytes = 2048;
+  auto ch = RdmaChannel::Create(&h.fabric, 0, 1, cfg);
+  std::vector<uint64_t> tags;
+  uint64_t max_in_flight = 0;
+  // Slow consumer: forces the producer against the credit limit.
+  h.sim.Spawn(Producer(ch.get(), 40, 512, &h.producer_cpu, &max_in_flight));
+  h.sim.Spawn(Consumer(ch.get(), 40, 512, &h.consumer_cpu, &tags,
+                       /*process_time=*/50000));
+  h.sim.Run();
+  EXPECT_EQ(tags.size(), 40u);
+  // Invariant: un-released messages in flight never exceed the credit count.
+  EXPECT_LE(max_in_flight, cfg.credits);
+}
+
+TEST(RdmaChannelTest, PollOnEmptyChannelFailsAndChargesPause) {
+  Harness h;
+  ChannelConfig cfg;
+  auto ch = RdmaChannel::Create(&h.fabric, 0, 1, cfg);
+  InboundBuffer buffer;
+  const double before =
+      h.consumer_cpu.counters().cycles[int(perf::Category::kBackEndCore)];
+  EXPECT_FALSE(ch->TryPoll(&buffer, &h.consumer_cpu));
+  EXPECT_GT(h.consumer_cpu.counters().cycles[int(perf::Category::kBackEndCore)],
+            before);
+}
+
+TEST(RdmaChannelTest, AcquireFailsWhenNoCredit) {
+  Harness h;
+  ChannelConfig cfg;
+  cfg.credits = 2;
+  auto ch = RdmaChannel::Create(&h.fabric, 0, 1, cfg);
+  SlotRef a, b, c;
+  EXPECT_TRUE(ch->TryAcquire(&a, &h.producer_cpu));
+  EXPECT_TRUE(ch->TryAcquire(&b, &h.producer_cpu));
+  EXPECT_FALSE(ch->TryAcquire(&c, &h.producer_cpu));
+  EXPECT_FALSE(ch->has_credit());
+}
+
+TEST(RdmaChannelTest, PostValidatesPayloadSizeAndOrder) {
+  Harness h;
+  ChannelConfig cfg;
+  cfg.credits = 4;
+  cfg.slot_bytes = 1024;
+  auto ch = RdmaChannel::Create(&h.fabric, 0, 1, cfg);
+  SlotRef a, b;
+  ASSERT_TRUE(ch->TryAcquire(&a, &h.producer_cpu));
+  ASSERT_TRUE(ch->TryAcquire(&b, &h.producer_cpu));
+  EXPECT_EQ(ch->Post(a, 5000, 0, 0, &h.producer_cpu).code(),
+            StatusCode::kInvalidArgument);
+  // Posting slot b before slot a violates ordering.
+  EXPECT_EQ(ch->Post(b, 10, 0, 0, &h.producer_cpu).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(ch->Post(a, 10, 0, 0, &h.producer_cpu).ok());
+  EXPECT_TRUE(ch->Post(b, 10, 0, 0, &h.producer_cpu).ok());
+}
+
+TEST(RdmaChannelTest, ReleaseOutOfOrderRejected) {
+  Harness h;
+  ChannelConfig cfg;
+  cfg.credits = 4;
+  auto ch = RdmaChannel::Create(&h.fabric, 0, 1, cfg);
+  InboundBuffer fake;
+  fake.slot_index = 2;  // expected release order starts at slot 0
+  EXPECT_EQ(ch->Release(fake, &h.consumer_cpu).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+sim::Task ExternalProducer(RdmaChannel* ch, rdma::MemoryRegion* lss,
+                           int count, uint64_t payload_len,
+                           perf::CpuContext* cpu) {
+  for (int i = 0; i < count; ++i) {
+    while (!ch->has_credit()) {
+      co_await ch->credit_event().Wait();
+    }
+    // Payload lives at a rotating offset inside the external (LSS) region.
+    const uint64_t off = (uint64_t(i) * payload_len) % (lss->size() / 2);
+    std::memset(lss->data() + off, i % 251, payload_len);
+    SLASH_CHECK(ch->PostExternal(rdma::MemorySpan{lss, off, payload_len},
+                                 /*user_tag=*/i, /*watermark=*/i * 10, cpu)
+                    .ok());
+    co_await cpu->Sync();
+  }
+}
+
+TEST(RdmaChannelTest, PostExternalShipsZeroCopyFromLssMemory) {
+  Harness h;
+  ChannelConfig cfg;
+  cfg.credits = 4;
+  cfg.slot_bytes = 8192;
+  auto ch = RdmaChannel::Create(&h.fabric, 0, 1, cfg);
+  rdma::MemoryRegion* lss = h.fabric.pd(0)->RegisterRegion(1 * kMiB);
+  std::vector<uint64_t> tags;
+  h.sim.Spawn(ExternalProducer(ch.get(), lss, 20, 500, &h.producer_cpu));
+  h.sim.Spawn(Consumer(ch.get(), 20, 500, &h.consumer_cpu, &tags));
+  h.sim.Run();
+  ASSERT_EQ(tags.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(tags[i], uint64_t(i));
+}
+
+TEST(RdmaChannelTest, WatermarkAndTagPiggybackIntact) {
+  Harness h;
+  ChannelConfig cfg;
+  auto ch = RdmaChannel::Create(&h.fabric, 0, 1, cfg);
+  SlotRef slot;
+  ASSERT_TRUE(ch->TryAcquire(&slot, &h.producer_cpu));
+  std::memset(slot.payload, 0xAB, 64);
+  ASSERT_TRUE(ch->Post(slot, 64, /*user_tag=*/0xFEED,
+                       /*watermark=*/-123456789, &h.producer_cpu)
+                  .ok());
+  h.sim.Run();
+  InboundBuffer buffer;
+  ASSERT_TRUE(ch->TryPoll(&buffer, &h.consumer_cpu));
+  EXPECT_EQ(buffer.user_tag, 0xFEEDu);
+  EXPECT_EQ(buffer.watermark, -123456789);
+  EXPECT_EQ(buffer.payload_len, 64u);
+}
+
+// --- Property sweep: protocol invariants across configurations -------------
+
+using SweepParam = std::tuple<int /*credits*/, int /*slot_kib*/,
+                              int /*messages*/, int /*consumer_delay_us*/>;
+
+class ChannelSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ChannelSweepTest, FifoNoLossNoOverwriteUnderAnyConfig) {
+  const auto [credits, slot_kib, messages, delay_us] = GetParam();
+  Harness h;
+  ChannelConfig cfg;
+  cfg.credits = credits;
+  cfg.slot_bytes = uint64_t(slot_kib) * kKiB;
+  auto ch = RdmaChannel::Create(&h.fabric, 0, 1, cfg);
+  const uint64_t payload = cfg.slot_bytes - kFooterBytes - 7;
+  std::vector<uint64_t> tags;
+  uint64_t max_in_flight = 0;
+  h.sim.Spawn(
+      Producer(ch.get(), messages, payload, &h.producer_cpu, &max_in_flight));
+  h.sim.Spawn(Consumer(ch.get(), messages, payload, &h.consumer_cpu, &tags,
+                       Nanos(delay_us) * 1000));
+  h.sim.Run();
+  // No loss, no duplication, FIFO order.
+  ASSERT_EQ(tags.size(), size_t(messages));
+  for (int i = 0; i < messages; ++i) ASSERT_EQ(tags[i], uint64_t(i));
+  // Credit bound respected.
+  EXPECT_LE(max_in_flight, uint64_t(credits));
+  // Everything terminated (no deadlock).
+  EXPECT_EQ(h.sim.pending_tasks(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocol, ChannelSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 8, 64),    // credits
+                       ::testing::Values(1, 32, 256),     // slot KiB
+                       ::testing::Values(1, 17, 100),     // messages
+                       ::testing::Values(0, 3)),          // consumer delay us
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "c" + std::to_string(std::get<0>(info.param)) + "_kib" +
+             std::to_string(std::get<1>(info.param)) + "_n" +
+             std::to_string(std::get<2>(info.param)) + "_d" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+// --- Pull-model ablation channel -------------------------------------------
+
+sim::Task PullProducer(PullChannel* ch, int count, uint64_t payload_len,
+                       perf::CpuContext* cpu) {
+  for (int i = 0; i < count; ++i) {
+    SlotRef slot;
+    while (!ch->TryAcquire(&slot, cpu)) {
+      co_await ch->credit_event().Wait();
+    }
+    std::memset(slot.payload, i % 251, payload_len);
+    SLASH_CHECK(ch->Post(slot, payload_len, i, 0, cpu).ok());
+    co_await cpu->Sync();
+  }
+}
+
+sim::Task PullConsumer(PullChannel* ch, int count, uint64_t payload_len,
+                       perf::CpuContext* cpu, std::vector<uint64_t>* tags,
+                       int* wasted_round_trips) {
+  int received = 0;
+  while (received < count) {
+    PullChannel::PullResult result;
+    co_await ch->Pull(&result, cpu);
+    if (!result.ready) {
+      ++*wasted_round_trips;
+      continue;
+    }
+    EXPECT_EQ(result.buffer.payload_len, payload_len);
+    bool intact = true;
+    for (uint64_t b = 0; b < payload_len; ++b) {
+      intact &= result.buffer.payload[b] == result.buffer.user_tag % 251;
+    }
+    EXPECT_TRUE(intact);
+    tags->push_back(result.buffer.user_tag);
+    SLASH_CHECK(ch->Release(result.buffer, cpu).ok());
+    ++received;
+    co_await cpu->Sync();
+  }
+}
+
+TEST(PullChannelTest, DeliversFifoButPollsOverNetwork) {
+  Harness h;
+  ChannelConfig cfg;
+  cfg.credits = 4;
+  cfg.slot_bytes = 4096;
+  auto ch = PullChannel::Create(&h.fabric, 0, 1, cfg);
+  std::vector<uint64_t> tags;
+  int wasted = 0;
+  h.sim.Spawn(PullProducer(ch.get(), 30, 512, &h.producer_cpu));
+  h.sim.Spawn(PullConsumer(ch.get(), 30, 512, &h.consumer_cpu, &tags,
+                           &wasted));
+  h.sim.Run();
+  ASSERT_EQ(tags.size(), 30u);
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(tags[i], uint64_t(i));
+  EXPECT_EQ(h.sim.pending_tasks(), 0);
+}
+
+TEST(PullChannelTest, SlowerThanPushForSameWorkload) {
+  const int messages = 50;
+  const uint64_t payload = 2048;
+
+  Harness push;
+  ChannelConfig cfg;
+  cfg.credits = 8;
+  cfg.slot_bytes = 4096;
+  auto push_ch = RdmaChannel::Create(&push.fabric, 0, 1, cfg);
+  std::vector<uint64_t> tags;
+  uint64_t max_in_flight = 0;
+  push.sim.Spawn(
+      Producer(push_ch.get(), messages, payload, &push.producer_cpu,
+               &max_in_flight));
+  push.sim.Spawn(
+      Consumer(push_ch.get(), messages, payload, &push.consumer_cpu, &tags));
+  const Nanos push_time = push.sim.Run();
+
+  Harness pull;
+  auto pull_ch = PullChannel::Create(&pull.fabric, 0, 1, cfg);
+  std::vector<uint64_t> pull_tags;
+  int wasted = 0;
+  pull.sim.Spawn(PullProducer(pull_ch.get(), messages, payload,
+                              &pull.producer_cpu));
+  pull.sim.Spawn(PullConsumer(pull_ch.get(), messages, payload,
+                              &pull.consumer_cpu, &pull_tags, &wasted));
+  const Nanos pull_time = pull.sim.Run();
+
+  EXPECT_EQ(pull_tags.size(), size_t(messages));
+  // The pull model pays a round-trip per message: strictly slower.
+  EXPECT_GT(pull_time, push_time);
+}
+
+}  // namespace
+}  // namespace slash::channel

@@ -1,0 +1,186 @@
+// Endurance and robustness tests: determinism across runs, long streams
+// spanning many epochs and window generations, pathological configurations
+// (single credit, tiny epoch, tiny LSS forcing adaptive resizes, chunked
+// deltas), and misuse/error paths.
+#include <gtest/gtest.h>
+
+#include "core/oracle.h"
+#include "engines/slash_engine.h"
+#include "engines/uppar_engine.h"
+#include "state/partition.h"
+#include "workloads/readonly.h"
+#include "workloads/ysb.h"
+
+namespace slash::engines {
+namespace {
+
+ClusterConfig BaseConfig() {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.workers_per_node = 2;
+  cfg.records_per_worker = 3000;
+  cfg.channel.slot_bytes = 16 * kKiB;
+  cfg.epoch_bytes = 64 * kKiB;
+  cfg.state_lss_capacity = 1 << 16;
+  cfg.state_index_buckets = 1 << 10;
+  cfg.collect_rows = false;
+  return cfg;
+}
+
+TEST(EnduranceTest, RunsAreBitDeterministic) {
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 5000;
+  workloads::YsbWorkload workload(ycfg);
+  const ClusterConfig cfg = BaseConfig();
+  SlashEngine a, b;
+  const RunStats ra = a.Run(workload.MakeQuery(), workload, cfg);
+  const RunStats rb = b.Run(workload.MakeQuery(), workload, cfg);
+  EXPECT_EQ(ra.makespan, rb.makespan);
+  EXPECT_EQ(ra.result_checksum, rb.result_checksum);
+  EXPECT_EQ(ra.network_bytes, rb.network_bytes);
+  EXPECT_EQ(ra.TotalCounters().instructions, rb.TotalCounters().instructions);
+}
+
+TEST(EnduranceTest, DifferentSeedsDifferentDataSameCorrectness) {
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 500;
+  workloads::YsbWorkload workload(ycfg);
+  for (uint64_t seed : {7ULL, 8ULL}) {
+    ClusterConfig cfg = BaseConfig();
+    cfg.seed = seed;
+    SlashEngine engine;
+    const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
+    const core::OracleOutput oracle = core::ComputeOracle(
+        workload.MakeQuery(), workload.Sources(cfg.records_per_worker, seed),
+        cfg.nodes * cfg.workers_per_node);
+    EXPECT_EQ(stats.result_checksum, oracle.checksum) << "seed " << seed;
+  }
+}
+
+TEST(EnduranceTest, ManyEpochsManyWindowGenerations) {
+  // Long stream across 12 windows with epochs every 16 KiB: dozens of
+  // drain/merge/trigger cycles, state retired continuously.
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 300;
+  ycfg.windows = 12;
+  workloads::YsbWorkload workload(ycfg);
+  ClusterConfig cfg = BaseConfig();
+  cfg.records_per_worker = 20'000;
+  cfg.epoch_bytes = 16 * kKiB;
+  cfg.collect_rows = true;
+  SlashEngine engine;
+  const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
+  const core::OracleOutput oracle = core::ComputeOracle(
+      workload.MakeQuery(), workload.Sources(cfg.records_per_worker, cfg.seed),
+      cfg.nodes * cfg.workers_per_node);
+  EXPECT_EQ(stats.result_checksum, oracle.checksum);
+  EXPECT_EQ(stats.records_emitted, oracle.count);
+  // All 12 window generations produced results.
+  int64_t max_bucket = 0;
+  for (const auto& row : stats.rows) {
+    max_bucket = std::max(max_bucket, row.bucket);
+  }
+  EXPECT_EQ(max_bucket, 11);
+}
+
+TEST(EnduranceTest, SingleCreditChannelsStillCorrect) {
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 400;
+  workloads::YsbWorkload workload(ycfg);
+  ClusterConfig cfg = BaseConfig();
+  cfg.channel.credits = 1;  // maximal back-pressure, no pipelining
+  cfg.epoch_bytes = 32 * kKiB;
+  SlashEngine engine;
+  const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
+  const core::OracleOutput oracle = core::ComputeOracle(
+      workload.MakeQuery(), workload.Sources(cfg.records_per_worker, cfg.seed),
+      cfg.nodes * cfg.workers_per_node);
+  EXPECT_EQ(stats.result_checksum, oracle.checksum);
+}
+
+TEST(EnduranceTest, TinySlotsForceChunkedDeltas) {
+  // Slot payloads only a few entries wide: every epoch delta ships as many
+  // chunks, exercising the entry-aligned split and last-chunk watermark
+  // rule.
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 2000;
+  workloads::YsbWorkload workload(ycfg);
+  ClusterConfig cfg = BaseConfig();
+  cfg.channel.slot_bytes = 512;  // ~6 delta entries per chunk
+  cfg.epoch_bytes = 32 * kKiB;
+  SlashEngine engine;
+  const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
+  const core::OracleOutput oracle = core::ComputeOracle(
+      workload.MakeQuery(), workload.Sources(cfg.records_per_worker, cfg.seed),
+      cfg.nodes * cfg.workers_per_node);
+  EXPECT_EQ(stats.result_checksum, oracle.checksum);
+}
+
+TEST(EnduranceTest, TinyLssForcesAdaptiveResizes) {
+  workloads::RoConfig rcfg;
+  rcfg.key_range = 50'000;
+  workloads::RoWorkload workload(rcfg);
+  ClusterConfig cfg = BaseConfig();
+  cfg.state_lss_capacity = 1 << 10;  // 1 KiB: dozens of doublings
+  cfg.records_per_worker = 8000;
+  SlashEngine engine;
+  const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
+  const core::OracleOutput oracle = core::ComputeOracle(
+      workload.MakeQuery(), workload.Sources(cfg.records_per_worker, cfg.seed),
+      cfg.nodes * cfg.workers_per_node);
+  EXPECT_EQ(stats.result_checksum, oracle.checksum);
+}
+
+TEST(EnduranceTest, LargeClusterSmallInput) {
+  // 12 nodes with barely any data: epochs are mostly empty envelopes;
+  // termination and watermark propagation must still hold.
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 50;
+  workloads::YsbWorkload workload(ycfg);
+  ClusterConfig cfg = BaseConfig();
+  cfg.nodes = 12;
+  cfg.records_per_worker = 50;
+  SlashEngine engine;
+  const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
+  const core::OracleOutput oracle = core::ComputeOracle(
+      workload.MakeQuery(), workload.Sources(cfg.records_per_worker, cfg.seed),
+      cfg.nodes * cfg.workers_per_node);
+  EXPECT_EQ(stats.result_checksum, oracle.checksum);
+}
+
+TEST(EnduranceTest, ZeroSelectivityStream) {
+  // A filter that drops everything: no state, no results, but watermarks
+  // and epochs must still flow to termination.
+  workloads::YsbConfig ycfg;
+  workloads::YsbWorkload base(ycfg);
+  class DropAll : public workloads::YsbWorkload {
+   public:
+    using workloads::YsbWorkload::YsbWorkload;
+    core::QuerySpec MakeQuery() const override {
+      core::QuerySpec q = workloads::YsbWorkload::MakeQuery();
+      q.filter = [](const core::Record&) { return false; };
+      return q;
+    }
+  };
+  DropAll workload(ycfg);
+  ClusterConfig cfg = BaseConfig();
+  SlashEngine engine;
+  const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
+  EXPECT_EQ(stats.records_emitted, 0u);
+  EXPECT_GT(stats.records_in, 0u);
+}
+
+TEST(EnduranceTest, UpParDeterministicToo) {
+  workloads::RoConfig rcfg;
+  rcfg.key_range = 1000;
+  workloads::RoWorkload workload(rcfg);
+  const ClusterConfig cfg = BaseConfig();
+  UpParEngine a, b;
+  const RunStats ra = a.Run(workload.MakeQuery(), workload, cfg);
+  const RunStats rb = b.Run(workload.MakeQuery(), workload, cfg);
+  EXPECT_EQ(ra.makespan, rb.makespan);
+  EXPECT_EQ(ra.result_checksum, rb.result_checksum);
+}
+
+}  // namespace
+}  // namespace slash::engines

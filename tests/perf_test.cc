@@ -1,0 +1,138 @@
+// Tests for the perf substrate: counters arithmetic, cost-model charging,
+// wait accounting, and the CpuContext <-> simulator time coupling.
+#include <gtest/gtest.h>
+
+#include "perf/cost_model.h"
+#include "perf/counters.h"
+#include "sim/simulator.h"
+
+namespace slash::perf {
+namespace {
+
+TEST(CountersTest, EmptyCountersAreZero) {
+  Counters c;
+  EXPECT_EQ(c.total_cycles(), 0);
+  EXPECT_EQ(c.ipc(), 0);
+  EXPECT_EQ(c.fraction(Category::kRetiring), 0);
+}
+
+TEST(CountersTest, MergeAccumulates) {
+  Counters a, b;
+  a.instructions = 10;
+  a.cycles[0] = 5;
+  a.mem_bytes = 100;
+  a.records = 3;
+  b.instructions = 20;
+  b.cycles[1] = 15;
+  b.l1d_misses = 2;
+  a.Merge(b);
+  EXPECT_EQ(a.instructions, 30);
+  EXPECT_EQ(a.total_cycles(), 20);
+  EXPECT_EQ(a.mem_bytes, 100u);
+  EXPECT_EQ(a.l1d_misses, 2);
+  EXPECT_EQ(a.records, 3u);
+}
+
+TEST(CountersTest, FractionsSumToOne) {
+  Counters c;
+  for (int i = 0; i < kNumCategories; ++i) c.cycles[i] = i + 1.0;
+  double sum = 0;
+  for (int i = 0; i < kNumCategories; ++i) {
+    sum += c.fraction(Category(i));
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(CountersTest, CategoryNamesAreStable) {
+  EXPECT_EQ(CategoryName(Category::kRetiring), "Retiring");
+  EXPECT_EQ(CategoryName(Category::kFrontEnd), "FrontEnd");
+  EXPECT_EQ(CategoryName(Category::kBadSpeculation), "BadSpec");
+  EXPECT_EQ(CategoryName(Category::kBackEndMemory), "BackEndMem");
+  EXPECT_EQ(CategoryName(Category::kBackEndCore), "BackEndCore");
+}
+
+TEST(CostModelTest, DefaultTableIsPopulated) {
+  const CostModel& model = CostModel::Default();
+  for (size_t op = 0; op < size_t(Op::kNumOps); ++op) {
+    const OpCost& cost = model.Get(Op(op));
+    EXPECT_GE(cost.instructions, 0) << "op " << op;
+    EXPECT_GE(cost.total_cycles(), 0) << "op " << op;
+  }
+  // Spot-check calibration anchors.
+  EXPECT_GT(model.Get(Op::kStateRmw).cycles[int(Category::kBackEndMemory)],
+            model.Get(Op::kStateRmw).cycles[int(Category::kFrontEnd)])
+      << "RMWs must be memory-bound";
+  EXPECT_GT(model.Get(Op::kPartitionSelect)
+                .cycles[int(Category::kFrontEnd)],
+            model.Get(Op::kPartitionSelect)
+                .cycles[int(Category::kBackEndMemory)])
+      << "partitioning must be front-end bound";
+  EXPECT_NEAR(model.Get(Op::kQueueSync).total_cycles(), 400, 50)
+      << "queue sync calibrated to ~400 cycles [Kalia NSDI'19]";
+}
+
+TEST(CpuContextTest, ChargeAccumulatesCountersAndPendingTime) {
+  sim::Simulator sim;
+  CpuContext cpu(&sim, &CostModel::Default(), /*ghz=*/2.0);
+  const OpCost& rmw = CostModel::Default().Get(Op::kStateRmw);
+  cpu.Charge(Op::kStateRmw, 10);
+  EXPECT_DOUBLE_EQ(cpu.counters().instructions, rmw.instructions * 10);
+  // 2 GHz: 1 cycle == 0.5 ns.
+  EXPECT_EQ(cpu.pending_nanos(),
+            Nanos(rmw.total_cycles() * 10 * 0.5));
+  EXPECT_EQ(cpu.counters().mem_bytes, uint64_t(rmw.mem_bytes * 10));
+}
+
+sim::Task ConsumePending(sim::Simulator* sim, CpuContext* cpu, Nanos* when) {
+  cpu->Charge(Op::kStateRmw, 100);
+  co_await cpu->Sync();
+  *when = sim->now();
+}
+
+TEST(CpuContextTest, SyncConvertsPendingCyclesToVirtualTime) {
+  sim::Simulator sim;
+  CpuContext cpu(&sim, &CostModel::Default(), 2.4);
+  Nanos when = -1;
+  sim.Spawn(ConsumePending(&sim, &cpu, &when));
+  sim.Run();
+  const double expected =
+      CostModel::Default().Get(Op::kStateRmw).total_cycles() * 100 / 2.4;
+  EXPECT_NEAR(double(when), expected, 2.0);
+  EXPECT_EQ(cpu.pending_nanos(), 0);
+}
+
+TEST(CpuContextTest, ChargeWaitCountsCyclesWithoutPendingTime) {
+  sim::Simulator sim;
+  CpuContext cpu(&sim, &CostModel::Default(), 2.4);
+  cpu.ChargeWait(1000, Category::kBackEndCore);
+  EXPECT_EQ(cpu.pending_nanos(), 0);  // the time already passed
+  EXPECT_NEAR(cpu.counters().cycles[int(Category::kBackEndCore)], 2400, 1);
+  EXPECT_GT(cpu.counters().instructions, 0);  // pause retires a trickle
+  cpu.ChargeWait(-5);                         // negative waits are ignored
+  EXPECT_NEAR(cpu.counters().cycles[int(Category::kBackEndCore)], 2400, 1);
+}
+
+TEST(CpuContextTest, ChargeBytesScalesPerByteOps) {
+  sim::Simulator sim;
+  CpuContext cpu(&sim, &CostModel::Default(), 2.4);
+  cpu.ChargeBytes(Op::kBufferCopyPerByte, 1000);
+  const OpCost& per_byte = CostModel::Default().Get(Op::kBufferCopyPerByte);
+  EXPECT_NEAR(cpu.counters().instructions, per_byte.instructions * 1000,
+              1e-9);
+}
+
+TEST(CpuContextTest, CustomModelOverridesCosts) {
+  std::array<OpCost, size_t(Op::kNumOps)> table = {};
+  table[size_t(Op::kHashCompute)] = OpCost{
+      .instructions = 1, .cycles = {1, 0, 0, 0, 0}};
+  const CostModel model(table);
+  sim::Simulator sim;
+  CpuContext cpu(&sim, &model, 1.0);
+  cpu.Charge(Op::kHashCompute);
+  cpu.Charge(Op::kStateRmw);  // zero in this table
+  EXPECT_DOUBLE_EQ(cpu.counters().instructions, 1);
+  EXPECT_EQ(cpu.pending_nanos(), 1);
+}
+
+}  // namespace
+}  // namespace slash::perf

@@ -1,0 +1,250 @@
+// Cross-module property sweeps (TEST_P): log-store wrap/resize/truncate
+// invariants under randomized operation sequences, socket flow-control
+// under window/message-size combinations, and zero-copy external posts
+// across credit configurations. These complement the per-module unit tests
+// with randomized, parameterized coverage of the invariants the protocols
+// rely on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <deque>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "channel/rdma_channel.h"
+#include "common/random.h"
+#include "rdma/socket_transport.h"
+#include "state/log_store.h"
+
+namespace slash {
+namespace {
+
+// --- LogStructuredStore randomized lifecycle --------------------------------
+
+using LssParam = std::tuple<int /*capacity_log2*/, int /*seed*/>;
+
+class LssLifecycleSweep : public ::testing::TestWithParam<LssParam> {};
+
+TEST_P(LssLifecycleSweep, RandomAppendTruncateScanNeverCorrupts) {
+  const auto [capacity_log2, seed] = GetParam();
+  state::LogStructuredStore lss(1ULL << capacity_log2);
+  Rng rng{uint64_t(seed)};
+
+  // Model of the live log: (address, key, value bytes).
+  struct Live {
+    uint64_t addr;
+    uint64_t key;
+    uint8_t fill;
+    uint32_t len;
+  };
+  std::deque<Live> live;
+  uint64_t next_key = 1;
+
+  for (int step = 0; step < 2000; ++step) {
+    const int action = int(rng.NextBounded(10));
+    if (action < 7) {
+      // Append an entry with a random payload size.
+      const uint32_t len = 8 + uint32_t(rng.NextBounded(120));
+      const uint64_t addr =
+          lss.Allocate(uint32_t(sizeof(state::EntryHeader)) + len);
+      auto* h = lss.HeaderAt(addr);
+      *h = state::EntryHeader{};
+      h->key = next_key;
+      h->value_len = len;
+      h->flags = state::kEntryAppend;
+      const uint8_t fill = uint8_t(next_key % 251);
+      std::memset(lss.At(addr) + sizeof(state::EntryHeader), fill, len);
+      live.push_back(Live{addr, next_key, fill, len});
+      ++next_key;
+    } else if (action < 9 && live.size() > 3) {
+      // Truncate a prefix of the log (epoch invalidation).
+      const size_t drop = 1 + rng.NextBounded(live.size() / 2);
+      for (size_t i = 0; i < drop; ++i) live.pop_front();
+      lss.TruncateTo(live.empty() ? lss.tail() : live.front().addr);
+    } else if (!live.empty()) {
+      // In-place update of the newest (mutable) entry.
+      Live& target = live.back();
+      if (lss.Mutable(target.addr)) {
+        target.fill = uint8_t(rng.NextBounded(251));
+        std::memset(lss.At(target.addr) + sizeof(state::EntryHeader),
+                    target.fill, target.len);
+      }
+    }
+
+    // Invariant: a full scan sees exactly the live entries, in order, with
+    // intact headers and payloads.
+    size_t idx = 0;
+    lss.ForEachEntry(lss.head(), lss.tail(),
+                     [&](uint64_t addr, const state::EntryHeader& h) {
+                       ASSERT_LT(idx, live.size());
+                       const Live& expected = live[idx];
+                       ASSERT_EQ(addr, expected.addr);
+                       ASSERT_EQ(h.key, expected.key);
+                       ASSERT_EQ(h.value_len, expected.len);
+                       const uint8_t* value =
+                           lss.At(addr) + sizeof(state::EntryHeader);
+                       for (uint32_t b = 0; b < h.value_len; ++b) {
+                         ASSERT_EQ(value[b], expected.fill)
+                             << "corrupt payload at step " << step;
+                       }
+                       ++idx;
+                     });
+    ASSERT_EQ(idx, live.size()) << "scan missed entries at step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lifecycles, LssLifecycleSweep,
+    ::testing::Combine(::testing::Values(10, 12, 16),  // 1 KiB .. 64 KiB
+                       ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<LssParam>& info) {
+      return "cap2e" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- Socket transport flow-control sweep -------------------------------------
+
+using SocketParam = std::tuple<int /*window_kib*/, int /*message_bytes*/,
+                               int /*messages*/>;
+
+class SocketFlowSweep : public ::testing::TestWithParam<SocketParam> {};
+
+sim::Task SendAll(rdma::SocketConnection* conn, int node,
+                  const std::vector<std::vector<uint8_t>>* messages,
+                  perf::CpuContext* cpu) {
+  for (const auto& m : *messages) {
+    co_await conn->Send(node, m.data(), m.size(), cpu);
+  }
+}
+
+sim::Task DrainAll(rdma::SocketConnection* conn, int node, size_t expect,
+                   std::vector<std::vector<uint8_t>>* received,
+                   perf::CpuContext* cpu) {
+  while (received->size() < expect) {
+    std::vector<uint8_t> m;
+    if (conn->TryReceive(node, &m, cpu)) {
+      received->push_back(std::move(m));
+    } else {
+      co_await conn->readable(node).Wait();
+    }
+  }
+}
+
+TEST_P(SocketFlowSweep, AllMessagesDeliveredInOrderUnderAnyWindow) {
+  const auto [window_kib, message_bytes, messages] = GetParam();
+  sim::Simulator sim;
+  rdma::FabricConfig fcfg;
+  fcfg.nodes = 2;
+  rdma::Fabric fabric(&sim, fcfg);
+  rdma::SocketConfig scfg;
+  scfg.window_bytes = uint64_t(window_kib) * kKiB;
+  rdma::SocketConnection conn(&fabric, 0, 1, scfg);
+  perf::CpuContext tx(&sim, &perf::CostModel::Default());
+  perf::CpuContext rx(&sim, &perf::CostModel::Default());
+
+  std::vector<std::vector<uint8_t>> sent;
+  Rng rng(7);
+  for (int i = 0; i < messages; ++i) {
+    std::vector<uint8_t> m(message_bytes);
+    for (auto& b : m) b = uint8_t(rng.NextBounded(256));
+    sent.push_back(std::move(m));
+  }
+  std::vector<std::vector<uint8_t>> received;
+  sim.Spawn(SendAll(&conn, 0, &sent, &tx));
+  sim.Spawn(DrainAll(&conn, 1, sent.size(), &received, &rx));
+  sim.Run();
+  ASSERT_EQ(sim.pending_tasks(), 0);
+  ASSERT_EQ(received.size(), sent.size());
+  for (size_t i = 0; i < sent.size(); ++i) {
+    ASSERT_EQ(received[i], sent[i]) << "message " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Windows, SocketFlowSweep,
+    ::testing::Combine(::testing::Values(1, 16, 4096),   // window KiB
+                       ::testing::Values(64, 900, 9000), // message bytes
+                       ::testing::Values(1, 40)),        // messages
+    [](const ::testing::TestParamInfo<SocketParam>& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "_m" +
+             std::to_string(std::get<1>(info.param)) + "_n" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// --- Zero-copy external posts across credit configurations -------------------
+
+using ExternalParam = std::tuple<int /*credits*/, int /*payloads*/>;
+
+class ExternalPostSweep : public ::testing::TestWithParam<ExternalParam> {};
+
+sim::Task ExternalProducer(channel::RdmaChannel* ch, rdma::MemoryRegion* lss,
+                           int count, perf::CpuContext* cpu) {
+  for (int i = 0; i < count; ++i) {
+    while (!ch->has_credit()) {
+      co_await ch->credit_event().Wait();
+    }
+    const uint64_t len = 100 + uint64_t(i % 400);
+    const uint64_t off = (uint64_t(i) * 512) % (lss->size() - 512);
+    std::memset(lss->data() + off, i % 251, len);
+    SLASH_CHECK(ch->PostExternal(rdma::MemorySpan{lss, off, len},
+                                 uint64_t(i), int64_t(i), cpu)
+                    .ok());
+    co_await cpu->Sync();
+  }
+}
+
+sim::Task ExternalConsumer(channel::RdmaChannel* ch, int count,
+                           std::vector<uint64_t>* tags,
+                           perf::CpuContext* cpu) {
+  for (int i = 0; i < count; ++i) {
+    channel::InboundBuffer buffer;
+    while (!ch->TryPoll(&buffer, cpu)) {
+      co_await ch->data_event().Wait();
+    }
+    EXPECT_EQ(buffer.payload_len, 100 + uint64_t(buffer.user_tag % 400));
+    bool intact = true;
+    for (uint64_t b = 0; b < buffer.payload_len; ++b) {
+      intact &= buffer.payload[b] == buffer.user_tag % 251;
+    }
+    EXPECT_TRUE(intact) << "payload " << buffer.user_tag;
+    tags->push_back(buffer.user_tag);
+    SLASH_CHECK(ch->Release(buffer, cpu).ok());
+    co_await cpu->Sync();
+  }
+}
+
+TEST_P(ExternalPostSweep, ZeroCopyPostsStayFifoAndIntact) {
+  const auto [credits, payloads] = GetParam();
+  sim::Simulator sim;
+  rdma::FabricConfig fcfg;
+  fcfg.nodes = 2;
+  rdma::Fabric fabric(&sim, fcfg);
+  channel::ChannelConfig ccfg;
+  ccfg.credits = uint32_t(credits);
+  ccfg.slot_bytes = 4 * kKiB;
+  auto ch = channel::RdmaChannel::Create(&fabric, 0, 1, ccfg);
+  rdma::MemoryRegion* lss = fabric.pd(0)->RegisterRegion(1 * kMiB);
+  perf::CpuContext tx(&sim, &perf::CostModel::Default());
+  perf::CpuContext rx(&sim, &perf::CostModel::Default());
+
+  std::vector<uint64_t> tags;
+  sim.Spawn(ExternalProducer(ch.get(), lss, payloads, &tx));
+  sim.Spawn(ExternalConsumer(ch.get(), payloads, &tags, &rx));
+  sim.Run();
+  ASSERT_EQ(sim.pending_tasks(), 0);
+  ASSERT_EQ(tags.size(), size_t(payloads));
+  for (int i = 0; i < payloads; ++i) ASSERT_EQ(tags[i], uint64_t(i));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Credits, ExternalPostSweep,
+    ::testing::Combine(::testing::Values(1, 3, 8, 32),
+                       ::testing::Values(5, 64)),
+    [](const ::testing::TestParamInfo<ExternalParam>& info) {
+      return "c" + std::to_string(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace slash

@@ -1,0 +1,357 @@
+// Unit tests for the simulated RDMA layer: memory registration, NIC timing
+// model, one-sided and two-sided verbs, completion semantics, error paths,
+// and the socket/IPoIB transport.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "perf/cost_model.h"
+#include "rdma/fabric.h"
+#include "rdma/socket_transport.h"
+#include "sim/simulator.h"
+
+namespace slash::rdma {
+namespace {
+
+FabricConfig TwoNodeConfig() {
+  FabricConfig cfg;
+  cfg.nodes = 2;
+  cfg.nic.bandwidth_bps = 10e9;     // 10 GB/s for round numbers
+  cfg.nic.wire_latency = 1000;      // 1 us
+  cfg.nic.per_message_overhead = 0; // exact arithmetic in tests
+  return cfg;
+}
+
+TEST(MemoryTest, RegisterAndFindByRkey) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, TwoNodeConfig());
+  MemoryRegion* mr = fabric.pd(0)->RegisterRegion(4096);
+  ASSERT_NE(mr, nullptr);
+  EXPECT_EQ(mr->size(), 4096u);
+  EXPECT_EQ(mr->node(), 0);
+  EXPECT_EQ(fabric.pd(0)->FindByRkey(mr->remote_key().rkey), mr);
+  EXPECT_EQ(fabric.pd(0)->FindByRkey(0xdeadbeef), nullptr);
+  EXPECT_EQ(fabric.pd(0)->registered_bytes(), 4096u);
+}
+
+TEST(MemoryTest, RegionsZeroInitialized) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, TwoNodeConfig());
+  MemoryRegion* mr = fabric.pd(0)->RegisterRegion(128);
+  for (size_t i = 0; i < 128; ++i) EXPECT_EQ(mr->data()[i], 0);
+}
+
+TEST(MemoryTest, SpanValidation) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, TwoNodeConfig());
+  MemoryRegion* mr = fabric.pd(0)->RegisterRegion(100);
+  EXPECT_TRUE((MemorySpan{mr, 0, 100}).valid());
+  EXPECT_TRUE((MemorySpan{mr, 50, 50}).valid());
+  EXPECT_FALSE((MemorySpan{mr, 50, 51}).valid());
+  EXPECT_FALSE((MemorySpan{nullptr, 0, 0}).valid());
+}
+
+TEST(NicTest, TransferDurationMatchesBandwidth) {
+  NicConfig cfg;
+  cfg.bandwidth_bps = 10e9;
+  cfg.per_message_overhead = 0;
+  Nic nic(0, cfg);
+  // 10 GB/s => 10 bytes per ns.
+  EXPECT_EQ(nic.TransferDuration(10000), 1000);
+}
+
+TEST(NicTest, TxSerializesBackToBack) {
+  NicConfig cfg;
+  cfg.bandwidth_bps = 10e9;
+  cfg.per_message_overhead = 0;
+  Nic nic(0, cfg);
+  EXPECT_EQ(nic.ReserveTx(0, 10000), 1000);
+  // Second message posted at t=0 starts after the first finishes.
+  EXPECT_EQ(nic.ReserveTx(0, 10000), 2000);
+  // A later post on an idle NIC starts at its post time.
+  EXPECT_EQ(nic.ReserveTx(10000, 10000), 11000);
+  EXPECT_EQ(nic.tx_bytes(), 30000u);
+  EXPECT_EQ(nic.tx_messages(), 3u);
+}
+
+TEST(NicTest, RxFanInPushesDeliveryBack) {
+  NicConfig cfg;
+  cfg.bandwidth_bps = 10e9;
+  cfg.per_message_overhead = 0;
+  Nic nic(0, cfg);
+  EXPECT_EQ(nic.ReserveRx(1000, 10000), 1000);
+  // Second arrival at the same time queues behind the first.
+  EXPECT_EQ(nic.ReserveRx(1000, 10000), 2000);
+}
+
+struct WriteResult {
+  bool remote_notified = false;
+  uint64_t notified_offset = 0;
+};
+
+TEST(QueuePairTest, OneSidedWriteMovesBytesAndSignals) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, TwoNodeConfig());
+  MemoryRegion* src = fabric.pd(0)->RegisterRegion(1024);
+  MemoryRegion* dst = fabric.pd(1)->RegisterRegion(1024);
+  QpPair qp = fabric.Connect(0, 1);
+
+  std::memcpy(src->data(), "hello rdma", 10);
+  WriteResult result;
+  dst->AddRemoteWriteListener([&](uint64_t off, uint64_t len) {
+    result.remote_notified = true;
+    result.notified_offset = off;
+    EXPECT_EQ(len, 10u);
+  });
+
+  ASSERT_TRUE(qp.first
+                  ->PostWrite(MemorySpan{src, 0, 10}, dst->remote_key(),
+                              /*remote_offset=*/100, /*wr_id=*/7,
+                              /*signaled=*/true)
+                  .ok());
+  sim.Run();
+  EXPECT_TRUE(result.remote_notified);
+  EXPECT_EQ(result.notified_offset, 100u);
+  EXPECT_EQ(std::memcmp(dst->data() + 100, "hello rdma", 10), 0);
+  Completion c;
+  EXPECT_TRUE(qp.first->send_cq().TryPoll(&c));
+  EXPECT_EQ(c.wr_id, 7u);
+  EXPECT_EQ(c.type, WorkType::kWrite);
+  EXPECT_EQ(c.byte_len, 10u);
+  // Timing: 10B at 10 GB/s = 1ns tx, +1us wire, ack +1us = completion at
+  // 2001ns, so the final sim time reflects the ack event.
+  EXPECT_EQ(sim.now(), 2001);
+}
+
+TEST(QueuePairTest, UnsignaledWriteProducesNoCompletion) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, TwoNodeConfig());
+  MemoryRegion* src = fabric.pd(0)->RegisterRegion(64);
+  MemoryRegion* dst = fabric.pd(1)->RegisterRegion(64);
+  QpPair qp = fabric.Connect(0, 1);
+  ASSERT_TRUE(qp.first
+                  ->PostWrite(MemorySpan{src, 0, 64}, dst->remote_key(), 0, 1,
+                              /*signaled=*/false)
+                  .ok());
+  sim.Run();
+  Completion c;
+  EXPECT_FALSE(qp.first->send_cq().TryPoll(&c));
+  EXPECT_EQ(qp.first->outstanding(), 0);
+}
+
+TEST(QueuePairTest, WriteWithImmediateDeliversRecvCompletion) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, TwoNodeConfig());
+  MemoryRegion* src = fabric.pd(0)->RegisterRegion(64);
+  MemoryRegion* dst = fabric.pd(1)->RegisterRegion(64);
+  QpPair qp = fabric.Connect(0, 1);
+  ASSERT_TRUE(qp.first
+                  ->PostWriteWithImm(MemorySpan{src, 0, 32},
+                                     dst->remote_key(), 0, 9,
+                                     /*signaled=*/false, /*immediate=*/1234)
+                  .ok());
+  sim.Run();
+  Completion c;
+  ASSERT_TRUE(qp.second->recv_cq().TryPoll(&c));
+  EXPECT_EQ(c.immediate, 1234u);
+  EXPECT_TRUE(c.has_immediate);
+  EXPECT_EQ(c.byte_len, 32u);
+}
+
+TEST(QueuePairTest, WritesCompleteInOrder) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, TwoNodeConfig());
+  MemoryRegion* src = fabric.pd(0)->RegisterRegion(100000);
+  MemoryRegion* dst = fabric.pd(1)->RegisterRegion(100000);
+  QpPair qp = fabric.Connect(0, 1);
+  // Post a large write then a small one; RC ordering demands the small one
+  // lands second.
+  std::vector<Nanos> landing;
+  dst->AddRemoteWriteListener(
+      [&](uint64_t off, uint64_t len) { landing.push_back(off); });
+  ASSERT_TRUE(qp.first
+                  ->PostWrite(MemorySpan{src, 0, 90000}, dst->remote_key(), 0,
+                              1, false)
+                  .ok());
+  ASSERT_TRUE(qp.first
+                  ->PostWrite(MemorySpan{src, 0, 10}, dst->remote_key(),
+                              90000, 2, false)
+                  .ok());
+  sim.Run();
+  ASSERT_EQ(landing.size(), 2u);
+  EXPECT_EQ(landing[0], 0u);
+  EXPECT_EQ(landing[1], 90000u);
+}
+
+TEST(QueuePairTest, ErrorPaths) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, TwoNodeConfig());
+  MemoryRegion* src = fabric.pd(0)->RegisterRegion(64);
+  MemoryRegion* dst = fabric.pd(1)->RegisterRegion(64);
+  QpPair qp = fabric.Connect(0, 1);
+  // Unknown rkey.
+  EXPECT_EQ(qp.first
+                ->PostWrite(MemorySpan{src, 0, 8}, RemoteKey{0xbad}, 0, 1,
+                            true)
+                .code(),
+            StatusCode::kNotFound);
+  // Remote out of bounds.
+  EXPECT_EQ(qp.first
+                ->PostWrite(MemorySpan{src, 0, 8}, dst->remote_key(), 60, 1,
+                            true)
+                .code(),
+            StatusCode::kOutOfRange);
+  // Local span invalid.
+  EXPECT_EQ(qp.first
+                ->PostWrite(MemorySpan{src, 60, 8}, dst->remote_key(), 0, 1,
+                            true)
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Wrong node's region as local buffer.
+  EXPECT_EQ(qp.first
+                ->PostWrite(MemorySpan{dst, 0, 8}, dst->remote_key(), 0, 1,
+                            true)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueuePairTest, ReadPullsBytesWithRoundTrip) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, TwoNodeConfig());
+  MemoryRegion* local = fabric.pd(0)->RegisterRegion(1024);
+  MemoryRegion* remote = fabric.pd(1)->RegisterRegion(1024);
+  QpPair qp = fabric.Connect(0, 1);
+  std::memcpy(remote->data() + 5, "payload", 7);
+  ASSERT_TRUE(
+      qp.first->PostRead(MemorySpan{local, 0, 7}, remote->remote_key(), 5, 3)
+          .ok());
+  sim.Run();
+  Completion c;
+  ASSERT_TRUE(qp.first->send_cq().TryPoll(&c));
+  EXPECT_EQ(c.type, WorkType::kRead);
+  EXPECT_EQ(std::memcmp(local->data(), "payload", 7), 0);
+  // Round trip: request 16B (~2ns) + 1us, then response 7B (~1ns) + 1us.
+  EXPECT_GT(sim.now(), 2000);
+}
+
+TEST(QueuePairTest, SendRecvMatchesPostedBuffers) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, TwoNodeConfig());
+  MemoryRegion* src = fabric.pd(0)->RegisterRegion(64);
+  MemoryRegion* dst = fabric.pd(1)->RegisterRegion(64);
+  QpPair qp = fabric.Connect(0, 1);
+
+  // Send without posted recv fails (RNR).
+  EXPECT_EQ(qp.first->PostSend(MemorySpan{src, 0, 8}, 1, true).code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(qp.second->PostRecv(MemorySpan{dst, 0, 32}, 42).ok());
+  EXPECT_EQ(qp.second->posted_recvs(), 1u);
+  std::memcpy(src->data(), "sendrecv", 8);
+  ASSERT_TRUE(qp.first->PostSend(MemorySpan{src, 0, 8}, 1, true).ok());
+  sim.Run();
+  Completion rc;
+  ASSERT_TRUE(qp.second->recv_cq().TryPoll(&rc));
+  EXPECT_EQ(rc.wr_id, 42u);
+  EXPECT_EQ(rc.byte_len, 8u);
+  EXPECT_EQ(std::memcmp(dst->data(), "sendrecv", 8), 0);
+  Completion sc;
+  ASSERT_TRUE(qp.first->send_cq().TryPoll(&sc));
+  EXPECT_EQ(sc.type, WorkType::kSend);
+  EXPECT_EQ(qp.second->posted_recvs(), 0u);
+}
+
+TEST(QueuePairTest, SendIntoTooSmallRecvFails) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, TwoNodeConfig());
+  MemoryRegion* src = fabric.pd(0)->RegisterRegion(64);
+  MemoryRegion* dst = fabric.pd(1)->RegisterRegion(64);
+  QpPair qp = fabric.Connect(0, 1);
+  ASSERT_TRUE(qp.second->PostRecv(MemorySpan{dst, 0, 4}, 42).ok());
+  EXPECT_EQ(qp.first->PostSend(MemorySpan{src, 0, 8}, 1, true).code(),
+            StatusCode::kInvalidArgument);
+}
+
+sim::Task SocketSender(SocketConnection* conn, int node,
+                       std::vector<uint8_t> msg, perf::CpuContext* cpu) {
+  co_await conn->Send(node, msg.data(), msg.size(), cpu);
+}
+
+TEST(SocketTransportTest, DeliversMessagesInOrder) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, TwoNodeConfig());
+  SocketConfig scfg;
+  SocketConnection conn(&fabric, 0, 1, scfg);
+  perf::CpuContext cpu(&sim, &perf::CostModel::Default());
+
+  sim.Spawn(SocketSender(&conn, 0, {1, 2, 3}, &cpu));
+  sim.Spawn(SocketSender(&conn, 0, {4, 5}, &cpu));
+  sim.Run();
+
+  std::vector<uint8_t> out;
+  perf::CpuContext rx_cpu(&sim, &perf::CostModel::Default());
+  ASSERT_TRUE(conn.TryReceive(1, &out, &rx_cpu));
+  EXPECT_EQ(out, (std::vector<uint8_t>{1, 2, 3}));
+  ASSERT_TRUE(conn.TryReceive(1, &out, &rx_cpu));
+  EXPECT_EQ(out, (std::vector<uint8_t>{4, 5}));
+  EXPECT_FALSE(conn.TryReceive(1, &out, &rx_cpu));
+  // Both sides paid CPU: syscalls on tx, interrupt+syscall on rx.
+  EXPECT_GT(cpu.counters().instructions, 0);
+  EXPECT_GT(rx_cpu.counters().instructions, 0);
+}
+
+TEST(SocketTransportTest, SlowerThanVerbsForSamePayload) {
+  sim::Simulator sim;
+  FabricConfig fcfg = TwoNodeConfig();
+  Fabric fabric(&sim, fcfg);
+  SocketConfig scfg;
+  SocketConnection conn(&fabric, 0, 1, scfg);
+  perf::CpuContext cpu(&sim, &perf::CostModel::Default());
+
+  const uint64_t payload = 1 * kMiB;
+  std::vector<uint8_t> msg(payload, 7);
+  sim.Spawn(SocketSender(&conn, 0, msg, &cpu));
+  const Nanos socket_done = sim.Run();
+
+  // Same payload over verbs on a fresh fabric.
+  sim::Simulator sim2;
+  Fabric fabric2(&sim2, fcfg);
+  MemoryRegion* src = fabric2.pd(0)->RegisterRegion(payload);
+  MemoryRegion* dst = fabric2.pd(1)->RegisterRegion(payload);
+  QpPair qp = fabric2.Connect(0, 1);
+  ASSERT_TRUE(qp.first
+                  ->PostWrite(MemorySpan{src, 0, payload}, dst->remote_key(),
+                              0, 1, true)
+                  .ok());
+  const Nanos verbs_done = sim2.Run();
+  EXPECT_GT(socket_done, 2 * verbs_done);
+}
+
+TEST(SocketTransportTest, WindowLimitsInFlight) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, TwoNodeConfig());
+  SocketConfig scfg;
+  scfg.window_bytes = 1024;
+  SocketConnection conn(&fabric, 0, 1, scfg);
+  perf::CpuContext cpu(&sim, &perf::CostModel::Default());
+  // Three 1000-byte messages: the second and third must wait for delivery of
+  // predecessors, so total time is at least 2x the single-message time.
+  std::vector<uint8_t> msg(1000, 1);
+  sim.Spawn(SocketSender(&conn, 0, msg, &cpu));
+  sim::Simulator single_sim;
+  Fabric single_fabric(&single_sim, TwoNodeConfig());
+  SocketConnection single_conn(&single_fabric, 0, 1, scfg);
+  perf::CpuContext single_cpu(&single_sim, &perf::CostModel::Default());
+  single_sim.Spawn(SocketSender(&single_conn, 0, msg, &single_cpu));
+  const Nanos one = single_sim.Run();
+
+  sim.Spawn(SocketSender(&conn, 0, msg, &cpu));
+  sim.Spawn(SocketSender(&conn, 0, msg, &cpu));
+  const Nanos three = sim.Run();
+  EXPECT_GT(three, 2 * one);
+  EXPECT_EQ(conn.pending_bytes(1), 3000u);
+}
+
+}  // namespace
+}  // namespace slash::rdma

@@ -1,0 +1,204 @@
+// Unit tests for the discrete-event simulation kernel: virtual clock,
+// event ordering, coroutine tasks, delays, yields, and events.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace slash::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(SimulatorTest, CallbacksRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, EqualTimesRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, CallbackMayScheduleMore) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1, [&] {
+    ++fired;
+    sim.ScheduleAt(2, [&] { ++fired; });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 2);
+}
+
+TEST(SimulatorTest, RunGuardsAgainstLivelock) {
+  Simulator sim;
+  std::function<void()> reschedule = [&] {
+    sim.ScheduleAt(sim.now() + 1, reschedule);
+  };
+  sim.ScheduleAt(0, reschedule);
+  EXPECT_DEATH(sim.Run(/*max_events=*/100), "max_events");
+}
+
+Task DelayTask(Simulator* sim, Nanos d, std::vector<Nanos>* log) {
+  co_await sim->Delay(d);
+  log->push_back(sim->now());
+}
+
+TEST(TaskTest, DelayAdvancesClock) {
+  Simulator sim;
+  std::vector<Nanos> log;
+  sim.Spawn(DelayTask(&sim, 100, &log));
+  sim.Run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 100);
+  EXPECT_EQ(sim.pending_tasks(), 0);
+}
+
+Task MultiDelay(Simulator* sim, std::vector<Nanos>* log) {
+  co_await sim->Delay(10);
+  log->push_back(sim->now());
+  co_await sim->Delay(20);
+  log->push_back(sim->now());
+  co_await sim->Delay(0);  // zero delay suspends but does not advance time
+  log->push_back(sim->now());
+}
+
+TEST(TaskTest, SequentialDelaysAccumulate) {
+  Simulator sim;
+  std::vector<Nanos> log;
+  sim.Spawn(MultiDelay(&sim, &log));
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<Nanos>{10, 30, 30}));
+}
+
+Task Child(Simulator* sim, std::vector<int>* log) {
+  co_await sim->Delay(5);
+  log->push_back(2);
+}
+
+Task Parent(Simulator* sim, std::vector<int>* log) {
+  log->push_back(1);
+  co_await Child(sim, log);
+  log->push_back(3);
+}
+
+TEST(TaskTest, AwaitingSubtaskResumesAfterCompletion) {
+  Simulator sim;
+  std::vector<int> log;
+  sim.Spawn(Parent(&sim, &log));
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 5);
+}
+
+Task Waiter(Simulator* sim, Event* ev, std::vector<Nanos>* log) {
+  co_await ev->Wait();
+  log->push_back(sim->now());
+}
+
+Task Notifier(Simulator* sim, Event* ev) {
+  co_await sim->Delay(50);
+  ev->Notify();
+}
+
+TEST(EventTest, NotifyWakesAllWaiters) {
+  Simulator sim;
+  Event ev(&sim);
+  std::vector<Nanos> log;
+  sim.Spawn(Waiter(&sim, &ev, &log));
+  sim.Spawn(Waiter(&sim, &ev, &log));
+  sim.Spawn(Notifier(&sim, &ev));
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<Nanos>{50, 50}));
+}
+
+TEST(EventTest, WaiterCountTracksParkedCoroutines) {
+  Simulator sim;
+  Event ev(&sim);
+  std::vector<Nanos> log;
+  sim.Spawn(Waiter(&sim, &ev, &log));
+  while (sim.Step()) {
+    if (ev.waiter_count() == 1) break;
+  }
+  EXPECT_EQ(ev.waiter_count(), 1u);
+  ev.Notify();
+  sim.Run();
+  EXPECT_EQ(ev.waiter_count(), 0u);
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(EventTest, DeadlockLeavesPendingTasks) {
+  Simulator sim;
+  Event ev(&sim);  // never notified
+  std::vector<Nanos> log;
+  sim.Spawn(Waiter(&sim, &ev, &log));
+  sim.Run();
+  EXPECT_EQ(sim.pending_tasks(), 1);
+  EXPECT_TRUE(log.empty());
+}
+
+Task YieldRecorder(Simulator* sim, std::vector<int>* log, int id) {
+  log->push_back(id);
+  co_await sim->Yield();
+  log->push_back(id + 10);
+}
+
+TEST(TaskTest, YieldInterleavesFairly) {
+  Simulator sim;
+  std::vector<int> log;
+  sim.Spawn(YieldRecorder(&sim, &log, 1));
+  sim.Spawn(YieldRecorder(&sim, &log, 2));
+  sim.Run();
+  // Both first halves run before either second half.
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 11, 12}));
+  EXPECT_EQ(sim.now(), 0);
+}
+
+Task Spawner(Simulator* sim, int depth, int* count) {
+  ++*count;
+  if (depth > 0) {
+    sim->Spawn(Spawner(sim, depth - 1, count));
+  }
+  co_return;
+}
+
+TEST(TaskTest, TasksMaySpawnTasks) {
+  Simulator sim;
+  int count = 0;
+  sim.Spawn(Spawner(&sim, 10, &count));
+  sim.Run();
+  EXPECT_EQ(count, 11);
+  EXPECT_EQ(sim.pending_tasks(), 0);
+}
+
+TEST(TaskTest, ManyConcurrentTasksComplete) {
+  Simulator sim;
+  std::vector<Nanos> log;
+  for (int i = 0; i < 1000; ++i) {
+    sim.Spawn(DelayTask(&sim, i % 97, &log));
+  }
+  sim.Run();
+  EXPECT_EQ(log.size(), 1000u);
+  EXPECT_EQ(sim.pending_tasks(), 0);
+}
+
+}  // namespace
+}  // namespace slash::sim

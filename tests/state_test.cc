@@ -1,0 +1,533 @@
+// Tests for the Slash State Backend storage layer: log-structured store
+// invariants (wrap, adaptive resize, read-only boundary, truncation), hash
+// index behaviour under collisions and real-thread concurrency, partition
+// RMW/append semantics, delta serialization round-trips, and the SSB
+// leader/helper epoch flow.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "state/hash_index.h"
+#include "state/log_store.h"
+#include "state/partition.h"
+#include "state/state_backend.h"
+
+namespace slash::state {
+namespace {
+
+// --- LogStructuredStore -----------------------------------------------------
+
+TEST(LogStoreTest, AllocateAdvancesTailAligned) {
+  LogStructuredStore lss(1024);
+  const uint64_t a = lss.Allocate(40);
+  const uint64_t b = lss.Allocate(1);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 64u);  // 40 -> 64 (32-byte alignment)
+  EXPECT_EQ(lss.tail(), 96u);
+  EXPECT_EQ(lss.live_bytes(), 96u);
+}
+
+TEST(LogStoreTest, EntriesNeverStraddleWrap) {
+  LogStructuredStore lss(256);
+  std::vector<uint64_t> addrs;
+  // 96-byte entries (32B header + 64B value): the third would straddle the
+  // 256-byte lap; truncation keeps the window small so no growth is needed.
+  for (int i = 0; i < 8; ++i) {
+    const uint64_t addr = lss.Allocate(96);
+    auto* h = lss.HeaderAt(addr);
+    *h = EntryHeader{};
+    h->key = uint64_t(i);
+    h->value_len = 64;
+    h->flags = kEntryAggregate;
+    addrs.push_back(addr);
+    // Physical contiguity inside the lap.
+    EXPECT_LE((addr % 256) + 96, 256u);
+    lss.TruncateTo(addr);  // keep only the newest entry live
+  }
+}
+
+TEST(LogStoreTest, ForEachEntrySkipsFillers) {
+  LogStructuredStore lss(256);
+  // Two 96-byte entries fill 192 of 256; the next allocation inserts a
+  // 64-byte filler and wraps (after truncation makes room).
+  std::vector<uint64_t> addrs;
+  for (int i = 0; i < 3; ++i) {
+    const uint64_t addr = lss.Allocate(96);
+    auto* h = lss.HeaderAt(addr);
+    *h = EntryHeader{};
+    h->key = 100 + uint64_t(i);
+    h->value_len = 64;
+    h->flags = kEntryAggregate;
+    addrs.push_back(addr);
+    if (i == 1) lss.TruncateTo(96);  // free the first entry before wrapping
+  }
+  std::vector<uint64_t> seen;
+  lss.ForEachEntry(lss.head(), lss.tail(),
+                   [&](uint64_t, const EntryHeader& h) {
+                     seen.push_back(h.key);
+                   });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{101, 102}));
+}
+
+TEST(LogStoreTest, AdaptiveResizePreservesContent) {
+  LogStructuredStore lss(256);
+  std::vector<uint64_t> addrs;
+  // Write 20 entries of 96 bytes; capacity must grow, content must survive.
+  for (int i = 0; i < 20; ++i) {
+    const uint64_t addr = lss.Allocate(96);
+    auto* h = lss.HeaderAt(addr);
+    *h = EntryHeader{};
+    h->key = uint64_t(i);
+    h->value_len = 64;
+    h->flags = kEntryAggregate;
+    std::memset(lss.At(addr) + sizeof(EntryHeader), i, 64);
+    addrs.push_back(addr);
+  }
+  EXPECT_GT(lss.resize_count(), 0u);
+  EXPECT_GE(lss.capacity(), 20u * 96);
+  for (int i = 0; i < 20; ++i) {
+    const auto* h = lss.HeaderAt(addrs[i]);
+    EXPECT_EQ(h->key, uint64_t(i));
+    const uint8_t* v = lss.At(addrs[i]) + sizeof(EntryHeader);
+    for (int b = 0; b < 64; ++b) EXPECT_EQ(v[b], uint8_t(i));
+  }
+}
+
+TEST(LogStoreTest, ReadOnlyBoundaryAndTruncate) {
+  LogStructuredStore lss(1024);
+  const uint64_t a = lss.Allocate(64);
+  const uint64_t b = lss.Allocate(64);
+  lss.MarkReadOnlyUpTo(lss.tail());
+  EXPECT_FALSE(lss.Mutable(a));
+  EXPECT_FALSE(lss.Mutable(b));
+  const uint64_t c = lss.Allocate(64);
+  EXPECT_TRUE(lss.Mutable(c));
+  lss.TruncateTo(c);
+  EXPECT_EQ(lss.head(), c);
+  EXPECT_EQ(lss.live_bytes(), 64u);
+}
+
+TEST(LogStoreTest, DeathOnOutOfRangeAccess) {
+  LogStructuredStore lss(1024);
+  lss.Allocate(64);
+  EXPECT_DEATH(lss.At(64), "outside live range");
+}
+
+// --- HashIndex ---------------------------------------------------------------
+
+TEST(HashIndexTest, InsertAndFind) {
+  HashIndex index(64);
+  const KeyHash h = HashKey(42);
+  EXPECT_EQ(index.Find(h), HashIndex::kInvalidAddress);
+  uint64_t observed;
+  EXPECT_TRUE(index.CompareExchangeHead(h, HashIndex::kInvalidAddress, 100,
+                                        &observed));
+  EXPECT_EQ(index.Find(h), 100u);
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(HashIndexTest, CasFailsOnStaleExpected) {
+  HashIndex index(64);
+  const KeyHash h = HashKey(42);
+  uint64_t observed;
+  ASSERT_TRUE(index.CompareExchangeHead(h, HashIndex::kInvalidAddress, 100,
+                                        &observed));
+  EXPECT_FALSE(index.CompareExchangeHead(h, HashIndex::kInvalidAddress, 200,
+                                         &observed));
+  EXPECT_EQ(observed, 100u);
+  EXPECT_TRUE(index.CompareExchangeHead(h, 100, 200, &observed));
+  EXPECT_EQ(index.Find(h), 200u);
+}
+
+// Keys whose (bucket, tag) collide share one chain head: inserts must use
+// the CAS loop, and Find returns the most recent head of the group.
+TEST(HashIndexTest, ManyKeysOverflowIntoChains) {
+  HashIndex index(4);  // tiny: forces overflow buckets
+  std::map<std::pair<uint64_t, uint16_t>, uint64_t> group_head;
+  for (uint64_t k = 0; k < 200; ++k) {
+    const KeyHash h = HashKey(k);
+    uint64_t expected = index.Find(h);
+    uint64_t observed;
+    while (!index.CompareExchangeHead(h, expected, k + 1, &observed)) {
+      expected = observed;
+    }
+    group_head[std::make_pair(h.bucket_hash & 3, h.tag)] = k + 1;
+  }
+  EXPECT_GT(index.overflow_count(), 0u);
+  for (uint64_t k = 0; k < 200; ++k) {
+    const KeyHash h = HashKey(k);
+    const uint64_t want = group_head[std::make_pair(h.bucket_hash & 3, h.tag)];
+    EXPECT_EQ(index.Find(h), want);
+  }
+  EXPECT_EQ(index.size(), group_head.size());
+  index.Clear();
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.Find(HashKey(3)), HashIndex::kInvalidAddress);
+}
+
+TEST(HashIndexTest, ConcurrentInsertsFromRealThreads) {
+  HashIndex index(1024);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kKeysPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&index, t] {
+      for (uint64_t i = 0; i < kKeysPerThread; ++i) {
+        const uint64_t key = uint64_t(t) * kKeysPerThread + i;
+        const KeyHash h = HashKey(key);
+        uint64_t expected = index.Find(h);
+        uint64_t observed;
+        while (!index.CompareExchangeHead(h, expected, key + 1, &observed)) {
+          expected = observed;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Each (bucket, tag) group's head must be one of the keys mapped to it.
+  std::map<std::pair<uint64_t, uint16_t>, std::set<uint64_t>> groups;
+  for (uint64_t key = 0; key < kThreads * kKeysPerThread; ++key) {
+    const KeyHash h = HashKey(key);
+    groups[std::make_pair(h.bucket_hash & 1023, h.tag)].insert(key + 1);
+  }
+  for (const auto& [group, members] : groups) {
+    const uint64_t found = index.Find(HashKey(*members.begin() - 1));
+    EXPECT_TRUE(members.count(found))
+        << "group head " << found << " not a member address";
+  }
+  EXPECT_EQ(index.size(), groups.size());
+}
+
+// --- Partition ----------------------------------------------------------------
+
+PartitionConfig SmallAggConfig() {
+  PartitionConfig cfg;
+  cfg.kind = StateKind::kAggregate;
+  cfg.lss_capacity = 1 << 12;
+  cfg.index_buckets = 64;
+  return cfg;
+}
+
+PartitionConfig SmallAppendConfig() {
+  PartitionConfig cfg;
+  cfg.kind = StateKind::kAppend;
+  cfg.lss_capacity = 1 << 12;
+  cfg.index_buckets = 64;
+  return cfg;
+}
+
+TEST(PartitionTest, AggregateRmwAccumulates) {
+  Partition p(0, SmallAggConfig());
+  p.UpdateAggregate({7, 0}, 10);
+  p.UpdateAggregate({7, 0}, 5);
+  p.UpdateAggregate({7, 1}, 100);  // different bucket: separate state
+  AggState s;
+  ASSERT_TRUE(p.LookupAggregate({7, 0}, &s));
+  EXPECT_EQ(s.sum, 15);
+  EXPECT_EQ(s.count, 2);
+  ASSERT_TRUE(p.LookupAggregate({7, 1}, &s));
+  EXPECT_EQ(s.sum, 100);
+  EXPECT_FALSE(p.LookupAggregate({8, 0}, &s));
+  EXPECT_EQ(p.entry_count(), 2u);
+}
+
+TEST(PartitionTest, AggregateMatchesSequentialOracle) {
+  Partition p(0, SmallAggConfig());
+  std::map<std::pair<uint64_t, int64_t>, AggState> oracle;
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t key = rng.NextBounded(37);
+    const int64_t bucket = int64_t(rng.NextBounded(4));
+    const int64_t value = int64_t(rng.NextBounded(100)) - 50;
+    p.UpdateAggregate({key, bucket}, value);
+    oracle[{key, bucket}].Apply(value);
+  }
+  for (const auto& [kb, expected] : oracle) {
+    AggState got;
+    ASSERT_TRUE(p.LookupAggregate({kb.first, kb.second}, &got));
+    EXPECT_EQ(got, expected) << "key " << kb.first << " bucket " << kb.second;
+  }
+}
+
+TEST(PartitionTest, ConcurrentRmwFromRealThreads) {
+  PartitionConfig cfg = SmallAggConfig();
+  cfg.index_buckets = 1024;
+  cfg.lss_capacity = 1 << 20;
+  Partition p(0, cfg);
+  constexpr int kThreads = 4;
+  constexpr int kUpdates = 20000;
+  constexpr uint64_t kKeys = 64;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&p, t] {
+      Rng rng(1000 + t);
+      for (int i = 0; i < kUpdates; ++i) {
+        p.UpdateAggregate({rng.NextBounded(kKeys), 0}, 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  int64_t total = 0;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    AggState s;
+    if (p.LookupAggregate({k, 0}, &s)) total += s.count;
+  }
+  EXPECT_EQ(total, int64_t(kThreads) * kUpdates);
+}
+
+TEST(PartitionTest, AppendAndCollect) {
+  Partition p(0, SmallAppendConfig());
+  const uint8_t a[] = {1, 2, 3};
+  const uint8_t b[] = {4, 5};
+  p.Append({9, 2}, 0, a, sizeof(a));
+  p.Append({9, 2}, 1, b, sizeof(b));
+  p.Append({9, 3}, 0, a, sizeof(a));  // other bucket
+  AppendSet set;
+  p.CollectAppends({9, 2}, &set);
+  ASSERT_EQ(set.size(), 2u);
+  AppendSet expected;
+  expected.Add(1, {4, 5});
+  expected.Add(0, {1, 2, 3});
+  EXPECT_TRUE(set.EquivalentTo(expected));
+}
+
+TEST(PartitionTest, TombstoneHidesTriggeredBuckets) {
+  Partition p(0, SmallAggConfig());
+  p.UpdateAggregate({1, 0}, 1);
+  p.UpdateAggregate({2, 1}, 1);
+  p.UpdateAggregate({3, 2}, 1);
+  EXPECT_EQ(p.TombstoneBucketsUpTo(1), 2u);
+  AggState s;
+  EXPECT_FALSE(p.LookupAggregate({1, 0}, &s));
+  EXPECT_FALSE(p.LookupAggregate({2, 1}, &s));
+  EXPECT_TRUE(p.LookupAggregate({3, 2}, &s));
+  int live = 0;
+  p.ForEachLive([&](const EntryHeader&, const uint8_t*) { ++live; });
+  EXPECT_EQ(live, 1);
+}
+
+TEST(PartitionTest, DeltaRoundTripAggregate) {
+  Partition helper(1, SmallAggConfig());
+  helper.UpdateAggregate({1, 0}, 10);
+  helper.UpdateAggregate({1, 0}, 20);
+  helper.UpdateAggregate({2, 0}, -5);
+
+  std::vector<uint8_t> wire;
+  EXPECT_EQ(helper.SerializeDelta(&wire), 2u);
+  helper.Reset();
+  EXPECT_EQ(helper.entry_count(), 0u);
+  AggState s;
+  EXPECT_FALSE(helper.LookupAggregate({1, 0}, &s));
+
+  Partition leader(1, SmallAggConfig());
+  leader.UpdateAggregate({1, 0}, 100);  // pre-existing primary state
+  ASSERT_TRUE(leader.MergeDelta(wire.data(), wire.size()).ok());
+  ASSERT_TRUE(leader.LookupAggregate({1, 0}, &s));
+  EXPECT_EQ(s.sum, 130);
+  EXPECT_EQ(s.count, 3);
+  ASSERT_TRUE(leader.LookupAggregate({2, 0}, &s));
+  EXPECT_EQ(s.sum, -5);
+}
+
+TEST(PartitionTest, DeltaRoundTripAppend) {
+  Partition helper(1, SmallAppendConfig());
+  const uint8_t a[] = {9, 9};
+  helper.Append({5, 1}, 0, a, sizeof(a));
+  helper.Append({5, 1}, 1, a, sizeof(a));
+  std::vector<uint8_t> wire;
+  EXPECT_EQ(helper.SerializeDelta(&wire), 2u);
+  helper.Reset();
+
+  Partition leader(1, SmallAppendConfig());
+  ASSERT_TRUE(leader.MergeDelta(wire.data(), wire.size()).ok());
+  AppendSet set;
+  leader.CollectAppends({5, 1}, &set);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(PartitionTest, MergeDeltaRejectsGarbage) {
+  Partition p(0, SmallAggConfig());
+  const uint8_t junk[] = {1, 2, 3};
+  EXPECT_FALSE(p.MergeDelta(junk, sizeof(junk)).ok());
+  // Kind mismatch: an append delta into aggregate state.
+  Partition append_src(0, SmallAppendConfig());
+  const uint8_t v[] = {1};
+  append_src.Append({1, 0}, 0, v, 1);
+  std::vector<uint8_t> wire;
+  append_src.SerializeDelta(&wire);
+  EXPECT_FALSE(p.MergeDelta(wire.data(), wire.size()).ok());
+}
+
+TEST(PartitionTest, RmwAfterResetRestartsFromZero) {
+  Partition p(0, SmallAggConfig());
+  p.UpdateAggregate({1, 0}, 42);
+  std::vector<uint8_t> wire;
+  p.SerializeDelta(&wire);
+  p.Reset();
+  p.UpdateAggregate({1, 0}, 1);
+  AggState s;
+  ASSERT_TRUE(p.LookupAggregate({1, 0}, &s));
+  EXPECT_EQ(s.sum, 1);  // restarted from the identity, not 43
+  EXPECT_EQ(s.count, 1);
+}
+
+TEST(PartitionTest, RmwOnReadOnlyRegionDies) {
+  Partition p(0, SmallAggConfig());
+  p.UpdateAggregate({1, 0}, 1);
+  std::vector<uint8_t> wire;
+  p.SerializeDelta(&wire);  // marks read-only, no Reset yet
+  EXPECT_DEATH(p.UpdateAggregate({1, 0}, 1), "read-only");
+}
+
+// --- StateBackend ---------------------------------------------------------------
+
+SsbConfig SmallSsbConfig(int nodes, StateKind kind = StateKind::kAggregate) {
+  SsbConfig cfg;
+  cfg.nodes = nodes;
+  cfg.kind = kind;
+  cfg.lss_capacity = 1 << 12;
+  cfg.index_buckets = 64;
+  cfg.epoch_bytes = 1000;
+  return cfg;
+}
+
+TEST(StateBackendTest, PartitionRoutingIsConsistentAcrossNodes) {
+  StateBackend a(0, SmallSsbConfig(4));
+  StateBackend b(3, SmallSsbConfig(4));
+  for (uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_EQ(a.partition_of(key), b.partition_of(key));
+    EXPECT_GE(a.partition_of(key), 0);
+    EXPECT_LT(a.partition_of(key), 4);
+  }
+}
+
+TEST(StateBackendTest, EpochAccounting) {
+  StateBackend ssb(0, SmallSsbConfig(2));
+  EXPECT_FALSE(ssb.EpochDue());
+  ssb.AccountProcessedBytes(999);
+  EXPECT_FALSE(ssb.EpochDue());
+  ssb.AccountProcessedBytes(1);
+  EXPECT_TRUE(ssb.EpochDue());
+  ssb.BeginEpoch();
+  EXPECT_FALSE(ssb.EpochDue());
+  EXPECT_EQ(ssb.local(1)->epoch(), 1u);
+  EXPECT_EQ(ssb.local(0)->epoch(), 0u);  // the primary's counter is remote-owned
+}
+
+TEST(StateBackendTest, HelperDrainLeaderMergeConverges) {
+  // Two nodes; both update the same keys; after draining helpers into
+  // leaders, each leader's primary holds exactly the global state of its
+  // partition (P2 at the partition level).
+  const int nodes = 2;
+  std::vector<std::unique_ptr<StateBackend>> ssb;
+  for (int n = 0; n < nodes; ++n) {
+    ssb.push_back(std::make_unique<StateBackend>(n, SmallSsbConfig(nodes)));
+  }
+  std::map<std::pair<uint64_t, int64_t>, AggState> oracle;
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const int node = int(rng.NextBounded(nodes));
+    const uint64_t key = rng.NextBounded(50);
+    const int64_t value = int64_t(rng.NextBounded(100));
+    ssb[node]->UpdateAggregate(key, 0, value);
+    oracle[{key, 0}].Apply(value);
+  }
+  // Epoch: each helper drains each remote partition to its leader.
+  for (int helper = 0; helper < nodes; ++helper) {
+    for (int p = 0; p < nodes; ++p) {
+      if (p == helper) continue;
+      std::vector<uint8_t> wire;
+      ssb[helper]->BeginEpoch();
+      ssb[helper]->DrainFragment(p, /*low_watermark=*/0, &wire);
+      DeltaEnvelope env;
+      ASSERT_TRUE(ssb[p]->MergeIntoPrimary(wire.data(), wire.size(), &env).ok());
+      EXPECT_EQ(env.helper_node, uint32_t(helper));
+      EXPECT_EQ(env.partition, uint32_t(p));
+    }
+  }
+  for (const auto& [kb, expected] : oracle) {
+    const int p = ssb[0]->partition_of(kb.first);
+    AggState got;
+    ASSERT_TRUE(ssb[p]->primary()->LookupAggregate(
+        {kb.first, kb.second}, &got))
+        << "key " << kb.first;
+    EXPECT_EQ(got, expected) << "key " << kb.first;
+  }
+}
+
+TEST(PartitionTest, SnapshotRestoreRoundTrip) {
+  Partition p(0, SmallAggConfig());
+  p.UpdateAggregate({1, 0}, 10);
+  p.UpdateAggregate({2, 3}, -4);
+  p.UpdateAggregate({1, 0}, 5);
+
+  std::vector<uint8_t> snapshot;
+  EXPECT_EQ(p.Snapshot(&snapshot), 2u);
+  // Snapshotting does not freeze the partition (unlike SerializeDelta).
+  p.UpdateAggregate({1, 0}, 100);
+
+  Partition restored(0, SmallAggConfig());
+  ASSERT_TRUE(restored.Restore(snapshot.data(), snapshot.size()).ok());
+  AggState s;
+  ASSERT_TRUE(restored.LookupAggregate({1, 0}, &s));
+  EXPECT_EQ(s.sum, 15);  // pre-snapshot state only
+  EXPECT_EQ(s.count, 2);
+  ASSERT_TRUE(restored.LookupAggregate({2, 3}, &s));
+  EXPECT_EQ(s.sum, -4);
+}
+
+TEST(PartitionTest, SnapshotSkipsTombstones) {
+  Partition p(0, SmallAggConfig());
+  p.UpdateAggregate({1, 0}, 1);
+  p.UpdateAggregate({2, 5}, 1);
+  p.TombstoneBucketsUpTo(0);
+  std::vector<uint8_t> snapshot;
+  EXPECT_EQ(p.Snapshot(&snapshot), 1u);
+  Partition restored(0, SmallAggConfig());
+  ASSERT_TRUE(restored.Restore(snapshot.data(), snapshot.size()).ok());
+  AggState s;
+  EXPECT_FALSE(restored.LookupAggregate({1, 0}, &s));
+  EXPECT_TRUE(restored.LookupAggregate({2, 5}, &s));
+}
+
+TEST(StateBackendTest, PrimaryCheckpointRoundTrip) {
+  StateBackend ssb(0, SmallSsbConfig(2));
+  // Keys owned by partition 0 land in the primary.
+  for (uint64_t key = 0; key < 200; ++key) {
+    if (ssb.partition_of(key) == 0) ssb.UpdateAggregate(key, 1, int64_t(key));
+  }
+  std::vector<uint8_t> checkpoint;
+  const size_t entries = ssb.SnapshotPrimary(&checkpoint);
+  EXPECT_GT(entries, 0u);
+
+  StateBackend recovered(0, SmallSsbConfig(2));
+  ASSERT_TRUE(
+      recovered.RestorePrimary(checkpoint.data(), checkpoint.size()).ok());
+  for (uint64_t key = 0; key < 200; ++key) {
+    if (ssb.partition_of(key) != 0) continue;
+    AggState a, b;
+    ASSERT_TRUE(ssb.primary()->LookupAggregate({key, 1}, &a));
+    ASSERT_TRUE(recovered.primary()->LookupAggregate({key, 1}, &b));
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(StateBackendTest, MergeRejectsWrongLeader) {
+  StateBackend helper(1, SmallSsbConfig(3));
+  StateBackend wrong_leader(2, SmallSsbConfig(3));
+  helper.UpdateAggregate(/*key=*/0, 0, 5);
+  // Drain partition 0's fragment but deliver it to node 2.
+  std::vector<uint8_t> wire;
+  helper.DrainFragment(0, 0, &wire);
+  EXPECT_FALSE(
+      wrong_leader.MergeIntoPrimary(wire.data(), wire.size(), nullptr).ok());
+  EXPECT_FALSE(wrong_leader.MergeIntoPrimary(wire.data(), 3, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace slash::state

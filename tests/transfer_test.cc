@@ -1,0 +1,128 @@
+// Tests for the drill-down transfer harness (bench_util): record
+// conservation, mode behaviour (direct vs partitioned vs pull),
+// determinism, and the qualitative properties the Fig. 8/9 experiments
+// rely on.
+#include <gtest/gtest.h>
+
+#include "bench_util/transfer.h"
+
+namespace slash::bench {
+namespace {
+
+TransferConfig SmallConfig() {
+  TransferConfig cfg;
+  cfg.producers = 2;
+  cfg.consumers = 4;
+  cfg.slot_bytes = 8 * kKiB;
+  cfg.records_per_producer = 20'000;
+  return cfg;
+}
+
+TEST(TransferTest, DirectModeDeliversEveryRecord) {
+  const TransferConfig cfg = SmallConfig();
+  const TransferResult result = RunTransfer(cfg);
+  EXPECT_EQ(result.records,
+            cfg.records_per_producer * uint64_t(cfg.producers));
+  EXPECT_EQ(result.payload_bytes, result.records * cfg.record_bytes);
+  EXPECT_GT(result.makespan, 0);
+  EXPECT_GT(result.goodput_gbps(), 0);
+}
+
+TEST(TransferTest, PartitionedModeDeliversEveryRecord) {
+  TransferConfig cfg = SmallConfig();
+  cfg.partitioned = true;
+  const TransferResult result = RunTransfer(cfg);
+  EXPECT_EQ(result.records,
+            cfg.records_per_producer * uint64_t(cfg.producers));
+}
+
+TEST(TransferTest, PullModeDeliversEveryRecord) {
+  TransferConfig cfg = SmallConfig();
+  cfg.pull = true;
+  cfg.consumers = 2;
+  const TransferResult result = RunTransfer(cfg);
+  EXPECT_EQ(result.records,
+            cfg.records_per_producer * uint64_t(cfg.producers));
+}
+
+TEST(TransferTest, DeterministicAcrossRuns) {
+  const TransferConfig cfg = SmallConfig();
+  const TransferResult a = RunTransfer(cfg);
+  const TransferResult b = RunTransfer(cfg);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+  EXPECT_EQ(a.records, b.records);
+}
+
+TEST(TransferTest, PartitioningCostsShowInSenderCounters) {
+  TransferConfig direct = SmallConfig();
+  TransferConfig partitioned = SmallConfig();
+  partitioned.partitioned = true;
+  const TransferResult d = RunTransfer(direct);
+  const TransferResult p = RunTransfer(partitioned);
+  // Fig. 9's headline: partitioning roughly doubles sender u-ops and adds
+  // front-end stalls the direct path does not have.
+  EXPECT_GT(p.sender.instructions, 1.5 * d.sender.instructions);
+  EXPECT_GT(p.sender.fraction(perf::Category::kFrontEnd),
+            d.sender.fraction(perf::Category::kFrontEnd) + 0.05);
+}
+
+TEST(TransferTest, PushFasterThanPull) {
+  TransferConfig push = SmallConfig();
+  push.consumers = 2;
+  TransferConfig pull = push;
+  pull.pull = true;
+  const TransferResult a = RunTransfer(push);
+  const TransferResult b = RunTransfer(pull);
+  EXPECT_GT(b.makespan, a.makespan);
+}
+
+TEST(TransferTest, MoreProducersMoreThroughputUntilLineRate) {
+  TransferConfig cfg = SmallConfig();
+  cfg.partitioned = true;  // sender-CPU-bound mode scales with threads
+  cfg.consumers = 10;
+  cfg.producers = 1;
+  const double one = RunTransfer(cfg).goodput_gbps();
+  cfg.producers = 4;
+  const double four = RunTransfer(cfg).goodput_gbps();
+  EXPECT_GT(four, 2.5 * one);
+  EXPECT_LT(four, 11.8);  // never exceeds the modeled line rate
+}
+
+TEST(TransferTest, BufferLatencyGrowsWithSlotSize) {
+  TransferConfig small = SmallConfig();
+  small.slot_bytes = 4 * kKiB;
+  TransferConfig large = SmallConfig();
+  large.slot_bytes = 256 * kKiB;
+  const TransferResult a = RunTransfer(small);
+  const TransferResult b = RunTransfer(large);
+  EXPECT_LT(a.buffer_latency.Percentile(50),
+            b.buffer_latency.Percentile(50));
+}
+
+TEST(TransferTest, WireVolumeAtLeastPayload) {
+  const TransferResult result = RunTransfer(SmallConfig());
+  EXPECT_GE(result.wire_bytes, result.payload_bytes);
+}
+
+TEST(TransferTest, SkewOnlyHurtsPartitionedMode) {
+  TransferConfig cfg = SmallConfig();
+  cfg.producers = 4;
+  cfg.consumers = 4;
+  cfg.records_per_producer = 40'000;
+
+  auto run_with = [&cfg](bool partitioned, double z) {
+    TransferConfig c = cfg;
+    c.partitioned = partitioned;
+    c.keys = z == 0.0 ? workloads::KeyDistribution::Uniform()
+                      : workloads::KeyDistribution::Zipf(z);
+    return RunTransfer(c).records_per_second();
+  };
+  const double direct_drop = run_with(false, 2.0) / run_with(false, 0.0);
+  const double part_drop = run_with(true, 2.0) / run_with(true, 0.0);
+  EXPECT_NEAR(direct_drop, 1.0, 0.01);  // direct transfer is data-agnostic
+  EXPECT_LT(part_drop, 0.9);            // hash fan-out concentrates load
+}
+
+}  // namespace
+}  // namespace slash::bench
