@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_epoch"
+  "../bench/ablation_epoch.pdb"
+  "CMakeFiles/ablation_epoch.dir/ablation_epoch.cc.o"
+  "CMakeFiles/ablation_epoch.dir/ablation_epoch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_execution"
+  "../bench/ablation_execution.pdb"
+  "CMakeFiles/ablation_execution.dir/ablation_execution.cc.o"
+  "CMakeFiles/ablation_execution.dir/ablation_execution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

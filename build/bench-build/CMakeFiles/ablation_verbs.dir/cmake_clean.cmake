@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_verbs"
+  "../bench/ablation_verbs.pdb"
+  "CMakeFiles/ablation_verbs.dir/ablation_verbs.cc.o"
+  "CMakeFiles/ablation_verbs.dir/ablation_verbs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_breakdown_ysb"
+  "../bench/fig10_breakdown_ysb.pdb"
+  "CMakeFiles/fig10_breakdown_ysb.dir/fig10_breakdown_ysb.cc.o"
+  "CMakeFiles/fig10_breakdown_ysb.dir/fig10_breakdown_ysb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_breakdown_ysb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

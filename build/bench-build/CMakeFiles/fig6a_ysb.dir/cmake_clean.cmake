@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6a_ysb"
+  "../bench/fig6a_ysb.pdb"
+  "CMakeFiles/fig6a_ysb.dir/fig6a_ysb.cc.o"
+  "CMakeFiles/fig6a_ysb.dir/fig6a_ysb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_ysb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

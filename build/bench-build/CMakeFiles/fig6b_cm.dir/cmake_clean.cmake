@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6b_cm"
+  "../bench/fig6b_cm.pdb"
+  "CMakeFiles/fig6b_cm.dir/fig6b_cm.cc.o"
+  "CMakeFiles/fig6b_cm.dir/fig6b_cm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_cm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

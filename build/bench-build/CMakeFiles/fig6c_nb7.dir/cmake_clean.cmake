@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6c_nb7"
+  "../bench/fig6c_nb7.pdb"
+  "CMakeFiles/fig6c_nb7.dir/fig6c_nb7.cc.o"
+  "CMakeFiles/fig6c_nb7.dir/fig6c_nb7.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_nb7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6c_nb7.
+# This may be replaced when dependencies are built.

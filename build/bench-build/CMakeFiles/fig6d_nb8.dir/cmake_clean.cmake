@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6d_nb8"
+  "../bench/fig6d_nb8.pdb"
+  "CMakeFiles/fig6d_nb8.dir/fig6d_nb8.cc.o"
+  "CMakeFiles/fig6d_nb8.dir/fig6d_nb8.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6d_nb8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

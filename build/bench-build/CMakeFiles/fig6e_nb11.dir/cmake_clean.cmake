@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6e_nb11"
+  "../bench/fig6e_nb11.pdb"
+  "CMakeFiles/fig6e_nb11.dir/fig6e_nb11.cc.o"
+  "CMakeFiles/fig6e_nb11.dir/fig6e_nb11.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6e_nb11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

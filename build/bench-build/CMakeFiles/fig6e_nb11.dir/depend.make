@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6e_nb11.
+# This may be replaced when dependencies are built.

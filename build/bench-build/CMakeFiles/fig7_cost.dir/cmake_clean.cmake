@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_cost"
+  "../bench/fig7_cost.pdb"
+  "CMakeFiles/fig7_cost.dir/fig7_cost.cc.o"
+  "CMakeFiles/fig7_cost.dir/fig7_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8a_buffer_throughput"
+  "../bench/fig8a_buffer_throughput.pdb"
+  "CMakeFiles/fig8a_buffer_throughput.dir/fig8a_buffer_throughput.cc.o"
+  "CMakeFiles/fig8a_buffer_throughput.dir/fig8a_buffer_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_buffer_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

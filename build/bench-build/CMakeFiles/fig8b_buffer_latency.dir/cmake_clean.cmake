@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8b_buffer_latency"
+  "../bench/fig8b_buffer_latency.pdb"
+  "CMakeFiles/fig8b_buffer_latency.dir/fig8b_buffer_latency.cc.o"
+  "CMakeFiles/fig8b_buffer_latency.dir/fig8b_buffer_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_buffer_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

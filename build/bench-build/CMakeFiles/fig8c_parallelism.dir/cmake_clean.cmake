@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8c_parallelism"
+  "../bench/fig8c_parallelism.pdb"
+  "CMakeFiles/fig8c_parallelism.dir/fig8c_parallelism.cc.o"
+  "CMakeFiles/fig8c_parallelism.dir/fig8c_parallelism.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8d_skew"
+  "../bench/fig8d_skew.pdb"
+  "CMakeFiles/fig8d_skew.dir/fig8d_skew.cc.o"
+  "CMakeFiles/fig8d_skew.dir/fig8d_skew.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8d_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

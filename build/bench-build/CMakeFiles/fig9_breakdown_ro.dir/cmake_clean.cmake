@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_breakdown_ro"
+  "../bench/fig9_breakdown_ro.pdb"
+  "CMakeFiles/fig9_breakdown_ro.dir/fig9_breakdown_ro.cc.o"
+  "CMakeFiles/fig9_breakdown_ro.dir/fig9_breakdown_ro.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_breakdown_ro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ingestion"
+  "../bench/ingestion.pdb"
+  "CMakeFiles/ingestion.dir/ingestion.cc.o"
+  "CMakeFiles/ingestion.dir/ingestion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

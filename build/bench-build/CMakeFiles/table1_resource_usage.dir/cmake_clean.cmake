@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_resource_usage"
+  "../bench/table1_resource_usage.pdb"
+  "CMakeFiles/table1_resource_usage.dir/table1_resource_usage.cc.o"
+  "CMakeFiles/table1_resource_usage.dir/table1_resource_usage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_resource_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

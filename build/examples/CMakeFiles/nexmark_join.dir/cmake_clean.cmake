@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexmark_join.dir/nexmark_join.cc.o"
+  "CMakeFiles/nexmark_join.dir/nexmark_join.cc.o.d"
+  "nexmark_join"
+  "nexmark_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexmark_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slash_cli.dir/slash_cli.cc.o"
+  "CMakeFiles/slash_cli.dir/slash_cli.cc.o.d"
+  "slash_cli"
+  "slash_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slash_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

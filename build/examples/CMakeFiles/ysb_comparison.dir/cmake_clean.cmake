@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ysb_comparison.dir/ysb_comparison.cc.o"
+  "CMakeFiles/ysb_comparison.dir/ysb_comparison.cc.o.d"
+  "ysb_comparison"
+  "ysb_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ysb_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

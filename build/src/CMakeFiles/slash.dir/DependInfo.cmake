@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_util/harness.cc" "src/CMakeFiles/slash.dir/bench_util/harness.cc.o" "gcc" "src/CMakeFiles/slash.dir/bench_util/harness.cc.o.d"
+  "/root/repo/src/bench_util/transfer.cc" "src/CMakeFiles/slash.dir/bench_util/transfer.cc.o" "gcc" "src/CMakeFiles/slash.dir/bench_util/transfer.cc.o.d"
+  "/root/repo/src/channel/rdma_channel.cc" "src/CMakeFiles/slash.dir/channel/rdma_channel.cc.o" "gcc" "src/CMakeFiles/slash.dir/channel/rdma_channel.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/slash.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/slash.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/slash.dir/common/random.cc.o" "gcc" "src/CMakeFiles/slash.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/slash.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/slash.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/slash.dir/common/status.cc.o" "gcc" "src/CMakeFiles/slash.dir/common/status.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/CMakeFiles/slash.dir/core/oracle.cc.o" "gcc" "src/CMakeFiles/slash.dir/core/oracle.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/slash.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/slash.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/record.cc" "src/CMakeFiles/slash.dir/core/record.cc.o" "gcc" "src/CMakeFiles/slash.dir/core/record.cc.o.d"
+  "/root/repo/src/core/result_sink.cc" "src/CMakeFiles/slash.dir/core/result_sink.cc.o" "gcc" "src/CMakeFiles/slash.dir/core/result_sink.cc.o.d"
+  "/root/repo/src/engines/engine.cc" "src/CMakeFiles/slash.dir/engines/engine.cc.o" "gcc" "src/CMakeFiles/slash.dir/engines/engine.cc.o.d"
+  "/root/repo/src/engines/flink_engine.cc" "src/CMakeFiles/slash.dir/engines/flink_engine.cc.o" "gcc" "src/CMakeFiles/slash.dir/engines/flink_engine.cc.o.d"
+  "/root/repo/src/engines/lightsaber_engine.cc" "src/CMakeFiles/slash.dir/engines/lightsaber_engine.cc.o" "gcc" "src/CMakeFiles/slash.dir/engines/lightsaber_engine.cc.o.d"
+  "/root/repo/src/engines/slash_engine.cc" "src/CMakeFiles/slash.dir/engines/slash_engine.cc.o" "gcc" "src/CMakeFiles/slash.dir/engines/slash_engine.cc.o.d"
+  "/root/repo/src/engines/uppar_engine.cc" "src/CMakeFiles/slash.dir/engines/uppar_engine.cc.o" "gcc" "src/CMakeFiles/slash.dir/engines/uppar_engine.cc.o.d"
+  "/root/repo/src/perf/cost_model.cc" "src/CMakeFiles/slash.dir/perf/cost_model.cc.o" "gcc" "src/CMakeFiles/slash.dir/perf/cost_model.cc.o.d"
+  "/root/repo/src/perf/counters.cc" "src/CMakeFiles/slash.dir/perf/counters.cc.o" "gcc" "src/CMakeFiles/slash.dir/perf/counters.cc.o.d"
+  "/root/repo/src/rdma/fabric.cc" "src/CMakeFiles/slash.dir/rdma/fabric.cc.o" "gcc" "src/CMakeFiles/slash.dir/rdma/fabric.cc.o.d"
+  "/root/repo/src/rdma/memory.cc" "src/CMakeFiles/slash.dir/rdma/memory.cc.o" "gcc" "src/CMakeFiles/slash.dir/rdma/memory.cc.o.d"
+  "/root/repo/src/rdma/nic.cc" "src/CMakeFiles/slash.dir/rdma/nic.cc.o" "gcc" "src/CMakeFiles/slash.dir/rdma/nic.cc.o.d"
+  "/root/repo/src/rdma/queue_pair.cc" "src/CMakeFiles/slash.dir/rdma/queue_pair.cc.o" "gcc" "src/CMakeFiles/slash.dir/rdma/queue_pair.cc.o.d"
+  "/root/repo/src/rdma/socket_transport.cc" "src/CMakeFiles/slash.dir/rdma/socket_transport.cc.o" "gcc" "src/CMakeFiles/slash.dir/rdma/socket_transport.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/slash.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/slash.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/state/crdt.cc" "src/CMakeFiles/slash.dir/state/crdt.cc.o" "gcc" "src/CMakeFiles/slash.dir/state/crdt.cc.o.d"
+  "/root/repo/src/state/hash_index.cc" "src/CMakeFiles/slash.dir/state/hash_index.cc.o" "gcc" "src/CMakeFiles/slash.dir/state/hash_index.cc.o.d"
+  "/root/repo/src/state/log_store.cc" "src/CMakeFiles/slash.dir/state/log_store.cc.o" "gcc" "src/CMakeFiles/slash.dir/state/log_store.cc.o.d"
+  "/root/repo/src/state/partition.cc" "src/CMakeFiles/slash.dir/state/partition.cc.o" "gcc" "src/CMakeFiles/slash.dir/state/partition.cc.o.d"
+  "/root/repo/src/state/state_backend.cc" "src/CMakeFiles/slash.dir/state/state_backend.cc.o" "gcc" "src/CMakeFiles/slash.dir/state/state_backend.cc.o.d"
+  "/root/repo/src/workloads/cluster_monitoring.cc" "src/CMakeFiles/slash.dir/workloads/cluster_monitoring.cc.o" "gcc" "src/CMakeFiles/slash.dir/workloads/cluster_monitoring.cc.o.d"
+  "/root/repo/src/workloads/distributions.cc" "src/CMakeFiles/slash.dir/workloads/distributions.cc.o" "gcc" "src/CMakeFiles/slash.dir/workloads/distributions.cc.o.d"
+  "/root/repo/src/workloads/nexmark.cc" "src/CMakeFiles/slash.dir/workloads/nexmark.cc.o" "gcc" "src/CMakeFiles/slash.dir/workloads/nexmark.cc.o.d"
+  "/root/repo/src/workloads/readonly.cc" "src/CMakeFiles/slash.dir/workloads/readonly.cc.o" "gcc" "src/CMakeFiles/slash.dir/workloads/readonly.cc.o.d"
+  "/root/repo/src/workloads/ysb.cc" "src/CMakeFiles/slash.dir/workloads/ysb.cc.o" "gcc" "src/CMakeFiles/slash.dir/workloads/ysb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

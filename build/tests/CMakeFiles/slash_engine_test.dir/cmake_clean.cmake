@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slash_engine_test.dir/slash_engine_test.cc.o"
+  "CMakeFiles/slash_engine_test.dir/slash_engine_test.cc.o.d"
+  "slash_engine_test"
+  "slash_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slash_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

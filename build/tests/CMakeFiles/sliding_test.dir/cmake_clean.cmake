@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliding_test.dir/sliding_test.cc.o"
+  "CMakeFiles/sliding_test.dir/sliding_test.cc.o.d"
+  "sliding_test"
+  "sliding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
