@@ -1,0 +1,22 @@
+# Helpers deduplicating the per-binary boilerplate shared by tests/ and
+# bench/: one executable per source file, linked against the slash library.
+
+# slash_add_test(<source.cc>): one gtest binary, registered with ctest.
+function(slash_add_test test_src)
+  get_filename_component(test_name ${test_src} NAME_WE)
+  add_executable(${test_name} ${test_src})
+  target_link_libraries(${test_name}
+    PRIVATE slash GTest::gtest GTest::gtest_main)
+  add_test(NAME ${test_name} COMMAND ${test_name})
+endfunction()
+
+# slash_add_bench(<source.cc>): one benchmark binary under build/bench/.
+function(slash_add_bench bench_src)
+  get_filename_component(bench_name ${bench_src} NAME_WE)
+  add_executable(${bench_name} ${bench_src})
+  target_link_libraries(${bench_name} PRIVATE slash benchmark::benchmark)
+  # Keep ${CMAKE_BINARY_DIR}/bench free of CMake metadata so
+  # `for b in build/bench/*; do $b; done` runs exactly the bench binaries.
+  set_target_properties(${bench_name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()

@@ -52,6 +52,7 @@ std::unique_ptr<RdmaChannel> RdmaChannel::Create(rdma::Fabric* fabric,
   rdma::QpPair qp = fabric->Connect(producer_node, consumer_node);
   channel->producer_qp_ = qp.first;
   channel->consumer_qp_ = qp.second;
+  channel->external_spans_.assign(config.credits, rdma::MemorySpan{});
 
   RdmaChannel* ch = channel.get();
   channel->queue_->AddRemoteWriteListener([ch](uint64_t, uint64_t) {
@@ -62,6 +63,13 @@ std::unique_ptr<RdmaChannel> RdmaChannel::Create(rdma::Fabric* fabric,
     ch->credit_event_.Notify();
     for (sim::Event* observer : ch->credit_observers_) observer->Notify();
   });
+  // Both QPs are channel-private, so every completion on their send CQs
+  // belongs to the retry machinery (channel writes are unsignaled: the only
+  // completions are error reports and acks of retried transfers).
+  channel->producer_qp_->send_cq().SetInterceptor(
+      [ch](const rdma::Completion& c) { return ch->OnProducerCompletion(c); });
+  channel->consumer_qp_->send_cq().SetInterceptor(
+      [ch](const rdma::Completion& c) { return ch->OnConsumerCompletion(c); });
   return channel;
 }
 
@@ -76,6 +84,10 @@ bool RdmaChannel::has_credit() const {
 }
 
 bool RdmaChannel::TryAcquire(SlotRef* out, perf::CpuContext* cpu) {
+  if (broken_) {
+    cpu->Charge(perf::Op::kPollPause);
+    return false;
+  }
   if (!has_credit()) {
     // Empty credit check: one pause-loop iteration on the producer.
     cpu->Charge(perf::Op::kPollPause);
@@ -93,6 +105,10 @@ bool RdmaChannel::TryAcquire(SlotRef* out, perf::CpuContext* cpu) {
 Status RdmaChannel::Post(const SlotRef& slot, uint64_t payload_len,
                          uint64_t user_tag, int64_t watermark,
                          perf::CpuContext* cpu) {
+  if (broken_) {
+    return Status::Unavailable("channel closed: " +
+                               std::string(channel_status_.message()));
+  }
   if (payload_len > payload_capacity()) {
     return Status::InvalidArgument("payload exceeds slot capacity");
   }
@@ -112,18 +128,23 @@ Status RdmaChannel::Post(const SlotRef& slot, uint64_t payload_len,
 
   // One RDMA WRITE of the whole fixed-size slot (flat layout: payload and
   // footer move in a single request). Unsignaled: credit return already
-  // proves completion, so no sender CQE is needed (selective signaling).
+  // proves completion, so no sender CQE is needed (selective signaling) —
+  // error completions still surface and drive the retry machinery.
   cpu->Charge(perf::Op::kRdmaPost);
   ++sent_count_;
   return producer_qp_->PostWrite(
       rdma::MemorySpan{staging_, SlotOffset(slot.slot_index),
                        config_.slot_bytes},
       queue_->remote_key(), SlotOffset(slot.slot_index),
-      /*wr_id=*/sent_count_, /*signaled=*/false);
+      MakeWrId(sent_count_, kWrSlot), /*signaled=*/false);
 }
 
 Status RdmaChannel::PostExternal(rdma::MemorySpan payload, uint64_t user_tag,
                                  int64_t watermark, perf::CpuContext* cpu) {
+  if (broken_) {
+    return Status::Unavailable("channel closed: " +
+                               std::string(channel_status_.message()));
+  }
   if (!has_credit()) {
     return Status::FailedPrecondition("no credit available");
   }
@@ -140,20 +161,20 @@ Status RdmaChannel::PostExternal(rdma::MemorySpan payload, uint64_t user_tag,
   footer.watermark = watermark;
   footer.send_time = sim_->now();
   // The footer still goes through a (tiny) staging slot; the payload ships
-  // zero-copy from the external region (the LSS). Two writes on one RC QP
-  // stay ordered, so the footer is visible only after the payload.
+  // zero-copy from the external region (the LSS). The payload write is
+  // signaled and the footer is posted only once the payload completes: a
+  // dropped-and-retried payload must never race a footer that already
+  // landed, or the consumer would read a valid footer over garbage bytes.
   WriteFooter(staging_->data() + FooterOffset(slot), footer);
+  external_spans_[slot] = payload;
 
   cpu->Charge(perf::Op::kRdmaPost, 2);
   ++acquired_count_;
   ++sent_count_;
-  SLASH_RETURN_IF_ERROR(producer_qp_->PostWrite(
-      payload, queue_->remote_key(), SlotOffset(slot), sent_count_,
-      /*signaled=*/false));
-  return producer_qp_->PostWrite(
-      rdma::MemorySpan{staging_, FooterOffset(slot), kFooterBytes},
-      queue_->remote_key(), FooterOffset(slot), sent_count_,
-      /*signaled=*/false);
+  return producer_qp_->PostWrite(payload, queue_->remote_key(),
+                                 SlotOffset(slot),
+                                 MakeWrId(sent_count_, kWrExtPayload),
+                                 /*signaled=*/true);
 }
 
 bool RdmaChannel::TryPoll(InboundBuffer* out, perf::CpuContext* cpu) {
@@ -178,6 +199,7 @@ bool RdmaChannel::TryPoll(InboundBuffer* out, perf::CpuContext* cpu) {
 
 Status RdmaChannel::Release(const InboundBuffer& buffer,
                             perf::CpuContext* cpu) {
+  if (broken_) return Status::OK();  // credits are moot on a dead channel
   const uint32_t expected_slot =
       static_cast<uint32_t>(released_count_ % config_.credits);
   if (buffer.slot_index != expected_slot) {
@@ -185,13 +207,130 @@ Status RdmaChannel::Release(const InboundBuffer& buffer,
   }
   ++released_count_;
   // Publish the cumulative release count into the producer's credit
-  // counter: one header-only RDMA WRITE, idempotent and coalescing.
+  // counter: one header-only RDMA WRITE, idempotent and coalescing (a
+  // retried credit write simply re-publishes the latest count).
   std::memcpy(credit_src_->data(), &released_count_, 8);
   cpu->Charge(perf::Op::kCreditUpdate);
   return consumer_qp_->PostWrite(rdma::MemorySpan{credit_src_, 0, 8},
                                  credit_mr_->remote_key(), /*remote_offset=*/0,
-                                 /*wr_id=*/released_count_,
+                                 MakeWrId(released_count_, kWrCredit),
                                  /*signaled=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Fault handling: bounded retry with exponential backoff in virtual time
+// ---------------------------------------------------------------------------
+
+bool RdmaChannel::OnProducerCompletion(const rdma::Completion& c) {
+  if (c.ok()) {
+    const WrKind kind = static_cast<WrKind>(c.wr_id % 4);
+    if (kind == kWrExtPayload) PostExternalFooter(c.wr_id / 4);
+    retry_attempts_.erase(c.wr_id);
+    return true;
+  }
+  if (broken_) return true;  // already closed: swallow the flush storm
+  const uint32_t attempts = ++retry_attempts_[c.wr_id];
+  if (attempts > config_.max_retries) {
+    CloseChannel(Status::Unavailable(
+        "channel retry budget exhausted: " +
+        std::string(rdma::WcStatusName(c.status))));
+    return true;
+  }
+  ++retries_;
+  const Nanos backoff = config_.retry_backoff_base
+                        << (attempts > 1 ? attempts - 1 : 0);
+  const uint64_t wr_id = c.wr_id;
+  sim_->ScheduleAt(sim_->now() + backoff, [this, wr_id] { RetryPost(wr_id); });
+  return true;
+}
+
+bool RdmaChannel::OnConsumerCompletion(const rdma::Completion& c) {
+  if (c.ok()) {
+    credit_attempts_ = 0;
+    credit_retry_pending_ = false;
+    return true;
+  }
+  if (broken_) return true;
+  if (credit_retry_pending_) return true;  // one retry in flight is enough
+  const uint32_t attempts = ++credit_attempts_;
+  if (attempts > config_.max_retries) {
+    CloseChannel(Status::Unavailable(
+        "credit-return retry budget exhausted: " +
+        std::string(rdma::WcStatusName(c.status))));
+    return true;
+  }
+  ++retries_;
+  credit_retry_pending_ = true;
+  const Nanos backoff = config_.retry_backoff_base
+                        << (attempts > 1 ? attempts - 1 : 0);
+  sim_->ScheduleAt(sim_->now() + backoff, [this] { RetryCreditWrite(); });
+  return true;
+}
+
+void RdmaChannel::RetryPost(uint64_t wr_id) {
+  if (broken_) return;
+  const WrKind kind = static_cast<WrKind>(wr_id % 4);
+  const uint64_t msg = wr_id / 4;
+  const uint32_t slot = static_cast<uint32_t>((msg - 1) % config_.credits);
+  // The staging/external bytes for `msg` are intact: slots are not reused
+  // until the consumer releases them, and the consumer polls in order, so a
+  // lost message blocks release of its own slot.
+  Status status;
+  switch (kind) {
+    case kWrSlot:
+      status = producer_qp_->PostWrite(
+          rdma::MemorySpan{staging_, SlotOffset(slot), config_.slot_bytes},
+          queue_->remote_key(), SlotOffset(slot), wr_id, /*signaled=*/true);
+      break;
+    case kWrExtPayload:
+      status = producer_qp_->PostWrite(
+          external_spans_[slot], queue_->remote_key(), SlotOffset(slot), wr_id,
+          /*signaled=*/true);
+      break;
+    case kWrExtFooter:
+      status = producer_qp_->PostWrite(
+          rdma::MemorySpan{staging_, FooterOffset(slot), kFooterBytes},
+          queue_->remote_key(), FooterOffset(slot), wr_id, /*signaled=*/true);
+      break;
+    default:
+      SLASH_CHECK(false);
+  }
+  if (!status.ok()) CloseChannel(status);
+}
+
+void RdmaChannel::RetryCreditWrite() {
+  credit_retry_pending_ = false;
+  if (broken_) return;
+  // Cumulative counter: just re-publish the latest value.
+  std::memcpy(credit_src_->data(), &released_count_, 8);
+  Status status = consumer_qp_->PostWrite(
+      rdma::MemorySpan{credit_src_, 0, 8}, credit_mr_->remote_key(),
+      /*remote_offset=*/0, MakeWrId(released_count_, kWrCredit),
+      /*signaled=*/true);
+  if (!status.ok()) CloseChannel(status);
+}
+
+void RdmaChannel::PostExternalFooter(uint64_t msg) {
+  if (broken_) return;
+  const uint32_t slot = static_cast<uint32_t>((msg - 1) % config_.credits);
+  Status status = producer_qp_->PostWrite(
+      rdma::MemorySpan{staging_, FooterOffset(slot), kFooterBytes},
+      queue_->remote_key(), FooterOffset(slot), MakeWrId(msg, kWrExtFooter),
+      /*signaled=*/false);
+  if (!status.ok()) CloseChannel(status);
+}
+
+void RdmaChannel::CloseChannel(const Status& status) {
+  if (broken_) return;
+  broken_ = true;
+  channel_status_ = status;
+  // Wake every parked producer/consumer so it can observe broken() and
+  // unwind instead of sleeping forever on a channel that will never move.
+  credit_event_.Notify();
+  data_event_.Notify();
+  for (sim::Event* observer : data_observers_) observer->Notify();
+  for (sim::Event* observer : credit_observers_) observer->Notify();
+  if (close_handler_) close_handler_(status);
 }
 
 // ---------------------------------------------------------------------------
@@ -284,6 +423,7 @@ sim::Task PullChannel::Pull(PullResult* result, perf::CpuContext* cpu) {
     cpu->ChargeWait(sim_->now() - wait_start);
   }
   cpu->Charge(perf::Op::kCqPoll);
+  if (!c.ok()) co_return;  // failed READ: not ready, caller decides
   const SlotFooter footer =
       ReadFooter(read_buffer_->data() + config_.slot_bytes - kFooterBytes);
   const uint32_t expected_seq =

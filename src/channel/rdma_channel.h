@@ -29,10 +29,24 @@
 // number of released buffers into a small counter region on the producer,
 // which computes available credits as `c - (sent - released)`. A cumulative
 // ack is idempotent and naturally coalesces.
+//
+// Fault tolerance: all channel writes are unsignaled, but error completions
+// are always delivered (RC semantics), so a lost or flushed transfer
+// surfaces on the owning QP's send CQ. The channel intercepts those
+// completions and transparently re-posts the transfer with exponential
+// backoff in virtual time (slots are never reused before their credit
+// returns, so the bytes are still intact; cumulative credit writes are
+// idempotent). After ChannelConfig::max_retries consecutive failures of one
+// transfer the channel closes cleanly: posts return kUnavailable, both
+// sides' events fire, and the close handler reports the terminal Status.
+// Everything is scheduled on the DES clock, so recovery behavior replays
+// deterministically under a fixed sim::FaultPlan.
 #ifndef SLASH_CHANNEL_RDMA_CHANNEL_H_
 #define SLASH_CHANNEL_RDMA_CHANNEL_H_
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -49,6 +63,15 @@ namespace slash::channel {
 struct ChannelConfig {
   uint32_t credits = 8;
   uint64_t slot_bytes = 64 * kKiB;  // includes the footer
+
+  /// Fault recovery: how many times a failed transfer (error completion
+  /// from the QP) is re-posted before the channel is declared broken and
+  /// closed. Retries back off exponentially in virtual time:
+  /// retry_backoff_base, 2x, 4x, ... per attempt. Retry is transparent —
+  /// slots are re-posted from the producer staging queue, which is never
+  /// reused before its credit returns, so payloads are still intact.
+  uint32_t max_retries = 10;
+  Nanos retry_backoff_base = 8 * kMicrosecond;
 };
 
 /// Slot footer, stored in the last kFooterBytes of every slot and written
@@ -147,6 +170,34 @@ class RdmaChannel {
   /// Messages posted so far.
   uint64_t sent_count() const { return sent_count_; }
 
+  // --- Fault handling ------------------------------------------------------
+
+  /// True once the channel has been closed by the retry machinery: a
+  /// transfer failed more than max_retries times (dead link / unrecovered
+  /// QP). A broken channel rejects new posts with kUnavailable, stops
+  /// retrying, and has notified both sides' events plus the close handler.
+  bool broken() const { return broken_; }
+
+  /// OK while healthy; the terminal error after close.
+  const Status& channel_status() const { return channel_status_; }
+
+  /// Registers a callback invoked exactly once if the channel closes
+  /// permanently. Engines use it to fail the run gracefully (abort with a
+  /// Status instead of deadlocking or CHECK-crashing).
+  void SetCloseHandler(std::function<void(const Status&)> handler) {
+    close_handler_ = std::move(handler);
+  }
+
+  /// Transfers re-posted after an error completion (transparent recovery).
+  uint64_t retries() const { return retries_; }
+
+  /// Credits currently held by the producer side: acquired slots whose
+  /// release has not yet become visible. Zero after a fully drained run —
+  /// the endurance tests assert this to prove no credit leaks under faults.
+  uint64_t credits_outstanding() const {
+    return acquired_count_ - released_acked();
+  }
+
   // --- Consumer side -------------------------------------------------------
 
   /// Polls the next expected slot's footer. On success fills `out` (which
@@ -181,6 +232,38 @@ class RdmaChannel {
   }
   uint64_t released_acked() const;  // producer-visible cumulative releases
 
+  // Work-request id encoding: wr_id = message_number * 4 + kind. The kind
+  // tells the retry machinery what to re-post when a completion comes back
+  // with an error status; the message number locates the slot (and hence
+  // the still-intact bytes) in the staging queue.
+  enum WrKind : uint64_t {
+    kWrSlot = 0,        // Post(): one write of the whole slot
+    kWrExtPayload = 1,  // PostExternal(): zero-copy payload write
+    kWrExtFooter = 2,   // PostExternal(): footer write (after payload ack)
+    kWrCredit = 3,      // Release(): cumulative credit-counter write
+  };
+  static uint64_t MakeWrId(uint64_t msg, WrKind kind) {
+    return msg * 4 + kind;
+  }
+
+  // Interceptors installed on the two send CQs (every WR on those QPs is
+  // channel-internal, so they consume all completions).
+  bool OnProducerCompletion(const rdma::Completion& c);
+  bool OnConsumerCompletion(const rdma::Completion& c);
+
+  // Re-posts the transfer identified by `wr_id` (scheduled after backoff).
+  void RetryPost(uint64_t wr_id);
+  // Re-posts the latest cumulative credit count (idempotent).
+  void RetryCreditWrite();
+  // Posts the deferred footer of external message `msg` (after its payload
+  // was acked; keeps the footer-last guarantee even when transfers can be
+  // lost and re-sent out of order).
+  void PostExternalFooter(uint64_t msg);
+
+  // Declares the channel permanently broken: wakes both sides, then fires
+  // the close handler.
+  void CloseChannel(const Status& cause);
+
   rdma::Fabric* fabric_;
   sim::Simulator* sim_;
   int producer_node_;
@@ -195,6 +278,18 @@ class RdmaChannel {
   uint64_t acquired_count_ = 0;
   sim::Event credit_event_;
   std::vector<sim::Event*> credit_observers_;
+  // Zero-copy payload spans of in-flight external messages, indexed by
+  // slot; valid until the slot's credit returns (needed for retries).
+  std::vector<rdma::MemorySpan> external_spans_;
+
+  // Fault-recovery state.
+  bool broken_ = false;
+  Status channel_status_;
+  std::function<void(const Status&)> close_handler_;
+  std::map<uint64_t, uint32_t> retry_attempts_;  // wr_id -> failures so far
+  uint32_t credit_attempts_ = 0;
+  bool credit_retry_pending_ = false;
+  uint64_t retries_ = 0;
 
   // Consumer-side state.
   rdma::MemoryRegion* queue_ = nullptr;      // consumer circular queue

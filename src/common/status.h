@@ -27,6 +27,7 @@ enum class StatusCode : uint8_t {
   kAborted = 7,
   kInternal = 8,
   kUnimplemented = 9,
+  kUnavailable = 10,
 };
 
 /// Returns a stable lower-case name for `code` (e.g. "invalid_argument").
@@ -79,9 +80,21 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return rep_ == nullptr; }
+
+  /// True for transient failures a caller may retry (possibly after a
+  /// backoff): the operation did not happen, but an identical attempt later
+  /// can succeed. kUnavailable = resource temporarily down (QP in error,
+  /// link flapping); kAborted = operation cancelled mid-way (epoch rollback).
+  bool IsRetryable() const {
+    return code() == StatusCode::kUnavailable ||
+           code() == StatusCode::kAborted;
+  }
 
   /// The status code; kOk for success.
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }

@@ -23,6 +23,7 @@
 
 #include "channel/rdma_channel.h"
 #include "common/stats.h"
+#include "common/status.h"
 #include "common/units.h"
 #include "core/pipeline.h"
 #include "core/query.h"
@@ -30,6 +31,7 @@
 #include "perf/cost_model.h"
 #include "rdma/fabric.h"
 #include "rdma/socket_transport.h"
+#include "sim/fault.h"
 #include "workloads/workload.h"
 
 namespace slash::engines {
@@ -77,6 +79,13 @@ struct ClusterConfig {
   /// Keep emitted result rows (tests); digests are always collected.
   bool collect_rows = false;
 
+  /// Optional deterministic fault plan. When set (and non-empty), the
+  /// engine registers a sim::FaultInjector before building the fabric;
+  /// transient faults are absorbed by channel retry (results identical to
+  /// the fault-free run), permanent ones abort the run cleanly with
+  /// RunStats::status set. Not owned; must outlive the Run() call.
+  const sim::FaultPlan* fault_plan = nullptr;
+
   const perf::CostModel* cost_model = &perf::CostModel::Default();
 };
 
@@ -89,6 +98,21 @@ struct RunStats {
   Nanos makespan = 0;             // virtual time to drain all flows
   uint64_t network_bytes = 0;     // NIC transmit volume
   std::vector<core::WindowResult> rows;  // when collect_rows
+
+  /// OK for a completed run; the terminal error when a permanent fault
+  /// (e.g. an unrecovered QP past the retry budget) aborted it. An aborted
+  /// run still reports whatever partial stats it accumulated.
+  Status status;
+  bool ok() const { return status.ok(); }
+
+  /// Fault-tier observability: transfers transparently re-posted after an
+  /// error completion, credits still held when the run ended (must be zero
+  /// for a completed run — the endurance tests assert it), and the
+  /// injector's fault count / trace digest for determinism regression.
+  uint64_t channel_retries = 0;
+  uint64_t credits_outstanding = 0;
+  uint64_t faults_injected = 0;
+  uint64_t fault_trace_digest = 0;
 
   /// Top-down counters per role ("worker", "sender", "receiver").
   std::map<std::string, perf::Counters> role_counters;

@@ -67,17 +67,34 @@ struct SlashRun {
   const workloads::Workload* workload;
   ClusterConfig config;
   sim::Simulator sim;
+  std::unique_ptr<sim::FaultInjector> injector;
   std::unique_ptr<rdma::Fabric> fabric;
   std::vector<std::unique_ptr<RdmaChannel>> channels;
   std::vector<std::unique_ptr<NodeState>> nodes;
   std::vector<std::unique_ptr<perf::CpuContext>> generator_cpus;
   uint64_t records_in = 0;
   LatencyHistogram latency;
+  bool failed = false;
+  Status failure;
 
   int total_workers() const {
     return config.nodes * config.workers_per_node;
   }
 };
+
+/// Aborts the run cleanly after a permanent fault: records the cause and
+/// wakes every parked coroutine so it can observe `failed` and unwind
+/// (instead of deadlocking on a channel that will never move again).
+void FailRun(SlashRun* run, const Status& cause) {
+  if (run->failed) return;
+  run->failed = true;
+  run->failure = cause;
+  for (auto& ns : run->nodes) ns->activity->Notify();
+  for (auto& ch : run->channels) {
+    ch->credit_event().Notify();
+    ch->data_event().Notify();
+  }
+}
 
 /// Emits and retires every primary-partition bucket whose trigger
 /// watermark passed min(V).
@@ -193,12 +210,17 @@ bool PumpSendQueue(SlashRun* run, NodeState* ns,
       cpu->ChargeBytes(Op::kBufferCopyPerByte,
                        sizeof(chunk_envelope) + chunk.length);
       const bool last = delta.next_chunk + 1 == delta.chunks.size();
-      SLASH_CHECK(ch->Post(slot, sizeof(chunk_envelope) + chunk.length,
-                           /*user_tag=*/last ? 1 : 0,
-                           /*watermark=*/last ? delta.low_wm
-                                              : core::kWatermarkMin,
-                           cpu)
-                      .ok());
+      const Status post = ch->Post(slot, sizeof(chunk_envelope) + chunk.length,
+                                   /*user_tag=*/last ? 1 : 0,
+                                   /*watermark=*/last ? delta.low_wm
+                                                      : core::kWatermarkMin,
+                                   cpu);
+      if (!post.ok()) {
+        // Only a broken channel rejects an in-order post; the close handler
+        // has already failed the run — stop pumping and let the worker exit.
+        SLASH_CHECK(ch->broken());
+        return sent;
+      }
       sent = true;
       ++delta.next_chunk;
     }
@@ -234,6 +256,7 @@ sim::Task Generator(SlashRun* run, RdmaChannel* ch, int flow,
   while (more) {
     SlotRef slot;
     while (!ch->TryAcquire(&slot, cpu)) {
+      if (run->failed || ch->broken()) co_return;
       const Nanos wait_start = run->sim.now();
       co_await ch->credit_event().Wait();
       cpu->ChargeWait(run->sim.now() - wait_start);
@@ -247,20 +270,27 @@ sim::Task Generator(SlashRun* run, RdmaChannel* ch, int flow,
       last_ts = r.timestamp;
       more = source->Next(&r);
     } while (more);
-    SLASH_CHECK(ch->Post(slot, writer.bytes_used(), /*user_tag=*/0,
-                         /*watermark=*/last_ts, cpu)
-                    .ok());
+    if (!ch->Post(slot, writer.bytes_used(), /*user_tag=*/0,
+                  /*watermark=*/last_ts, cpu)
+             .ok()) {
+      SLASH_CHECK(ch->broken());
+      co_return;
+    }
     co_await cpu->Sync();
   }
   SlotRef final_slot;
   while (!ch->TryAcquire(&final_slot, cpu)) {
+    if (run->failed || ch->broken()) co_return;
     const Nanos wait_start = run->sim.now();
     co_await ch->credit_event().Wait();
     cpu->ChargeWait(run->sim.now() - wait_start);
   }
-  SLASH_CHECK(ch->Post(final_slot, 0, /*user_tag=*/1,
-                       /*watermark=*/core::kWatermarkMax, cpu)
-                  .ok());
+  if (!ch->Post(final_slot, 0, /*user_tag=*/1,
+                /*watermark=*/core::kWatermarkMax, cpu)
+           .ok()) {
+    SLASH_CHECK(ch->broken());
+    co_return;
+  }
   co_await cpu->Sync();
 }
 
@@ -292,9 +322,11 @@ sim::Task Worker(SlashRun* run, NodeState* ns, int w) {
   // A worker may only exit once the node's end-of-stream epoch has been
   // announced and it has shipped its share of it — otherwise its
   // partitions' final deltas (and watermarks) would never reach their
-  // leaders.
-  while (more || !channels_done() || drained_seq < ns->epoch_seq ||
-         !ns->final_bumped || !send_queue.empty()) {
+  // leaders. A failed run releases workers immediately: their channels are
+  // dead, so the exit conditions can never be met.
+  while (!run->failed &&
+         (more || !channels_done() || drained_seq < ns->epoch_seq ||
+          !ns->final_bumped || !send_queue.empty())) {
     // Serialize this worker's share of any newly announced epoch (frees
     // the fragments for fresh RMWs immediately) and ship whatever chunks
     // current credits allow — without ever stalling the core.
@@ -387,7 +419,7 @@ sim::Task Worker(SlashRun* run, NodeState* ns, int w) {
         }
       }
     }
-    if (!merged && !sent && !input_progress &&
+    if (!merged && !sent && !input_progress && !run->failed &&
         drained_seq == ns->epoch_seq &&
         (more || !channels_done() || !ns->final_bumped ||
          !send_queue.empty())) {
@@ -403,8 +435,9 @@ sim::Task Worker(SlashRun* run, NodeState* ns, int w) {
     }
   }
   // Final safety trigger: whichever worker observes global completion last
-  // emits the remaining windows (idempotent via last_trigger_wm).
-  TryTrigger(run, ns, cpu);
+  // emits the remaining windows (idempotent via last_trigger_wm). Skipped
+  // on an aborted run — partial windows would pollute the result digest.
+  if (!run->failed) TryTrigger(run, ns, cpu);
   co_await cpu->Sync();
 }
 
@@ -417,6 +450,14 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
   run.query = &query;
   run.workload = &workload;
   run.config = config;
+
+  // The injector must be registered before the fabric is built so the
+  // fabric attaches itself as the fault target at construction.
+  if (config.fault_plan != nullptr && !config.fault_plan->empty()) {
+    run.injector =
+        std::make_unique<sim::FaultInjector>(&run.sim, *config.fault_plan);
+    run.sim.set_fault_injector(run.injector.get());
+  }
 
   rdma::FabricConfig fabric_config;
   // Ingestion mode adds one dedicated source node per executor node.
@@ -466,6 +507,8 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
       run.nodes[leader]->in[helper] = ch.get();
       ch->AddDataObserver(run.nodes[leader]->activity.get());
       ch->AddCreditObserver(run.nodes[helper]->activity.get());
+      ch->SetCloseHandler(
+          [run_ptr = &run](const Status& cause) { FailRun(run_ptr, cause); });
       run.channels.push_back(std::move(ch));
     }
   }
@@ -479,6 +522,8 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
         auto ch = RdmaChannel::Create(run.fabric.get(), config.nodes + node,
                                       node, config.channel);
         ch->AddDataObserver(ns->activity.get());
+        ch->SetCloseHandler(
+            [run_ptr = &run](const Status& cause) { FailRun(run_ptr, cause); });
         ns->ingest.push_back(ch.get());
         run.generator_cpus.push_back(std::make_unique<perf::CpuContext>(
             &run.sim, config.cost_model, config.cpu_ghz));
@@ -499,10 +544,21 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
   RunStats stats;
   stats.engine = std::string(name());
   stats.makespan = run.sim.Run();
-  SLASH_CHECK_MSG(run.sim.pending_tasks() == 0,
+  // An aborted run legitimately strands coroutines that were mid-protocol
+  // when their channel died; only a *completed* run must fully drain.
+  SLASH_CHECK_MSG(run.failed || run.sim.pending_tasks() == 0,
                   "Slash run deadlocked with " << run.sim.pending_tasks()
                                                << " pending tasks");
 
+  stats.status = run.failed ? run.failure : Status::OK();
+  for (auto& ch : run.channels) {
+    stats.channel_retries += ch->retries();
+    if (!run.failed) stats.credits_outstanding += ch->credits_outstanding();
+  }
+  if (run.injector) {
+    stats.faults_injected = run.injector->trace().size();
+    stats.fault_trace_digest = run.injector->trace_digest();
+  }
   stats.records_in = run.records_in;
   stats.network_bytes = run.fabric->total_tx_bytes();
   stats.buffer_latency = run.latency;

@@ -72,6 +72,7 @@ struct UpParRun {
   const workloads::Workload* workload;
   ClusterConfig config;
   sim::Simulator sim;
+  std::unique_ptr<sim::FaultInjector> injector;
   std::unique_ptr<rdma::Fabric> fabric;
   std::vector<std::unique_ptr<RdmaChannel>> channels;
   std::vector<std::unique_ptr<LocalQueue>> local_queues;
@@ -81,7 +82,22 @@ struct UpParRun {
   LatencyHistogram latency;
   int senders_per_node = 0;
   int receivers_per_node = 0;
+  bool failed = false;
+  Status failure;
 };
+
+/// Aborts the run cleanly after a permanent channel failure: records the
+/// cause and wakes every parked coroutine so it can observe `failed`.
+void FailRun(UpParRun* run, const Status& cause) {
+  if (run->failed) return;
+  run->failed = true;
+  run->failure = cause;
+  for (auto& c : run->consumers) c->arrivals->Notify();
+  for (auto& ch : run->channels) {
+    ch->credit_event().Notify();
+    ch->data_event().Notify();
+  }
+}
 
 uint64_t LaneCapacity(const UpParRun& run) {
   return run.config.channel.slot_bytes - channel::kFooterBytes;
@@ -95,6 +111,7 @@ sim::Task FlushLane(UpParRun* run, SenderState* s, Outbound* ob,
     if (!ob->slot_open) {
       if (!final_marker) co_return;  // nothing buffered
       while (!ob->channel->TryAcquire(&ob->slot, cpu)) {
+        if (run->failed || ob->channel->broken()) co_return;
         const Nanos wait_start = run->sim.now();
         co_await ob->channel->credit_event().Wait();
         cpu->ChargeWait(run->sim.now() - wait_start);
@@ -104,10 +121,10 @@ sim::Task FlushLane(UpParRun* run, SenderState* s, Outbound* ob,
                                                         LaneCapacity(*run));
     }
     cpu->Charge(Op::kRdmaPost, 0);  // Post() itself charges the post cost
-    SLASH_CHECK(ob->channel
-                    ->Post(ob->slot, ob->writer->bytes_used(),
-                           /*user_tag=*/final_marker ? 1 : 0, watermark, cpu)
-                    .ok());
+    const Status post =
+        ob->channel->Post(ob->slot, ob->writer->bytes_used(),
+                          /*user_tag=*/final_marker ? 1 : 0, watermark, cpu);
+    if (!post.ok()) SLASH_CHECK(ob->channel->broken());
     ob->slot_open = false;
     ob->writer.reset();
     co_await cpu->Sync();
@@ -132,7 +149,7 @@ sim::Task Sender(UpParRun* run, SenderState* s) {
   const int total_consumers = static_cast<int>(run->consumers.size());
   Record r;
   uint64_t batch = 0;
-  while (s->mux->Next(&r)) {
+  while (!run->failed && s->mux->Next(&r)) {
     ++run->records_in;
     cpu->CountRecords(1);
     const uint16_t wire_size = run->workload->wire_size(r.stream_id);
@@ -147,6 +164,7 @@ sim::Task Sender(UpParRun* run, SenderState* s) {
       Outbound* ob = &s->outbound[c];
       if (ob->channel != nullptr && !ob->slot_open) {
         while (!ob->channel->TryAcquire(&ob->slot, cpu)) {
+          if (run->failed || ob->channel->broken()) co_return;
           const Nanos wait_start = run->sim.now();
           co_await ob->channel->credit_event().Wait();
           cpu->ChargeWait(run->sim.now() - wait_start);
@@ -165,6 +183,7 @@ sim::Task Sender(UpParRun* run, SenderState* s) {
         // Reopen the lane and retry; a fresh buffer always fits one record.
         if (ob->channel != nullptr) {
           while (!ob->channel->TryAcquire(&ob->slot, cpu)) {
+            if (run->failed || ob->channel->broken()) co_return;
             const Nanos wait_start = run->sim.now();
             co_await ob->channel->credit_event().Wait();
             cpu->ChargeWait(run->sim.now() - wait_start);
@@ -184,6 +203,7 @@ sim::Task Sender(UpParRun* run, SenderState* s) {
       co_await cpu->Sync();
     }
   }
+  if (run->failed) co_return;
   // Drain every lane, then mark end-of-stream to every consumer.
   for (Outbound& ob : s->outbound) {
     co_await FlushLane(run, s, &ob, s->mux->watermark(),
@@ -236,7 +256,7 @@ void ProcessBuffer(UpParRun* run, ConsumerState* c, const uint8_t* payload,
 sim::Task Receiver(UpParRun* run, ConsumerState* c) {
   perf::CpuContext* cpu = c->cpu.get();
   const int total_senders = static_cast<int>(run->senders.size());
-  while (c->finals < total_senders) {
+  while (!run->failed && c->finals < total_senders) {
     bool progressed = false;
     for (auto& in : c->inbound) {
       if (in.channel != nullptr) {
@@ -264,14 +284,18 @@ sim::Task Receiver(UpParRun* run, ConsumerState* c) {
       TriggerWindows(*run->query, c->Watermark(), c->partition.get(),
                      &c->sink, cpu, &c->last_trigger_wm);
       co_await cpu->Sync();
-    } else {
+    } else if (!run->failed) {
       const Nanos wait_start = run->sim.now();
       co_await c->arrivals->Wait();
       cpu->ChargeWait(run->sim.now() - wait_start);
     }
   }
-  TriggerWindows(*run->query, c->Watermark(), c->partition.get(), &c->sink,
-                 cpu, &c->last_trigger_wm);
+  // Aborted runs skip the final trigger: partial windows would pollute the
+  // result digest.
+  if (!run->failed) {
+    TriggerWindows(*run->query, c->Watermark(), c->partition.get(), &c->sink,
+                   cpu, &c->last_trigger_wm);
+  }
   co_await cpu->Sync();
 }
 
@@ -289,6 +313,14 @@ RunStats UpParEngine::Run(const core::QuerySpec& query,
   run.config = config;
   run.senders_per_node = config.workers_per_node / 2;
   run.receivers_per_node = config.workers_per_node - run.senders_per_node;
+
+  // The injector must be registered before the fabric is built so the
+  // fabric attaches itself as the fault target at construction.
+  if (config.fault_plan != nullptr && !config.fault_plan->empty()) {
+    run.injector =
+        std::make_unique<sim::FaultInjector>(&run.sim, *config.fault_plan);
+    run.sim.set_fault_injector(run.injector.get());
+  }
 
   rdma::FabricConfig fabric_config;
   fabric_config.nodes = config.nodes;
@@ -350,6 +382,9 @@ RunStats UpParEngine::Run(const core::QuerySpec& query,
                                         consumer->node, config.channel);
           ob.channel = ch.get();
           ch->AddDataObserver(consumer->arrivals.get());
+          ch->SetCloseHandler([run_ptr = &run](const Status& cause) {
+            FailRun(run_ptr, cause);
+          });
           consumer->inbound.push_back(
               {s->global_id, ch.get(), /*local=*/nullptr});
           run.channels.push_back(std::move(ch));
@@ -370,9 +405,20 @@ RunStats UpParEngine::Run(const core::QuerySpec& query,
   RunStats stats;
   stats.engine = std::string(name());
   stats.makespan = run.sim.Run();
-  SLASH_CHECK_MSG(run.sim.pending_tasks() == 0,
+  // An aborted run legitimately strands coroutines that were mid-protocol
+  // when their channel died; only a *completed* run must fully drain.
+  SLASH_CHECK_MSG(run.failed || run.sim.pending_tasks() == 0,
                   "UpPar run deadlocked with " << run.sim.pending_tasks()
                                                << " pending tasks");
+  stats.status = run.failed ? run.failure : Status::OK();
+  for (auto& ch : run.channels) {
+    stats.channel_retries += ch->retries();
+    if (!run.failed) stats.credits_outstanding += ch->credits_outstanding();
+  }
+  if (run.injector) {
+    stats.faults_injected = run.injector->trace().size();
+    stats.fault_trace_digest = run.injector->trace_digest();
+  }
   stats.records_in = run.records_in;
   stats.network_bytes = run.fabric->total_tx_bytes();
   stats.buffer_latency = run.latency;

@@ -15,6 +15,9 @@ Fabric::Fabric(sim::Simulator* sim, const FabricConfig& config)
     pds_.push_back(std::make_unique<ProtectionDomain>(n));
     nics_.push_back(std::make_unique<Nic>(n, config.nic));
   }
+  if (sim::FaultInjector* inj = sim_->fault_injector()) {
+    inj->Attach(this);
+  }
 }
 
 ProtectionDomain* Fabric::pd(int node) {
@@ -46,6 +49,49 @@ uint64_t Fabric::total_tx_bytes() const {
   return total;
 }
 
+QpEndpoint* Fabric::FindQp(uint32_t qp_num) const {
+  for (const auto& ep : endpoints_) {
+    if (ep->qp_num() == qp_num) return ep.get();
+  }
+  return nullptr;
+}
+
+void Fabric::FailQp(uint32_t qp_num) {
+  QpEndpoint* ep = FindQp(qp_num);
+  SLASH_CHECK_MSG(ep != nullptr, "FaultPlan names unknown qp_num " << qp_num);
+  ep->EnterErrorState();
+  if (ep->peer() != nullptr) ep->peer()->EnterErrorState();
+}
+
+void Fabric::RecoverQp(uint32_t qp_num) {
+  QpEndpoint* ep = FindQp(qp_num);
+  SLASH_CHECK_MSG(ep != nullptr, "FaultPlan names unknown qp_num " << qp_num);
+  ep->state_ = QpState::kReady;
+  if (ep->peer() != nullptr) ep->peer()->state_ = QpState::kReady;
+}
+
+void Fabric::SetNicBandwidthScale(int node, double scale) {
+  nic(node)->set_bandwidth_scale(scale);
+}
+
+void Fabric::PauseNode(int node, Nanos until) {
+  nic(node)->PauseUntil(until);
+}
+
+void Fabric::FlushWr(QpEndpoint* from, WorkType type, uint64_t wr_id,
+                     uint64_t len) {
+  // Flush asynchronously at the current time: a poller parked on the CQ is
+  // woken through the normal event path, and post-call code runs first —
+  // the same ordering as a real NIC reporting through the CQ.
+  ++from->outstanding_;
+  sim_->ScheduleAt(sim_->now(), [from, type, wr_id, len] {
+    --from->outstanding_;
+    from->send_cq().Push(Completion{wr_id, type, len, 0,
+                                    /*has_immediate=*/false,
+                                    WcStatus::kFlushErr});
+  });
+}
+
 Status Fabric::ExecuteWrite(QpEndpoint* from, MemorySpan local, RemoteKey rkey,
                             uint64_t remote_offset, uint64_t wr_id,
                             bool signaled, uint32_t immediate,
@@ -58,19 +104,69 @@ Status Fabric::ExecuteWrite(QpEndpoint* from, MemorySpan local, RemoteKey rkey,
   if (remote_offset + local.length > remote->size()) {
     return Status::OutOfRange("remote write beyond region bounds");
   }
+  const uint64_t len = local.length;
+  if (from->state_ == QpState::kError) {
+    FlushWr(from, WorkType::kWrite, wr_id, len);
+    return Status::OK();
+  }
 
   const Nanos now = sim_->now();
   const Nanos lat = config_.nic.wire_latency;
-  const Nanos tx_end = nic(from->node())->ReserveTx(now, local.length);
-  const Nanos arrival = nic(to->node())->ReserveRx(tx_end + lat, local.length);
+  const Nanos tx_end = nic(from->node())->ReserveTx(now, len);
 
+  if (sim::FaultInjector* inj = injector()) {
+    const auto fault =
+        inj->OnTransfer(from->node(), to->node(), from->qp_num(), len);
+    if (fault.drop) {
+      // The transfer is lost on the wire: it consumed the transmit path but
+      // nothing lands. The sender learns after the transport retransmit
+      // budget expires — always signaled, like every error completion.
+      ++from->outstanding_;
+      sim_->ScheduleAt(tx_end + inj->plan().drop_report_delay, [=] {
+        --from->outstanding_;
+        from->send_cq().Push(Completion{wr_id, WorkType::kWrite, len, 0,
+                                        /*has_immediate=*/false,
+                                        WcStatus::kRetryExceeded});
+      });
+      return Status::OK();
+    }
+    if (fault.extra_delay > 0) {
+      const Nanos arrival = nic(to->node())
+                                ->ReserveRx(tx_end + lat + fault.extra_delay,
+                                            len);
+      ScheduleWriteDelivery(from, to, remote, local, remote_offset, wr_id,
+                            signaled, immediate, has_immediate, arrival, lat);
+      return Status::OK();
+    }
+  }
+
+  const Nanos arrival = nic(to->node())->ReserveRx(tx_end + lat, len);
+  ScheduleWriteDelivery(from, to, remote, local, remote_offset, wr_id,
+                        signaled, immediate, has_immediate, arrival, lat);
+  return Status::OK();
+}
+
+void Fabric::ScheduleWriteDelivery(QpEndpoint* from, QpEndpoint* to,
+                                   MemoryRegion* remote, MemorySpan local,
+                                   uint64_t remote_offset, uint64_t wr_id,
+                                   bool signaled, uint32_t immediate,
+                                   bool has_immediate, Nanos arrival,
+                                   Nanos lat) {
   ++from->outstanding_;
   // Capture the source bytes lazily at delivery time: RDMA reads the send
   // buffer via DMA as the message serializes, and our protocol layers never
   // reuse a slot before its credit returns, so reading at arrival is
   // equivalent and avoids a copy in the common case.
   const uint64_t len = local.length;
+  // Shared between the delivery and ack events so a connection error that
+  // strikes (and maybe recovers) mid-flight can never report success for a
+  // write that was not materialized.
+  auto delivered = std::make_shared<bool>(false);
   sim_->ScheduleAt(arrival, [=, this] {
+    // A connection that errored while the message was in flight never
+    // materializes it (the responder tears the RC context down).
+    if (from->state_ == QpState::kError) return;
+    *delivered = true;
     std::memcpy(remote->data() + remote_offset, local.data(), len);
     // RDMA WRITE fills memory from lower to higher addresses: the channel
     // layer relies on this to poll the final footer byte (Sec. 6.3). In the
@@ -86,11 +182,16 @@ Status Fabric::ExecuteWrite(QpEndpoint* from, MemorySpan local, RemoteKey rkey,
   // latency after remote delivery.
   sim_->ScheduleAt(arrival + lat, [=] {
     --from->outstanding_;
+    if (!*delivered || from->state_ == QpState::kError) {
+      from->send_cq().Push(Completion{wr_id, WorkType::kWrite, len, 0,
+                                      /*has_immediate=*/false,
+                                      WcStatus::kFlushErr});
+      return;
+    }
     if (signaled) {
       from->send_cq().Push(Completion{wr_id, WorkType::kWrite, len});
     }
   });
-  return Status::OK();
 }
 
 Status Fabric::ExecuteRead(QpEndpoint* from, MemorySpan local, RemoteKey rkey,
@@ -103,25 +204,59 @@ Status Fabric::ExecuteRead(QpEndpoint* from, MemorySpan local, RemoteKey rkey,
   if (remote_offset + local.length > remote->size()) {
     return Status::OutOfRange("remote read beyond region bounds");
   }
+  const uint64_t len = local.length;
+  if (from->state_ == QpState::kError) {
+    FlushWr(from, WorkType::kRead, wr_id, len);
+    return Status::OK();
+  }
 
   constexpr uint64_t kReadRequestBytes = 16;
   const Nanos now = sim_->now();
   const Nanos lat = config_.nic.wire_latency;
+
+  Nanos extra_delay = 0;
+  if (sim::FaultInjector* inj = injector()) {
+    // One decision covers the whole request/response exchange: a drop on
+    // either leg surfaces identically to the requester.
+    const auto fault =
+        inj->OnTransfer(from->node(), to->node(), from->qp_num(), len);
+    if (fault.drop) {
+      const Nanos req_tx =
+          nic(from->node())->ReserveTx(now, kReadRequestBytes);
+      ++from->outstanding_;
+      sim_->ScheduleAt(req_tx + inj->plan().drop_report_delay, [=] {
+        --from->outstanding_;
+        from->send_cq().Push(Completion{wr_id, WorkType::kRead, len, 0,
+                                        /*has_immediate=*/false,
+                                        WcStatus::kRetryExceeded});
+      });
+      return Status::OK();
+    }
+    extra_delay = fault.extra_delay;
+  }
+
   // Request travels to the responder...
   const Nanos req_tx = nic(from->node())->ReserveTx(now, kReadRequestBytes);
-  const Nanos req_arrival =
-      nic(to->node())->ReserveRx(req_tx + lat, kReadRequestBytes);
+  const Nanos req_arrival = nic(to->node())
+                                ->ReserveRx(req_tx + lat + extra_delay,
+                                            kReadRequestBytes);
   // ...the responder NIC DMA-reads and serializes the payload back...
   const Nanos resp_tx = nic(to->node())->ReserveTx(req_arrival, local.length);
   const Nanos resp_arrival =
       nic(from->node())->ReserveRx(resp_tx + lat, local.length);
 
   ++from->outstanding_;
-  const uint64_t len = local.length;
   sim_->ScheduleAt(resp_arrival, [=] {
+    --from->outstanding_;
+    if (from->state_ == QpState::kError) {
+      // Connection died while the read was in flight.
+      from->send_cq().Push(Completion{wr_id, WorkType::kRead, len, 0,
+                                      /*has_immediate=*/false,
+                                      WcStatus::kFlushErr});
+      return;
+    }
     std::memcpy(local.data(), remote->data() + remote_offset, len);
     local.region->NotifyRemoteWrite(local.offset, len);
-    --from->outstanding_;
     from->send_cq().Push(Completion{wr_id, WorkType::kRead, len});
   });
   return Status::OK();
@@ -131,6 +266,10 @@ Status Fabric::ExecuteSend(QpEndpoint* from, MemorySpan local, uint64_t wr_id,
                            bool signaled, uint32_t immediate,
                            bool has_immediate) {
   QpEndpoint* to = from->peer();
+  if (from->state_ == QpState::kError) {
+    FlushWr(from, WorkType::kSend, wr_id, local.length);
+    return Status::OK();
+  }
   if (to->recv_queue_.empty()) {
     // Receiver-not-ready on a reliable connection; a real NIC would retry,
     // our protocols are required to pre-post. Surface it as an error.
@@ -140,16 +279,38 @@ Status Fabric::ExecuteSend(QpEndpoint* from, MemorySpan local, uint64_t wr_id,
   if (recv.buffer.length < local.length) {
     return Status::InvalidArgument("posted receive buffer too small");
   }
-  to->recv_queue_.pop_front();
 
   const Nanos now = sim_->now();
   const Nanos lat = config_.nic.wire_latency;
-  const Nanos tx_end = nic(from->node())->ReserveTx(now, local.length);
-  const Nanos arrival = nic(to->node())->ReserveRx(tx_end + lat, local.length);
+  const uint64_t len = local.length;
+  const Nanos tx_end = nic(from->node())->ReserveTx(now, len);
+
+  Nanos extra_delay = 0;
+  if (sim::FaultInjector* inj = injector()) {
+    const auto fault =
+        inj->OnTransfer(from->node(), to->node(), from->qp_num(), len);
+    if (fault.drop) {
+      // The receive buffer stays posted: nothing reached the receiver.
+      ++from->outstanding_;
+      sim_->ScheduleAt(tx_end + inj->plan().drop_report_delay, [=] {
+        --from->outstanding_;
+        from->send_cq().Push(Completion{wr_id, WorkType::kSend, len, 0,
+                                        /*has_immediate=*/false,
+                                        WcStatus::kRetryExceeded});
+      });
+      return Status::OK();
+    }
+    extra_delay = fault.extra_delay;
+  }
+  to->recv_queue_.pop_front();
+  const Nanos arrival =
+      nic(to->node())->ReserveRx(tx_end + lat + extra_delay, len);
 
   ++from->outstanding_;
-  const uint64_t len = local.length;
+  auto delivered = std::make_shared<bool>(false);
   sim_->ScheduleAt(arrival, [=] {
+    if (from->state_ == QpState::kError) return;  // lost mid-flight
+    *delivered = true;
     std::memcpy(recv.buffer.data(), local.data(), len);
     recv.buffer.region->NotifyRemoteWrite(recv.buffer.offset, len);
     to->recv_cq().Push(Completion{recv.wr_id, WorkType::kRecv, len, immediate,
@@ -157,6 +318,12 @@ Status Fabric::ExecuteSend(QpEndpoint* from, MemorySpan local, uint64_t wr_id,
   });
   sim_->ScheduleAt(arrival + lat, [=] {
     --from->outstanding_;
+    if (!*delivered || from->state_ == QpState::kError) {
+      from->send_cq().Push(Completion{wr_id, WorkType::kSend, len, 0,
+                                      /*has_immediate=*/false,
+                                      WcStatus::kFlushErr});
+      return;
+    }
     if (signaled) {
       from->send_cq().Push(Completion{wr_id, WorkType::kSend, len});
     }

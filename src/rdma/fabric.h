@@ -15,6 +15,7 @@
 #include "rdma/memory.h"
 #include "rdma/nic.h"
 #include "rdma/queue_pair.h"
+#include "sim/fault.h"
 #include "sim/simulator.h"
 
 namespace slash::rdma {
@@ -31,7 +32,14 @@ struct QpPair {
   QpEndpoint* second = nullptr;  // endpoint on node b
 };
 
-class Fabric {
+/// The fabric is also the substrate's fault-injection target: when a
+/// sim::FaultInjector is registered on the simulator before the fabric is
+/// built, the fabric attaches itself and (a) executes the plan's timed
+/// actions (QP errors, NIC degradations, node pauses), (b) consults the
+/// injector per transfer for drop/delay decisions. Without an injector,
+/// every fault path is dead code and execution is byte-identical to the
+/// fault-free substrate.
+class Fabric : public sim::FaultTarget {
  public:
   Fabric(sim::Simulator* sim, const FabricConfig& config);
   Fabric(const Fabric&) = delete;
@@ -54,6 +62,18 @@ class Fabric {
   /// Total bytes moved across all NICs (transmit side).
   uint64_t total_tx_bytes() const;
 
+  /// The endpoint with QP number `qp_num`; nullptr if unknown. QP numbers
+  /// are assigned in Connect() order starting at 1, so tests can name a
+  /// specific connection in a FaultPlan deterministically.
+  QpEndpoint* FindQp(uint32_t qp_num) const;
+
+  // --- sim::FaultTarget ------------------------------------------------------
+  // Connection-wide: failing either QP number errors both endpoints.
+  void FailQp(uint32_t qp_num) override;
+  void RecoverQp(uint32_t qp_num) override;
+  void SetNicBandwidthScale(int node, double scale) override;
+  void PauseNode(int node, Nanos until) override;
+
  private:
   friend class QpEndpoint;
 
@@ -66,6 +86,22 @@ class Fabric {
                      uint64_t remote_offset, uint64_t wr_id);
   Status ExecuteSend(QpEndpoint* from, MemorySpan local, uint64_t wr_id,
                      bool signaled, uint32_t immediate, bool has_immediate);
+
+  // Schedules an immediate flush completion for a WR posted while (or
+  // delivered after) the QP entered the error state. Error completions are
+  // always delivered, even for unsignaled WRs.
+  void FlushWr(QpEndpoint* from, WorkType type, uint64_t wr_id, uint64_t len);
+
+  // Shared tail of ExecuteWrite: the delivery + ack events for a write that
+  // made it onto the wire (faults may still strike it mid-flight).
+  void ScheduleWriteDelivery(QpEndpoint* from, QpEndpoint* to,
+                             MemoryRegion* remote, MemorySpan local,
+                             uint64_t remote_offset, uint64_t wr_id,
+                             bool signaled, uint32_t immediate,
+                             bool has_immediate, Nanos arrival, Nanos lat);
+
+  // The injector registered on the simulator, or nullptr (fault-free).
+  sim::FaultInjector* injector() const { return sim_->fault_injector(); }
 
   sim::Simulator* sim_;
   FabricConfig config_;

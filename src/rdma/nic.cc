@@ -2,11 +2,24 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace slash::rdma {
 
 Nanos Nic::TransferDuration(uint64_t bytes) const {
   return config_.per_message_overhead +
-         static_cast<Nanos>(double(bytes) / config_.bandwidth_bps * 1e9);
+         static_cast<Nanos>(double(bytes) /
+                            (config_.bandwidth_bps * bandwidth_scale_) * 1e9);
+}
+
+void Nic::set_bandwidth_scale(double scale) {
+  SLASH_CHECK_GT(scale, 0.0);
+  bandwidth_scale_ = scale;
+}
+
+void Nic::PauseUntil(Nanos until) {
+  tx_free_ = std::max(tx_free_, until);
+  rx_free_ = std::max(rx_free_, until);
 }
 
 Nanos Nic::ReserveTx(Nanos now, uint64_t bytes) {

@@ -45,8 +45,21 @@ class Nic {
   /// NIC no earlier than `earliest`. Returns delivery-complete time.
   Nanos ReserveRx(Nanos earliest, uint64_t bytes);
 
-  /// Duration the wire transfer of `bytes` occupies the link.
+  /// Duration the wire transfer of `bytes` occupies the link at the
+  /// current (possibly degraded) line rate.
   Nanos TransferDuration(uint64_t bytes) const;
+
+  /// Fault injection: scales the effective line rate. 1.0 restores full
+  /// bandwidth; values in (0, 1) model a flapping/congested link. Already
+  /// reserved transfers keep their original timing; only new reservations
+  /// see the degraded rate.
+  void set_bandwidth_scale(double scale);
+  double bandwidth_scale() const { return bandwidth_scale_; }
+
+  /// Fault injection: freezes both NIC paths until virtual time `until`
+  /// (node pause: GC stall, VM migration). Transfers reserved afterwards
+  /// start no earlier than `until`.
+  void PauseUntil(Nanos until);
 
   uint64_t tx_bytes() const { return tx_bytes_; }
   uint64_t rx_bytes() const { return rx_bytes_; }
@@ -59,6 +72,7 @@ class Nic {
  private:
   int node_;
   NicConfig config_;
+  double bandwidth_scale_ = 1.0;
   Nanos tx_free_ = 0;
   Nanos rx_free_ = 0;
   uint64_t tx_bytes_ = 0;

@@ -4,6 +4,18 @@
 
 namespace slash::rdma {
 
+std::string_view WcStatusName(WcStatus status) {
+  switch (status) {
+    case WcStatus::kSuccess:
+      return "success";
+    case WcStatus::kRetryExceeded:
+      return "retry_exceeded";
+    case WcStatus::kFlushErr:
+      return "flush_err";
+  }
+  return "unknown";
+}
+
 bool CompletionQueue::TryPoll(Completion* out) {
   if (entries_.empty()) return false;
   *out = entries_.front();
@@ -12,6 +24,7 @@ bool CompletionQueue::TryPoll(Completion* out) {
 }
 
 void CompletionQueue::Push(const Completion& c) {
+  if (interceptor_ && interceptor_(c)) return;
   entries_.push_back(c);
   ready_.Notify();
 }
@@ -63,6 +76,19 @@ Status QpEndpoint::PostSend(MemorySpan local, uint64_t wr_id, bool signaled,
   SLASH_RETURN_IF_ERROR(ValidateLocal(local));
   return fabric_->ExecuteSend(this, local, wr_id, signaled, immediate,
                               has_immediate);
+}
+
+void QpEndpoint::EnterErrorState() {
+  if (state_ == QpState::kError) return;
+  state_ = QpState::kError;
+  // Flush pending receive buffers: they will never be matched by a SEND on
+  // this (now broken) connection. The owner re-posts after recovery.
+  while (!recv_queue_.empty()) {
+    const PostedRecv recv = recv_queue_.front();
+    recv_queue_.pop_front();
+    recv_cq_->Push(Completion{recv.wr_id, WorkType::kRecv, 0, 0,
+                              /*has_immediate=*/false, WcStatus::kFlushErr});
+  }
 }
 
 Status QpEndpoint::PostRecv(MemorySpan buffer, uint64_t wr_id) {

@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <string_view>
 
 #include "common/status.h"
 #include "rdma/memory.h"
@@ -31,6 +33,31 @@ enum class WorkType : uint8_t {
   kRecv,
 };
 
+/// Completion status of a work request (ibv_wc_status analogue). Anything
+/// but kSuccess means the request did NOT execute: no bytes moved, nothing
+/// became remotely visible. Error completions are always delivered, even
+/// for unsignaled work requests — exactly like real RC hardware.
+enum class WcStatus : uint8_t {
+  kSuccess = 0,
+  /// The transport retransmit budget was exhausted: the transfer was lost
+  /// on the wire (fault injection: dropped transfer). Transient — the QP
+  /// stays usable and an identical re-post may succeed.
+  kRetryExceeded = 1,
+  /// The work request was flushed without executing because the QP is (or
+  /// went) into the error state. Re-posts keep flushing until the
+  /// connection recovers.
+  kFlushErr = 2,
+};
+
+std::string_view WcStatusName(WcStatus status);
+
+/// Connection state of a QP endpoint. Error is connection-wide: when a
+/// fault trips one endpoint, its peer errors too (RC semantics).
+enum class QpState : uint8_t {
+  kReady = 0,
+  kError = 1,
+};
+
 /// One completion-queue entry.
 struct Completion {
   uint64_t wr_id = 0;
@@ -38,6 +65,9 @@ struct Completion {
   uint64_t byte_len = 0;
   uint32_t immediate = 0;
   bool has_immediate = false;
+  WcStatus status = WcStatus::kSuccess;
+
+  bool ok() const { return status == WcStatus::kSuccess; }
 };
 
 /// A completion queue with a coroutine wakeup event.
@@ -60,9 +90,19 @@ class CompletionQueue {
   /// Enqueues a completion (fabric-internal).
   void Push(const Completion& c);
 
+  /// Installs an interceptor invoked on every pushed completion *before*
+  /// it is enqueued; returning true consumes the completion (it is never
+  /// enqueued and no wakeup fires). The channel layer uses this to absorb
+  /// error completions and drive its retry machinery without disturbing
+  /// regular pollers.
+  void SetInterceptor(std::function<bool(const Completion&)> interceptor) {
+    interceptor_ = std::move(interceptor);
+  }
+
  private:
   std::deque<Completion> entries_;
   sim::Event ready_;
+  std::function<bool(const Completion&)> interceptor_;
 };
 
 /// One endpoint of a reliable connection.
@@ -112,6 +152,11 @@ class QpEndpoint {
   /// Work requests posted but not yet completed on the wire.
   int outstanding() const { return outstanding_; }
 
+  /// Connection state. While kError, every posted work request (and every
+  /// in-flight one at its completion time) completes with kFlushErr and
+  /// moves no data.
+  QpState state() const { return state_; }
+
  private:
   friend class Fabric;
 
@@ -122,6 +167,10 @@ class QpEndpoint {
 
   Status ValidateLocal(const MemorySpan& local) const;
 
+  /// Enters the error state: pending receive buffers are flushed to the
+  /// receive CQ with kFlushErr (the consumer must re-post after recovery).
+  void EnterErrorState();
+
   Fabric* fabric_;
   int node_;
   uint32_t qp_num_;
@@ -131,6 +180,7 @@ class QpEndpoint {
   std::deque<PostedRecv> recv_queue_;
   int outstanding_ = 0;
   int max_outstanding_ = 1024;
+  QpState state_ = QpState::kReady;
 };
 
 }  // namespace slash::rdma

@@ -1,0 +1,134 @@
+#include "sim/fault.h"
+
+#include "common/logging.h"
+
+namespace slash::sim {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kQpError:
+      return "qp_error";
+    case FaultKind::kQpRecover:
+      return "qp_recover";
+    case FaultKind::kNicDegrade:
+      return "nic_degrade";
+    case FaultKind::kNicRestore:
+      return "nic_restore";
+    case FaultKind::kNodePause:
+      return "node_pause";
+    case FaultKind::kTransferDrop:
+      return "transfer_drop";
+    case FaultKind::kTransferDelay:
+      return "transfer_delay";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(Simulator* sim, FaultPlan plan)
+    : sim_(sim), plan_(std::move(plan)), rng_(plan_.seed) {
+  drops_used_.assign(plan_.drop_rules.size(), 0);
+}
+
+void FaultInjector::Attach(FaultTarget* target) {
+  SLASH_CHECK_MSG(target_ == nullptr || target_ == target,
+                  "FaultInjector already attached to another target");
+  if (target_ == target) return;  // idempotent re-attach by the same fabric
+  target_ = target;
+  for (const FaultPlan::QpError& f : plan_.qp_errors) {
+    sim_->ScheduleAt(f.at, [this, f] {
+      ++qp_errors_injected_;
+      Record(FaultKind::kQpError, f.qp_num, f.recover_after);
+      target_->FailQp(f.qp_num);
+    });
+    if (f.recover_after > 0) {
+      sim_->ScheduleAt(f.at + f.recover_after, [this, f] {
+        Record(FaultKind::kQpRecover, f.qp_num, 0);
+        target_->RecoverQp(f.qp_num);
+      });
+    }
+  }
+  for (const FaultPlan::NicDegrade& f : plan_.nic_degrades) {
+    SLASH_CHECK_GT(f.bandwidth_scale, 0.0);
+    sim_->ScheduleAt(f.at, [this, f] {
+      Record(FaultKind::kNicDegrade, f.node,
+             int64_t(f.bandwidth_scale * 1e6));  // scale in ppm
+      target_->SetNicBandwidthScale(f.node, f.bandwidth_scale);
+    });
+    sim_->ScheduleAt(f.at + f.duration, [this, f] {
+      Record(FaultKind::kNicRestore, f.node, 0);
+      target_->SetNicBandwidthScale(f.node, 1.0);
+    });
+  }
+  for (const FaultPlan::NodePause& f : plan_.node_pauses) {
+    sim_->ScheduleAt(f.at, [this, f] {
+      Record(FaultKind::kNodePause, f.node, f.duration);
+      target_->PauseNode(f.node, f.at + f.duration);
+    });
+  }
+}
+
+FaultInjector::TransferFault FaultInjector::OnTransfer(int src_node,
+                                                       int dst_node,
+                                                       uint32_t qp_num,
+                                                       uint64_t bytes) {
+  TransferFault fault;
+  const Nanos now = sim_->now();
+  auto matches = [&](Nanos from, Nanos until, int src, int dst) {
+    if (now < from) return false;
+    if (until != 0 && now >= until) return false;
+    if (src != kAnyNode && src != src_node) return false;
+    if (dst != kAnyNode && dst != dst_node) return false;
+    return true;
+  };
+  for (size_t i = 0; i < plan_.drop_rules.size(); ++i) {
+    const FaultPlan::DropRule& rule = plan_.drop_rules[i];
+    if (!matches(rule.from, rule.until, rule.src_node, rule.dst_node)) {
+      continue;
+    }
+    if (drops_used_[i] >= rule.max_drops) continue;
+    // The PRNG advances once per probabilistic match, in DES order:
+    // deterministic across replays.
+    if (rule.probability < 1.0 && rng_.NextDouble() >= rule.probability) {
+      continue;
+    }
+    ++drops_used_[i];
+    ++dropped_transfers_;
+    fault.drop = true;
+    Record(FaultKind::kTransferDrop, qp_num, int64_t(bytes));
+    return fault;  // a dropped transfer cannot also be delayed
+  }
+  for (const FaultPlan::DelayRule& rule : plan_.delay_rules) {
+    if (!matches(rule.from, rule.until, rule.src_node, rule.dst_node)) {
+      continue;
+    }
+    fault.extra_delay += rule.extra_latency;
+  }
+  if (fault.extra_delay > 0) {
+    ++delayed_transfers_;
+    Record(FaultKind::kTransferDelay, qp_num, fault.extra_delay);
+  }
+  return fault;
+}
+
+void FaultInjector::Record(FaultKind kind, int64_t subject, int64_t detail) {
+  trace_.push_back(FaultEvent{sim_->now(), kind, subject, detail});
+}
+
+uint64_t FaultInjector::trace_digest() const {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const FaultEvent& e : trace_) {
+    mix(uint64_t(e.time));
+    mix(uint64_t(e.kind));
+    mix(uint64_t(e.subject));
+    mix(uint64_t(e.detail));
+  }
+  return h;
+}
+
+}  // namespace slash::sim

@@ -27,6 +27,7 @@
 namespace slash::sim {
 
 class Simulator;
+class FaultInjector;
 
 /// A coroutine task: the unit of concurrent activity on the simulator.
 ///
@@ -149,6 +150,16 @@ class Simulator {
   /// will never fire).
   int pending_tasks() const { return pending_tasks_; }
 
+  /// Registers a fault injector (see sim/fault.h). Substrate layers built
+  /// on this simulator (the RDMA fabric) discover it here: the fabric
+  /// attaches itself as the injection target and consults the injector for
+  /// per-transfer fault decisions. Register before building the fabric;
+  /// nullptr (the default) means fault-free execution.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
   /// Awaitable: suspends the current coroutine for `delay` virtual ns.
   auto Delay(Nanos delay) {
     struct Awaiter {
@@ -184,6 +195,7 @@ class Simulator {
   Nanos now_ = 0;
   uint64_t next_seq_ = 0;
   int pending_tasks_ = 0;
+  FaultInjector* fault_injector_ = nullptr;
 };
 
 /// A broadcast notification primitive for coroutines.
