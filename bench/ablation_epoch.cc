@@ -33,6 +33,8 @@ void RunCase(benchmark::State& state, uint64_t epoch_kib) {
   for (auto _ : state) {
     engines::SlashEngine engine;
     stats = engine.Run(workload.MakeQuery(), workload, cfg);
+    RequireCompleted(stats, "ablation_epoch/" + std::to_string(epoch_kib) +
+                                "KiB");
   }
   state.counters["Mrec/s"] = stats.throughput_rps() / 1e6;
   state.counters["net_MB"] = double(stats.network_bytes) / 1e6;

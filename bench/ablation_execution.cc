@@ -45,6 +45,8 @@ void RunCase(benchmark::State& state, bool ysb, bool compiled) {
   for (auto _ : state) {
     engines::SlashEngine engine;
     stats = engine.Run(workload->MakeQuery(), *workload, cfg);
+    RequireCompleted(stats, compiled ? "ablation_execution/compiled"
+                                     : "ablation_execution/interpreted");
   }
   state.counters["Mrec/s"] = stats.throughput_rps() / 1e6;
   state.counters["instr/rec"] =

@@ -42,6 +42,8 @@ void BM_Fig10(benchmark::State& state) {
     engines::SlashEngine slash_engine;
     uppar = uppar_engine.Run(workload.MakeQuery(), workload, cfg);
     slash = slash_engine.Run(workload.MakeQuery(), workload, cfg);
+    RequireCompleted(uppar, "fig10/UpPar");
+    RequireCompleted(slash, "fig10/Slash");
   }
 
   std::printf("\nFig 10: execution breakdown of YSB (top-down categories)\n");

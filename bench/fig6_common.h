@@ -59,6 +59,8 @@ inline int WeakScalingMain(int argc, char** argv, const std::string& title,
             engines::RunStats stats;
             for (auto _ : state) {
               stats = sut_engine->Run(workload->MakeQuery(), *workload, cfg);
+              RequireCompleted(stats, std::string(sut_engine->name()) +
+                                          "/nodes:" + std::to_string(nodes));
             }
             state.counters["Mrec/s"] = stats.throughput_rps() / 1e6;
             state.counters["net_GB/s"] = stats.network_gbps();

@@ -68,6 +68,8 @@ void RunCase(benchmark::State& state, int workload_id, int nodes) {
       cfg.records_per_worker = BenchRecords(10'000);
       stats = engine.Run(workload->MakeQuery(), *workload, cfg);
     }
+    RequireCompleted(stats, std::string(WorkloadName(workload_id)) +
+                                "/nodes:" + std::to_string(nodes));
   }
   state.counters["Mrec/s"] = stats.throughput_rps() / 1e6;
   Table()->Add(nodes == 1 ? "LightSaber (L)" : "Slash",

@@ -59,6 +59,8 @@ void RunCase(benchmark::State& state, bool ysb, bool slash_engine, double z) {
         engines::UpParEngine engine;
         stats = engine.Run(workload->MakeQuery(), *workload, cfg);
       }
+      RequireCompleted(stats, std::string(slash_engine ? "Slash" : "UpPar") +
+                                  "/z=" + std::to_string(z));
     }
     mrec_per_s = stats.throughput_rps() / 1e6;
   } else {

@@ -43,6 +43,8 @@ void RunCase(benchmark::State& state, bool ysb, bool rdma_ingestion) {
   for (auto _ : state) {
     engines::SlashEngine engine;
     stats = engine.Run(workload->MakeQuery(), *workload, cfg);
+    RequireCompleted(stats, rdma_ingestion ? "ingestion/rdma"
+                                           : "ingestion/local");
   }
   state.counters["Mrec/s"] = stats.throughput_rps() / 1e6;
   state.counters["net_GB/s"] = stats.network_gbps();

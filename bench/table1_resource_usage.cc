@@ -49,6 +49,8 @@ void BM_Table1(benchmark::State& state) {
     engines::SlashEngine slash_engine;
     uppar = uppar_engine.Run(workload.MakeQuery(), workload, cfg);
     slash = slash_engine.Run(workload.MakeQuery(), workload, cfg);
+    RequireCompleted(uppar, "table1/UpPar");
+    RequireCompleted(slash, "table1/Slash");
   }
 
   std::printf(

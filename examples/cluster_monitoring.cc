@@ -6,6 +6,7 @@
 //   $ ./build/examples/cluster_monitoring
 #include <cstdio>
 
+#include "bench_util/harness.h"
 #include "engines/slash_engine.h"
 #include "workloads/cluster_monitoring.h"
 
@@ -29,6 +30,7 @@ int main() {
     slash::engines::SlashEngine engine;
     const slash::engines::RunStats stats =
         engine.Run(query, workload, cluster);
+    slash::bench::RequireCompleted(stats, "cluster_monitoring");
     std::printf("%8llu KiB %12.1f %14s %16s\n",
                 static_cast<unsigned long long>(epoch_kib),
                 stats.throughput_rps() / 1e6,
@@ -51,6 +53,7 @@ int main() {
     slash::engines::SlashEngine engine;
     const slash::engines::RunStats stats =
         engine.Run(skewed.MakeQuery(), skewed, cluster);
+    slash::bench::RequireCompleted(stats, "cluster_monitoring/skew");
     std::printf("%-8.1f %12.1f\n", z, stats.throughput_rps() / 1e6);
   }
   return 0;

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_util/harness.h"
 #include "core/oracle.h"
 #include "engines/slash_engine.h"
 #include "workloads/nexmark.h"
@@ -27,6 +28,7 @@ void RunJoin(const slash::workloads::Workload& workload) {
 
   slash::engines::SlashEngine engine;
   const slash::engines::RunStats stats = engine.Run(query, workload, cluster);
+  slash::bench::RequireCompleted(stats, "nexmark_join");
 
   const slash::core::OracleOutput oracle = slash::core::ComputeOracle(
       query, workload.Sources(cluster.records_per_worker, cluster.seed),

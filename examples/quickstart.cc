@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_util/harness.h"
 #include "common/random.h"
 #include "core/oracle.h"
 #include "core/query.h"
@@ -83,6 +84,7 @@ int main() {
 
   slash::engines::SlashEngine engine;
   const slash::engines::RunStats stats = engine.Run(query, workload, cluster);
+  slash::bench::RequireCompleted(stats, "quickstart");
 
   std::printf("query            : %s\n", query.name.c_str());
   std::printf("records processed: %llu\n",

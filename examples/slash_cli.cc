@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 
+#include "bench_util/harness.h"
 #include "core/oracle.h"
 #include "engines/flink_engine.h"
 #include "engines/lightsaber_engine.h"
@@ -160,6 +161,7 @@ int main(int argc, char** argv) {
   const slash::core::QuerySpec query = workload->MakeQuery();
   const slash::engines::RunStats stats =
       engine->Run(query, *workload, cfg);
+  slash::bench::RequireCompleted(stats, std::string(engine->name()));
 
   std::printf("engine            : %s\n", std::string(engine->name()).c_str());
   std::printf("workload          : %s (%s)\n",

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util/harness.h"
 #include "engines/flink_engine.h"
 #include "engines/lightsaber_engine.h"
 #include "engines/slash_engine.h"
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
   for (auto& engine : engines) {
     const slash::engines::RunStats stats =
         engine->Run(query, workload, cluster);
+    slash::bench::RequireCompleted(stats, std::string(engine->name()));
     if (reference_checksum == 0) reference_checksum = stats.result_checksum;
     std::printf("%-16s %12.1f %12.2f %10llu %10s %10.1f\n",
                 std::string(engine->name()).c_str(),
@@ -61,6 +63,7 @@ int main(int argc, char** argv) {
     single.nodes = 1;
     const slash::engines::RunStats stats =
         lightsaber.Run(query, workload, single);
+    slash::bench::RequireCompleted(stats, "LightSaber");
     std::printf("%-16s %12.1f %12s %10llu %10s %10.1f   (1 node)\n",
                 std::string(lightsaber.name()).c_str(),
                 stats.throughput_rps() / 1e6, "-",

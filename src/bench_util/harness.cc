@@ -27,6 +27,16 @@ uint64_t BenchRecords(uint64_t base) {
   return static_cast<uint64_t>(double(base) * factor);
 }
 
+void RequireCompleted(const engines::RunStats& stats,
+                      const std::string& context) {
+  if (stats.ok()) return;
+  std::fprintf(stderr,
+               "FATAL: benchmark run did not complete (%s): %s\n"
+               "Refusing to report numbers from an aborted run.\n",
+               context.c_str(), stats.status.ToString().c_str());
+  std::exit(1);
+}
+
 void SeriesTable::Add(const std::string& series, const std::string& x,
                       const std::string& metric, double value) {
   if (std::find(series_order_.begin(), series_order_.end(), series) ==

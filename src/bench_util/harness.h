@@ -23,6 +23,14 @@ engines::ClusterConfig BenchCluster(int nodes, int workers);
 /// the experiments at larger input sizes.
 uint64_t BenchRecords(uint64_t base);
 
+/// Guards every benchmark datapoint: a run that did not complete reports
+/// bogus numbers (partial makespan, missing results), so an aborted run
+/// fails the whole binary loudly — status printed to stderr, non-zero
+/// exit — instead of being averaged into a figure. `context` names the
+/// datapoint (engine/workload/shape) for the error message.
+void RequireCompleted(const engines::RunStats& stats,
+                      const std::string& context);
+
 /// Accumulates (series, x, metric) points and renders matrices like the
 /// paper's figures: one row per series, one column per x value.
 class SeriesTable {

@@ -93,6 +93,13 @@ bool RdmaChannel::TryAcquire(SlotRef* out, perf::CpuContext* cpu) {
     cpu->Charge(perf::Op::kPollPause);
     return false;
   }
+  if (config_.replay_buffer_slots > 0 &&
+      retained_.size() >= config_.replay_buffer_slots) {
+    // Replay buffer full: the producer may not outrun the consumer's
+    // checkpoints by more than the bound.
+    cpu->Charge(perf::Op::kPollPause);
+    return false;
+  }
   const uint32_t slot = static_cast<uint32_t>(acquired_count_ % config_.credits);
   out->payload = staging_->data() + SlotOffset(slot);
   out->capacity = payload_capacity();
@@ -126,6 +133,15 @@ Status RdmaChannel::Post(const SlotRef& slot, uint64_t payload_len,
   footer.send_time = slot.acquire_time;
   WriteFooter(staging_->data() + FooterOffset(slot.slot_index), footer);
 
+  if (config_.replay_buffer_slots > 0) {
+    RetainedMessage retained;
+    retained.bytes.assign(slot.payload, slot.payload + payload_len);
+    retained.user_tag = user_tag;
+    retained.watermark = watermark;
+    retained_bytes_ += payload_len;
+    retained_.push_back(std::move(retained));
+  }
+
   // One RDMA WRITE of the whole fixed-size slot (flat layout: payload and
   // footer move in a single request). Unsignaled: credit return already
   // proves completion, so no sender CQE is needed (selective signaling) —
@@ -148,6 +164,10 @@ Status RdmaChannel::PostExternal(rdma::MemorySpan payload, uint64_t user_tag,
   if (!has_credit()) {
     return Status::FailedPrecondition("no credit available");
   }
+  if (config_.replay_buffer_slots > 0 &&
+      retained_.size() >= config_.replay_buffer_slots) {
+    return Status::FailedPrecondition("replay buffer full");
+  }
   if (payload.length > payload_capacity()) {
     return Status::InvalidArgument("payload exceeds slot capacity");
   }
@@ -168,6 +188,15 @@ Status RdmaChannel::PostExternal(rdma::MemorySpan payload, uint64_t user_tag,
   WriteFooter(staging_->data() + FooterOffset(slot), footer);
   external_spans_[slot] = payload;
 
+  if (config_.replay_buffer_slots > 0) {
+    RetainedMessage retained;
+    retained.bytes.assign(payload.data(), payload.data() + payload.length);
+    retained.user_tag = user_tag;
+    retained.watermark = watermark;
+    retained_bytes_ += payload.length;
+    retained_.push_back(std::move(retained));
+  }
+
   cpu->Charge(perf::Op::kRdmaPost, 2);
   ++acquired_count_;
   ++sent_count_;
@@ -175,6 +204,15 @@ Status RdmaChannel::PostExternal(rdma::MemorySpan payload, uint64_t user_tag,
                                  SlotOffset(slot),
                                  MakeWrId(sent_count_, kWrExtPayload),
                                  /*signaled=*/true);
+}
+
+void RdmaChannel::MarkCheckpoint() {
+  if (retained_.empty()) return;
+  retained_.clear();
+  retained_bytes_ = 0;
+  // Producers blocked on the replay-buffer bound can acquire again.
+  credit_event_.Notify();
+  for (sim::Event* observer : credit_observers_) observer->Notify();
 }
 
 bool RdmaChannel::TryPoll(InboundBuffer* out, perf::CpuContext* cpu) {

@@ -45,6 +45,7 @@
 #define SLASH_CHANNEL_RDMA_CHANNEL_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -72,6 +73,15 @@ struct ChannelConfig {
   /// reused before its credit returns, so payloads are still intact.
   uint32_t max_retries = 10;
   Nanos retry_backoff_base = 8 * kMicrosecond;
+
+  /// Upstream replay buffer: when > 0, the producer retains a copy of every
+  /// posted message until the consumer acknowledges a checkpoint covering
+  /// it (MarkCheckpoint()). The buffer is bounded: once `replay_buffer_slots`
+  /// messages are retained, TryAcquire back-pressures the producer until
+  /// the next checkpoint prunes the buffer. 0 disables retention. Only
+  /// enable on channels whose consumer actually checkpoints, or the
+  /// producer wedges permanently once the bound is hit.
+  uint32_t replay_buffer_slots = 0;
 };
 
 /// Slot footer, stored in the last kFooterBytes of every slot and written
@@ -170,6 +180,26 @@ class RdmaChannel {
   /// Messages posted so far.
   uint64_t sent_count() const { return sent_count_; }
 
+  // --- Upstream replay buffer ----------------------------------------------
+
+  /// One message retained for post-checkpoint replay.
+  struct RetainedMessage {
+    std::vector<uint8_t> bytes;
+    uint64_t user_tag = 0;
+    int64_t watermark = 0;
+  };
+
+  /// Messages currently retained (posted since the last MarkCheckpoint).
+  const std::deque<RetainedMessage>& retained() const { return retained_; }
+
+  /// Total payload bytes currently retained.
+  uint64_t retained_bytes() const { return retained_bytes_; }
+
+  /// Consumer-side checkpoint acknowledgement: everything posted so far is
+  /// covered by a durable checkpoint, so the replay buffer can be pruned.
+  /// Wakes producers blocked on the replay-buffer bound.
+  void MarkCheckpoint();
+
   // --- Fault handling ------------------------------------------------------
 
   /// True once the channel has been closed by the retry machinery: a
@@ -190,6 +220,12 @@ class RdmaChannel {
 
   /// Transfers re-posted after an error completion (transparent recovery).
   uint64_t retries() const { return retries_; }
+
+  /// Closes the channel immediately with `cause` (e.g. the peer node
+  /// crashed). Equivalent to the retry machinery exhausting its budget:
+  /// both sides' events fire, posts fail with kUnavailable, and later
+  /// error completions are swallowed instead of spawning retries.
+  void Abort(const Status& cause) { CloseChannel(cause); }
 
   /// Credits currently held by the producer side: acquired slots whose
   /// release has not yet become visible. Zero after a fully drained run —
@@ -281,6 +317,9 @@ class RdmaChannel {
   // Zero-copy payload spans of in-flight external messages, indexed by
   // slot; valid until the slot's credit returns (needed for retries).
   std::vector<rdma::MemorySpan> external_spans_;
+  // Upstream replay buffer (bounded; see ChannelConfig::replay_buffer_slots).
+  std::deque<RetainedMessage> retained_;
+  uint64_t retained_bytes_ = 0;
 
   // Fault-recovery state.
   bool broken_ = false;

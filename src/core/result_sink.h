@@ -53,6 +53,16 @@ class ResultSink {
   /// Order-insensitive digest of all emitted rows.
   uint64_t checksum() const { return checksum_; }
 
+  /// Replaces this sink's content with checkpointed state (crash recovery
+  /// rolls emissions back to the restored cut). `rows` is ignored when the
+  /// sink does not keep rows.
+  void Restore(uint64_t count, uint64_t checksum,
+               std::vector<WindowResult> rows) {
+    count_ = count;
+    checksum_ = checksum;
+    rows_ = keep_rows_ ? std::move(rows) : std::vector<WindowResult>{};
+  }
+
   const std::vector<WindowResult>& rows() const { return rows_; }
   std::vector<WindowResult> SortedRows() const;
 

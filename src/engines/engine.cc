@@ -1,2 +1,118 @@
-// engine.h is header-only; this translation unit anchors it.
 #include "engines/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace slash::engines {
+
+RecoveryCoordinator::RecoveryCoordinator(int nodes)
+    : nodes_(nodes), blobs_(nodes), final_from_(nodes, -1),
+      retired_(nodes, false) {}
+
+void RecoveryCoordinator::RecordLocal(int node, uint64_t round,
+                                      std::vector<uint8_t> bytes) {
+  SLASH_CHECK_GE(node, 0);
+  SLASH_CHECK_LT(node, nodes_);
+  Blob& blob = blobs_[node][round];
+  blob.bytes = std::move(bytes);
+  blob.holders.assign(1, node);
+  ++checkpoints_taken_;
+}
+
+void RecoveryCoordinator::RecordReplica(int node, uint64_t round, int holder) {
+  auto it = blobs_[node].find(round);
+  SLASH_CHECK_MSG(it != blobs_[node].end(),
+                  "replica of an unrecorded snapshot: node "
+                      << node << " round " << round);
+  std::vector<int>& holders = it->second.holders;
+  if (std::find(holders.begin(), holders.end(), holder) == holders.end()) {
+    holders.push_back(holder);
+  }
+}
+
+void RecoveryCoordinator::MarkFinalFrom(int node, uint64_t round) {
+  SLASH_CHECK(blobs_[node].count(round) > 0);
+  final_from_[node] = static_cast<int64_t>(round);
+}
+
+const RecoveryCoordinator::Blob* RecoveryCoordinator::FindBlob(
+    int node, uint64_t round) const {
+  auto it = blobs_[node].find(round);
+  if (it != blobs_[node].end()) return &it->second;
+  // A terminal snapshot stands in for every round past it.
+  if (final_from_[node] >= 0 &&
+      round >= static_cast<uint64_t>(final_from_[node])) {
+    auto fit = blobs_[node].find(static_cast<uint64_t>(final_from_[node]));
+    if (fit != blobs_[node].end()) return &fit->second;
+  }
+  return nullptr;
+}
+
+const std::vector<uint8_t>* RecoveryCoordinator::BlobFor(
+    int node, uint64_t round) const {
+  const Blob* blob = FindBlob(node, round);
+  return blob != nullptr ? &blob->bytes : nullptr;
+}
+
+uint64_t RecoveryCoordinator::LatestRecoverableRound(
+    const std::vector<bool>& alive) const {
+  uint64_t max_round = 0;
+  for (int node = 0; node < nodes_; ++node) {
+    if (!blobs_[node].empty()) {
+      max_round = std::max(max_round, blobs_[node].rbegin()->first);
+    }
+  }
+  for (uint64_t k = max_round; k >= 1; --k) {
+    bool all_restorable = true;
+    for (int node = 0; node < nodes_ && all_restorable; ++node) {
+      if (retired_[node]) continue;
+      const Blob* blob = FindBlob(node, k);
+      if (blob == nullptr) {
+        all_restorable = false;
+        break;
+      }
+      bool live_copy = false;
+      for (int holder : blob->holders) live_copy |= alive[holder];
+      all_restorable = live_copy;
+    }
+    if (all_restorable) return k;
+  }
+  return 0;
+}
+
+void RecoveryCoordinator::RetireNode(int node) {
+  SLASH_CHECK_GE(node, 0);
+  SLASH_CHECK_LT(node, nodes_);
+  retired_[node] = true;
+}
+
+void RecoveryCoordinator::DiscardRoundsAfter(uint64_t round) {
+  for (int node = 0; node < nodes_; ++node) {
+    std::map<uint64_t, Blob>& rounds = blobs_[node];
+    rounds.erase(rounds.upper_bound(round), rounds.end());
+    if (final_from_[node] >= 0 &&
+        static_cast<uint64_t>(final_from_[node]) > round) {
+      final_from_[node] = -1;
+    }
+  }
+}
+
+int RecoveryCoordinator::FirstLiveHolder(int node, uint64_t round,
+                                         const std::vector<bool>& alive) const {
+  const Blob* blob = FindBlob(node, round);
+  if (blob == nullptr) return -1;
+  for (int holder : blob->holders) {
+    if (alive[holder]) return holder;
+  }
+  return -1;
+}
+
+void BlobReader::Raw(void* dst, size_t len) {
+  if (len == 0) return;  // empty Bytes(): memcpy to nullptr is UB
+  SLASH_CHECK_LE(pos_ + len, len_);
+  std::memcpy(dst, data_ + pos_, len);
+  pos_ += len;
+}
+
+}  // namespace slash::engines

@@ -16,6 +16,7 @@
 #ifndef SLASH_ENGINES_ENGINE_H_
 #define SLASH_ENGINES_ENGINE_H_
 
+#include <cstring>
 #include <map>
 #include <string>
 #include <string_view>
@@ -35,6 +36,36 @@
 #include "workloads/workload.h"
 
 namespace slash::engines {
+
+/// Epoch-aligned checkpointing and crash recovery (Slash and Flink-like
+/// engines). When enabled, every node snapshots the partitions it leads at
+/// checkpoint boundaries aligned with the epoch/barrier protocol,
+/// replicates the snapshot over the network to `replication_factor` peers,
+/// and a kNodeCrash mid-run triggers recovery instead of an abort: the dead
+/// node's partitions move to a surviving heir, every node rolls back to the
+/// latest fully replicated checkpoint round, and the lost input is replayed
+/// deterministically from the sources.
+struct CheckpointConfig {
+  bool enabled = false;
+
+  /// Slash: a checkpoint round every `interval_epochs` state-backend
+  /// epochs (round r is taken when a node's epoch sequence reaches
+  /// r * interval_epochs, aligned across nodes by the epoch protocol).
+  uint32_t interval_epochs = 1;
+
+  /// Peers each snapshot is replicated to (1 or 2). With n live nodes the
+  /// peers of node p are (p+1) mod n and, for factor 2, (p+2) mod n.
+  int replication_factor = 1;
+
+  /// Bound (in messages) of the upstream replay buffer retained on ingest
+  /// channels between checkpoints; producers back-pressure at the bound.
+  uint32_t replay_buffer_slots = 32;
+
+  /// Flink-like: each sender emits a checkpoint barrier after every
+  /// `interval_records` records it consumed (0 = derive a default of
+  /// records_per_worker / 4 at run time).
+  uint64_t interval_records = 0;
+};
 
 /// Simulated cluster and engine configuration.
 ///
@@ -83,8 +114,13 @@ struct ClusterConfig {
   /// engine registers a sim::FaultInjector before building the fabric;
   /// transient faults are absorbed by channel retry (results identical to
   /// the fault-free run), permanent ones abort the run cleanly with
-  /// RunStats::status set. Not owned; must outlive the Run() call.
+  /// RunStats::status set — unless checkpointing is enabled, in which case
+  /// a node crash is recovered and the run completes with correct results.
+  /// Not owned; must outlive the Run() call.
   const sim::FaultPlan* fault_plan = nullptr;
+
+  /// Checkpointing / crash recovery (Slash and Flink-like engines).
+  CheckpointConfig checkpoint;
 
   const perf::CostModel* cost_model = &perf::CostModel::Default();
 };
@@ -113,6 +149,13 @@ struct RunStats {
   uint64_t credits_outstanding = 0;
   uint64_t faults_injected = 0;
   uint64_t fault_trace_digest = 0;
+
+  /// Checkpoint / recovery observability (zero when checkpointing is off).
+  uint64_t checkpoints_taken = 0;            // snapshots recorded, all nodes
+  uint64_t checkpoint_bytes_replicated = 0;  // snapshot bytes shipped to peers
+  uint64_t recoveries = 0;                   // node crashes recovered from
+  Nanos recovery_ns = 0;                     // virtual time spent recovering
+  uint64_t records_replayed = 0;             // input re-read after rollback
 
   /// Top-down counters per role ("worker", "sender", "receiver").
   std::map<std::string, perf::Counters> role_counters;
@@ -152,6 +195,140 @@ class Engine {
   virtual RunStats Run(const core::QuerySpec& query,
                        const workloads::Workload& workload,
                        const ClusterConfig& config) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Crash recovery
+// ---------------------------------------------------------------------------
+
+/// The recovery coordinator: the control plane's durable view of which
+/// checkpoint blobs exist and where their copies live.
+///
+/// Each node registers its serialized round-r snapshot locally when it takes
+/// it (RecordLocal) and the replication protocol registers each peer that
+/// received a complete copy (RecordReplica). A node whose input is fully
+/// drained takes one terminal snapshot that stands in for every later round
+/// (MarkFinalFrom). On a crash, the engine asks for the latest round K that
+/// every node can be restored to using only copies held by live nodes —
+/// survivors restore from their local blob, the dead node's heir restores
+/// from the replica it received.
+class RecoveryCoordinator {
+ public:
+  explicit RecoveryCoordinator(int nodes);
+
+  /// Registers node `node`'s serialized round-`round` snapshot (held
+  /// locally by the node itself).
+  void RecordLocal(int node, uint64_t round, std::vector<uint8_t> bytes);
+
+  /// Registers that `holder` received a complete replica of node `node`'s
+  /// round-`round` snapshot.
+  void RecordReplica(int node, uint64_t round, int holder);
+
+  /// Declares node `node`'s round-`round` snapshot terminal: the node's
+  /// input is fully drained, so that snapshot is valid for every round
+  /// >= `round` as well.
+  void MarkFinalFrom(int node, uint64_t round);
+
+  /// The latest round K >= 1 such that every non-retired node has a usable
+  /// snapshot for K with at least one copy on a node marked alive, or 0
+  /// when no such round exists (recovery then restarts from empty state).
+  uint64_t LatestRecoverableRound(const std::vector<bool>& alive) const;
+
+  /// Excludes `node` from future LatestRecoverableRound requirements: its
+  /// partitions were recovered onto an heir, which snapshots them from now
+  /// on as part of its own blobs.
+  void RetireNode(int node);
+
+  /// Drops every blob for rounds > `round` (and terminal marks past it).
+  /// Called when recovery rolls the run back to round `round`: the later
+  /// snapshots describe a timeline that no longer exists — after the
+  /// rollback the entity-to-node placement changes, so regenerated rounds
+  /// must not be confused with stale pre-crash ones.
+  void DiscardRoundsAfter(uint64_t round);
+
+  /// A live holder of node `node`'s round-`round` blob (the dead node's
+  /// heir restores from this peer's replica), or -1 when none exists.
+  int FirstLiveHolder(int node, uint64_t round,
+                      const std::vector<bool>& alive) const;
+
+  /// Node `node`'s snapshot bytes usable for round `round` (exact round or
+  /// the terminal snapshot covering it); nullptr if none.
+  const std::vector<uint8_t>* BlobFor(int node, uint64_t round) const;
+
+  /// Snapshots recorded so far across all nodes.
+  uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+
+ private:
+  struct Blob {
+    std::vector<uint8_t> bytes;
+    std::vector<int> holders;
+  };
+
+  const Blob* FindBlob(int node, uint64_t round) const;
+
+  int nodes_;
+  std::vector<std::map<uint64_t, Blob>> blobs_;  // per node: round -> blob
+  std::vector<int64_t> final_from_;              // -1 = not terminal yet
+  std::vector<bool> retired_;
+  uint64_t checkpoints_taken_ = 0;
+};
+
+/// Append-only serializer for checkpoint blobs. Fixed-width little-endian
+/// fields via memcpy; both engines share it so the recovery tests can treat
+/// blob sizes uniformly.
+class BlobWriter {
+ public:
+  explicit BlobWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  void Bytes(const std::vector<uint8_t>& bytes) {
+    U64(bytes.size());
+    Raw(bytes.data(), bytes.size());
+  }
+
+ private:
+  void Raw(const void* data, size_t len) {
+    if (len == 0) return;  // empty Bytes(): memcpy from nullptr is UB
+    const size_t pos = out_->size();
+    out_->resize(pos + len);
+    std::memcpy(out_->data() + pos, data, len);
+  }
+
+  std::vector<uint8_t>* out_;
+};
+
+/// Cursor-based reader matching BlobWriter. Out-of-bounds reads check-fail:
+/// blobs are produced and consumed inside one process, so a short read is a
+/// logic error, not input to tolerate.
+class BlobReader {
+ public:
+  BlobReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+
+  uint64_t U64() {
+    uint64_t v;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  int64_t I64() {
+    int64_t v;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  std::vector<uint8_t> Bytes() {
+    const uint64_t n = U64();
+    std::vector<uint8_t> out(n);
+    Raw(out.data(), n);
+    return out;
+  }
+  bool done() const { return pos_ == len_; }
+
+ private:
+  void Raw(void* dst, size_t len);
+
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
 };
 
 }  // namespace slash::engines

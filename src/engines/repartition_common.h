@@ -28,7 +28,8 @@ class FlowMux {
  public:
   explicit FlowMux(std::vector<std::unique_ptr<core::RecordSource>> flows)
       : flows_(std::move(flows)),
-        last_ts_(flows_.size(), core::kWatermarkMin) {}
+        last_ts_(flows_.size(), core::kWatermarkMin),
+        consumed_(flows_.size(), 0) {}
 
   /// Next record, round-robin across non-exhausted flows. False when all
   /// flows are drained.
@@ -39,6 +40,7 @@ class FlowMux {
       if (flows_[f] == nullptr) continue;
       if (flows_[f]->Next(out)) {
         last_ts_[f] = out->timestamp;
+        ++consumed_[f];
         cursor_ = (f + 1) % n;
         return true;
       }
@@ -55,9 +57,33 @@ class FlowMux {
     return wm;
   }
 
+  size_t flow_count() const { return flows_.size(); }
+
+  /// Records consumed from flow `f` so far (checkpoint offsets).
+  uint64_t consumed(size_t f) const { return consumed_[f]; }
+
+  /// Fast-forwards flow `f` past its first `count` records (recovery
+  /// replays a flow deterministically from a checkpointed offset; the
+  /// sources are seeded generators, so skipping re-derives the exact
+  /// position and watermark of the checkpoint cut).
+  void SkipTo(size_t f, uint64_t count) {
+    core::Record r;
+    for (uint64_t i = 0; i < count; ++i) {
+      if (flows_[f] == nullptr || !flows_[f]->Next(&r)) {
+        flows_[f] = nullptr;
+        last_ts_[f] = core::kWatermarkMax;
+        consumed_[f] = count;
+        return;
+      }
+      last_ts_[f] = r.timestamp;
+    }
+    consumed_[f] = count;
+  }
+
  private:
   std::vector<std::unique_ptr<core::RecordSource>> flows_;
   std::vector<int64_t> last_ts_;
+  std::vector<uint64_t> consumed_;
   size_t cursor_ = 0;
 };
 

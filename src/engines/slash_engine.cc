@@ -25,11 +25,60 @@ using channel::SlotRef;
 using core::Record;
 using perf::Op;
 
+// Recovery is not free: each channel of the rebuilt attempt costs a
+// connection setup, and restoring checkpoint blobs streams them back
+// through memory at a finite rate. Both feed the modeled recovery delay.
+constexpr Nanos kChannelSetupCost = 10 * kMicrosecond;
+constexpr uint64_t kRestoreBytesPerNs = 4;
+
+/// One replication stream: the snapshots a node has taken this attempt, in
+/// round order. Append-only so that each replication target's coroutine can
+/// keep its own cursor into it.
+struct ReplState {
+  struct Item {
+    uint64_t round = 0;
+    std::vector<uint8_t> bytes;
+  };
+  // Deque, not vector: the Replicator coroutine holds a reference to the
+  // item it is chunking across suspension points while TakeSnapshot keeps
+  // appending; push_back must not invalidate references.
+  std::deque<Item> items;
+  bool terminal = false;  // no further snapshots will be appended
+  std::unique_ptr<sim::Event> event;
+};
+
+/// One input flow assigned to a worker. Flow ids are global and stable
+/// across recovery attempts; a crashed node's flows are re-homed to its
+/// heir, which re-derives the exact checkpoint cut by skipping the
+/// deterministic generator to the checkpointed offset.
+struct Lane {
+  uint64_t flow = 0;
+  std::unique_ptr<core::RecordSource> source;  // local-read mode
+  RdmaChannel* ingest = nullptr;               // rdma_ingestion mode
+  uint64_t consumed = 0;
+  int64_t last_ts = core::kWatermarkMin;
+  bool done = false;
+};
+
+/// One inbound state-synchronization channel. Helper `helper` ships the
+/// deltas of exactly one partition `partition` through it, so the stream is
+/// a strict epoch FIFO carrying exactly one delta (terminated by a
+/// user_tag == 1 chunk) per epoch — the property the checkpoint barrier
+/// counts on to align snapshots across nodes.
+struct InChannel {
+  int helper = 0;
+  int partition = 0;
+  RdmaChannel* ch = nullptr;
+  uint64_t finals_merged = 0;  // epochs fully merged from this channel
+  bool final_seen = false;     // end-of-stream delta received
+};
+
 struct NodeState {
   int node = 0;
   std::unique_ptr<state::StateBackend> ssb;
   std::vector<std::unique_ptr<perf::CpuContext>> worker_cpus;
   std::vector<int64_t> worker_watermarks;
+  std::vector<std::vector<Lane>> worker_lanes;  // per worker
   int finished_workers = 0;
   // Epoch coordination: any worker that observes the byte threshold bumps
   // `epoch_seq`; every worker then drains *its assigned partitions* for
@@ -39,15 +88,17 @@ struct NodeState {
   int64_t epoch_low_wm = core::kWatermarkMin;
   bool final_bumped = false;  // the end-of-stream epoch has been announced
   core::VectorClock vclock;
-  int64_t last_trigger_wm = core::kWatermarkMin;
+  std::vector<int64_t> trigger_wms;  // per led partition
   core::ResultSink sink;
-  // out[p]: channel towards partition p's leader; in[h]: from helper h.
+  // out[p]: channel towards partition p's current leader (nullptr when this
+  // node leads p itself); in: one entry per (helper, partition) feeding us.
   std::vector<RdmaChannel*> out;
-  std::vector<RdmaChannel*> in;
-  std::vector<RdmaChannel*> ingest;  // per worker (rdma_ingestion only)
-  std::vector<bool> helper_final;              // per helper node
-  int finals_received = 0;
-  std::vector<int> all_helpers;                // every h != node
+  std::vector<InChannel> in;
+  // Checkpointing: rounds this node has snapshotted (starts at the restored
+  // round), and whether the terminal snapshot has been taken.
+  uint64_t snapshots_taken = 0;
+  bool terminal_snapshotted = false;
+  ReplState* repl = nullptr;
   // Notified on any inbound arrival or credit return at this node; the
   // epoch-drain loop parks here so it can keep pumping inbound channels
   // (releasing their credits) while waiting for its own send credits —
@@ -60,64 +111,201 @@ struct NodeState {
     return *std::min_element(worker_watermarks.begin(),
                              worker_watermarks.end());
   }
+
+  bool channels_done() const {
+    for (const InChannel& ic : in) {
+      if (!ic.final_seen) return false;
+    }
+    return true;
+  }
 };
 
 struct SlashRun {
   const core::QuerySpec* query;
   const workloads::Workload* workload;
   ClusterConfig config;
+  state::SsbConfig ssb_config;
   sim::Simulator sim;
   std::unique_ptr<sim::FaultInjector> injector;
   std::unique_ptr<rdma::Fabric> fabric;
   std::vector<std::unique_ptr<RdmaChannel>> channels;
-  std::vector<std::unique_ptr<NodeState>> nodes;
+  size_t attempt_channel_start = 0;  // first channel of the current attempt
+  // All NodeStates ever built (coroutines of a torn-down attempt may still
+  // be unwinding and referencing theirs); `nodes` indexes the current
+  // attempt by physical node id, nullptr for dead nodes.
+  std::vector<std::unique_ptr<NodeState>> node_storage;
+  std::vector<NodeState*> nodes;
   std::vector<std::unique_ptr<perf::CpuContext>> generator_cpus;
+  std::vector<std::unique_ptr<perf::CpuContext>> repl_cpus;
+  std::vector<std::unique_ptr<ReplState>> repl_storage;
+  // Recovery control plane.
+  std::unique_ptr<RecoveryCoordinator> coordinator;
+  std::vector<bool> alive;
+  std::vector<bool> retired;   // dead and already recovered from
+  std::vector<int> owner;      // partition -> leading node
+  std::vector<int> flow_home;  // flow -> node reading it
+  int attempt = 1;
+  bool recovering = false;
+  bool in_teardown = false;
+  Nanos recovery_start = 0;
+  uint64_t records_at_crash = 0;
+  // Stats.
   uint64_t records_in = 0;
+  uint64_t records_replayed = 0;
+  uint64_t recoveries = 0;
+  Nanos recovery_ns = 0;
+  uint64_t bytes_replicated = 0;
   LatencyHistogram latency;
   bool failed = false;
   Status failure;
 
-  int total_workers() const {
-    return config.nodes * config.workers_per_node;
+  int total_workers() const { return config.nodes * config.workers_per_node; }
+  bool checkpointing() const { return config.checkpoint.enabled; }
+  uint64_t interval() const {
+    return std::max<uint32_t>(1u, config.checkpoint.interval_epochs);
   }
 };
 
-/// Aborts the run cleanly after a permanent fault: records the cause and
-/// wakes every parked coroutine so it can observe `failed` and unwind
+void BuildAttempt(SlashRun* run, uint64_t round);
+
+/// Aborts the run cleanly after an unrecoverable fault: records the cause
+/// and wakes every parked coroutine so it can observe `failed` and unwind
 /// (instead of deadlocking on a channel that will never move again).
 void FailRun(SlashRun* run, const Status& cause) {
   if (run->failed) return;
   run->failed = true;
   run->failure = cause;
-  for (auto& ns : run->nodes) ns->activity->Notify();
+  for (NodeState* ns : run->nodes) {
+    if (ns != nullptr) ns->activity->Notify();
+  }
   for (auto& ch : run->channels) {
     ch->credit_event().Notify();
     ch->data_event().Notify();
   }
+  for (auto& rs : run->repl_storage) rs->event->Notify();
 }
 
-/// Emits and retires every primary-partition bucket whose trigger
-/// watermark passed min(V).
+/// Emits and retires every bucket of the partitions this node leads whose
+/// trigger watermark passed min(V).
 void TryTrigger(SlashRun* run, NodeState* ns, perf::CpuContext* cpu) {
-  TriggerWindows(*run->query, ns->vclock.Min(), ns->ssb->primary(), &ns->sink,
-                 cpu, &ns->last_trigger_wm);
+  const int64_t wm = ns->vclock.Min();
+  for (int p = 0; p < run->config.nodes; ++p) {
+    if (!ns->ssb->leads(p)) continue;
+    TriggerWindows(*run->query, wm, ns->ssb->local(p), &ns->sink, cpu,
+                   &ns->trigger_wms[p]);
+  }
 }
 
-/// Polls the node's inbound channels and merges delta chunks into the
-/// primary partition. Every chunk is entry-aligned and independently
-/// mergeable, so *any* worker can take any chunk — merge work spreads
-/// across all worker cores, interleaved with query processing
-/// (Sec. 7.2.1: "Slash interleaves reception and merging of delta changes
-/// with query processing"). Returns true if anything was consumed.
+/// True when the next checkpoint round's barrier is complete at this node:
+/// it announced the boundary epoch itself (or finished its input for good),
+/// and every inbound channel has delivered all deltas up to the boundary
+/// (or its end-of-stream delta).
+bool SnapshotReady(const SlashRun* run, const NodeState* ns) {
+  if (!run->checkpointing() || run->failed || ns->terminal_snapshotted) {
+    return false;
+  }
+  const uint64_t boundary = (ns->snapshots_taken + 1) * run->interval();
+  if (ns->epoch_seq < boundary && !ns->final_bumped) return false;
+  for (const InChannel& ic : ns->in) {
+    if (!ic.final_seen && ic.finals_merged < boundary) return false;
+  }
+  return true;
+}
+
+/// Cuts one checkpoint round: serializes every led partition, the input
+/// offsets of every lane, and the sink into a blob; registers it with the
+/// coordinator; and hands it to the replication stream. When the node's
+/// input and every inbound channel are fully drained the snapshot is
+/// terminal — it stands in for every later round.
+void TakeSnapshot(SlashRun* run, NodeState* ns, perf::CpuContext* cpu) {
+  // At the barrier every node has merged exactly the same per-peer epoch
+  // prefix, so fire any due windows now: the snapshot then captures state,
+  // trigger watermarks and sink consistently *after* them.
+  TryTrigger(run, ns, cpu);
+  const uint64_t round = ns->snapshots_taken + 1;
+  std::vector<uint8_t> blob;
+  BlobWriter writer(&blob);
+  writer.U64(round);
+  uint64_t led = 0;
+  for (int p = 0; p < run->config.nodes; ++p) {
+    if (ns->ssb->leads(p)) ++led;
+  }
+  writer.U64(led);
+  for (int p = 0; p < run->config.nodes; ++p) {
+    if (!ns->ssb->leads(p)) continue;
+    writer.U64(uint64_t(p));
+    writer.I64(ns->trigger_wms[p]);
+    std::vector<uint8_t> state;
+    ns->ssb->SnapshotPartition(p, &state);
+    writer.Bytes(state);
+  }
+  uint64_t flows = 0;
+  for (const auto& lanes : ns->worker_lanes) flows += lanes.size();
+  writer.U64(flows);
+  for (const auto& lanes : ns->worker_lanes) {
+    for (const Lane& lane : lanes) {
+      writer.U64(lane.flow);
+      writer.U64(lane.consumed);
+      writer.I64(lane.last_ts);
+    }
+  }
+  writer.U64(ns->sink.count());
+  writer.U64(ns->sink.checksum());
+  const auto& rows = ns->sink.rows();
+  writer.U64(rows.size());
+  for (const auto& row : rows) {
+    writer.I64(row.bucket);
+    writer.U64(row.key);
+    writer.I64(row.value);
+  }
+  cpu->ChargeBytes(Op::kEpochScanPerByte, blob.size());
+
+  const bool terminal = ns->final_bumped && ns->channels_done();
+  run->coordinator->RecordLocal(ns->node, round, blob);
+  if (terminal) {
+    run->coordinator->MarkFinalFrom(ns->node, round);
+    ns->terminal_snapshotted = true;
+  }
+  ns->snapshots_taken = round;
+  if (ns->repl != nullptr) {
+    ns->repl->items.push_back(ReplState::Item{round, std::move(blob)});
+    if (terminal) ns->repl->terminal = true;
+    ns->repl->event->Notify();
+  }
+  // The checkpoint covers everything consumed so far: prune the ingest
+  // replay buffers and release any back-pressured generator.
+  for (const auto& lanes : ns->worker_lanes) {
+    for (const Lane& lane : lanes) {
+      if (lane.ingest != nullptr) lane.ingest->MarkCheckpoint();
+    }
+  }
+  ns->activity->Notify();  // input suppression lifted
+}
+
+void MaybeSnapshot(SlashRun* run, NodeState* ns, perf::CpuContext* cpu) {
+  while (SnapshotReady(run, ns)) TakeSnapshot(run, ns, cpu);
+}
+
+/// Polls the node's inbound channels and merges delta chunks into the led
+/// primaries. Every chunk is entry-aligned and independently mergeable, so
+/// *any* worker can take any chunk — merge work spreads across all worker
+/// cores, interleaved with query processing (Sec. 7.2.1). Returns true if
+/// anything was consumed.
 ///
 /// Watermark rule: only a delta's last chunk (user_tag == 1) carries the
 /// helper's low watermark; earlier chunks must not advance the vector
 /// clock or a window could trigger before all its state arrived.
 bool PollAndMerge(SlashRun* run, NodeState* ns, perf::CpuContext* cpu) {
   bool progressed = false;
-  for (int h : ns->all_helpers) {
+  const bool ckpt = run->checkpointing();
+  const uint64_t boundary = (ns->snapshots_taken + 1) * run->interval();
+  for (InChannel& ic : ns->in) {
+    // Checkpoint barrier: once this channel delivered every epoch up to the
+    // boundary, its stream is frozen until the round's snapshot is cut —
+    // later deltas stay buffered in the channel (credits bound them).
+    if (ckpt && !ic.final_seen && ic.finals_merged >= boundary) continue;
     InboundBuffer buffer;
-    while (ns->in[h]->TryPoll(&buffer, cpu)) {
+    while (ic.ch->TryPoll(&buffer, cpu)) {
       progressed = true;
       run->latency.Record(run->sim.now() - buffer.send_time);
       state::DeltaEnvelope envelope;
@@ -128,13 +316,12 @@ bool PollAndMerge(SlashRun* run, NodeState* ns, perf::CpuContext* cpu) {
       cpu->Charge(Op::kCrdtMergePerPair, double(envelope.entry_count));
       const bool last_chunk = buffer.user_tag == 1;
       const int64_t watermark = buffer.watermark;
-      SLASH_CHECK(ns->in[h]->Release(buffer, cpu).ok());
+      SLASH_CHECK(ic.ch->Release(buffer, cpu).ok());
       if (last_chunk) {
-        ns->vclock.Update(h, watermark);
-        if (watermark == core::kWatermarkMax && !ns->helper_final[h]) {
-          ns->helper_final[h] = true;
-          ++ns->finals_received;
-        }
+        ns->vclock.Update(ic.helper, watermark);
+        ++ic.finals_merged;
+        if (watermark == core::kWatermarkMax) ic.final_seen = true;
+        if (ckpt && !ic.final_seen && ic.finals_merged >= boundary) break;
       }
     }
   }
@@ -143,12 +330,14 @@ bool PollAndMerge(SlashRun* run, NodeState* ns, perf::CpuContext* cpu) {
 
 /// The helper partitions worker `w` is responsible for draining (and whose
 /// channels it effectively owns as a producer).
-std::vector<int> AssignedPartitions(const SlashRun& run, int node, int w) {
+std::vector<int> AssignedPartitions(const SlashRun& run, const NodeState& ns,
+                                    int w) {
   std::vector<int> partitions;
+  int slot = 0;
   for (int p = 0; p < run.config.nodes; ++p) {
-    if (p == node) continue;
-    const int slot = p < node ? p : p - 1;  // dense index
+    if (ns.ssb->leads(p)) continue;
     if (slot % run.config.workers_per_node == w) partitions.push_back(p);
+    ++slot;
   }
   return partitions;
 }
@@ -205,8 +394,10 @@ bool PumpSendQueue(SlashRun* run, NodeState* ns,
       state::DeltaEnvelope chunk_envelope = delta.envelope;
       chunk_envelope.entry_count = chunk.entries;
       std::memcpy(slot.payload, &chunk_envelope, sizeof(chunk_envelope));
-      std::memcpy(slot.payload + sizeof(chunk_envelope),
-                  delta.bytes.data() + chunk.offset, chunk.length);
+      if (chunk.length > 0) {  // empty delta: bytes.data() may be null
+        std::memcpy(slot.payload + sizeof(chunk_envelope),
+                    delta.bytes.data() + chunk.offset, chunk.length);
+      }
       cpu->ChargeBytes(Op::kBufferCopyPerByte,
                        sizeof(chunk_envelope) + chunk.length);
       const bool last = delta.next_chunk + 1 == delta.chunks.size();
@@ -217,7 +408,8 @@ bool PumpSendQueue(SlashRun* run, NodeState* ns,
                                    cpu);
       if (!post.ok()) {
         // Only a broken channel rejects an in-order post; the close handler
-        // has already failed the run — stop pumping and let the worker exit.
+        // (or the crash teardown) has already dealt with the run — stop
+        // pumping and let the worker exit.
         SLASH_CHECK(ch->broken());
         return sent;
       }
@@ -242,21 +434,24 @@ void BumpEpoch(SlashRun* run, NodeState* ns) {
 
 /// A source-node generator (rdma_ingestion mode): streams one flow's wire
 /// records into its executor worker's ingest channel at line rate, then
-/// posts a final marker. This is the paper's Fig. 1 ingestion path — the
-/// executor receives data through the same credit-controlled RDMA channels
-/// it uses for state exchange.
-sim::Task Generator(SlashRun* run, RdmaChannel* ch, int flow,
-                    perf::CpuContext* cpu) {
-  auto source = run->workload->MakeFlow(flow, run->total_workers(),
+/// posts a final marker. On recovery the generator is restarted with a
+/// `skip`: the flow is deterministic, so fast-forwarding past the
+/// checkpointed offset re-derives the exact cut (the skip is part of the
+/// modeled recovery delay, not the data path).
+sim::Task Generator(SlashRun* run, RdmaChannel* ch, uint64_t flow,
+                    uint64_t skip, perf::CpuContext* cpu, int attempt) {
+  auto source = run->workload->MakeFlow(int(flow), run->total_workers(),
                                         run->config.records_per_worker,
                                         run->config.seed);
   Record r;
-  bool more = source->Next(&r);
+  bool more = true;
+  for (uint64_t i = 0; i < skip && more; ++i) more = source->Next(&r);
+  if (more) more = source->Next(&r);
   int64_t last_ts = core::kWatermarkMin;
   while (more) {
     SlotRef slot;
     while (!ch->TryAcquire(&slot, cpu)) {
-      if (run->failed || ch->broken()) co_return;
+      if (run->failed || run->attempt != attempt || ch->broken()) co_return;
       const Nanos wait_start = run->sim.now();
       co_await ch->credit_event().Wait();
       cpu->ChargeWait(run->sim.now() - wait_start);
@@ -280,7 +475,7 @@ sim::Task Generator(SlashRun* run, RdmaChannel* ch, int flow,
   }
   SlotRef final_slot;
   while (!ch->TryAcquire(&final_slot, cpu)) {
-    if (run->failed || ch->broken()) co_return;
+    if (run->failed || run->attempt != attempt || ch->broken()) co_return;
     const Nanos wait_start = run->sim.now();
     co_await ch->credit_event().Wait();
     cpu->ChargeWait(run->sim.now() - wait_start);
@@ -294,38 +489,144 @@ sim::Task Generator(SlashRun* run, RdmaChannel* ch, int flow,
   co_await cpu->Sync();
 }
 
-/// One worker coroutine: one physical data flow, processed push-based,
-/// interleaved with merging the deltas of its assigned helper channels —
-/// the compute/RDMA coroutine interleaving of Sec. 5.3.
-sim::Task Worker(SlashRun* run, NodeState* ns, int w) {
+// Replication user_tag encoding: (round << 2) | flags, flag 1 = last chunk
+// of a blob, flag 2 = terminal marker (the source will snapshot no more).
+constexpr uint64_t kReplLastChunk = 1;
+constexpr uint64_t kReplTerminal = 2;
+
+/// Ships every snapshot a node takes to one replication target, chunked to
+/// the channel's slot size, then a terminal marker once the node's terminal
+/// snapshot is enqueued.
+sim::Task Replicator(SlashRun* run, ReplState* rs, RdmaChannel* ch,
+                     perf::CpuContext* cpu, int attempt) {
+  size_t cursor = 0;
+  for (;;) {
+    if (run->failed || run->attempt != attempt || ch->broken()) co_return;
+    if (cursor < rs->items.size()) {
+      const ReplState::Item& item = rs->items[cursor];
+      const uint64_t cap = ch->payload_capacity();
+      uint64_t off = 0;
+      do {
+        SlotRef slot;
+        while (!ch->TryAcquire(&slot, cpu)) {
+          if (run->failed || run->attempt != attempt || ch->broken()) {
+            co_return;
+          }
+          const Nanos wait_start = run->sim.now();
+          co_await ch->credit_event().Wait();
+          cpu->ChargeWait(run->sim.now() - wait_start);
+        }
+        const uint64_t len = std::min(cap, uint64_t(item.bytes.size()) - off);
+        std::memcpy(slot.payload, item.bytes.data() + off, len);
+        cpu->ChargeBytes(Op::kBufferCopyPerByte, len);
+        off += len;
+        const bool last = off == item.bytes.size();
+        const uint64_t tag = (item.round << 2) | (last ? kReplLastChunk : 0);
+        if (!ch->Post(slot, len, tag, /*watermark=*/0, cpu).ok()) {
+          SLASH_CHECK(ch->broken());
+          co_return;
+        }
+        co_await cpu->Sync();
+      } while (off < item.bytes.size());
+      ++cursor;
+      continue;
+    }
+    if (rs->terminal) break;
+    const Nanos wait_start = run->sim.now();
+    co_await rs->event->Wait();
+    cpu->ChargeWait(run->sim.now() - wait_start);
+  }
+  SlotRef slot;
+  while (!ch->TryAcquire(&slot, cpu)) {
+    if (run->failed || run->attempt != attempt || ch->broken()) co_return;
+    const Nanos wait_start = run->sim.now();
+    co_await ch->credit_event().Wait();
+    cpu->ChargeWait(run->sim.now() - wait_start);
+  }
+  if (!ch->Post(slot, 0, kReplTerminal, /*watermark=*/0, cpu).ok()) co_return;
+  co_await cpu->Sync();
+}
+
+/// Receives a peer's snapshot stream on node `holder` and registers each
+/// completed blob with the coordinator (the holder now owns a full copy the
+/// dead node's heir can restore from). Exits on the terminal marker.
+sim::Task ReplicaReceiver(SlashRun* run, int src, int holder, RdmaChannel* ch,
+                          perf::CpuContext* cpu, int attempt) {
+  for (;;) {
+    if (run->failed || run->attempt != attempt) co_return;
+    InboundBuffer buffer;
+    if (!ch->TryPoll(&buffer, cpu)) {
+      if (ch->broken()) co_return;
+      const Nanos wait_start = run->sim.now();
+      co_await ch->data_event().Wait();
+      cpu->ChargeWait(run->sim.now() - wait_start);
+      continue;
+    }
+    const uint64_t tag = buffer.user_tag;
+    const uint64_t len = buffer.payload_len;
+    SLASH_CHECK(ch->Release(buffer, cpu).ok());
+    if (tag & kReplTerminal) co_return;
+    run->bytes_replicated += len;
+    if (tag & kReplLastChunk) {
+      run->coordinator->RecordReplica(src, tag >> 2, holder);
+    }
+  }
+}
+
+/// One worker coroutine: processes this worker's input lanes push-based,
+/// interleaved with draining its assigned helper partitions, merging
+/// inbound deltas, cutting checkpoint snapshots at round barriers, and
+/// shipping queued chunks — the compute/RDMA coroutine interleaving of
+/// Sec. 5.3.
+sim::Task Worker(SlashRun* run, NodeState* ns, int w, int attempt) {
   perf::CpuContext* cpu = ns->worker_cpus[w].get();
   core::RecordPipeline pipeline(run->query, cpu, run->config.execution);
-  const int flow = ns->node * run->config.workers_per_node + w;
-  std::unique_ptr<core::RecordSource> source;
-  if (!run->config.rdma_ingestion) {
-    source = run->workload->MakeFlow(flow, run->total_workers(),
-                                     run->config.records_per_worker,
-                                     run->config.seed);
-  }
-  const std::vector<int> my_partitions =
-      AssignedPartitions(*run, ns->node, w);
-  uint64_t drained_seq = 0;
+  std::vector<Lane>& lanes = ns->worker_lanes[w];
+  const std::vector<int> my_partitions = AssignedPartitions(*run, *ns, w);
+  // A fresh (post-restore) worker starts at the restored epoch sequence:
+  // every epoch up to the checkpoint cut was drained by the previous
+  // attempt and is part of the restored state.
+  uint64_t drained_seq = ns->epoch_seq;
   std::deque<PendingDelta> send_queue;
   uint8_t wire_buf[512];
+  size_t lane_cursor = 0;
   Record r;
   bool more = true;
 
-  auto channels_done = [&] {
-    return ns->finals_received == int(ns->all_helpers.size());
+  auto halted = [&] { return run->failed || run->attempt != attempt; };
+
+  uint64_t batch_records = 0;
+  uint64_t batch_bytes = 0;
+  auto process = [&](Record* rec) {
+    ++batch_records;
+    const uint16_t wire_size = run->workload->wire_size(rec->stream_id);
+    batch_bytes += wire_size;
+    if (!run->config.rdma_ingestion) {
+      cpu->ChargeBytes(Op::kSourceReadPerByte, wire_size);
+    }
+    if (!pipeline.Process(rec)) return;
+    pipeline.ChargeStatefulPrologue();
+    const int64_t bucket = run->query->window.BucketOf(rec->timestamp);
+    cpu->Charge(Op::kIndexProbe);
+    if (run->query->is_join()) {
+      // Holistic state: append the full wire record (state realism).
+      SLASH_CHECK_LE(size_t{wire_size}, sizeof(wire_buf));
+      SerializeWireRecord(*rec, wire_size, wire_buf);
+      cpu->Charge(Op::kStateAppend);
+      cpu->ChargeBytes(Op::kBufferCopyPerByte, wire_size);
+      ns->ssb->Append(rec->key, bucket, rec->stream_id, wire_buf, wire_size);
+    } else {
+      cpu->Charge(Op::kStateRmw);
+      ns->ssb->UpdateAggregate(rec->key, bucket, rec->value);
+    }
   };
 
   // A worker may only exit once the node's end-of-stream epoch has been
   // announced and it has shipped its share of it — otherwise its
   // partitions' final deltas (and watermarks) would never reach their
-  // leaders. A failed run releases workers immediately: their channels are
-  // dead, so the exit conditions can never be met.
-  while (!run->failed &&
-         (more || !channels_done() || drained_seq < ns->epoch_seq ||
+  // leaders. A failed or torn-down run releases workers immediately.
+  while (!halted() &&
+         (more || !ns->channels_done() || drained_seq < ns->epoch_seq ||
           !ns->final_bumped || !send_queue.empty())) {
     // Serialize this worker's share of any newly announced epoch (frees
     // the fragments for fresh RMWs immediately) and ship whatever chunks
@@ -341,92 +642,103 @@ sim::Task Worker(SlashRun* run, NodeState* ns, int w) {
     // pending); any worker takes any chunk.
     const bool merged = PollAndMerge(run, ns, cpu);
     if (merged) TryTrigger(run, ns, cpu);
+    MaybeSnapshot(run, ns, cpu);
+    if (halted()) break;
+
+    // Input suppression at a checkpoint boundary: once this node announced
+    // the boundary epoch, no worker may push post-boundary records into the
+    // led primaries until the round's snapshot is cut — the input offsets
+    // recorded in the blob must cover exactly the records whose remote
+    // contributions sit in epochs the barrier includes.
+    const bool suppressed =
+        run->checkpointing() &&
+        ns->epoch_seq >= (ns->snapshots_taken + 1) * run->interval();
 
     bool input_progress = false;
-    if (more) {
-      uint64_t batch_records = 0;
-      uint64_t batch_bytes = 0;
-      int64_t last_ts = ns->worker_watermarks[w];
-      InboundBuffer ingest_buffer;
-      std::unique_ptr<core::RecordReader> ingest_reader;
-      if (run->config.rdma_ingestion) {
-        // Ingest one RDMA-delivered buffer, if any has landed.
-        if (!ns->ingest[w]->TryPoll(&ingest_buffer, cpu)) {
-          ingest_reader = nullptr;
-        } else if (ingest_buffer.user_tag == 1) {
-          more = false;
-          SLASH_CHECK(ns->ingest[w]->Release(ingest_buffer, cpu).ok());
-        } else {
-          ingest_reader = std::make_unique<core::RecordReader>(
-              ingest_buffer.payload, ingest_buffer.payload_len);
+    if (more && !suppressed) {
+      batch_records = 0;
+      batch_bytes = 0;
+      if (!run->config.rdma_ingestion) {
+        // Round-robin across this worker's lanes (an heir's workers carry
+        // the crashed node's flows alongside their own).
+        while (!lanes.empty() &&
+               batch_records < run->config.source_batch) {
+          Lane* lane = nullptr;
+          const size_t n = lanes.size();
+          for (size_t step = 0; step < n; ++step) {
+            const size_t idx = (lane_cursor + step) % n;
+            if (!lanes[idx].done) {
+              lane = &lanes[idx];
+              lane_cursor = (idx + 1) % n;
+              break;
+            }
+          }
+          if (lane == nullptr) break;
+          if (!lane->source->Next(&r)) {
+            lane->done = true;
+            lane->last_ts = core::kWatermarkMax;
+            continue;
+          }
+          lane->last_ts = r.timestamp;
+          ++lane->consumed;
+          process(&r);
+        }
+      } else {
+        // Ingest one RDMA-delivered buffer per lane, if any has landed.
+        for (Lane& lane : lanes) {
+          if (lane.done) continue;
+          InboundBuffer buffer;
+          if (!lane.ingest->TryPoll(&buffer, cpu)) continue;
+          if (buffer.user_tag == 1) {
+            lane.done = true;
+            lane.last_ts = core::kWatermarkMax;
+            SLASH_CHECK(lane.ingest->Release(buffer, cpu).ok());
+            input_progress = true;
+            continue;
+          }
+          core::RecordReader reader(buffer.payload, buffer.payload_len);
+          while (reader.Next(&r)) {
+            lane.last_ts = r.timestamp;
+            ++lane.consumed;
+            process(&r);
+          }
+          SLASH_CHECK(lane.ingest->Release(buffer, cpu).ok());
         }
       }
-      auto next_record = [&]() -> bool {
-        if (!run->config.rdma_ingestion) {
-          more = source->Next(&r);
-          return more;
-        }
-        // Ingestion mode: the buffer is the batch; `more` only flips when
-        // the generator's final marker arrives.
-        return ingest_reader != nullptr && ingest_reader->Next(&r);
-      };
-      while ((run->config.rdma_ingestion ||
-              batch_records < run->config.source_batch) &&
-             next_record()) {
-        ++batch_records;
-        const uint16_t wire_size = run->workload->wire_size(r.stream_id);
-        batch_bytes += wire_size;
-        if (!run->config.rdma_ingestion) {
-          cpu->ChargeBytes(Op::kSourceReadPerByte, wire_size);
-        }
-        last_ts = r.timestamp;
-        if (!pipeline.Process(&r)) continue;
-
-        pipeline.ChargeStatefulPrologue();
-        const int64_t bucket = run->query->window.BucketOf(r.timestamp);
-        cpu->Charge(Op::kIndexProbe);
-        if (run->query->is_join()) {
-          // Holistic state: append the full wire record (state realism).
-          SLASH_CHECK_LE(size_t{wire_size}, sizeof(wire_buf));
-          SerializeWireRecord(r, wire_size, wire_buf);
-          cpu->Charge(Op::kStateAppend);
-          cpu->ChargeBytes(Op::kBufferCopyPerByte, wire_size);
-          ns->ssb->Append(r.key, bucket, r.stream_id, wire_buf, wire_size);
-        } else {
-          cpu->Charge(Op::kStateRmw);
-          ns->ssb->UpdateAggregate(r.key, bucket, r.value);
-        }
+      bool lanes_done = true;
+      int64_t wm = core::kWatermarkMax;
+      for (const Lane& lane : lanes) {
+        lanes_done = lanes_done && lane.done;
+        if (!lane.done) wm = std::min(wm, lane.last_ts);
       }
-      if (run->config.rdma_ingestion && ingest_reader != nullptr) {
-        SLASH_CHECK(ns->ingest[w]->Release(ingest_buffer, cpu).ok());
-      }
-      input_progress = batch_records > 0 || !more;
+      ns->worker_watermarks[w] = lanes_done ? core::kWatermarkMax : wm;
+      input_progress = input_progress || batch_records > 0 || lanes_done;
       run->records_in += batch_records;
       cpu->CountRecords(batch_records);
-      ns->worker_watermarks[w] = last_ts;
       ns->ssb->AccountProcessedBytes(batch_bytes);
       co_await cpu->Sync();
-      if (more && ns->ssb->EpochDue()) {
-        BumpEpoch(run, ns);
-      }
-      if (!more) {
-        ns->worker_watermarks[w] = core::kWatermarkMax;
+      if (halted()) break;
+      if (lanes_done) {
+        more = false;
         if (++ns->finished_workers == run->config.workers_per_node) {
           // Ahead-of-time epoch termination at end of stream: the final
           // drain carries watermark kWatermarkMax.
           ns->final_bumped = true;
           BumpEpoch(run, ns);
         }
+      } else if (ns->ssb->EpochDue()) {
+        BumpEpoch(run, ns);
       }
     }
-    if (!merged && !sent && !input_progress && !run->failed &&
-        drained_seq == ns->epoch_seq &&
-        (more || !channels_done() || !ns->final_bumped ||
+    if (!merged && !sent && !input_progress && !halted() &&
+        drained_seq == ns->epoch_seq && !SnapshotReady(run, ns) &&
+        (more || !ns->channels_done() || !ns->final_bumped ||
          !send_queue.empty())) {
       // Nothing mergeable, nothing sendable (blocked on credits), no input
-      // left, but not exit-ready either: park until credits return, data
-      // arrives, or a new epoch is announced. The exit-readiness check in
-      // the condition guarantees we never park past the last event.
+      // admissible, but not exit-ready either: park until credits return,
+      // data arrives, a new epoch is announced, or a snapshot lifts the
+      // suppression. The exit- and snapshot-readiness checks in the
+      // condition guarantee we never park past the last event.
       const Nanos wait_start = run->sim.now();
       co_await ns->activity->Wait();
       cpu->ChargeWait(run->sim.now() - wait_start);
@@ -434,11 +746,356 @@ sim::Task Worker(SlashRun* run, NodeState* ns, int w) {
       co_await cpu->Sync();
     }
   }
-  // Final safety trigger: whichever worker observes global completion last
-  // emits the remaining windows (idempotent via last_trigger_wm). Skipped
-  // on an aborted run — partial windows would pollute the result digest.
-  if (!run->failed) TryTrigger(run, ns, cpu);
+  if (!halted()) {
+    // Fully drained: cut any outstanding boundary/terminal snapshot, then
+    // fire the final safety trigger — whichever worker observes global
+    // completion last emits the remaining windows (idempotent via
+    // trigger_wms). Skipped on an aborted or torn-down attempt.
+    MaybeSnapshot(run, ns, cpu);
+    TryTrigger(run, ns, cpu);
+  }
   co_await cpu->Sync();
+}
+
+/// Fabric crash callback: turns a kNodeCrash fault into either a clean
+/// abort (no checkpointing to recover from) or a recovery — tear the
+/// current attempt down, pick the rollback round and the dead node's heir,
+/// and schedule the rebuild after the modeled recovery delay.
+void OnNodeCrash(SlashRun* run, int node) {
+  if (run->failed) return;
+  if (node >= run->config.nodes) {
+    FailRun(run, Status::Unavailable(
+                     "ingestion source node crashed: no upstream to replay"));
+    return;
+  }
+  if (!run->checkpointing()) {
+    FailRun(run,
+            Status::Unavailable("node crashed with checkpointing disabled"));
+    return;
+  }
+  if (run->recovering) {
+    FailRun(run, Status::Unavailable(
+                     "node crashed while a recovery was already in flight"));
+    return;
+  }
+  run->alive[node] = false;
+  int live = 0;
+  for (int n = 0; n < run->config.nodes; ++n) live += run->alive[n] ? 1 : 0;
+  if (live == 0) {
+    FailRun(run, Status::Unavailable("last node crashed: no survivors"));
+    return;
+  }
+  run->recovering = true;
+  ++run->recoveries;
+  ++run->attempt;
+  run->recovery_start = run->sim.now();
+  run->records_at_crash = run->records_in;
+
+  // Tear the whole attempt down: every channel of the current attempt dies
+  // (the crash flushes QPs touching the dead node anyway, and survivors'
+  // channels carry in-flight epochs that are ahead of the rollback point).
+  // Coroutines observe the attempt bump and unwind; close handlers must not
+  // fail the run while we do this on purpose.
+  run->in_teardown = true;
+  for (size_t i = run->attempt_channel_start; i < run->channels.size(); ++i) {
+    run->channels[i]->Abort(
+        Status::Unavailable("attempt torn down for crash recovery"));
+  }
+  for (NodeState* ns : run->nodes) {
+    if (ns != nullptr) ns->activity->Notify();
+  }
+  for (auto& rs : run->repl_storage) rs->event->Notify();
+  run->in_teardown = false;
+
+  // Plan the new attempt: roll every survivor back to the latest round with
+  // a live copy of every node's snapshot, and hand the dead node's
+  // partitions and flows to an heir that holds its replica.
+  const uint64_t round = run->coordinator->LatestRecoverableRound(run->alive);
+  int heir = run->coordinator->FirstLiveHolder(node, round, run->alive);
+  // Rounds past the rollback point describe the torn-down timeline; the new
+  // attempt regenerates them under the post-recovery partition placement.
+  run->coordinator->DiscardRoundsAfter(round);
+  if (heir < 0) {
+    for (int i = 1; i <= run->config.nodes && heir < 0; ++i) {
+      const int cand = (node + i) % run->config.nodes;
+      if (run->alive[cand]) heir = cand;
+    }
+  }
+  for (int p = 0; p < run->config.nodes; ++p) {
+    if (run->owner[p] == node) run->owner[p] = heir;
+  }
+  for (size_t f = 0; f < run->flow_home.size(); ++f) {
+    if (run->flow_home[f] == node) run->flow_home[f] = heir;
+  }
+
+  // Recovery takes virtual time: re-connecting the attempt's channels and
+  // streaming the restored snapshot bytes back into memory.
+  uint64_t restore_bytes = 0;
+  for (int n = 0; n < run->config.nodes; ++n) {
+    const std::vector<uint8_t>* blob = run->coordinator->BlobFor(n, round);
+    if (blob != nullptr) restore_bytes += blob->size();
+  }
+  uint64_t new_channels = 0;
+  for (int h = 0; h < run->config.nodes; ++h) {
+    if (!run->alive[h]) continue;
+    for (int p = 0; p < run->config.nodes; ++p) {
+      if (run->owner[p] != h) ++new_channels;
+    }
+  }
+  const Nanos delay = kChannelSetupCost * Nanos(new_channels) +
+                      Nanos(restore_bytes / kRestoreBytesPerNs);
+  run->sim.ScheduleAt(run->sim.now() + delay, [run, round] {
+    run->recovery_ns += run->sim.now() - run->recovery_start;
+    BuildAttempt(run, round);
+    run->recovering = false;
+  });
+}
+
+/// Builds one execution attempt: fresh node states (restored from the
+/// round-`round` checkpoint blobs when round > 0), the per-(helper,
+/// partition) channel mesh for the current ownership map, input lanes
+/// skipped to their checkpointed offsets, replication streams, and the
+/// worker/generator coroutines. Attempt 1 is the degenerate case: identity
+/// ownership, round 0, nothing to restore.
+void BuildAttempt(SlashRun* run, uint64_t round) {
+  const ClusterConfig& config = run->config;
+  const uint64_t interval = run->interval();
+  const int attempt = run->attempt;
+  run->attempt_channel_start = run->channels.size();
+
+  std::vector<NodeState*> nodes(config.nodes, nullptr);
+  for (int n = 0; n < config.nodes; ++n) {
+    if (!run->alive[n]) continue;
+    auto ns = std::make_unique<NodeState>(config.nodes);
+    ns->node = n;
+    ns->ssb = std::make_unique<state::StateBackend>(n, run->ssb_config);
+    for (int p = 0; p < config.nodes; ++p) {
+      if (run->owner[p] == n && p != n) ns->ssb->AddLeadership(p);
+    }
+    ns->trigger_wms.assign(config.nodes, core::kWatermarkMin);
+    ns->worker_watermarks.assign(config.workers_per_node, core::kWatermarkMin);
+    ns->worker_lanes.resize(config.workers_per_node);
+    ns->out.assign(config.nodes, nullptr);
+    ns->activity = std::make_unique<sim::Event>(&run->sim);
+    ns->sink = core::ResultSink(config.collect_rows);
+    ns->epoch_seq = round * interval;
+    ns->snapshots_taken = round;
+    // Dead nodes never speak again; their entries must not hold Min() down.
+    for (int e = 0; e < config.nodes; ++e) {
+      if (!run->alive[e]) ns->vclock.Update(e, core::kWatermarkMax);
+    }
+    for (int w = 0; w < config.workers_per_node; ++w) {
+      ns->worker_cpus.push_back(std::make_unique<perf::CpuContext>(
+          &run->sim, config.cost_model, config.cpu_ghz));
+    }
+    nodes[n] = ns.get();
+    run->node_storage.push_back(std::move(ns));
+  }
+  run->nodes = nodes;
+
+  // Restore: parse every active node's round-`round` blob and route each
+  // piece to its current owner. The just-crashed node's blob restores on
+  // its heir (partitions, result rows); nodes retired by earlier crashes
+  // are skipped — their content lives on in their heirs' blobs.
+  std::vector<uint64_t> flow_offset(run->flow_home.size(), 0);
+  std::vector<int64_t> flow_last_ts(run->flow_home.size(),
+                                    core::kWatermarkMin);
+  if (round > 0) {
+    struct SinkAccum {
+      uint64_t count = 0;
+      uint64_t checksum = 0;
+      std::vector<core::WindowResult> rows;
+    };
+    std::vector<SinkAccum> sinks(config.nodes);
+    for (int n = 0; n < config.nodes; ++n) {
+      if (run->retired[n]) continue;
+      const std::vector<uint8_t>* blob = run->coordinator->BlobFor(n, round);
+      SLASH_CHECK_MSG(blob != nullptr,
+                      "recoverable round " << round
+                                           << " missing a blob for node "
+                                           << n);
+      BlobReader reader(blob->data(), blob->size());
+      reader.U64();  // blob round; may precede `round` (terminal snapshot)
+      const uint64_t nled = reader.U64();
+      for (uint64_t i = 0; i < nled; ++i) {
+        const int p = int(reader.U64());
+        const int64_t wm = reader.I64();
+        const std::vector<uint8_t> state = reader.Bytes();
+        NodeState* leader = nodes[run->owner[p]];
+        SLASH_CHECK(leader != nullptr);
+        SLASH_CHECK(leader->ssb->leads(p));
+        SLASH_CHECK(
+            leader->ssb->RestorePartition(p, state.data(), state.size()).ok());
+        leader->trigger_wms[p] = wm;
+      }
+      const uint64_t nflows = reader.U64();
+      for (uint64_t i = 0; i < nflows; ++i) {
+        const uint64_t f = reader.U64();
+        flow_offset[f] = reader.U64();
+        flow_last_ts[f] = reader.I64();
+      }
+      SinkAccum& acc = sinks[run->alive[n] ? n : run->owner[n]];
+      acc.count += reader.U64();
+      acc.checksum += reader.U64();
+      const uint64_t nrows = reader.U64();
+      for (uint64_t i = 0; i < nrows; ++i) {
+        core::WindowResult row;
+        row.bucket = reader.I64();
+        row.key = reader.U64();
+        row.value = reader.I64();
+        acc.rows.push_back(row);
+      }
+      SLASH_CHECK(reader.done());
+    }
+    for (int n = 0; n < config.nodes; ++n) {
+      if (nodes[n] == nullptr) continue;
+      nodes[n]->sink.Restore(sinks[n].count, sinks[n].checksum,
+                             std::move(sinks[n].rows));
+    }
+  }
+  if (attempt > 1) {
+    uint64_t restored_records = 0;
+    for (uint64_t off : flow_offset) restored_records += off;
+    run->records_replayed += run->records_at_crash - restored_records;
+    run->records_in = restored_records;
+  }
+
+  // The state-synchronization mesh: one channel per (helper, partition), so
+  // each carries a strict one-delta-per-epoch FIFO towards the partition's
+  // current leader.
+  for (int h = 0; h < config.nodes; ++h) {
+    NodeState* helper = nodes[h];
+    if (helper == nullptr) continue;
+    for (int p = 0; p < config.nodes; ++p) {
+      const int leader = run->owner[p];
+      if (leader == h) continue;
+      auto ch =
+          RdmaChannel::Create(run->fabric.get(), h, leader, config.channel);
+      helper->out[p] = ch.get();
+      nodes[leader]->in.push_back(
+          InChannel{h, p, ch.get(), round * interval, false});
+      ch->AddDataObserver(nodes[leader]->activity.get());
+      ch->AddCreditObserver(helper->activity.get());
+      ch->SetCloseHandler([run](const Status& cause) {
+        if (!run->in_teardown) FailRun(run, cause);
+      });
+      run->channels.push_back(std::move(ch));
+    }
+  }
+
+  // Input lanes (and, in ingestion mode, the generator channels feeding
+  // them — with the bounded upstream replay buffer when checkpointing).
+  channel::ChannelConfig ingest_config = config.channel;
+  if (run->checkpointing()) {
+    ingest_config.replay_buffer_slots = config.checkpoint.replay_buffer_slots;
+  }
+  for (int n = 0; n < config.nodes; ++n) {
+    NodeState* ns = nodes[n];
+    if (ns == nullptr) continue;
+    std::vector<uint64_t> flows;
+    for (uint64_t f = 0; f < run->flow_home.size(); ++f) {
+      if (run->flow_home[f] == n) flows.push_back(f);
+    }
+    for (size_t i = 0; i < flows.size(); ++i) {
+      const int w = int(i) % config.workers_per_node;
+      Lane lane;
+      lane.flow = flows[i];
+      lane.consumed = flow_offset[flows[i]];
+      lane.last_ts = flow_last_ts[flows[i]];
+      if (config.rdma_ingestion) {
+        auto ch = RdmaChannel::Create(run->fabric.get(), config.nodes + n, n,
+                                      ingest_config);
+        ch->AddDataObserver(ns->activity.get());
+        ch->SetCloseHandler([run](const Status& cause) {
+          if (!run->in_teardown) FailRun(run, cause);
+        });
+        lane.ingest = ch.get();
+        run->generator_cpus.push_back(std::make_unique<perf::CpuContext>(
+            &run->sim, config.cost_model, config.cpu_ghz));
+        run->sim.Spawn(Generator(run, ch.get(), lane.flow, lane.consumed,
+                                 run->generator_cpus.back().get(), attempt));
+        run->channels.push_back(std::move(ch));
+      } else {
+        lane.source = run->workload->MakeFlow(int(lane.flow),
+                                              run->total_workers(),
+                                              config.records_per_worker,
+                                              config.seed);
+        // Fast-forward to the checkpoint cut: the flow is deterministic, so
+        // the skip re-derives the exact position. Its cost is part of the
+        // modeled recovery delay, not the data path.
+        Record r;
+        bool alive_source = true;
+        for (uint64_t k = 0; k < lane.consumed && alive_source; ++k) {
+          alive_source = lane.source->Next(&r);
+        }
+      }
+      ns->worker_lanes[w].push_back(std::move(lane));
+    }
+    for (int w = 0; w < config.workers_per_node; ++w) {
+      bool all_done = true;
+      int64_t wm = core::kWatermarkMax;
+      for (const Lane& lane : ns->worker_lanes[w]) {
+        const bool lane_done = lane.last_ts == core::kWatermarkMax;
+        all_done = all_done && lane_done;
+        if (!lane_done) wm = std::min(wm, lane.last_ts);
+      }
+      ns->worker_watermarks[w] = all_done ? core::kWatermarkMax : wm;
+    }
+  }
+
+  // Snapshot replication: each live node streams its blobs to the next
+  // `replication_factor` live peers (cyclically) over dedicated channels.
+  if (run->checkpointing()) {
+    int live = 0;
+    for (int n = 0; n < config.nodes; ++n) live += run->alive[n] ? 1 : 0;
+    const int targets = std::min(
+        std::max(config.checkpoint.replication_factor, 0), live - 1);
+    for (int n = 0; n < config.nodes; ++n) {
+      NodeState* ns = nodes[n];
+      if (ns == nullptr) continue;
+      auto rs = std::make_unique<ReplState>();
+      rs->event = std::make_unique<sim::Event>(&run->sim);
+      ns->repl = rs.get();
+      int made = 0;
+      for (int i = 1; i < config.nodes && made < targets; ++i) {
+        const int t = (n + i) % config.nodes;
+        if (!run->alive[t]) continue;
+        auto ch =
+            RdmaChannel::Create(run->fabric.get(), n, t, config.channel);
+        ch->SetCloseHandler([run](const Status& cause) {
+          if (!run->in_teardown) FailRun(run, cause);
+        });
+        run->repl_cpus.push_back(std::make_unique<perf::CpuContext>(
+            &run->sim, config.cost_model, config.cpu_ghz));
+        perf::CpuContext* send_cpu = run->repl_cpus.back().get();
+        run->repl_cpus.push_back(std::make_unique<perf::CpuContext>(
+            &run->sim, config.cost_model, config.cpu_ghz));
+        perf::CpuContext* recv_cpu = run->repl_cpus.back().get();
+        run->sim.Spawn(Replicator(run, rs.get(), ch.get(), send_cpu, attempt));
+        run->sim.Spawn(
+            ReplicaReceiver(run, n, t, ch.get(), recv_cpu, attempt));
+        run->channels.push_back(std::move(ch));
+        ++made;
+      }
+      run->repl_storage.push_back(std::move(rs));
+    }
+  }
+
+  for (int n = 0; n < config.nodes; ++n) {
+    if (nodes[n] == nullptr) continue;
+    for (int w = 0; w < config.workers_per_node; ++w) {
+      run->sim.Spawn(Worker(run, nodes[n], w, attempt));
+    }
+  }
+
+  // Nodes dead before this attempt never appear in a future barrier: their
+  // partitions are snapshotted by their heirs from now on.
+  for (int n = 0; n < config.nodes; ++n) {
+    if (!run->alive[n] && !run->retired[n]) {
+      run->retired[n] = true;
+      run->coordinator->RetireNode(n);
+    }
+  }
 }
 
 }  // namespace
@@ -451,22 +1108,36 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
   run.workload = &workload;
   run.config = config;
 
+  RunStats stats;
+  stats.engine = std::string(name());
+
+  // Ingestion mode adds one dedicated source node per executor node.
+  const int fabric_nodes =
+      config.rdma_ingestion ? 2 * config.nodes : config.nodes;
+
   // The injector must be registered before the fabric is built so the
-  // fabric attaches itself as the fault target at construction.
+  // fabric attaches itself as the fault target at construction. The plan is
+  // validated against the fabric's node count first: a malformed plan is a
+  // configuration error reported up front, not a mid-run surprise.
   if (config.fault_plan != nullptr && !config.fault_plan->empty()) {
+    const Status plan_status = config.fault_plan->Validate(fabric_nodes);
+    if (!plan_status.ok()) {
+      stats.status = plan_status;
+      return stats;
+    }
     run.injector =
         std::make_unique<sim::FaultInjector>(&run.sim, *config.fault_plan);
     run.sim.set_fault_injector(run.injector.get());
   }
 
   rdma::FabricConfig fabric_config;
-  // Ingestion mode adds one dedicated source node per executor node.
-  fabric_config.nodes = config.rdma_ingestion ? 2 * config.nodes
-                                              : config.nodes;
+  fabric_config.nodes = fabric_nodes;
   fabric_config.nic = config.nic;
   run.fabric = std::make_unique<rdma::Fabric>(&run.sim, fabric_config);
+  run.fabric->SetNodeCrashHandler(
+      [run_ptr = &run](int node) { OnNodeCrash(run_ptr, node); });
 
-  const state::SsbConfig ssb_config = [&] {
+  run.ssb_config = [&] {
     state::SsbConfig c;
     c.nodes = config.nodes;
     c.kind = query.is_join() ? state::StateKind::kAppend
@@ -477,72 +1148,18 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
     return c;
   }();
 
-  for (int node = 0; node < config.nodes; ++node) {
-    auto ns = std::make_unique<NodeState>(config.nodes);
-    ns->node = node;
-    ns->ssb = std::make_unique<state::StateBackend>(node, ssb_config);
-    ns->worker_watermarks.assign(config.workers_per_node, core::kWatermarkMin);
-    ns->out.assign(config.nodes, nullptr);
-    ns->in.assign(config.nodes, nullptr);
-    ns->helper_final.assign(config.nodes, false);
-    ns->activity = std::make_unique<sim::Event>(&run.sim);
-    for (int h = 0; h < config.nodes; ++h) {
-      if (h != node) ns->all_helpers.push_back(h);
-    }
-    ns->sink = core::ResultSink(config.collect_rows);
-    for (int w = 0; w < config.workers_per_node; ++w) {
-      ns->worker_cpus.push_back(std::make_unique<perf::CpuContext>(
-          &run.sim, config.cost_model, config.cpu_ghz));
-    }
-    run.nodes.push_back(std::move(ns));
+  run.coordinator = std::make_unique<RecoveryCoordinator>(config.nodes);
+  run.alive.assign(config.nodes, true);
+  run.retired.assign(config.nodes, false);
+  run.owner.resize(config.nodes);
+  for (int p = 0; p < config.nodes; ++p) run.owner[p] = p;
+  run.flow_home.resize(size_t(run.total_workers()));
+  for (int f = 0; f < run.total_workers(); ++f) {
+    run.flow_home[f] = f / config.workers_per_node;
   }
 
-  // The n^2 mesh of state-synchronization channels (Sec. 7.2.2 setup).
-  for (int helper = 0; helper < config.nodes; ++helper) {
-    for (int leader = 0; leader < config.nodes; ++leader) {
-      if (helper == leader) continue;
-      auto ch =
-          RdmaChannel::Create(run.fabric.get(), helper, leader, config.channel);
-      run.nodes[helper]->out[leader] = ch.get();
-      run.nodes[leader]->in[helper] = ch.get();
-      ch->AddDataObserver(run.nodes[leader]->activity.get());
-      ch->AddCreditObserver(run.nodes[helper]->activity.get());
-      ch->SetCloseHandler(
-          [run_ptr = &run](const Status& cause) { FailRun(run_ptr, cause); });
-      run.channels.push_back(std::move(ch));
-    }
-  }
+  BuildAttempt(&run, /*round=*/0);
 
-  // Ingestion channels: generator node (config.nodes + n) feeds each of
-  // node n's workers through a dedicated RDMA channel (Fig. 1).
-  if (config.rdma_ingestion) {
-    for (int node = 0; node < config.nodes; ++node) {
-      NodeState* ns = run.nodes[node].get();
-      for (int w = 0; w < config.workers_per_node; ++w) {
-        auto ch = RdmaChannel::Create(run.fabric.get(), config.nodes + node,
-                                      node, config.channel);
-        ch->AddDataObserver(ns->activity.get());
-        ch->SetCloseHandler(
-            [run_ptr = &run](const Status& cause) { FailRun(run_ptr, cause); });
-        ns->ingest.push_back(ch.get());
-        run.generator_cpus.push_back(std::make_unique<perf::CpuContext>(
-            &run.sim, config.cost_model, config.cpu_ghz));
-        run.sim.Spawn(Generator(&run, ch.get(),
-                                node * config.workers_per_node + w,
-                                run.generator_cpus.back().get()));
-        run.channels.push_back(std::move(ch));
-      }
-    }
-  }
-
-  for (auto& ns : run.nodes) {
-    for (int w = 0; w < config.workers_per_node; ++w) {
-      run.sim.Spawn(Worker(&run, ns.get(), w));
-    }
-  }
-
-  RunStats stats;
-  stats.engine = std::string(name());
   stats.makespan = run.sim.Run();
   // An aborted run legitimately strands coroutines that were mid-protocol
   // when their channel died; only a *completed* run must fully drain.
@@ -551,9 +1168,13 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
                                                << " pending tasks");
 
   stats.status = run.failed ? run.failure : Status::OK();
-  for (auto& ch : run.channels) {
-    stats.channel_retries += ch->retries();
-    if (!run.failed) stats.credits_outstanding += ch->credits_outstanding();
+  for (auto& ch : run.channels) stats.channel_retries += ch->retries();
+  if (!run.failed) {
+    // Only the surviving attempt's channels can owe credits; channels of a
+    // torn-down attempt legitimately strand some mid-transfer.
+    for (size_t i = run.attempt_channel_start; i < run.channels.size(); ++i) {
+      stats.credits_outstanding += run.channels[i]->credits_outstanding();
+    }
   }
   if (run.injector) {
     stats.faults_injected = run.injector->trace().size();
@@ -562,14 +1183,24 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
   stats.records_in = run.records_in;
   stats.network_bytes = run.fabric->total_tx_bytes();
   stats.buffer_latency = run.latency;
-  perf::Counters workers;
-  for (auto& ns : run.nodes) {
+  stats.checkpoints_taken = run.coordinator->checkpoints_taken();
+  stats.checkpoint_bytes_replicated = run.bytes_replicated;
+  stats.recoveries = run.recoveries;
+  stats.recovery_ns = run.recovery_ns;
+  stats.records_replayed = run.records_replayed;
+  for (NodeState* ns : run.nodes) {
+    if (ns == nullptr) continue;
     stats.records_emitted += ns->sink.count();
     stats.result_checksum += ns->sink.checksum();
     if (config.collect_rows) {
       const auto& rows = ns->sink.rows();
       stats.rows.insert(stats.rows.end(), rows.begin(), rows.end());
     }
+  }
+  // CPU counters accumulate across every attempt — a torn-down attempt
+  // still burned the cycles.
+  perf::Counters workers;
+  for (auto& ns : run.node_storage) {
     for (auto& cpu : ns->worker_cpus) workers.Merge(cpu->counters());
   }
   stats.role_counters["worker"] = workers;
@@ -577,6 +1208,11 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
     perf::Counters generators;
     for (auto& cpu : run.generator_cpus) generators.Merge(cpu->counters());
     stats.role_counters["generator"] = generators;
+  }
+  if (!run.repl_cpus.empty()) {
+    perf::Counters replication;
+    for (auto& cpu : run.repl_cpus) replication.Merge(cpu->counters());
+    stats.role_counters["replication"] = replication;
   }
   return stats;
 }

@@ -34,9 +34,11 @@ inline int64_t TriggerableBucket(const core::WindowSpec& window, int64_t wm) {
   if (wm == core::kWatermarkMax) return std::numeric_limits<int64_t>::max();
   const int64_t extra =
       window.type == core::WindowSpec::Type::kSession ? window.gap : 0;
-  // largest b with (b+1)*width + extra <= wm
+  // largest b with (b+1)*width + extra <= wm. Compare as wm < width + extra
+  // (width, extra are config-scale): wm - extra underflows for the initial
+  // kWatermarkMin watermark.
   const int64_t width = window.BucketWidth();
-  if (wm - extra < width) return std::numeric_limits<int64_t>::min();
+  if (wm < width + extra) return std::numeric_limits<int64_t>::min();
   return (wm - extra) / width - 1;
 }
 

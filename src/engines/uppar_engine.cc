@@ -315,8 +315,17 @@ RunStats UpParEngine::Run(const core::QuerySpec& query,
   run.receivers_per_node = config.workers_per_node - run.senders_per_node;
 
   // The injector must be registered before the fabric is built so the
-  // fabric attaches itself as the fault target at construction.
+  // fabric attaches itself as the fault target at construction. The plan is
+  // validated up front: a malformed plan is a configuration error, not a
+  // mid-run surprise.
   if (config.fault_plan != nullptr && !config.fault_plan->empty()) {
+    const Status plan_status = config.fault_plan->Validate(config.nodes);
+    if (!plan_status.ok()) {
+      RunStats stats;
+      stats.engine = std::string(name());
+      stats.status = plan_status;
+      return stats;
+    }
     run.injector =
         std::make_unique<sim::FaultInjector>(&run.sim, *config.fault_plan);
     run.sim.set_fault_injector(run.injector.get());

@@ -11,6 +11,7 @@ Fabric::Fabric(sim::Simulator* sim, const FabricConfig& config)
   SLASH_CHECK_GT(config.nodes, 0);
   pds_.reserve(config.nodes);
   nics_.reserve(config.nodes);
+  dead_.assign(config.nodes, false);
   for (int n = 0; n < config.nodes; ++n) {
     pds_.push_back(std::make_unique<ProtectionDomain>(n));
     nics_.push_back(std::make_unique<Nic>(n, config.nic));
@@ -33,6 +34,8 @@ Nic* Fabric::nic(int node) {
 }
 
 QpPair Fabric::Connect(int node_a, int node_b) {
+  SLASH_CHECK_MSG(!dead_[node_a] && !dead_[node_b],
+                  "Connect() touching a crashed node");
   auto a = std::make_unique<QpEndpoint>(this, node_a, next_qp_num_++);
   auto b = std::make_unique<QpEndpoint>(this, node_b, next_qp_num_++);
   a->peer_ = b.get();
@@ -76,6 +79,24 @@ void Fabric::SetNicBandwidthScale(int node, double scale) {
 
 void Fabric::PauseNode(int node, Nanos until) {
   nic(node)->PauseUntil(until);
+}
+
+void Fabric::CrashNode(int node) {
+  SLASH_CHECK_GE(node, 0);
+  SLASH_CHECK_LT(node, config_.nodes);
+  if (dead_[node]) return;
+  dead_[node] = true;
+  // The engine observes the crash before any flush completion can fire:
+  // it marks the affected channels broken so the retry machinery does not
+  // fight the teardown, then schedules recovery.
+  if (crash_handler_) crash_handler_(node);
+  // Every connection with an endpoint on the dead node dies. In-flight
+  // work flushes with error completions through the normal async path.
+  for (const auto& ep : endpoints_) {
+    if (ep->node() != node) continue;
+    ep->EnterErrorState();
+    if (ep->peer() != nullptr) ep->peer()->EnterErrorState();
+  }
 }
 
 void Fabric::FlushWr(QpEndpoint* from, WorkType type, uint64_t wr_id,

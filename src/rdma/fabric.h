@@ -8,6 +8,7 @@
 #ifndef SLASH_RDMA_FABRIC_H_
 #define SLASH_RDMA_FABRIC_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -67,12 +68,25 @@ class Fabric : public sim::FaultTarget {
   /// specific connection in a FaultPlan deterministically.
   QpEndpoint* FindQp(uint32_t qp_num) const;
 
+  /// True once `node` has been crashed. Dead nodes cannot open new
+  /// connections; their existing QPs are all in the error state.
+  bool node_dead(int node) const { return dead_[node]; }
+
+  /// Registers the engine-side crash handler. CrashNode invokes it
+  /// synchronously *before* erroring the dead node's QPs, so the engine can
+  /// mark channels broken ahead of the flush completions and start
+  /// recovery from a consistent view.
+  void SetNodeCrashHandler(std::function<void(int)> handler) {
+    crash_handler_ = std::move(handler);
+  }
+
   // --- sim::FaultTarget ------------------------------------------------------
   // Connection-wide: failing either QP number errors both endpoints.
   void FailQp(uint32_t qp_num) override;
   void RecoverQp(uint32_t qp_num) override;
   void SetNicBandwidthScale(int node, double scale) override;
   void PauseNode(int node, Nanos until) override;
+  void CrashNode(int node) override;
 
  private:
   friend class QpEndpoint;
@@ -108,6 +122,8 @@ class Fabric : public sim::FaultTarget {
   std::vector<std::unique_ptr<ProtectionDomain>> pds_;
   std::vector<std::unique_ptr<Nic>> nics_;
   std::vector<std::unique_ptr<QpEndpoint>> endpoints_;
+  std::vector<bool> dead_;
+  std::function<void(int)> crash_handler_;
   uint32_t next_qp_num_ = 1;
 };
 

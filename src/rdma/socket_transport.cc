@@ -31,12 +31,15 @@ sim::Task SocketConnection::Send(int from_node, const uint8_t* data,
   const int to = 1 - from;
   Side& dst = sides_[to];
 
+  if (aborted_) co_return;
   // TCP-style flow control: block while the window towards the peer is full.
   const Nanos wait_start = sim_->now();
-  while (dst.in_flight + len > config_.window_bytes && dst.in_flight > 0) {
+  while (!aborted_ && dst.in_flight + len > config_.window_bytes &&
+         dst.in_flight > 0) {
     co_await dst.window_open.Wait();
   }
   cpu->ChargeWait(sim_->now() - wait_start, perf::Category::kBackEndCore);
+  if (aborted_) co_return;
   // Reserve window space before suspending again so concurrent senders
   // cannot all pass the check at the same instant.
   dst.in_flight += len;
@@ -62,15 +65,26 @@ sim::Task SocketConnection::Send(int from_node, const uint8_t* data,
   Side* dst_ptr = &dst;
   sim_->ScheduleAt(arrival, [this, dst_ptr, len,
                              message = std::move(message)]() mutable {
+    dst_ptr->in_flight -= len;
+    if (aborted_) return;  // lost with the connection
     dst_ptr->inbox_bytes += len;
     dst_ptr->inbox.push_back(std::move(message));
     dst_ptr->readable.Notify();
     for (sim::Event* observer : dst_ptr->observers) observer->Notify();
     // ACK opens the window (we release on delivery; the extra half-RTT is
     // folded into stack_latency).
-    dst_ptr->in_flight -= len;
     dst_ptr->window_open.Notify();
   });
+}
+
+void SocketConnection::Abort() {
+  if (aborted_) return;
+  aborted_ = true;
+  for (Side& side : sides_) {
+    side.readable.Notify();
+    side.window_open.Notify();
+    for (sim::Event* observer : side.observers) observer->Notify();
+  }
 }
 
 bool SocketConnection::TryReceive(int at_node, std::vector<uint8_t>* out,

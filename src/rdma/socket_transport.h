@@ -67,6 +67,16 @@ class SocketConnection {
   /// Bytes currently buffered but unread at `node`.
   uint64_t pending_bytes(int node) const;
 
+  /// Tears the connection down (peer crashed or the run is rolling back).
+  /// Subsequent and window-blocked Sends return without transmitting, and
+  /// every parked coroutine on either side is woken so it can observe the
+  /// abort. Undelivered inbox messages stay readable (they arrived before
+  /// the abort) but no new ones will arrive.
+  void Abort();
+
+  /// True once Abort() has been called.
+  bool aborted() const { return aborted_; }
+
  private:
   struct Side {
     explicit Side(sim::Simulator* sim) : readable(sim), window_open(sim) {}
@@ -86,6 +96,7 @@ class SocketConnection {
   int nodes_[2];
   SocketConfig config_;
   double inflation_;  // line-rate bytes per IPoIB byte
+  bool aborted_ = false;
   Side sides_[2];
 };
 

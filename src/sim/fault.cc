@@ -20,8 +20,96 @@ std::string_view FaultKindName(FaultKind kind) {
       return "transfer_drop";
     case FaultKind::kTransferDelay:
       return "transfer_delay";
+    case FaultKind::kNodeCrash:
+      return "node_crash";
   }
   return "unknown";
+}
+
+Status FaultPlan::Validate(int nodes) const {
+  auto sorted_by = [](const auto& vec, auto time_of, std::string_view what)
+      -> Status {
+    for (size_t i = 1; i < vec.size(); ++i) {
+      if (time_of(vec[i]) < time_of(vec[i - 1])) {
+        return Status::InvalidArgument(
+            std::string("fault plan: ") + std::string(what) +
+            " schedule is not sorted by trigger time");
+      }
+    }
+    return Status::OK();
+  };
+  auto node_in_range = [nodes](int node, std::string_view what) -> Status {
+    if (node < 0 || node >= nodes) {
+      return Status::InvalidArgument(
+          std::string("fault plan: ") + std::string(what) + " targets node " +
+          std::to_string(node) + ", fabric has " + std::to_string(nodes) +
+          " nodes");
+    }
+    return Status::OK();
+  };
+  auto endpoint_in_range = [nodes](int node, std::string_view what) -> Status {
+    if (node != kAnyNode && (node < 0 || node >= nodes)) {
+      return Status::InvalidArgument(
+          std::string("fault plan: ") + std::string(what) +
+          " endpoint names node " + std::to_string(node) + ", fabric has " +
+          std::to_string(nodes) + " nodes");
+    }
+    return Status::OK();
+  };
+
+  SLASH_RETURN_IF_ERROR(sorted_by(
+      qp_errors, [](const QpError& f) { return f.at; }, "qp_error"));
+  SLASH_RETURN_IF_ERROR(sorted_by(
+      nic_degrades, [](const NicDegrade& f) { return f.at; }, "nic_degrade"));
+  SLASH_RETURN_IF_ERROR(sorted_by(
+      node_pauses, [](const NodePause& f) { return f.at; }, "node_pause"));
+  SLASH_RETURN_IF_ERROR(sorted_by(
+      drop_rules, [](const DropRule& f) { return f.from; }, "drop_rule"));
+  SLASH_RETURN_IF_ERROR(sorted_by(
+      delay_rules, [](const DelayRule& f) { return f.from; }, "delay_rule"));
+  SLASH_RETURN_IF_ERROR(sorted_by(
+      node_crashes, [](const NodeCrash& f) { return f.at; }, "node_crash"));
+
+  for (const NicDegrade& f : nic_degrades) {
+    SLASH_RETURN_IF_ERROR(node_in_range(f.node, "nic_degrade"));
+    if (f.bandwidth_scale <= 0.0 || f.bandwidth_scale > 1.0) {
+      return Status::InvalidArgument(
+          "fault plan: nic_degrade bandwidth_scale must be in (0, 1]");
+    }
+  }
+  for (const NodePause& f : node_pauses) {
+    SLASH_RETURN_IF_ERROR(node_in_range(f.node, "node_pause"));
+  }
+  for (const NodeCrash& f : node_crashes) {
+    SLASH_RETURN_IF_ERROR(node_in_range(f.node, "node_crash"));
+  }
+  for (const DropRule& f : drop_rules) {
+    SLASH_RETURN_IF_ERROR(endpoint_in_range(f.src_node, "drop_rule src"));
+    SLASH_RETURN_IF_ERROR(endpoint_in_range(f.dst_node, "drop_rule dst"));
+    if (f.probability < 0.0 || f.probability > 1.0) {
+      return Status::InvalidArgument(
+          "fault plan: drop_rule probability must be in [0, 1]");
+    }
+  }
+  for (const DelayRule& f : delay_rules) {
+    SLASH_RETURN_IF_ERROR(endpoint_in_range(f.src_node, "delay_rule src"));
+    SLASH_RETURN_IF_ERROR(endpoint_in_range(f.dst_node, "delay_rule dst"));
+  }
+
+  // Overlapping pauses of the same node would double-extend the freeze
+  // window in ways the NIC model does not define; reject them outright.
+  for (size_t i = 0; i < node_pauses.size(); ++i) {
+    for (size_t j = i + 1; j < node_pauses.size(); ++j) {
+      if (node_pauses[i].node != node_pauses[j].node) continue;
+      const Nanos end_i = node_pauses[i].at + node_pauses[i].duration;
+      if (node_pauses[j].at < end_i) {
+        return Status::InvalidArgument(
+            "fault plan: overlapping pauses of node " +
+            std::to_string(node_pauses[i].node));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 FaultInjector::FaultInjector(Simulator* sim, FaultPlan plan)
@@ -63,6 +151,12 @@ void FaultInjector::Attach(FaultTarget* target) {
     sim_->ScheduleAt(f.at, [this, f] {
       Record(FaultKind::kNodePause, f.node, f.duration);
       target_->PauseNode(f.node, f.at + f.duration);
+    });
+  }
+  for (const FaultPlan::NodeCrash& f : plan_.node_crashes) {
+    sim_->ScheduleAt(f.at, [this, f] {
+      Record(FaultKind::kNodeCrash, f.node, 0);
+      target_->CrashNode(f.node);
     });
   }
 }

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "common/units.h"
 #include "sim/simulator.h"
 
@@ -100,16 +101,33 @@ struct FaultPlan {
     Nanos extra_latency = 0;
   };
 
+  /// Kills node `node` permanently at virtual time `at`: every QP touching
+  /// the node enters the error state (in-flight work flushes with errors),
+  /// the fabric marks the node dead, and the engine's crash handler — if one
+  /// is registered — gets a synchronous notification to start recovery.
+  struct NodeCrash {
+    Nanos at = 0;
+    int node = 0;
+  };
+
   std::vector<QpError> qp_errors;
   std::vector<NicDegrade> nic_degrades;
   std::vector<NodePause> node_pauses;
   std::vector<DropRule> drop_rules;
   std::vector<DelayRule> delay_rules;
+  std::vector<NodeCrash> node_crashes;
 
   bool empty() const {
     return qp_errors.empty() && nic_degrades.empty() && node_pauses.empty() &&
-           drop_rules.empty() && delay_rules.empty();
+           drop_rules.empty() && delay_rules.empty() && node_crashes.empty();
   }
+
+  /// Checks the plan against a fabric of `nodes` nodes. Rejects unsorted
+  /// schedules (each vector must be ordered by trigger time), overlapping
+  /// pauses of the same node, and node-targeted faults naming nodes outside
+  /// [0, nodes). Engines call this before arming the injector so a bad plan
+  /// fails the run with a clear error instead of corrupting it mid-flight.
+  Status Validate(int nodes) const;
 };
 
 /// What the injector can do to the substrate. Implemented by rdma::Fabric;
@@ -126,6 +144,8 @@ class FaultTarget {
   virtual void SetNicBandwidthScale(int node, double scale) = 0;
   /// Freezes `node`'s NIC paths until virtual time `until`.
   virtual void PauseNode(int node, Nanos until) = 0;
+  /// Kills `node` permanently: marks it dead, errors every QP touching it.
+  virtual void CrashNode(int node) = 0;
 };
 
 /// Kinds of injected events, for the trace.
@@ -137,6 +157,7 @@ enum class FaultKind : uint8_t {
   kNodePause,
   kTransferDrop,
   kTransferDelay,
+  kNodeCrash,
 };
 
 std::string_view FaultKindName(FaultKind kind);

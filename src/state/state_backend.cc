@@ -18,18 +18,20 @@ StateBackend::StateBackend(int node, const SsbConfig& config)
   for (int p = 0; p < config.nodes; ++p) {
     partitions_.push_back(std::make_unique<Partition>(p, pcfg));
   }
+  led_.assign(config.nodes, false);
+  led_[node] = true;
 }
 
 void StateBackend::BeginEpoch() {
   for (int p = 0; p < config_.nodes; ++p) {
-    if (p != node_) partitions_[p]->AdvanceEpoch();
+    if (!led_[p]) partitions_[p]->AdvanceEpoch();
   }
   epoch_bytes_acc_ = 0;
 }
 
 DeltaEnvelope StateBackend::DrainFragment(int p, int64_t low_watermark,
                                           std::vector<uint8_t>* out) {
-  SLASH_CHECK_NE(p, node_);  // primaries are never drained
+  SLASH_CHECK(!led_[p]);  // primaries are never drained
   Partition* fragment = partitions_[p].get();
   DeltaEnvelope envelope;
   envelope.partition = static_cast<uint32_t>(p);
@@ -54,12 +56,13 @@ Status StateBackend::MergeIntoPrimary(const uint8_t* data, size_t len,
   }
   DeltaEnvelope envelope;
   std::memcpy(&envelope, data, sizeof(envelope));
-  if (envelope.partition != static_cast<uint32_t>(node_)) {
+  const int p = static_cast<int>(envelope.partition);
+  if (p < 0 || p >= config_.nodes || !led_[p]) {
     return Status::InvalidArgument("delta addressed to another leader");
   }
   if (envelope_out != nullptr) *envelope_out = envelope;
-  return primary()->MergeDelta(data + sizeof(DeltaEnvelope),
-                               len - sizeof(DeltaEnvelope));
+  return partitions_[p]->MergeDelta(data + sizeof(DeltaEnvelope),
+                                    len - sizeof(DeltaEnvelope));
 }
 
 uint64_t StateBackend::total_live_bytes() const {

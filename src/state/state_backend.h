@@ -67,13 +67,25 @@ class StateBackend {
     return static_cast<int>(Mix64(key ^ 0x5ca1ab1eULL) % config_.nodes);
   }
 
-  /// Local storage for partition `p`: the primary when p == node(), a
+  /// Local storage for partition `p`: a primary when this node leads it, a
   /// helper fragment otherwise.
   Partition* local(int p) { return partitions_[p].get(); }
   const Partition* local(int p) const { return partitions_[p].get(); }
 
-  /// This node's primary partition (merged state it leads).
+  /// This node's home primary partition (merged state it leads).
   Partition* primary() { return local(node_); }
+
+  // --- Leadership (crash recovery) -----------------------------------------
+
+  /// True when this node leads partition `p` (holds its merged primary).
+  /// Initially only the home partition p == node(); recovery extends the
+  /// set when a survivor inherits a dead node's partition.
+  bool leads(int p) const { return led_[p]; }
+
+  /// Promotes fragment `p` to a primary on this node (the node inherited
+  /// leadership of a crashed peer's partition). The caller restores the
+  /// partition content from the latest replicated snapshot afterwards.
+  void AddLeadership(int p) { led_[p] = true; }
 
   // --- Record-level API (the hot path) -------------------------------------
 
@@ -114,15 +126,24 @@ class StateBackend {
   Status MergeIntoPrimary(const uint8_t* data, size_t len,
                           DeltaEnvelope* envelope_out);
 
-  /// Serializes a consistent snapshot of this node's primary partition
+  /// Serializes a consistent snapshot of this node's home primary partition
   /// (for epoch-aligned checkpointing). Returns the entry count.
   size_t SnapshotPrimary(std::vector<uint8_t>* out) const {
     return local(node_)->Snapshot(out);
   }
 
-  /// Restores primary-partition state from a snapshot.
+  /// Restores home-primary-partition state from a snapshot.
   Status RestorePrimary(const uint8_t* data, size_t len) {
     return partitions_[node_]->Restore(data, len);
+  }
+
+  /// Per-partition snapshot/restore, used by checkpointing and recovery
+  /// (a recovered leader may hold several primaries).
+  size_t SnapshotPartition(int p, std::vector<uint8_t>* out) const {
+    return local(p)->Snapshot(out);
+  }
+  Status RestorePartition(int p, const uint8_t* data, size_t len) {
+    return partitions_[p]->Restore(data, len);
   }
 
   /// Total state bytes held locally across partitions.
@@ -132,6 +153,7 @@ class StateBackend {
   int node_;
   SsbConfig config_;
   std::vector<std::unique_ptr<Partition>> partitions_;
+  std::vector<bool> led_;  // led_[p]: this node leads partition p
   uint64_t epoch_bytes_acc_ = 0;
 };
 

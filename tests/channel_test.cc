@@ -5,6 +5,7 @@
 // order, no overwrite of unread buffers, producer stalls without credit).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <tuple>
 #include <vector>
@@ -345,6 +346,102 @@ TEST(PullChannelTest, SlowerThanPushForSameWorkload) {
   EXPECT_EQ(pull_tags.size(), size_t(messages));
   // The pull model pays a round-trip per message: strictly slower.
   EXPECT_GT(pull_time, push_time);
+}
+
+// --- Upstream replay buffer (checkpointing) ---------------------------------
+
+TEST(ReplayBufferTest, RetainsPostedMessagesUntilCheckpoint) {
+  Harness h;
+  ChannelConfig cfg;
+  cfg.credits = 8;
+  cfg.slot_bytes = 2048;
+  cfg.replay_buffer_slots = 16;
+  auto ch = RdmaChannel::Create(&h.fabric, 0, 1, cfg);
+  std::vector<uint64_t> tags;
+  uint64_t max_in_flight = 0;
+  h.sim.Spawn(Producer(ch.get(), 10, 700, &h.producer_cpu, &max_in_flight));
+  h.sim.Spawn(Consumer(ch.get(), 10, 700, &h.consumer_cpu, &tags));
+  h.sim.Run();
+  ASSERT_EQ(tags.size(), 10u);
+
+  // Every message is still replayable: payload bytes, tag, watermark.
+  ASSERT_EQ(ch->retained().size(), 10u);
+  EXPECT_EQ(ch->retained_bytes(), 10u * 700u);
+  for (int i = 0; i < 10; ++i) {
+    const auto& msg = ch->retained()[i];
+    EXPECT_EQ(msg.user_tag, uint64_t(i));
+    EXPECT_EQ(msg.watermark, int64_t(i) * 10);
+    ASSERT_EQ(msg.bytes.size(), 700u);
+    for (uint8_t b : msg.bytes) EXPECT_EQ(b, i % 251);
+  }
+
+  ch->MarkCheckpoint();
+  EXPECT_TRUE(ch->retained().empty());
+  EXPECT_EQ(ch->retained_bytes(), 0u);
+}
+
+TEST(ReplayBufferTest, BoundBackpressuresProducerUntilCheckpoint) {
+  Harness h;
+  ChannelConfig cfg;
+  cfg.credits = 8;
+  cfg.slot_bytes = 2048;
+  cfg.replay_buffer_slots = 4;  // tighter than the credit window
+  auto ch = RdmaChannel::Create(&h.fabric, 0, 1, cfg);
+  std::vector<uint64_t> tags;
+
+  // Producer wants 12 messages but the consumer only checkpoints every 4:
+  // without MarkCheckpoint the producer would wedge at the bound.
+  auto producer = [](RdmaChannel* c, perf::CpuContext* cpu,
+                     uint64_t* high_water) -> sim::Task {
+    for (int i = 0; i < 12; ++i) {
+      SlotRef slot;
+      while (!c->TryAcquire(&slot, cpu)) {
+        co_await c->credit_event().Wait();
+      }
+      std::memset(slot.payload, i % 251, 256);
+      SLASH_CHECK(c->Post(slot, 256, i, i * 10, cpu).ok());
+      *high_water = std::max(*high_water, uint64_t(c->retained().size()));
+      co_await cpu->Sync();
+    }
+  };
+  auto consumer = [](RdmaChannel* c, perf::CpuContext* cpu,
+                     std::vector<uint64_t>* out) -> sim::Task {
+    for (int i = 0; i < 12; ++i) {
+      InboundBuffer buffer;
+      while (!c->TryPoll(&buffer, cpu)) {
+        co_await c->data_event().Wait();
+      }
+      out->push_back(buffer.user_tag);
+      SLASH_CHECK(c->Release(buffer, cpu).ok());
+      if (out->size() % 4 == 0) c->MarkCheckpoint();
+      co_await cpu->Sync();
+    }
+  };
+  uint64_t high_water = 0;
+  h.sim.Spawn(producer(ch.get(), &h.producer_cpu, &high_water));
+  h.sim.Spawn(consumer(ch.get(), &h.consumer_cpu, &tags));
+  h.sim.Run();
+
+  ASSERT_EQ(tags.size(), 12u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(tags[i], uint64_t(i));
+  // The bound held: retention never exceeded replay_buffer_slots.
+  EXPECT_LE(high_water, cfg.replay_buffer_slots);
+  EXPECT_EQ(h.sim.pending_tasks(), 0);
+}
+
+TEST(ReplayBufferTest, DisabledByDefaultRetainsNothing) {
+  Harness h;
+  ChannelConfig cfg;
+  cfg.credits = 4;
+  auto ch = RdmaChannel::Create(&h.fabric, 0, 1, cfg);
+  std::vector<uint64_t> tags;
+  uint64_t max_in_flight = 0;
+  h.sim.Spawn(Producer(ch.get(), 8, 128, &h.producer_cpu, &max_in_flight));
+  h.sim.Spawn(Consumer(ch.get(), 8, 128, &h.consumer_cpu, &tags));
+  h.sim.Run();
+  EXPECT_EQ(tags.size(), 8u);
+  EXPECT_TRUE(ch->retained().empty());
+  EXPECT_EQ(ch->retained_bytes(), 0u);
 }
 
 }  // namespace

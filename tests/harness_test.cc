@@ -1,0 +1,43 @@
+// Regression tests for the benchmark harness guard: a datapoint from an
+// aborted run must never make it into a figure. RequireCompleted exits the
+// whole binary (non-zero, status on stderr) on a failed RunStats and is a
+// no-op on a completed one.
+#include <gtest/gtest.h>
+
+#include "bench_util/harness.h"
+#include "common/status.h"
+#include "engines/engine.h"
+
+namespace slash {
+namespace {
+
+engines::RunStats AbortedStats() {
+  engines::RunStats stats;
+  stats.engine = "slash";
+  stats.status = Status::Unavailable("node 1 crashed with no checkpoint");
+  return stats;
+}
+
+TEST(BenchHarnessDeathTest, AbortedRunExitsNonZeroWithStatus) {
+  EXPECT_EXIT(
+      bench::RequireCompleted(AbortedStats(), "fig6/YSB/nodes:4"),
+      ::testing::ExitedWithCode(1),
+      "benchmark run did not complete \\(fig6/YSB/nodes:4\\).*"
+      "node 1 crashed with no checkpoint");
+}
+
+TEST(BenchHarnessDeathTest, RefusesToReportAbortedNumbers) {
+  EXPECT_EXIT(bench::RequireCompleted(AbortedStats(), "table1/Slash"),
+              ::testing::ExitedWithCode(1),
+              "Refusing to report numbers from an aborted run");
+}
+
+TEST(BenchHarnessTest, CompletedRunPassesThrough) {
+  engines::RunStats stats;
+  stats.engine = "slash";
+  bench::RequireCompleted(stats, "fig7/YSB/nodes:2");  // must not exit
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace slash

@@ -6,6 +6,8 @@
 // parameterized coverage of the invariants the protocols rely on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <compare>
 #include <cstring>
 #include <deque>
 #include <map>
@@ -19,6 +21,7 @@
 #include "rdma/socket_transport.h"
 #include "sim/fault.h"
 #include "state/log_store.h"
+#include "state/state_backend.h"
 #include "workloads/ysb.h"
 
 namespace slash {
@@ -346,6 +349,101 @@ INSTANTIATE_TEST_SUITE_P(
       const char* engine = std::get<0>(info.param) == 0 ? "slash" : "uppar";
       return std::string(engine) + "_plan" +
              std::to_string(std::get<1>(info.param));
+    });
+
+// --- Snapshot/restore round-trip (checkpointing) ----------------------------
+
+// SnapshotPrimary → restore into a fresh backend must reproduce the primary
+// partition exactly — same entry count, keys, buckets, and value bytes —
+// for every workload key distribution (skew concentrates entries into long
+// hash chains, a different code path than uniform spray).
+using SnapshotParam = std::tuple<int /*distribution*/, int /*kind*/>;
+
+class SnapshotRoundTripSweep : public ::testing::TestWithParam<SnapshotParam> {
+};
+
+struct FlatEntry {
+  uint64_t key;
+  int64_t bucket;
+  uint16_t stream_id;
+  std::vector<uint8_t> value;
+
+  auto operator<=>(const FlatEntry&) const = default;
+};
+
+std::vector<FlatEntry> FlattenPrimary(const state::StateBackend& ssb,
+                                      int node) {
+  std::vector<FlatEntry> out;
+  ssb.local(node)->ForEachLive(
+      [&](const state::EntryHeader& h, const uint8_t* value) {
+        out.push_back(FlatEntry{h.key, h.bucket, h.stream_id,
+                                std::vector<uint8_t>(value,
+                                                     value + h.value_len)});
+      });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST_P(SnapshotRoundTripSweep, PrimaryRoundTripsExactly) {
+  const auto [distribution, kind] = GetParam();
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 5000;
+  switch (distribution) {
+    case 0:
+      ycfg.keys = workloads::KeyDistribution::Uniform();
+      break;
+    case 1:
+      ycfg.keys = workloads::KeyDistribution::Zipf(1.2);
+      break;
+    default:
+      ycfg.keys = workloads::KeyDistribution::Pareto(1.1);
+      break;
+  }
+  workloads::YsbWorkload workload(ycfg);
+
+  state::SsbConfig scfg;
+  scfg.nodes = 1;  // single partition: every key routes to the primary
+  scfg.kind = kind == 0 ? state::StateKind::kAggregate
+                        : state::StateKind::kAppend;
+  scfg.lss_capacity = 1ULL << 18;
+  scfg.index_buckets = 1ULL << 10;
+  state::StateBackend source(0, scfg);
+
+  auto flow = workload.MakeFlow(0, 1, 4000, /*seed=*/7);
+  core::Record r;
+  uint8_t wire[64] = {0};
+  while (flow->Next(&r)) {
+    const int64_t bucket = r.timestamp / 1000;
+    if (kind == 0) {
+      source.UpdateAggregate(r.key, bucket, r.value);
+    } else {
+      std::memcpy(wire, &r.key, sizeof(r.key));
+      source.Append(r.key, bucket, r.stream_id, wire, 24);
+    }
+  }
+
+  std::vector<uint8_t> snapshot;
+  const size_t entries = source.SnapshotPrimary(&snapshot);
+  EXPECT_GT(entries, 0u);
+
+  state::StateBackend restored(0, scfg);
+  ASSERT_TRUE(restored.RestorePrimary(snapshot.data(), snapshot.size()).ok());
+
+  const std::vector<FlatEntry> want = FlattenPrimary(source, 0);
+  const std::vector<FlatEntry> got = FlattenPrimary(restored, 0);
+  EXPECT_EQ(want.size(), entries);
+  EXPECT_EQ(want, got);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, SnapshotRoundTripSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),  // uniform, zipf, pareto
+                       ::testing::Values(0, 1)),    // aggregate, append
+    [](const ::testing::TestParamInfo<SnapshotParam>& info) {
+      const int d = std::get<0>(info.param);
+      const char* dist = d == 0 ? "uniform" : (d == 1 ? "zipf" : "pareto");
+      const char* kind = std::get<1>(info.param) == 0 ? "aggregate" : "append";
+      return std::string(dist) + "_" + kind;
     });
 
 }  // namespace
