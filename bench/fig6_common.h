@@ -68,6 +68,9 @@ inline int WeakScalingMain(int argc, char** argv, const std::string& title,
             table->Add(std::string(sut_engine->name()),
                        "n=" + std::to_string(nodes), "throughput [M rec/s]",
                        stats.throughput_rps() / 1e6);
+            table->Add(std::string(sut_engine->name()),
+                       "n=" + std::to_string(nodes), "sim events/s (wall)",
+                       stats.sim_events_per_sec_wall);
           })
           ->Iterations(1)
           ->Unit(benchmark::kMillisecond);

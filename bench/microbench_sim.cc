@@ -1,0 +1,182 @@
+// DES-kernel microbenchmarks: how many events per wall-clock second the
+// simulator core sustains, independent of any engine. Four hot paths:
+//
+//   timer_storm      — callback events through the calendar wheel (many
+//                      interleaved strides, constant churn)
+//   coroutine_delay  — the coroutine fast path (Delay/ResumeAt, no
+//                      callable, pool-recycled nodes)
+//   event_ping_pong  — Event::Notify wakeup chains between two coroutines
+//   channel_echo     — full credit-based RDMA channel round trips (the
+//                      event path under the real protocol stack)
+//
+// Every benchmark reports events/s of host wall-clock time (the perf_opt
+// target metric) plus the kernel's pool hit rate; with SLASH_BENCH_JSON
+// set, the series lands in BENCH_microbench_sim.json.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "bench_util/harness.h"
+#include "channel/rdma_channel.h"
+#include "common/logging.h"
+#include "perf/cost_model.h"
+#include "rdma/fabric.h"
+#include "sim/simulator.h"
+
+namespace slash::bench {
+namespace {
+
+SeriesTable* Table() {
+  static SeriesTable* table = new SeriesTable("microbench_sim");
+  return table;
+}
+
+// Runs a primed simulator to completion, reports wall-clock event rate.
+void MeasureRun(benchmark::State& state, sim::Simulator* sim,
+                const char* name) {
+  const auto start = std::chrono::steady_clock::now();
+  sim->Run();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  SLASH_CHECK_EQ(sim->pending_tasks(), 0);
+  const double rate = secs > 0 ? double(sim->events_fired()) / secs : 0.0;
+  state.counters["ev/s"] = rate;
+  state.counters["pool_hit"] = sim->pool_hit_rate();
+  Table()->Add("sim", name, "events/s (wall)", rate);
+  Table()->Add("sim", name, "pool hit rate", sim->pool_hit_rate());
+}
+
+// Self-rescheduling callback timer: the classic DES workload. Distinct
+// strides keep many wheel slots live at once.
+struct Timer {
+  sim::Simulator* sim;
+  uint64_t left;
+  Nanos stride;
+  void operator()() {
+    if (left == 0) return;
+    --left;
+    sim->ScheduleAt(sim->now() + stride, Timer{*this});
+  }
+};
+
+void TimerStorm(benchmark::State& state) {
+  constexpr int kTimers = 64;
+  constexpr uint64_t kFires = 50000;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int t = 0; t < kTimers; ++t) {
+      sim.ScheduleAt(Nanos(t), Timer{&sim, kFires, Nanos(1 + t % 61)});
+    }
+    MeasureRun(state, &sim, "timer_storm");
+  }
+}
+BENCHMARK(TimerStorm)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+sim::Task DelayLoop(sim::Simulator* sim, uint64_t iters) {
+  for (uint64_t i = 0; i < iters; ++i) co_await sim->Delay(1);
+}
+
+void CoroutineDelay(benchmark::State& state) {
+  constexpr int kTasks = 32;
+  constexpr uint64_t kIters = 100000;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int t = 0; t < kTasks; ++t) sim.Spawn(DelayLoop(&sim, kIters));
+    MeasureRun(state, &sim, "coroutine_delay");
+  }
+}
+BENCHMARK(CoroutineDelay)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+struct Court {
+  sim::Event ping;
+  sim::Event pong;
+  uint64_t turns = 0;
+  uint64_t limit = 0;
+  explicit Court(sim::Simulator* sim) : ping(sim), pong(sim) {}
+};
+
+sim::Task Player(Court* court, sim::Event* mine, sim::Event* other) {
+  while (court->turns < court->limit) {
+    other->Notify();
+    co_await mine->Wait();
+    ++court->turns;
+  }
+  other->Notify();  // release a peer parked past the limit
+}
+
+void EventPingPong(benchmark::State& state) {
+  constexpr uint64_t kRounds = 2000000;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    Court court(&sim);
+    court.limit = kRounds;
+    sim.Spawn(Player(&court, &court.ping, &court.pong));
+    sim.Spawn(Player(&court, &court.pong, &court.ping));
+    MeasureRun(state, &sim, "event_ping_pong");
+  }
+}
+BENCHMARK(EventPingPong)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+sim::Task EchoProducer(channel::RdmaChannel* ch, uint64_t count,
+                       uint64_t payload_len, perf::CpuContext* cpu) {
+  for (uint64_t i = 0; i < count; ++i) {
+    channel::SlotRef slot;
+    while (!ch->TryAcquire(&slot, cpu)) {
+      co_await ch->credit_event().Wait();
+    }
+    std::memset(slot.payload, int(i % 251), payload_len);
+    SLASH_CHECK(ch->Post(slot, payload_len, /*user_tag=*/i,
+                         /*watermark=*/int64_t(i), cpu)
+                    .ok());
+    co_await cpu->Sync();
+  }
+}
+
+sim::Task EchoConsumer(channel::RdmaChannel* ch, uint64_t count,
+                       perf::CpuContext* cpu) {
+  for (uint64_t i = 0; i < count; ++i) {
+    channel::InboundBuffer buffer;
+    while (!ch->TryPoll(&buffer, cpu)) {
+      co_await ch->data_event().Wait();
+    }
+    SLASH_CHECK_EQ(buffer.user_tag, i);
+    SLASH_CHECK(ch->Release(buffer, cpu).ok());
+    co_await cpu->Sync();
+  }
+}
+
+void ChannelEcho(benchmark::State& state) {
+  constexpr uint64_t kMessages = 50000;
+  constexpr uint64_t kPayload = 64;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    rdma::FabricConfig fcfg;
+    fcfg.nodes = 2;
+    rdma::Fabric fabric(&sim, fcfg);
+    channel::ChannelConfig ccfg;
+    ccfg.credits = 8;
+    auto ch = channel::RdmaChannel::Create(&fabric, 0, 1, ccfg);
+    perf::CpuContext producer_cpu(&sim, &perf::CostModel::Default());
+    perf::CpuContext consumer_cpu(&sim, &perf::CostModel::Default());
+    sim.Spawn(EchoProducer(ch.get(), kMessages, kPayload, &producer_cpu));
+    sim.Spawn(EchoConsumer(ch.get(), kMessages, &consumer_cpu));
+    MeasureRun(state, &sim, "channel_echo");
+    state.counters["msg/s"] =
+        state.counters["ev/s"].value *
+        (double(kMessages) / double(sim.events_fired()));
+  }
+}
+BENCHMARK(ChannelEcho)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace slash::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  slash::bench::Table()->PrintAll();
+  return 0;
+}

@@ -43,8 +43,15 @@ class SeriesTable {
   /// Prints one metric as a series-by-x matrix to stdout.
   void Print(const std::string& metric) const;
 
-  /// Prints every metric seen.
+  /// Prints every metric seen. When the SLASH_BENCH_JSON environment
+  /// variable names a directory, also writes the full table to
+  /// `<dir>/BENCH_<sanitized title>.json` so CI can archive the numbers as
+  /// machine-readable artifacts.
   void PrintAll() const;
+
+  /// The JSON serialization written by PrintAll: `{"name": ..., "points":
+  /// [{"series", "x", "metric", "value"}, ...]}` in insertion order.
+  std::string ToJson() const;
 
  private:
   std::string title_;

@@ -135,6 +135,7 @@ Status RdmaChannel::Post(const SlotRef& slot, uint64_t payload_len,
 
   if (config_.replay_buffer_slots > 0) {
     RetainedMessage retained;
+    retained.bytes = fabric_->buffer_pool().Get(payload_len);
     retained.bytes.assign(slot.payload, slot.payload + payload_len);
     retained.user_tag = user_tag;
     retained.watermark = watermark;
@@ -190,6 +191,7 @@ Status RdmaChannel::PostExternal(rdma::MemorySpan payload, uint64_t user_tag,
 
   if (config_.replay_buffer_slots > 0) {
     RetainedMessage retained;
+    retained.bytes = fabric_->buffer_pool().Get(payload.length);
     retained.bytes.assign(payload.data(), payload.data() + payload.length);
     retained.user_tag = user_tag;
     retained.watermark = watermark;
@@ -208,6 +210,10 @@ Status RdmaChannel::PostExternal(rdma::MemorySpan payload, uint64_t user_tag,
 
 void RdmaChannel::MarkCheckpoint() {
   if (retained_.empty()) return;
+  // Recycle the replay copies' backing stores for the next epoch's posts.
+  for (RetainedMessage& m : retained_) {
+    fabric_->buffer_pool().Put(std::move(m.bytes));
+  }
   retained_.clear();
   retained_bytes_ = 0;
   // Producers blocked on the replay-buffer bound can acquire again.

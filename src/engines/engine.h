@@ -16,6 +16,7 @@
 #ifndef SLASH_ENGINES_ENGINE_H_
 #define SLASH_ENGINES_ENGINE_H_
 
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <string>
@@ -156,6 +157,16 @@ struct RunStats {
   uint64_t recoveries = 0;                   // node crashes recovered from
   Nanos recovery_ns = 0;                     // virtual time spent recovering
   uint64_t records_replayed = 0;             // input re-read after rollback
+
+  /// DES-kernel observability: how hard the simulator worked to produce
+  /// this run, and how allocation-free the event path was. Wall-clock
+  /// events/sec measures the *host* cost of the simulation (the perf_opt
+  /// target), unlike every other rate here, which is virtual-time.
+  uint64_t sim_events_fired = 0;
+  double sim_events_per_sec_wall = 0.0;    // events / host wall-clock second
+  double sim_pool_hit_rate = 0.0;          // event-node pool recycling rate
+  uint64_t sim_event_bytes_allocated = 0;  // bytes the event path did allocate
+  double buffer_pool_hit_rate = 0.0;       // fabric transfer-buffer pool (0 if unused)
 
   /// Top-down counters per role ("worker", "sender", "receiver").
   std::map<std::string, perf::Counters> role_counters;
@@ -330,6 +341,23 @@ class BlobReader {
   size_t len_;
   size_t pos_ = 0;
 };
+
+/// Runs the simulator to completion under host wall-clock timing and fills
+/// the DES-kernel observability fields of `stats`. Returns the virtual-time
+/// makespan, so engines use it as a drop-in for `sim->Run()`.
+inline Nanos TimedSimRun(sim::Simulator* sim, RunStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  const Nanos makespan = sim->Run();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  stats->sim_events_fired = sim->events_fired();
+  stats->sim_events_per_sec_wall =
+      secs > 0 ? double(sim->events_fired()) / secs : 0.0;
+  stats->sim_pool_hit_rate = sim->pool_hit_rate();
+  stats->sim_event_bytes_allocated = sim->event_bytes_allocated();
+  return makespan;
+}
 
 }  // namespace slash::engines
 

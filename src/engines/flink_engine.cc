@@ -976,7 +976,7 @@ RunStats FlinkLikeEngine::Run(const core::QuerySpec& query,
 
   BuildAttempt(&run, /*round=*/0);
 
-  stats.makespan = run.sim.Run();
+  stats.makespan = TimedSimRun(&run.sim, &stats);
   // An aborted run legitimately strands coroutines that were mid-exchange
   // when their socket died; only a *completed* run must fully drain.
   SLASH_CHECK_MSG(run.failed || run.sim.pending_tasks() == 0,
@@ -989,6 +989,10 @@ RunStats FlinkLikeEngine::Run(const core::QuerySpec& query,
   }
   stats.records_in = run.records_in;
   stats.network_bytes = run.fabric->total_tx_bytes();
+  if (const auto& pool = run.fabric->buffer_pool();
+      pool.hits() + pool.misses() > 0) {
+    stats.buffer_pool_hit_rate = pool.hit_rate();
+  }
   stats.buffer_latency = run.latency;
   stats.checkpoints_taken = run.coordinator->checkpoints_taken();
   stats.checkpoint_bytes_replicated = run.bytes_replicated;

@@ -117,7 +117,7 @@ RunStats LightSaberEngine::Run(const core::QuerySpec& query,
 
   RunStats stats;
   stats.engine = std::string(name());
-  stats.makespan = run.sim.Run();
+  stats.makespan = TimedSimRun(&run.sim, &stats);
   SLASH_CHECK_MSG(run.sim.pending_tasks() == 0,
                   "LightSaber run left " << run.sim.pending_tasks()
                                          << " pending tasks");

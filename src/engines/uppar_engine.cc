@@ -413,7 +413,7 @@ RunStats UpParEngine::Run(const core::QuerySpec& query,
 
   RunStats stats;
   stats.engine = std::string(name());
-  stats.makespan = run.sim.Run();
+  stats.makespan = TimedSimRun(&run.sim, &stats);
   // An aborted run legitimately strands coroutines that were mid-protocol
   // when their channel died; only a *completed* run must fully drain.
   SLASH_CHECK_MSG(run.failed || run.sim.pending_tasks() == 0,
@@ -430,6 +430,10 @@ RunStats UpParEngine::Run(const core::QuerySpec& query,
   }
   stats.records_in = run.records_in;
   stats.network_bytes = run.fabric->total_tx_bytes();
+  if (const auto& pool = run.fabric->buffer_pool();
+      pool.hits() + pool.misses() > 0) {
+    stats.buffer_pool_hit_rate = pool.hit_rate();
+  }
   stats.buffer_latency = run.latency;
   perf::Counters senders, receivers;
   for (auto& s : run.senders) senders.Merge(s->cpu->counters());

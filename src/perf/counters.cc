@@ -57,4 +57,8 @@ std::string Counters::Summary() const {
   return buf;
 }
 
+bool AllocTracker::armed_ = false;
+uint64_t AllocTracker::allocations_ = 0;
+uint64_t AllocTracker::bytes_ = 0;
+
 }  // namespace slash::perf

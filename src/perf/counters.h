@@ -59,6 +59,42 @@ struct Counters {
   std::string Summary() const;
 };
 
+/// Heap-allocation observation point for the zero-allocation regression
+/// guard (tests/perf_test.cc). The library itself never overrides the
+/// global allocator; a test binary that wants to count installs its own
+/// `operator new`/`operator delete` overrides and forwards every
+/// allocation to Note(). While disarmed (the default) Note() is a cheap
+/// no-op, so the overrides cost two relaxed loads outside the measured
+/// region. Single-threaded like the simulator.
+class AllocTracker {
+ public:
+  /// Starts counting allocations from zero.
+  static void Arm() {
+    allocations_ = 0;
+    bytes_ = 0;
+    armed_ = true;
+  }
+
+  /// Stops counting; the totals remain readable.
+  static void Disarm() { armed_ = false; }
+
+  /// Called by a test binary's operator-new override for every allocation.
+  static void Note(uint64_t size) {
+    if (!armed_) return;
+    ++allocations_;
+    bytes_ += size;
+  }
+
+  static bool armed() { return armed_; }
+  static uint64_t allocations() { return allocations_; }
+  static uint64_t bytes() { return bytes_; }
+
+ private:
+  static bool armed_;
+  static uint64_t allocations_;
+  static uint64_t bytes_;
+};
+
 }  // namespace slash::perf
 
 #endif  // SLASH_PERF_COUNTERS_H_

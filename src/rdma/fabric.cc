@@ -52,6 +52,22 @@ uint64_t Fabric::total_tx_bytes() const {
   return total;
 }
 
+bool* Fabric::AcquireFlag() {
+  if (free_flags_.empty()) {
+    constexpr size_t kFlagsPerChunk = 256;
+    flag_chunks_.emplace_back(new bool[kFlagsPerChunk]());
+    bool* flags = flag_chunks_.back().get();
+    free_flags_.reserve(free_flags_.size() + kFlagsPerChunk);
+    for (size_t i = 0; i < kFlagsPerChunk; ++i) free_flags_.push_back(&flags[i]);
+  }
+  bool* flag = free_flags_.back();
+  free_flags_.pop_back();
+  *flag = false;
+  return flag;
+}
+
+void Fabric::ReleaseFlag(bool* flag) { free_flags_.push_back(flag); }
+
 QpEndpoint* Fabric::FindQp(uint32_t qp_num) const {
   for (const auto& ep : endpoints_) {
     if (ep->qp_num() == qp_num) return ep.get();
@@ -181,8 +197,9 @@ void Fabric::ScheduleWriteDelivery(QpEndpoint* from, QpEndpoint* to,
   const uint64_t len = local.length;
   // Shared between the delivery and ack events so a connection error that
   // strikes (and maybe recovers) mid-flight can never report success for a
-  // write that was not materialized.
-  auto delivered = std::make_shared<bool>(false);
+  // write that was not materialized. The ack event fires strictly after the
+  // delivery event and releases the flag.
+  bool* delivered = AcquireFlag();
   sim_->ScheduleAt(arrival, [=, this] {
     // A connection that errored while the message was in flight never
     // materializes it (the responder tears the RC context down).
@@ -201,9 +218,11 @@ void Fabric::ScheduleWriteDelivery(QpEndpoint* from, QpEndpoint* to,
   });
   // The sender's completion means "acked by the responder": one extra
   // latency after remote delivery.
-  sim_->ScheduleAt(arrival + lat, [=] {
+  sim_->ScheduleAt(arrival + lat, [=, this] {
     --from->outstanding_;
-    if (!*delivered || from->state_ == QpState::kError) {
+    const bool ok = *delivered;
+    ReleaseFlag(delivered);
+    if (!ok || from->state_ == QpState::kError) {
       from->send_cq().Push(Completion{wr_id, WorkType::kWrite, len, 0,
                                       /*has_immediate=*/false,
                                       WcStatus::kFlushErr});
@@ -328,7 +347,7 @@ Status Fabric::ExecuteSend(QpEndpoint* from, MemorySpan local, uint64_t wr_id,
       nic(to->node())->ReserveRx(tx_end + lat + extra_delay, len);
 
   ++from->outstanding_;
-  auto delivered = std::make_shared<bool>(false);
+  bool* delivered = AcquireFlag();
   sim_->ScheduleAt(arrival, [=] {
     if (from->state_ == QpState::kError) return;  // lost mid-flight
     *delivered = true;
@@ -337,9 +356,11 @@ Status Fabric::ExecuteSend(QpEndpoint* from, MemorySpan local, uint64_t wr_id,
     to->recv_cq().Push(Completion{recv.wr_id, WorkType::kRecv, len, immediate,
                                   has_immediate});
   });
-  sim_->ScheduleAt(arrival + lat, [=] {
+  sim_->ScheduleAt(arrival + lat, [=, this] {
     --from->outstanding_;
-    if (!*delivered || from->state_ == QpState::kError) {
+    const bool ok = *delivered;
+    ReleaseFlag(delivered);
+    if (!ok || from->state_ == QpState::kError) {
       from->send_cq().Push(Completion{wr_id, WorkType::kSend, len, 0,
                                       /*has_immediate=*/false,
                                       WcStatus::kFlushErr});

@@ -63,6 +63,11 @@ class Fabric : public sim::FaultTarget {
   /// Total bytes moved across all NICs (transmit side).
   uint64_t total_tx_bytes() const;
 
+  /// The fabric-wide free-list pool for transfer-sized byte buffers (the
+  /// channel layer's retained-message copies). Shared by all channels of
+  /// the run so steady-state sends recycle instead of allocating.
+  BufferPool& buffer_pool() { return buffer_pool_; }
+
   /// The endpoint with QP number `qp_num`; nullptr if unknown. QP numbers
   /// are assigned in Connect() order starting at 1, so tests can name a
   /// specific connection in a FaultPlan deterministically.
@@ -117,6 +122,14 @@ class Fabric : public sim::FaultTarget {
   // The injector registered on the simulator, or nullptr (fault-free).
   sim::FaultInjector* injector() const { return sim_->fault_injector(); }
 
+  // Pooled in-flight "delivered" flags. Each transfer's delivery and ack
+  // events share one flag; the ack always fires after the delivery (it is
+  // scheduled at a strictly later time), so the ack event owns the release.
+  // Chunked stable storage + a free list replaces a shared_ptr control
+  // block allocation per transfer on the hot send path.
+  bool* AcquireFlag();
+  void ReleaseFlag(bool* flag);
+
   sim::Simulator* sim_;
   FabricConfig config_;
   std::vector<std::unique_ptr<ProtectionDomain>> pds_;
@@ -125,6 +138,9 @@ class Fabric : public sim::FaultTarget {
   std::vector<bool> dead_;
   std::function<void(int)> crash_handler_;
   uint32_t next_qp_num_ = 1;
+  BufferPool buffer_pool_;
+  std::vector<std::unique_ptr<bool[]>> flag_chunks_;
+  std::vector<bool*> free_flags_;
 };
 
 }  // namespace slash::rdma

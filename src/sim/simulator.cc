@@ -2,28 +2,93 @@
 
 namespace slash::sim {
 
-void Simulator::ScheduleAt(Nanos t, std::function<void()> fn) {
-  SLASH_CHECK_GE(t, now_);
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+Simulator::Simulator()
+    : wheel_(new Bucket[kWheelSlots]()),
+      occupied_(new uint64_t[kBitmapWords]()) {}
+
+Simulator::~Simulator() {
+  // Destroy the callables of events that never fired (a stopped Step()
+  // loop, an aborted run). Coroutine handles are not destroyed here: their
+  // frames are owned by the Task objects in spawned_.
+  const auto drop = [this](EventNode* node) {
+    if (node->destroy != nullptr) node->destroy(node);
+  };
+  for (uint64_t slot = 0; slot < kWheelSlots; ++slot) {
+    for (EventNode* n = wheel_[slot].head; n != nullptr; n = n->next) drop(n);
+  }
+  for (EventNode* n : heap_) drop(n);
+}
+
+Simulator::EventNode* Simulator::GrowPool() {
+  chunks_.emplace_back(new EventNode[kNodesPerChunk]);
+  EventNode* nodes = chunks_.back().get();
+  event_bytes_allocated_ += kNodesPerChunk * sizeof(EventNode);
+  // Hand out the first node; the rest seed the free list in order.
+  for (size_t i = kNodesPerChunk - 1; i >= 1; --i) {
+    nodes[i].next = free_;
+    free_ = &nodes[i];
+  }
+  return &nodes[0];
+}
+
+uint64_t Simulator::FindOccupiedSlot(uint64_t start_slot) const {
+  // Circular scan of the occupancy bitmap beginning at start_slot. The
+  // caller guarantees the wheel is non-empty, and slots "behind" the start
+  // in circular order hold strictly later timestamps, so the first set bit
+  // in circular order is the earliest pending event.
+  uint64_t word = start_slot >> 6;
+  uint64_t bits = occupied_[word] & (~uint64_t{0} << (start_slot & 63));
+  for (uint64_t scanned = 0; scanned <= kBitmapWords; ++scanned) {
+    if (bits != 0) {
+      return (word << 6) + uint64_t(std::countr_zero(bits));
+    }
+    word = (word + 1) & (kBitmapWords - 1);
+    bits = occupied_[word];
+  }
+  SLASH_CHECK_MSG(false, "wheel bitmap inconsistent with wheel_size_="
+                             << wheel_size_);
+  return 0;
+}
+
+void Simulator::AdvanceWindow() {
+  // Wheel drained: slide the window to the earliest far timer and migrate
+  // everything that now falls inside it. Heap pops come out in (time, seq)
+  // order and append to FIFO buckets, and every later insert has a larger
+  // seq, so global FIFO tie-break order is preserved across the boundary.
+  window_start_ = heap_.front()->time;
+  while (!heap_.empty() &&
+         heap_.front()->time - window_start_ < kNearWindowNanos) {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+    EventNode* node = heap_.back();
+    heap_.pop_back();
+    PushBucket(node);
+  }
+}
+
+Simulator::EventNode* Simulator::PopNext() {
+  if (wheel_size_ == 0) {
+    if (heap_.empty()) return nullptr;
+    AdvanceWindow();
+  }
+  const Nanos pos = now_ > window_start_ ? now_ : window_start_;
+  const uint64_t slot = FindOccupiedSlot(uint64_t(pos) & kWheelMask);
+  Bucket& bucket = wheel_[slot];
+  EventNode* node = bucket.head;
+  bucket.head = node->next;
+  if (bucket.head == nullptr) {
+    bucket.tail = nullptr;
+    occupied_[slot >> 6] &= ~(uint64_t{1} << (slot & 63));
+  }
+  --wheel_size_;
+  return node;
 }
 
 void Simulator::Spawn(Task task) {
   ++pending_tasks_;
   task.handle_.promise().on_done = [this] { --pending_tasks_; };
-  auto h = task.handle_;
+  const std::coroutine_handle<> h = task.handle_;
   spawned_.push_back(std::move(task));
-  ScheduleAt(now_, [h] { h.resume(); });
-}
-
-bool Simulator::Step() {
-  if (queue_.empty()) return false;
-  // Copy out before pop: the callback may schedule new events.
-  Event ev = queue_.top();
-  queue_.pop();
-  SLASH_CHECK_GE(ev.time, now_);
-  now_ = ev.time;
-  ev.fn();
-  return true;
+  ResumeAt(now_, h);
 }
 
 Nanos Simulator::Run(uint64_t max_events) {

@@ -1,10 +1,52 @@
 // Tests for the perf substrate: counters arithmetic, cost-model charging,
-// wait accounting, and the CpuContext <-> simulator time coupling.
+// wait accounting, the CpuContext <-> simulator time coupling, and the
+// zero-allocation regression guard for the DES event path.
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
 
 #include "perf/cost_model.h"
 #include "perf/counters.h"
 #include "sim/simulator.h"
+
+// Global allocator overrides for THIS TEST BINARY ONLY: every heap
+// allocation is reported to AllocTracker (a no-op while disarmed). The
+// library itself never overrides the allocator — see perf/counters.h.
+void* operator new(std::size_t size) {
+  slash::perf::AllocTracker::Note(size);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  slash::perf::AllocTracker::Note(size);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  slash::perf::AllocTracker::Note(size);
+  const std::size_t a = std::size_t(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  slash::perf::AllocTracker::Note(size);
+  const std::size_t a = std::size_t(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace slash::perf {
 namespace {
@@ -119,6 +161,75 @@ TEST(CpuContextTest, ChargeBytesScalesPerByteOps) {
   const OpCost& per_byte = CostModel::Default().Get(Op::kBufferCopyPerByte);
   EXPECT_NEAR(cpu.counters().instructions, per_byte.instructions * 1000,
               1e-9);
+}
+
+TEST(AllocTrackerTest, CountsOnlyWhileArmed) {
+  AllocTracker::Arm();
+  void* p = ::operator new(64);
+  ::operator delete(p);
+  AllocTracker::Disarm();
+  const uint64_t counted = AllocTracker::allocations();
+  EXPECT_GE(counted, 1u);
+  EXPECT_GE(AllocTracker::bytes(), 64u);
+  void* q = ::operator new(32);
+  ::operator delete(q);
+  EXPECT_EQ(AllocTracker::allocations(), counted);
+}
+
+// A self-rescheduling callback timer whose functor fits the event node's
+// inline storage (no heap fallback).
+struct SteadyTimer {
+  sim::Simulator* sim;
+  uint64_t left;
+  Nanos stride;
+  void operator()() {
+    if (left == 0) return;
+    --left;
+    sim->ScheduleAt(sim->now() + stride, SteadyTimer{*this});
+  }
+};
+
+sim::Task SteadyDelayLoop(sim::Simulator* sim, uint64_t iters) {
+  for (uint64_t i = 0; i < iters; ++i) co_await sim->Delay(3);
+}
+
+// The perf_opt regression guard: once warm, the DES event path (event
+// nodes, wheel buckets, far heap, coroutine resumption) performs ZERO heap
+// allocations. Warm-up is sized to cross at least one wheel-window
+// rollover so the armed region exercises both tiers with their capacity
+// already established.
+TEST(AllocTrackerTest, EventPathIsAllocationFreeInSteadyState) {
+  sim::Simulator sim;
+  constexpr uint64_t kFiresPerTimer = 8000;
+  for (int t = 0; t < 64; ++t) {
+    sim.ScheduleAt(Nanos(t % 16),
+                   SteadyTimer{&sim, kFiresPerTimer, Nanos(1 + t % 8)});
+  }
+  sim.Spawn(SteadyDelayLoop(&sim, 500000));
+
+  uint64_t warmed = 0;
+  while (warmed < 300000 && sim.Step()) ++warmed;
+  ASSERT_EQ(warmed, 300000u);
+  ASSERT_GT(sim.now(), sim::Simulator::kNearWindowNanos)
+      << "warm-up must cross a wheel-window rollover";
+
+  const uint64_t kernel_bytes_before = sim.event_bytes_allocated();
+  const uint64_t pool_misses_before = sim.pool_misses();
+  AllocTracker::Arm();
+  uint64_t armed = 0;
+  while (armed < 100000 && sim.Step()) ++armed;
+  AllocTracker::Disarm();
+
+  EXPECT_EQ(armed, 100000u);
+  EXPECT_EQ(AllocTracker::allocations(), 0u)
+      << "steady-state event path allocated " << AllocTracker::bytes()
+      << " bytes";
+  EXPECT_EQ(sim.event_bytes_allocated(), kernel_bytes_before)
+      << "event-node pool grew after warm-up";
+  EXPECT_EQ(sim.pool_misses(), pool_misses_before)
+      << "armed-phase event nodes were not all recycled";
+  sim.Run();  // drain the rest; the delay loop completes
+  EXPECT_EQ(sim.pending_tasks(), 0);
 }
 
 TEST(CpuContextTest, CustomModelOverridesCosts) {
