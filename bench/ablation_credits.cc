@@ -35,11 +35,11 @@ void RunCase(benchmark::State& state, uint32_t credits) {
   for (auto _ : state) {
     result = RunTransfer(cfg);
   }
-  state.counters["GB/s"] = result.goodput_gbps();
+  state.counters["GB/s"] = result.goodput_gbytes_per_sec();
   state.counters["p50_lat_us"] =
       double(result.buffer_latency.Percentile(50)) / double(kMicrosecond);
   Table()->Add("Slash channel", "c=" + std::to_string(credits),
-               "goodput [GB/s]", result.goodput_gbps());
+               "goodput [GB/s]", result.goodput_gbytes_per_sec());
   Table()->Add("Slash channel", "c=" + std::to_string(credits),
                "latency p50 [us]",
                double(result.buffer_latency.Percentile(50)) /

@@ -37,11 +37,11 @@ void RunCase(benchmark::State& state, uint64_t epoch_kib) {
                                 "KiB");
   }
   state.counters["Mrec/s"] = stats.throughput_rps() / 1e6;
-  state.counters["net_MB"] = double(stats.network_bytes) / 1e6;
+  state.counters["net_MB"] = double(stats.network_bytes()) / 1e6;
   Table()->Add("Slash", std::to_string(epoch_kib) + "KiB",
                "throughput [M rec/s]", stats.throughput_rps() / 1e6);
   Table()->Add("Slash", std::to_string(epoch_kib) + "KiB",
-               "network volume [MB]", double(stats.network_bytes) / 1e6);
+               "network volume [MB]", double(stats.network_bytes()) / 1e6);
 }
 
 }  // namespace

@@ -50,7 +50,7 @@ void RunCase(benchmark::State& state, bool ysb, bool compiled) {
   }
   state.counters["Mrec/s"] = stats.throughput_rps() / 1e6;
   state.counters["instr/rec"] =
-      stats.TotalCounters().instructions / double(stats.records_in);
+      stats.TotalCounters().instructions / double(stats.records_in());
   Table()->Add(compiled ? "compiled (fused)" : "interpreted",
                ysb ? "YSB" : "RO", "throughput [M rec/s]",
                stats.throughput_rps() / 1e6);

@@ -33,14 +33,14 @@ void RunCase(benchmark::State& state, bool pull, uint64_t slot_kib) {
   for (auto _ : state) {
     result = RunTransfer(cfg);
   }
-  state.counters["GB/s"] = result.goodput_gbps();
+  state.counters["GB/s"] = result.goodput_gbytes_per_sec();
   state.counters["wire_amplification"] =
       result.payload_bytes > 0
           ? double(result.wire_bytes) / double(result.payload_bytes)
           : 0.0;
   Table()->Add(pull ? "READ pull" : "WRITE push",
                std::to_string(slot_kib) + "KiB", "goodput [GB/s]",
-               result.goodput_gbps());
+               result.goodput_gbytes_per_sec());
   Table()->Add(pull ? "READ pull" : "WRITE push",
                std::to_string(slot_kib) + "KiB", "wire amplification",
                result.payload_bytes > 0

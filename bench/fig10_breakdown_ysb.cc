@@ -47,8 +47,8 @@ void BM_Fig10(benchmark::State& state) {
   }
 
   std::printf("\nFig 10: execution breakdown of YSB (top-down categories)\n");
-  PrintBreakdown("UpPar sender", uppar.role_counters.at("sender"));
-  PrintBreakdown("UpPar receiver", uppar.role_counters.at("receiver"));
+  PrintBreakdown("UpPar sender", uppar.role_counters().at("sender"));
+  PrintBreakdown("UpPar receiver", uppar.role_counters().at("receiver"));
   PrintBreakdown("Slash", slash.TotalCounters());
 
   const perf::Counters slash_all = slash.TotalCounters();
@@ -57,7 +57,7 @@ void BM_Fig10(benchmark::State& state) {
   state.counters["slash_Ret_pct"] =
       slash_all.fraction(perf::Category::kRetiring) * 100.0;
   state.counters["uppar_snd_FeB_pct"] =
-      uppar.role_counters.at("sender").fraction(perf::Category::kFrontEnd) *
+      uppar.role_counters().at("sender").fraction(perf::Category::kFrontEnd) *
       100.0;
 }
 

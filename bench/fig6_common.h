@@ -63,8 +63,8 @@ inline int WeakScalingMain(int argc, char** argv, const std::string& title,
                                           "/nodes:" + std::to_string(nodes));
             }
             state.counters["Mrec/s"] = stats.throughput_rps() / 1e6;
-            state.counters["net_GB/s"] = stats.network_gbps();
-            state.counters["results"] = double(stats.records_emitted);
+            state.counters["net_GB/s"] = stats.network_gbytes_per_sec();
+            state.counters["results"] = double(stats.records_emitted());
             table->Add(std::string(sut_engine->name()),
                        "n=" + std::to_string(nodes), "throughput [M rec/s]",
                        stats.throughput_rps() / 1e6);

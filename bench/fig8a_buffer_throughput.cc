@@ -32,11 +32,11 @@ void RunCase(benchmark::State& state, bool partitioned, uint64_t slot_kib) {
   for (auto _ : state) {
     result = RunTransfer(cfg);
   }
-  state.counters["GB/s"] = result.goodput_gbps();
-  state.counters["pct_line_rate"] = result.goodput_gbps() / 11.8 * 100.0;
+  state.counters["GB/s"] = result.goodput_gbytes_per_sec();
+  state.counters["pct_line_rate"] = result.goodput_gbytes_per_sec() / 11.8 * 100.0;
   Table()->Add(partitioned ? "RDMA UpPar" : "Slash",
                std::to_string(slot_kib) + "KiB", "goodput [GB/s]",
-               result.goodput_gbps());
+               result.goodput_gbytes_per_sec());
 }
 
 }  // namespace

@@ -31,11 +31,11 @@ void RunCase(benchmark::State& state, bool partitioned, int producers) {
   for (auto _ : state) {
     result = RunTransfer(cfg);
   }
-  state.counters["GB/s"] = result.goodput_gbps();
-  state.counters["pct_line_rate"] = result.goodput_gbps() / 11.8 * 100.0;
+  state.counters["GB/s"] = result.goodput_gbytes_per_sec();
+  state.counters["pct_line_rate"] = result.goodput_gbytes_per_sec() / 11.8 * 100.0;
   Table()->Add(partitioned ? "RDMA UpPar" : "Slash",
                "t=" + std::to_string(producers), "goodput [GB/s]",
-               result.goodput_gbps());
+               result.goodput_gbytes_per_sec());
 }
 
 }  // namespace

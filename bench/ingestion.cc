@@ -47,12 +47,12 @@ void RunCase(benchmark::State& state, bool ysb, bool rdma_ingestion) {
                                            : "ingestion/local");
   }
   state.counters["Mrec/s"] = stats.throughput_rps() / 1e6;
-  state.counters["net_GB/s"] = stats.network_gbps();
+  state.counters["net_GB/s"] = stats.network_gbytes_per_sec();
   Table()->Add(rdma_ingestion ? "RDMA ingestion" : "local memory",
                ysb ? "YSB" : "RO", "throughput [M rec/s]",
                stats.throughput_rps() / 1e6);
   Table()->Add(rdma_ingestion ? "RDMA ingestion" : "local memory",
-               ysb ? "YSB" : "RO", "network [GB/s]", stats.network_gbps());
+               ysb ? "YSB" : "RO", "network [GB/s]", stats.network_gbytes_per_sec());
 }
 
 }  // namespace

@@ -8,6 +8,9 @@
 //   event_ping_pong  — Event::Notify wakeup chains between two coroutines
 //   channel_echo     — full credit-based RDMA channel round trips (the
 //                      event path under the real protocol stack)
+//   channel_echo_obs — the same round trips with the observability plane
+//                      (metrics registry + enabled tracer) attached, to
+//                      bound the live-publish overhead
 //
 // Every benchmark reports events/s of host wall-clock time (the perf_opt
 // target metric) plus the kernel's pool hit rate; with SLASH_BENCH_JSON
@@ -20,6 +23,8 @@
 #include "bench_util/harness.h"
 #include "channel/rdma_channel.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perf/cost_model.h"
 #include "rdma/fabric.h"
 #include "sim/simulator.h"
@@ -147,11 +152,23 @@ sim::Task EchoConsumer(channel::RdmaChannel* ch, uint64_t count,
   }
 }
 
-void ChannelEcho(benchmark::State& state) {
+// `observed` attaches the full observability plane (registry + enabled
+// tracer) before the fabric is built, so the channel/NIC publish points go
+// live; the plain run leaves them null and measures the disabled-path
+// (one predicted branch per point) overhead against the same workload.
+void ChannelEchoImpl(benchmark::State& state, bool observed,
+                     const char* name) {
   constexpr uint64_t kMessages = 50000;
   constexpr uint64_t kPayload = 64;
   for (auto _ : state) {
     sim::Simulator sim;
+    obs::MetricsRegistry registry;
+    obs::Tracer tracer(
+        obs::Tracer::Options{.capacity = 1 << 12, .enabled = true});
+    if (observed) {
+      sim.set_metrics(&registry);
+      sim.set_tracer(&tracer);
+    }
     rdma::FabricConfig fcfg;
     fcfg.nodes = 2;
     rdma::Fabric fabric(&sim, fcfg);
@@ -162,13 +179,22 @@ void ChannelEcho(benchmark::State& state) {
     perf::CpuContext consumer_cpu(&sim, &perf::CostModel::Default());
     sim.Spawn(EchoProducer(ch.get(), kMessages, kPayload, &producer_cpu));
     sim.Spawn(EchoConsumer(ch.get(), kMessages, &consumer_cpu));
-    MeasureRun(state, &sim, "channel_echo");
+    MeasureRun(state, &sim, name);
     state.counters["msg/s"] =
         state.counters["ev/s"].value *
         (double(kMessages) / double(sim.events_fired()));
   }
 }
+
+void ChannelEcho(benchmark::State& state) {
+  ChannelEchoImpl(state, /*observed=*/false, "channel_echo");
+}
 BENCHMARK(ChannelEcho)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void ChannelEchoObserved(benchmark::State& state) {
+  ChannelEchoImpl(state, /*observed=*/true, "channel_echo_obs");
+}
+BENCHMARK(ChannelEchoObserved)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace slash::bench

@@ -58,11 +58,11 @@ void BM_Table1(benchmark::State& state) {
       "%-16s %5s %9s %8s %9s %9s %9s %9s\n",
       "", "IPC", "Instr/Rec", "Cyc/Rec", "L1d/Rec", "L2d/Rec", "LLC/Rec",
       "MemGB/s");
-  PrintRow("UpPar sender", uppar.role_counters.at("sender"), uppar.makespan);
-  PrintRow("UpPar receiver", uppar.role_counters.at("receiver"),
-           uppar.makespan);
+  PrintRow("UpPar sender", uppar.role_counters().at("sender"), uppar.makespan());
+  PrintRow("UpPar receiver", uppar.role_counters().at("receiver"),
+           uppar.makespan());
   perf::Counters slash_all = slash.TotalCounters();
-  PrintRow("Slash", slash_all, slash.makespan);
+  PrintRow("Slash", slash_all, slash.makespan());
 
   state.counters["slash_Mrec/s"] = slash.throughput_rps() / 1e6;
   state.counters["uppar_Mrec/s"] = uppar.throughput_rps() / 1e6;

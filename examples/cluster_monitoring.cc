@@ -34,8 +34,8 @@ int main() {
     std::printf("%8llu KiB %12.1f %14s %16s\n",
                 static_cast<unsigned long long>(epoch_kib),
                 stats.throughput_rps() / 1e6,
-                slash::FormatBytes(stats.network_bytes).c_str(),
-                slash::FormatNanos(stats.buffer_latency.Percentile(50))
+                slash::FormatBytes(stats.network_bytes()).c_str(),
+                slash::FormatNanos(stats.buffer_latency().Percentile(50))
                     .c_str());
   }
 

@@ -45,7 +45,7 @@ int main() {
   // Pass 2: kill node 1 halfway through the run.
   sim::FaultPlan plan;
   plan.node_crashes.push_back(
-      {.at = Nanos(double(clean.makespan) * 0.5), .node = 1});
+      {.at = Nanos(double(clean.makespan()) * 0.5), .node = 1});
   cluster.fault_plan = &plan;
   const engines::RunStats stats = engine.Run(query, workload, cluster);
   bench::RequireCompleted(stats, "crash_recovery/crashed");
@@ -55,30 +55,30 @@ int main() {
   std::printf("crash injected        : node 1 at %s\n",
               FormatNanos(plan.node_crashes[0].at).c_str());
   std::printf("makespan (clean)      : %s\n",
-              FormatNanos(clean.makespan).c_str());
+              FormatNanos(clean.makespan()).c_str());
   std::printf("makespan (crashed)    : %s\n",
-              FormatNanos(stats.makespan).c_str());
+              FormatNanos(stats.makespan()).c_str());
   std::printf("checkpoints taken     : %llu\n",
-              static_cast<unsigned long long>(stats.checkpoints_taken));
+              static_cast<unsigned long long>(stats.checkpoints_taken()));
   std::printf("bytes replicated      : %s\n",
-              FormatBytes(stats.checkpoint_bytes_replicated).c_str());
+              FormatBytes(stats.checkpoint_bytes_replicated()).c_str());
   std::printf("recoveries            : %llu\n",
-              static_cast<unsigned long long>(stats.recoveries));
+              static_cast<unsigned long long>(stats.recoveries()));
   std::printf("recovery time         : %s\n",
-              FormatNanos(stats.recovery_ns).c_str());
+              FormatNanos(stats.recovery_ns()).c_str());
   std::printf("records replayed      : %llu\n",
-              static_cast<unsigned long long>(stats.records_replayed));
+              static_cast<unsigned long long>(stats.records_replayed()));
 
   // The point of the exercise: the crashed run's windowed results are
   // bit-identical to the sequential reference computation.
   const core::OracleOutput oracle = core::ComputeOracle(
       query, workload.Sources(cluster.records_per_worker, cluster.seed),
       cluster.nodes * cluster.workers_per_node);
-  const bool ok = stats.records_emitted == oracle.count &&
-                  stats.result_checksum == oracle.checksum;
+  const bool ok = stats.records_emitted() == oracle.count &&
+                  stats.result_checksum() == oracle.checksum;
   std::printf("oracle check          : %s (%llu rows, checksum %016llx)\n",
               ok ? "PASS" : "FAIL",
-              static_cast<unsigned long long>(stats.records_emitted),
-              static_cast<unsigned long long>(stats.result_checksum));
+              static_cast<unsigned long long>(stats.records_emitted()),
+              static_cast<unsigned long long>(stats.result_checksum()));
   return ok ? 0 : 1;
 }

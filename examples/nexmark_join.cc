@@ -40,9 +40,9 @@ void RunJoin(const slash::workloads::Workload& workload) {
   std::printf("%-5s | %9.1f Mrec/s | %7llu joined keys | %9llu pairs | %s\n",
               std::string(workload.name()).c_str(),
               stats.throughput_rps() / 1e6,
-              static_cast<unsigned long long>(stats.records_emitted),
+              static_cast<unsigned long long>(stats.records_emitted()),
               static_cast<unsigned long long>(total_pairs),
-              stats.result_checksum == oracle.checksum ? "oracle PASS"
+              stats.result_checksum() == oracle.checksum ? "oracle PASS"
                                                        : "oracle FAIL");
 }
 

@@ -88,22 +88,22 @@ int main() {
 
   std::printf("query            : %s\n", query.name.c_str());
   std::printf("records processed: %llu\n",
-              static_cast<unsigned long long>(stats.records_in));
+              static_cast<unsigned long long>(stats.records_in()));
   std::printf("result rows      : %llu\n",
-              static_cast<unsigned long long>(stats.records_emitted));
+              static_cast<unsigned long long>(stats.records_emitted()));
   std::printf("virtual makespan : %s\n",
-              slash::FormatNanos(stats.makespan).c_str());
+              slash::FormatNanos(stats.makespan()).c_str());
   std::printf("throughput       : %.1f M records/s\n",
               stats.throughput_rps() / 1e6);
   std::printf("network volume   : %s\n",
-              slash::FormatBytes(stats.network_bytes).c_str());
+              slash::FormatBytes(stats.network_bytes()).c_str());
 
   // Verify against the sequential reference computation (property P2).
   const slash::core::OracleOutput oracle = slash::core::ComputeOracle(
       query, workload.Sources(cluster.records_per_worker, cluster.seed),
       cluster.nodes * cluster.workers_per_node);
-  const bool ok = stats.result_checksum == oracle.checksum &&
-                  stats.records_emitted == oracle.count;
+  const bool ok = stats.result_checksum() == oracle.checksum &&
+                  stats.records_emitted() == oracle.count;
   std::printf("oracle check     : %s\n", ok ? "PASS" : "FAIL");
 
   std::printf("\nfirst windows (bucket, sensor, max):\n");

@@ -169,18 +169,18 @@ int main(int argc, char** argv) {
   std::printf("cluster           : %d nodes x %d workers\n", cfg.nodes,
               cfg.workers_per_node);
   std::printf("records processed : %llu\n",
-              static_cast<unsigned long long>(stats.records_in));
+              static_cast<unsigned long long>(stats.records_in()));
   std::printf("virtual makespan  : %s\n",
-              slash::FormatNanos(stats.makespan).c_str());
+              slash::FormatNanos(stats.makespan()).c_str());
   std::printf("throughput        : %.2f M records/s\n",
               stats.throughput_rps() / 1e6);
   std::printf("network volume    : %s (%.2f GB/s)\n",
-              slash::FormatBytes(stats.network_bytes).c_str(),
-              stats.network_gbps());
+              slash::FormatBytes(stats.network_bytes()).c_str(),
+              stats.network_gbytes_per_sec());
   std::printf("result rows       : %llu (checksum %016llx)\n",
-              static_cast<unsigned long long>(stats.records_emitted),
-              static_cast<unsigned long long>(stats.result_checksum));
-  for (const auto& [role, counters] : stats.role_counters) {
+              static_cast<unsigned long long>(stats.records_emitted()),
+              static_cast<unsigned long long>(stats.result_checksum()));
+  for (const auto& [role, counters] : stats.role_counters()) {
     std::printf("%-18s: %s\n", role.c_str(), counters.Summary().c_str());
   }
 
@@ -188,8 +188,8 @@ int main(int argc, char** argv) {
     const slash::core::OracleOutput oracle = slash::core::ComputeOracle(
         query, workload->Sources(cfg.records_per_worker, cfg.seed),
         cfg.nodes * cfg.workers_per_node);
-    const bool ok = oracle.checksum == stats.result_checksum &&
-                    oracle.count == stats.records_emitted;
+    const bool ok = oracle.checksum == stats.result_checksum() &&
+                    oracle.count == stats.records_emitted();
     std::printf("oracle            : %s\n", ok ? "PASS" : "FAIL");
     if (!ok) return 1;
   }

@@ -46,14 +46,14 @@ int main(int argc, char** argv) {
     const slash::engines::RunStats stats =
         engine->Run(query, workload, cluster);
     slash::bench::RequireCompleted(stats, std::string(engine->name()));
-    if (reference_checksum == 0) reference_checksum = stats.result_checksum;
+    if (reference_checksum == 0) reference_checksum = stats.result_checksum();
     std::printf("%-16s %12.1f %12.2f %10llu %10s %10.1f\n",
                 std::string(engine->name()).c_str(),
-                stats.throughput_rps() / 1e6, stats.network_gbps(),
-                static_cast<unsigned long long>(stats.records_emitted),
-                stats.result_checksum == reference_checksum ? "match"
+                stats.throughput_rps() / 1e6, stats.network_gbytes_per_sec(),
+                static_cast<unsigned long long>(stats.records_emitted()),
+                stats.result_checksum() == reference_checksum ? "match"
                                                             : "MISMATCH",
-                stats.memory_bandwidth_gbps());
+                stats.memory_bandwidth_gbytes_per_sec());
   }
 
   // LightSaber runs single-node; shown for the COST comparison.
@@ -67,8 +67,8 @@ int main(int argc, char** argv) {
     std::printf("%-16s %12.1f %12s %10llu %10s %10.1f   (1 node)\n",
                 std::string(lightsaber.name()).c_str(),
                 stats.throughput_rps() / 1e6, "-",
-                static_cast<unsigned long long>(stats.records_emitted), "-",
-                stats.memory_bandwidth_gbps());
+                static_cast<unsigned long long>(stats.records_emitted()), "-",
+                stats.memory_bandwidth_gbytes_per_sec());
   }
 
   std::printf(
@@ -77,12 +77,13 @@ int main(int argc, char** argv) {
     slash::engines::UpParEngine uppar;
     const slash::engines::RunStats stats =
         uppar.Run(query, workload, cluster);
-    const auto& receiver = stats.role_counters.at("receiver");
+    const auto roles = stats.role_counters();
+    const auto& receiver = roles.at("receiver");
     std::printf("  UpPar receiver : %.0f%% memory-bound, %.0f%% core-bound "
                 "(cold DMA buffers + scattered co-partitioned state)\n",
                 receiver.fraction(slash::perf::Category::kBackEndMemory) * 100,
                 receiver.fraction(slash::perf::Category::kBackEndCore) * 100);
-    const auto& sender = stats.role_counters.at("sender");
+    const auto& sender = roles.at("sender");
     std::printf("  UpPar sender   : %.0f%% front-end bound "
                 "(branchy per-record partitioning)\n",
                 sender.fraction(slash::perf::Category::kFrontEnd) * 100);

@@ -1,34 +1,9 @@
 #include "bench_util/harness.h"
 
-#include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
 
 namespace slash::bench {
-
-namespace {
-
-// "Fig 6a: YSB" -> "fig_6a_ysb": lowercase alphanumerics, everything else
-// collapsed to single underscores, trimmed at both ends.
-std::string SanitizeTitle(const std::string& title) {
-  std::string out;
-  for (const char c : title) {
-    if (std::isalnum(static_cast<unsigned char>(c))) {
-      out.push_back(
-          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-    } else if (!out.empty() && out.back() != '_') {
-      out.push_back('_');
-    }
-  }
-  while (!out.empty() && out.back() == '_') out.pop_back();
-  return out.empty() ? std::string("table") : out;
-}
-
-}  // namespace
 
 engines::ClusterConfig BenchCluster(int nodes, int workers) {
   engines::ClusterConfig cfg;
@@ -59,82 +34,6 @@ void RequireCompleted(const engines::RunStats& stats,
                "Refusing to report numbers from an aborted run.\n",
                context.c_str(), stats.status.ToString().c_str());
   std::exit(1);
-}
-
-void SeriesTable::Add(const std::string& series, const std::string& x,
-                      const std::string& metric, double value) {
-  if (std::find(series_order_.begin(), series_order_.end(), series) ==
-      series_order_.end()) {
-    series_order_.push_back(series);
-  }
-  if (std::find(x_order_.begin(), x_order_.end(), x) == x_order_.end()) {
-    x_order_.push_back(x);
-  }
-  data_[metric][series][x] = value;
-}
-
-void SeriesTable::Print(const std::string& metric) const {
-  auto it = data_.find(metric);
-  if (it == data_.end()) return;
-  std::printf("\n%s — %s\n", title_.c_str(), metric.c_str());
-  std::printf("%-24s", "");
-  for (const auto& x : x_order_) std::printf("%14s", x.c_str());
-  std::printf("\n");
-  for (const auto& series : series_order_) {
-    auto sit = it->second.find(series);
-    if (sit == it->second.end()) continue;
-    std::printf("%-24s", series.c_str());
-    for (const auto& x : x_order_) {
-      auto vit = sit->second.find(x);
-      if (vit == sit->second.end()) {
-        std::printf("%14s", "-");
-      } else {
-        std::printf("%14.3f", vit->second);
-      }
-    }
-    std::printf("\n");
-  }
-}
-
-std::string SeriesTable::ToJson() const {
-  std::ostringstream out;
-  out << "{\"name\": \"" << SanitizeTitle(title_) << "\", \"points\": [";
-  bool first = true;
-  for (const auto& [metric, by_series] : data_) {
-    for (const auto& series : series_order_) {
-      auto sit = by_series.find(series);
-      if (sit == by_series.end()) continue;
-      for (const auto& x : x_order_) {
-        auto vit = sit->second.find(x);
-        if (vit == sit->second.end()) continue;
-        if (!first) out << ", ";
-        first = false;
-        out << "{\"series\": \"" << series << "\", \"x\": \"" << x
-            << "\", \"metric\": \"" << metric << "\", \"value\": "
-            << vit->second << "}";
-      }
-    }
-  }
-  out << "]}\n";
-  return out.str();
-}
-
-void SeriesTable::PrintAll() const {
-  for (const auto& [metric, unused] : data_) Print(metric);
-  const char* dir = std::getenv("SLASH_BENCH_JSON");
-  if (dir == nullptr || dir[0] == '\0') return;
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  const std::filesystem::path path =
-      std::filesystem::path(dir) / ("BENCH_" + SanitizeTitle(title_) + ".json");
-  std::ofstream file(path);
-  if (!file) {
-    std::fprintf(stderr, "WARNING: SLASH_BENCH_JSON: cannot write %s\n",
-                 path.string().c_str());
-    return;
-  }
-  file << ToJson();
-  std::printf("\nwrote %s\n", path.string().c_str());
 }
 
 }  // namespace slash::bench

@@ -4,11 +4,10 @@
 #ifndef SLASH_BENCH_UTIL_HARNESS_H_
 #define SLASH_BENCH_UTIL_HARNESS_H_
 
-#include <map>
 #include <string>
-#include <vector>
 
 #include "engines/engine.h"
+#include "obs/export.h"
 
 namespace slash::bench {
 
@@ -31,35 +30,10 @@ uint64_t BenchRecords(uint64_t base);
 void RequireCompleted(const engines::RunStats& stats,
                       const std::string& context);
 
-/// Accumulates (series, x, metric) points and renders matrices like the
-/// paper's figures: one row per series, one column per x value.
-class SeriesTable {
- public:
-  explicit SeriesTable(std::string title) : title_(std::move(title)) {}
-
-  void Add(const std::string& series, const std::string& x,
-           const std::string& metric, double value);
-
-  /// Prints one metric as a series-by-x matrix to stdout.
-  void Print(const std::string& metric) const;
-
-  /// Prints every metric seen. When the SLASH_BENCH_JSON environment
-  /// variable names a directory, also writes the full table to
-  /// `<dir>/BENCH_<sanitized title>.json` so CI can archive the numbers as
-  /// machine-readable artifacts.
-  void PrintAll() const;
-
-  /// The JSON serialization written by PrintAll: `{"name": ..., "points":
-  /// [{"series", "x", "metric", "value"}, ...]}` in insertion order.
-  std::string ToJson() const;
-
- private:
-  std::string title_;
-  std::vector<std::string> series_order_;
-  std::vector<std::string> x_order_;
-  std::map<std::string, std::map<std::string, std::map<std::string, double>>>
-      data_;  // metric -> series -> x -> value
-};
+/// The paper-figure series table now lives in the observability layer; the
+/// bench namespace keeps the historical name. Emission (text matrix,
+/// SLASH_BENCH_JSON artifact) goes through obs::Exporter.
+using SeriesTable = obs::SeriesTable;
 
 }  // namespace slash::bench
 

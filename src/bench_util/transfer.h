@@ -19,8 +19,8 @@
 
 #include <cstdint>
 
-#include "common/stats.h"
 #include "common/units.h"
+#include "obs/metrics.h"
 #include "perf/cost_model.h"
 #include "rdma/nic.h"
 #include "workloads/distributions.h"
@@ -49,12 +49,12 @@ struct TransferResult {
   uint64_t payload_bytes = 0;  // record bytes delivered
   uint64_t wire_bytes = 0;     // NIC transmit volume
   uint64_t records = 0;
-  LatencyHistogram buffer_latency;
+  obs::Histogram buffer_latency;
   perf::Counters sender;
   perf::Counters receiver;
 
   /// Goodput in GB/s of virtual time (compare to the 11.8 GB/s line rate).
-  double goodput_gbps() const {
+  double goodput_gbytes_per_sec() const {
     return makespan > 0 ? double(payload_bytes) / double(makespan) : 0;
   }
   double records_per_second() const {

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace slash::channel {
 
@@ -70,6 +72,20 @@ std::unique_ptr<RdmaChannel> RdmaChannel::Create(rdma::Fabric* fabric,
       [ch](const rdma::Completion& c) { return ch->OnProducerCompletion(c); });
   channel->consumer_qp_->send_cq().SetInterceptor(
       [ch](const rdma::Completion& c) { return ch->OnConsumerCompletion(c); });
+
+  // Resolve observability handles once; publish points are one branch each.
+  sim::Simulator* sim = fabric->simulator();
+  if (obs::MetricsRegistry* registry = sim->metrics()) {
+    channel->retries_counter_ =
+        registry->GetCounter(obs::metric::kChannelRetries);
+  }
+  if (obs::Tracer* tracer = sim->tracer()) {
+    channel->tracer_ = tracer;
+    channel->trace_transfer_ = tracer->Intern("channel.transfer");
+    channel->trace_retry_ = tracer->Intern("channel.qp_retry");
+    channel->trace_close_ = tracer->Intern("channel.close");
+    channel->trace_cat_ = tracer->Intern("channel");
+  }
   return channel;
 }
 
@@ -238,6 +254,12 @@ bool RdmaChannel::TryPoll(InboundBuffer* out, perf::CpuContext* cpu) {
   out->send_time = footer.send_time;
   out->slot_index = slot;
   ++received_count_;
+  if (tracer_ != nullptr) {
+    // acquire -> poll, stamped on the consumer's channel track.
+    tracer_->Complete(footer.send_time, sim_->now() - footer.send_time,
+                      trace_transfer_, trace_cat_, consumer_node_,
+                      obs::kTrackChannel);
+  }
   return true;
 }
 
@@ -281,6 +303,11 @@ bool RdmaChannel::OnProducerCompletion(const rdma::Completion& c) {
     return true;
   }
   ++retries_;
+  if (retries_counter_ != nullptr) retries_counter_->Add(1);
+  if (tracer_ != nullptr) {
+    tracer_->Instant(sim_->now(), trace_retry_, trace_cat_, producer_node_,
+                     obs::kTrackChannel);
+  }
   const Nanos backoff = config_.retry_backoff_base
                         << (attempts > 1 ? attempts - 1 : 0);
   const uint64_t wr_id = c.wr_id;
@@ -304,6 +331,11 @@ bool RdmaChannel::OnConsumerCompletion(const rdma::Completion& c) {
     return true;
   }
   ++retries_;
+  if (retries_counter_ != nullptr) retries_counter_->Add(1);
+  if (tracer_ != nullptr) {
+    tracer_->Instant(sim_->now(), trace_retry_, trace_cat_, consumer_node_,
+                     obs::kTrackChannel);
+  }
   credit_retry_pending_ = true;
   const Nanos backoff = config_.retry_backoff_base
                         << (attempts > 1 ? attempts - 1 : 0);
@@ -368,6 +400,10 @@ void RdmaChannel::CloseChannel(const Status& status) {
   if (broken_) return;
   broken_ = true;
   channel_status_ = status;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(sim_->now(), trace_close_, trace_cat_, producer_node_,
+                     obs::kTrackChannel);
+  }
   // Wake every parked producer/consumer so it can observe broken() and
   // unwind instead of sleeping forever on a channel that will never move.
   credit_event_.Notify();

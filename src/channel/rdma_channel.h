@@ -57,6 +57,11 @@
 #include "rdma/fabric.h"
 #include "sim/simulator.h"
 
+namespace slash::obs {
+class Counter;
+class Tracer;
+}  // namespace slash::obs
+
 namespace slash::channel {
 
 /// Channel sizing parameters. The paper's best configuration is c = 8
@@ -305,6 +310,16 @@ class RdmaChannel {
   int producer_node_;
   int consumer_node_;
   ChannelConfig config_;
+
+  // Observability handles, resolved once at Create() from the simulator's
+  // registered plane (see Simulator::set_metrics/set_tracer). Null when
+  // that plane is absent/disabled, so each publish point is one branch.
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  uint32_t trace_transfer_ = 0;  // interned names (hot path emits by id)
+  uint32_t trace_retry_ = 0;
+  uint32_t trace_close_ = 0;
+  uint32_t trace_cat_ = 0;
 
   // Producer-side state.
   rdma::MemoryRegion* staging_ = nullptr;   // producer circular queue

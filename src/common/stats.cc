@@ -19,45 +19,6 @@ void RunningSummary::Add(double v) {
   sum_ += v;
 }
 
-LatencyHistogram::LatencyHistogram() {
-  // Geometric bucket bounds from 1 ns to ~100 s with ratio 1.08.
-  Nanos bound = 1;
-  while (bound < 100 * kSecond) {
-    bounds_.push_back(bound);
-    Nanos next = static_cast<Nanos>(std::ceil(double(bound) * 1.08));
-    bound = std::max(next, bound + 1);
-  }
-  bounds_.push_back(100 * kSecond);
-  buckets_.assign(bounds_.size(), 0);
-}
-
-size_t LatencyHistogram::BucketFor(Nanos v) const {
-  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  if (it == bounds_.end()) return bounds_.size() - 1;
-  return static_cast<size_t>(it - bounds_.begin());
-}
-
-void LatencyHistogram::Record(Nanos latency) {
-  if (latency < 1) latency = 1;
-  ++buckets_[BucketFor(latency)];
-  ++count_;
-  sum_ += double(latency);
-}
-
-Nanos LatencyHistogram::Percentile(double p) const {
-  SLASH_CHECK_GE(p, 0.0);
-  SLASH_CHECK_LE(p, 100.0);
-  if (count_ == 0) return 0;
-  const uint64_t target =
-      static_cast<uint64_t>(std::ceil(p / 100.0 * double(count_)));
-  uint64_t seen = 0;
-  for (size_t i = 0; i < buckets_.size(); ++i) {
-    seen += buckets_[i];
-    if (seen >= target && buckets_[i] > 0) return bounds_[i];
-  }
-  return bounds_.back();
-}
-
 std::string FormatBytes(uint64_t bytes) {
   char buf[64];
   if (bytes >= kGiB && bytes % kGiB == 0) {

@@ -1,5 +1,6 @@
-// Small statistics helpers used by the benchmark harness: running summaries
-// and fixed-resolution latency histograms.
+// Small statistics helpers used by the benchmark harness. (The latency
+// histogram that used to live here is now obs::Histogram — a registry
+// instrument with a merge path; see src/obs/metrics.h.)
 #ifndef SLASH_COMMON_STATS_H_
 #define SLASH_COMMON_STATS_H_
 
@@ -25,32 +26,6 @@ class RunningSummary {
   double sum_ = 0;
   double min_ = 0;
   double max_ = 0;
-};
-
-/// A log-bucketed histogram for latencies in nanoseconds.
-///
-/// Buckets grow geometrically (~8% per bucket), so percentile queries have
-/// bounded relative error over 1 ns .. 100 s without per-sample storage.
-class LatencyHistogram {
- public:
-  LatencyHistogram();
-
-  /// Records one latency sample (clamped to be >= 1 ns).
-  void Record(Nanos latency);
-
-  uint64_t count() const { return count_; }
-  double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
-
-  /// Returns the latency at percentile `p` in [0, 100].
-  Nanos Percentile(double p) const;
-
- private:
-  size_t BucketFor(Nanos v) const;
-
-  std::vector<uint64_t> buckets_;
-  std::vector<Nanos> bounds_;
-  uint64_t count_ = 0;
-  double sum_ = 0;
 };
 
 }  // namespace slash

@@ -18,6 +18,12 @@ void RecoveryCoordinator::RecordLocal(int node, uint64_t round,
   blob.bytes = std::move(bytes);
   blob.holders.assign(1, node);
   ++checkpoints_taken_;
+  if (checkpoints_counter_ != nullptr) checkpoints_counter_->Add(1);
+}
+
+void RecoveryCoordinator::AttachMetrics(obs::MetricsRegistry* registry) {
+  checkpoints_counter_ =
+      registry->GetCounter(obs::metric::kCheckpointsTaken);
 }
 
 void RecoveryCoordinator::RecordReplica(int node, uint64_t round, int holder) {

@@ -30,6 +30,9 @@
 #include "core/pipeline.h"
 #include "core/query.h"
 #include "core/result_sink.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perf/cost_model.h"
 #include "rdma/fabric.h"
 #include "rdma/socket_transport.h"
@@ -123,18 +126,25 @@ struct ClusterConfig {
   /// Checkpointing / crash recovery (Slash and Flink-like engines).
   CheckpointConfig checkpoint;
 
+  /// Optional caller-provided tracer (not owned; must outlive Run). When
+  /// set, the engine emits its trace here and does NOT write SLASH_TRACE
+  /// files — tests use this to capture traces programmatically. When null,
+  /// the engine owns an internal tracer that is enabled iff the SLASH_TRACE
+  /// environment variable names a directory, and writes
+  /// TRACE_<engine>_<k>.json / METRICS_<engine>_<k>.json there on return.
+  obs::Tracer* tracer = nullptr;
+
   const perf::CostModel* cost_model = &perf::CostModel::Default();
 };
 
-/// Outcome of one engine run.
+/// Outcome of one engine run: a thin, stable view over the run's metrics
+/// registry. Engines publish every tally as a named instrument (the
+/// catalog in obs::metric; full mapping in DESIGN.md §8) and hand the final
+/// snapshot over here; the accessors below are the stable read API. An
+/// absent instrument reads as zero, so partial/aborted runs behave as the
+/// old zeroed struct fields did.
 struct RunStats {
   std::string engine;
-  uint64_t records_in = 0;        // records ingested from sources
-  uint64_t records_emitted = 0;   // result rows
-  uint64_t result_checksum = 0;   // order-insensitive digest
-  Nanos makespan = 0;             // virtual time to drain all flows
-  uint64_t network_bytes = 0;     // NIC transmit volume
-  std::vector<core::WindowResult> rows;  // when collect_rows
 
   /// OK for a completed run; the terminal error when a permanent fault
   /// (e.g. an unrecovered QP past the retry budget) aborted it. An aborted
@@ -142,56 +152,123 @@ struct RunStats {
   Status status;
   bool ok() const { return status.ok(); }
 
-  /// Fault-tier observability: transfers transparently re-posted after an
-  /// error completion, credits still held when the run ended (must be zero
-  /// for a completed run — the endurance tests assert it), and the
-  /// injector's fault count / trace digest for determinism regression.
-  uint64_t channel_retries = 0;
-  uint64_t credits_outstanding = 0;
-  uint64_t faults_injected = 0;
-  uint64_t fault_trace_digest = 0;
+  std::vector<core::WindowResult> rows;  // when collect_rows
 
-  /// Checkpoint / recovery observability (zero when checkpointing is off).
-  uint64_t checkpoints_taken = 0;            // snapshots recorded, all nodes
-  uint64_t checkpoint_bytes_replicated = 0;  // snapshot bytes shipped to peers
-  uint64_t recoveries = 0;                   // node crashes recovered from
-  Nanos recovery_ns = 0;                     // virtual time spent recovering
-  uint64_t records_replayed = 0;             // input re-read after rollback
+  /// Everything else: the run's full instrument state, canonically ordered
+  /// and deterministic — metrics.ToJson() is byte-identical across
+  /// same-seed runs (a regression oracle alongside result_checksum).
+  obs::MetricsSnapshot metrics;
 
-  /// DES-kernel observability: how hard the simulator worked to produce
-  /// this run, and how allocation-free the event path was. Wall-clock
-  /// events/sec measures the *host* cost of the simulation (the perf_opt
-  /// target), unlike every other rate here, which is virtual-time.
-  uint64_t sim_events_fired = 0;
-  double sim_events_per_sec_wall = 0.0;    // events / host wall-clock second
-  double sim_pool_hit_rate = 0.0;          // event-node pool recycling rate
-  uint64_t sim_event_bytes_allocated = 0;  // bytes the event path did allocate
-  double buffer_pool_hit_rate = 0.0;       // fabric transfer-buffer pool (0 if unused)
+  /// The ONE host-side measurement (events / wall-clock second, the
+  /// perf_opt target metric). Deliberately kept out of the snapshot: it
+  /// differs run to run, and the snapshot must not.
+  double sim_events_per_sec_wall = 0.0;
 
-  /// Top-down counters per role ("worker", "sender", "receiver").
-  std::map<std::string, perf::Counters> role_counters;
+  // --- Core run accessors --------------------------------------------------
 
-  /// Per-buffer channel transfer latency (acquire to poll).
-  LatencyHistogram buffer_latency;
-
-  double throughput_rps() const {
-    return makespan > 0 ? double(records_in) * 1e9 / double(makespan) : 0.0;
+  uint64_t records_in() const {            // records ingested from sources
+    return metrics.CounterValue(obs::metric::kRecordsIn);
   }
-  double network_gbps() const {
-    return makespan > 0 ? double(network_bytes) / double(makespan) : 0.0;
+  uint64_t records_emitted() const {       // result rows
+    return metrics.CounterValue(obs::metric::kRecordsEmitted);
+  }
+  uint64_t result_checksum() const {       // order-insensitive digest
+    return metrics.CounterValue(obs::metric::kResultChecksum);
+  }
+  Nanos makespan() const {                 // virtual time to drain all flows
+    return Nanos(metrics.CounterValue(obs::metric::kRunMakespanNs));
+  }
+  uint64_t network_bytes() const {         // NIC transmit volume, all nodes
+    return metrics.CounterValue(obs::metric::kNetworkTxBytes);
+  }
+
+  // --- Fault-tier accessors ------------------------------------------------
+  // Transfers transparently re-posted after an error completion, credits
+  // still held when the run ended (must be zero for a completed run — the
+  // endurance tests assert it), and the injector's fault count / trace
+  // digest for determinism regression.
+
+  uint64_t channel_retries() const {
+    return metrics.CounterValue(obs::metric::kChannelRetries);
+  }
+  uint64_t credits_outstanding() const {
+    return metrics.CounterValue(obs::metric::kChannelCreditsOutstanding);
+  }
+  uint64_t faults_injected() const {
+    return metrics.CounterValue(obs::metric::kFaultsInjected);
+  }
+  uint64_t fault_trace_digest() const {
+    return metrics.CounterValue(obs::metric::kFaultTraceDigest);
+  }
+
+  // --- Checkpoint / recovery accessors (zero when checkpointing is off) ----
+
+  uint64_t checkpoints_taken() const {     // snapshots recorded, all nodes
+    return metrics.CounterValue(obs::metric::kCheckpointsTaken);
+  }
+  uint64_t checkpoint_bytes_replicated() const {  // bytes shipped to peers
+    return metrics.CounterValue(obs::metric::kCheckpointBytesReplicated);
+  }
+  uint64_t recoveries() const {            // node crashes recovered from
+    return metrics.CounterValue(obs::metric::kRecoveries);
+  }
+  Nanos recovery_ns() const {              // virtual time spent recovering
+    return Nanos(metrics.CounterValue(obs::metric::kRecoveryNs));
+  }
+  uint64_t records_replayed() const {      // input re-read after rollback
+    return metrics.CounterValue(obs::metric::kRecordsReplayed);
+  }
+
+  // --- DES-kernel accessors ------------------------------------------------
+
+  uint64_t sim_events_fired() const {
+    return metrics.CounterValue(obs::metric::kSimEventsFired);
+  }
+  double sim_pool_hit_rate() const {       // event-node pool recycling rate
+    return metrics.GaugeValue(obs::metric::kSimPoolHitRate);
+  }
+  uint64_t sim_event_bytes_allocated() const {
+    return metrics.CounterValue(obs::metric::kSimEventBytes);
+  }
+  double buffer_pool_hit_rate() const {    // fabric buffer pool (0 if unused)
+    return metrics.GaugeValue(obs::metric::kBufferPoolHitRate);
+  }
+
+  // --- Derived views -------------------------------------------------------
+
+  /// Top-down counters per role ("worker", "sender", "receiver", ...),
+  /// rebuilt from the registry's role-labeled CPU instruments.
+  std::map<std::string, perf::Counters> role_counters() const {
+    return metrics.CpuByLabel(obs::metric::kCpu, obs::kLabelRole);
   }
 
   /// All role counters merged.
   perf::Counters TotalCounters() const {
-    perf::Counters total;
-    for (const auto& [role, c] : role_counters) total.Merge(c);
-    return total;
+    return metrics.CpuTotal(obs::metric::kCpu);
   }
 
-  /// Simulated aggregate memory bandwidth, GB/s.
-  double memory_bandwidth_gbps() const {
-    return makespan > 0 ? double(TotalCounters().mem_bytes) / double(makespan)
-                        : 0.0;
+  /// Per-buffer channel transfer latency (producer acquire to consumer
+  /// poll), merged across channels.
+  obs::Histogram buffer_latency() const {
+    return metrics.HistogramValue(obs::metric::kTransferLatencyNs);
+  }
+
+  double throughput_rps() const {
+    const Nanos ms = makespan();
+    return ms > 0 ? double(records_in()) * 1e9 / double(ms) : 0.0;
+  }
+
+  /// Network transmit rate in gigaBYTES per second of virtual time
+  /// (bytes/ns == GB/s; the NIC line rate to compare with is 11.8 GB/s).
+  double network_gbytes_per_sec() const {
+    const Nanos ms = makespan();
+    return ms > 0 ? double(network_bytes()) / double(ms) : 0.0;
+  }
+
+  /// Simulated aggregate memory bandwidth, gigabytes per second.
+  double memory_bandwidth_gbytes_per_sec() const {
+    const Nanos ms = makespan();
+    return ms > 0 ? double(TotalCounters().mem_bytes) / double(ms) : 0.0;
   }
 };
 
@@ -269,6 +346,11 @@ class RecoveryCoordinator {
   /// Snapshots recorded so far across all nodes.
   uint64_t checkpoints_taken() const { return checkpoints_taken_; }
 
+  /// Publishes coordinator activity into the run's registry: every
+  /// RecordLocal bumps obs::metric::kCheckpointsTaken, so the snapshot
+  /// count reaches RunStats without engine-side copying.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   struct Blob {
     std::vector<uint8_t> bytes;
@@ -282,6 +364,7 @@ class RecoveryCoordinator {
   std::vector<int64_t> final_from_;              // -1 = not terminal yet
   std::vector<bool> retired_;
   uint64_t checkpoints_taken_ = 0;
+  obs::Counter* checkpoints_counter_ = nullptr;  // registry handle, optional
 };
 
 /// Append-only serializer for checkpoint blobs. Fixed-width little-endian
@@ -342,22 +425,83 @@ class BlobReader {
   size_t pos_ = 0;
 };
 
-/// Runs the simulator to completion under host wall-clock timing and fills
-/// the DES-kernel observability fields of `stats`. Returns the virtual-time
-/// makespan, so engines use it as a drop-in for `sim->Run()`.
-inline Nanos TimedSimRun(sim::Simulator* sim, RunStats* stats) {
+/// Runs the simulator to completion under host wall-clock timing, publishes
+/// the makespan and the DES-kernel instruments into `registry`, and reports
+/// the host-side event rate through `events_per_sec_wall` (the one number
+/// that may differ between same-seed runs, so it stays out of the
+/// registry). Returns the virtual-time makespan, so engines use it as a
+/// drop-in for `sim->Run()`.
+inline Nanos TimedSimRun(sim::Simulator* sim, obs::MetricsRegistry* registry,
+                         double* events_per_sec_wall) {
   const auto start = std::chrono::steady_clock::now();
   const Nanos makespan = sim->Run();
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  stats->sim_events_fired = sim->events_fired();
-  stats->sim_events_per_sec_wall =
-      secs > 0 ? double(sim->events_fired()) / secs : 0.0;
-  stats->sim_pool_hit_rate = sim->pool_hit_rate();
-  stats->sim_event_bytes_allocated = sim->event_bytes_allocated();
+  *events_per_sec_wall = secs > 0 ? double(sim->events_fired()) / secs : 0.0;
+  registry->GetCounter(obs::metric::kRunMakespanNs)
+      ->Add(uint64_t(makespan));
+  registry->GetCounter(obs::metric::kSimEventsFired)
+      ->Add(sim->events_fired());
+  registry->GetCounter(obs::metric::kSimEventBytes)
+      ->Add(sim->event_bytes_allocated());
+  registry->GetGauge(obs::metric::kSimPoolHitRate)->Set(sim->pool_hit_rate());
   return makespan;
 }
+
+/// The per-run observability plane every engine sets up at the top of
+/// Run(): a fresh registry plus the tracer policy described at
+/// ClusterConfig::tracer. Construct BEFORE the fabric, call Register() on
+/// the run's simulator, and Finish() after the epilogue has published its
+/// instruments.
+class RunTelemetry {
+ public:
+  explicit RunTelemetry(const ClusterConfig& config)
+      : external_(config.tracer),
+        local_(obs::Tracer::Options{
+            .capacity = 1 << 16,
+            .enabled = config.tracer == nullptr &&
+                       obs::Exporter::TraceDir() != nullptr}) {}
+
+  obs::MetricsRegistry* registry() { return &registry_; }
+  obs::Tracer* tracer() {
+    return external_ != nullptr ? external_ : &local_;
+  }
+
+  void Register(sim::Simulator* sim) {
+    sim->set_metrics(&registry_);
+    // Null when disabled, so every trace point downstream is one branch.
+    sim->set_tracer(tracer()->enabled() ? tracer() : nullptr);
+  }
+
+  /// Names the trace topology: one process per fabric node, the three
+  /// conventional tracks per process. No-op when tracing is disabled.
+  void NameNodes(int nodes) {
+    obs::Tracer* t = tracer();
+    if (!t->enabled()) return;
+    for (int n = 0; n < nodes; ++n) {
+      t->SetProcessName(n, "node" + std::to_string(n));
+      t->SetTrackName(n, obs::kTrackEngine, "engine");
+      t->SetTrackName(n, obs::kTrackChannel, "channel");
+      t->SetTrackName(n, obs::kTrackRecovery, "recovery");
+    }
+  }
+
+  /// Snapshots the registry into `stats` and, for the internal
+  /// SLASH_TRACE-enabled tracer, writes the per-run trace + snapshot files.
+  void Finish(RunStats* stats) {
+    stats->metrics = registry_.Snapshot();
+    if (external_ == nullptr && local_.enabled()) {
+      obs::Exporter::WriteRunArtifacts(local_, stats->metrics,
+                                       stats->engine);
+    }
+  }
+
+ private:
+  obs::MetricsRegistry registry_;
+  obs::Tracer* external_;
+  obs::Tracer local_;
+};
 
 }  // namespace slash::engines
 

@@ -156,7 +156,13 @@ struct FlinkRun {
   Status failure;
 
   uint64_t records_in = 0;
-  LatencyHistogram latency;
+  // Observability handles (tracer null when disabled). No transfer-latency
+  // histogram here: the socket exchange has no acquire/poll slot pair.
+  obs::Tracer* tracer = nullptr;
+  uint32_t trace_barrier = 0;
+  uint32_t trace_window = 0;
+  uint32_t trace_recovery = 0;
+  uint32_t trace_cat = 0;
   int senders_per_node = 0;
   int receivers_per_node = 0;
 
@@ -227,6 +233,10 @@ sim::Task FlushLane(FlinkRun* run, SenderState* s, Outbound* ob,
 /// A record-free frame closing checkpoint round `round` on this lane.
 sim::Task SendBarrier(FlinkRun* run, SenderState* s, Outbound* ob,
                       uint64_t round, int64_t watermark) {
+  if (run->tracer != nullptr) {
+    run->tracer->Instant(run->sim.now(), run->trace_barrier, run->trace_cat,
+                         s->node, obs::kTrackEngine);
+  }
   if (ob->staging.empty()) OpenLane(run, ob);
   ob->writer.reset();
   SocketFrame frame;
@@ -591,8 +601,13 @@ sim::Task Receiver(FlinkRun* run, ConsumerState* c) {
     if (halted()) co_return;
     MaybeCompleteRound(run, c);
     if (progressed) {
+      const int64_t before = c->last_trigger_wm;
       TriggerWindows(*run->query, c->Watermark(), c->partition.get(),
                      &c->sink, cpu, &c->last_trigger_wm);
+      if (run->tracer != nullptr && c->last_trigger_wm != before) {
+        run->tracer->Instant(run->sim.now(), run->trace_window, run->trace_cat,
+                             c->node, obs::kTrackEngine);
+      }
       co_await cpu->Sync();
     } else {
       const Nanos wait_start = run->sim.now();
@@ -638,6 +653,10 @@ void OnNodeCrash(FlinkRun* run, int node) {
   ++run->attempt;
   run->recovery_start = run->sim.now();
   run->records_at_crash = run->records_in;
+  if (run->tracer != nullptr) {
+    run->tracer->Begin(run->sim.now(), run->trace_recovery, run->trace_cat,
+                       node, obs::kTrackRecovery);
+  }
 
   // Tear the whole attempt down: abort every socket so window-blocked
   // senders and parked receivers wake, observe the attempt bump, and
@@ -691,9 +710,13 @@ void OnNodeCrash(FlinkRun* run, int node) {
   new_sockets += uint64_t(live) * uint64_t(std::max(rf, 0));
   const Nanos delay = kSocketSetupCost * Nanos(new_sockets) +
                       Nanos(restore_bytes / kRestoreBytesPerNs);
-  run->sim.ScheduleAt(run->sim.now() + delay, [run, round] {
+  run->sim.ScheduleAt(run->sim.now() + delay, [run, round, node] {
     if (run->failed) return;
     run->recovery_ns += run->sim.now() - run->recovery_start;
+    if (run->tracer != nullptr) {
+      run->tracer->End(run->sim.now(), run->trace_recovery, run->trace_cat,
+                       node, obs::kTrackRecovery);
+    }
     BuildAttempt(run, round);
     run->recovering = false;
   });
@@ -935,6 +958,9 @@ RunStats FlinkLikeEngine::Run(const core::QuerySpec& query,
   RunStats stats;
   stats.engine = std::string(name());
 
+  RunTelemetry telemetry(config);
+  obs::MetricsRegistry* registry = telemetry.registry();
+
   // The injector must be registered before the fabric is built so the
   // fabric attaches itself as the fault target at construction. The plan is
   // validated up front: a malformed plan is a configuration error, not a
@@ -950,6 +976,18 @@ RunStats FlinkLikeEngine::Run(const core::QuerySpec& query,
     run.sim.set_fault_injector(run.injector.get());
   }
 
+  // Telemetry is registered on the simulator before the fabric is built so
+  // the NICs resolve their per-node tx counters at construction.
+  telemetry.Register(&run.sim);
+  telemetry.NameNodes(config.nodes);
+  run.tracer = run.sim.tracer();
+  if (run.tracer != nullptr) {
+    run.trace_barrier = run.tracer->Intern("engine.barrier");
+    run.trace_window = run.tracer->Intern("engine.window_fire");
+    run.trace_recovery = run.tracer->Intern("recovery");
+    run.trace_cat = run.tracer->Intern("flink");
+  }
+
   rdma::FabricConfig fabric_config;
   fabric_config.nodes = config.nodes;
   fabric_config.nic = config.nic;
@@ -963,6 +1001,7 @@ RunStats FlinkLikeEngine::Run(const core::QuerySpec& query,
   run.pcfg.index_buckets = config.state_index_buckets;
 
   run.coordinator = std::make_unique<RecoveryCoordinator>(config.nodes);
+  run.coordinator->AttachMetrics(registry);
   run.alive.assign(size_t(config.nodes), true);
   run.retired.assign(size_t(config.nodes), false);
   run.sender_node.resize(size_t(run.senders_total()));
@@ -976,7 +1015,7 @@ RunStats FlinkLikeEngine::Run(const core::QuerySpec& query,
 
   BuildAttempt(&run, /*round=*/0);
 
-  stats.makespan = TimedSimRun(&run.sim, &stats);
+  TimedSimRun(&run.sim, registry, &stats.sim_events_per_sec_wall);
   // An aborted run legitimately strands coroutines that were mid-exchange
   // when their socket died; only a *completed* run must fully drain.
   SLASH_CHECK_MSG(run.failed || run.sim.pending_tasks() == 0,
@@ -984,43 +1023,48 @@ RunStats FlinkLikeEngine::Run(const core::QuerySpec& query,
                                                     << " pending tasks");
   stats.status = run.failed ? run.failure : Status::OK();
   if (run.injector) {
-    stats.faults_injected = run.injector->trace().size();
-    stats.fault_trace_digest = run.injector->trace_digest();
+    registry->GetCounter(obs::metric::kFaultsInjected)
+        ->Add(run.injector->trace().size());
+    registry->GetCounter(obs::metric::kFaultTraceDigest)
+        ->Add(run.injector->trace_digest());
   }
-  stats.records_in = run.records_in;
-  stats.network_bytes = run.fabric->total_tx_bytes();
+  registry->GetCounter(obs::metric::kRecordsIn)->Add(run.records_in);
   if (const auto& pool = run.fabric->buffer_pool();
       pool.hits() + pool.misses() > 0) {
-    stats.buffer_pool_hit_rate = pool.hit_rate();
+    registry->GetGauge(obs::metric::kBufferPoolHitRate)->Set(pool.hit_rate());
   }
-  stats.buffer_latency = run.latency;
-  stats.checkpoints_taken = run.coordinator->checkpoints_taken();
-  stats.checkpoint_bytes_replicated = run.bytes_replicated;
-  stats.recoveries = run.recoveries;
-  stats.recovery_ns = run.recovery_ns;
-  stats.records_replayed = run.records_replayed;
+  registry->GetCounter(obs::metric::kCheckpointBytesReplicated)
+      ->Add(run.bytes_replicated);
+  registry->GetCounter(obs::metric::kRecoveries)->Add(run.recoveries);
+  registry->GetCounter(obs::metric::kRecoveryNs)->Add(run.recovery_ns);
+  registry->GetCounter(obs::metric::kRecordsReplayed)
+      ->Add(run.records_replayed);
   // Results come from the surviving attempt's consumers only; CPU counters
   // accumulate across every attempt — a torn-down attempt still burned the
   // cycles.
+  obs::Counter* emitted = registry->GetCounter(obs::metric::kRecordsEmitted);
+  obs::Counter* checksum = registry->GetCounter(obs::metric::kResultChecksum);
   for (size_t i = run.attempt_consumer_start; i < run.consumers.size(); ++i) {
     const ConsumerState* c = run.consumers[i].get();
-    stats.records_emitted += c->sink.count();
-    stats.result_checksum += c->sink.checksum();
+    emitted->Add(c->sink.count());
+    checksum->Add(c->sink.checksum());
     if (config.collect_rows) {
       const auto& rows = c->sink.rows();
       stats.rows.insert(stats.rows.end(), rows.begin(), rows.end());
     }
   }
-  perf::Counters senders, receivers;
-  for (auto& s : run.senders) senders.Merge(s->cpu->counters());
-  for (auto& c : run.consumers) receivers.Merge(c->cpu->counters());
-  stats.role_counters["sender"] = senders;
-  stats.role_counters["receiver"] = receivers;
+  perf::Counters* senders =
+      registry->GetCpu(obs::metric::kCpu, {{obs::kLabelRole, "sender"}});
+  for (auto& s : run.senders) senders->Merge(s->cpu->counters());
+  perf::Counters* receivers =
+      registry->GetCpu(obs::metric::kCpu, {{obs::kLabelRole, "receiver"}});
+  for (auto& c : run.consumers) receivers->Merge(c->cpu->counters());
   if (!run.repl_cpus.empty()) {
-    perf::Counters replication;
-    for (auto& cpu : run.repl_cpus) replication.Merge(cpu->counters());
-    stats.role_counters["replication"] = replication;
+    perf::Counters* replication =
+        registry->GetCpu(obs::metric::kCpu, {{obs::kLabelRole, "replication"}});
+    for (auto& cpu : run.repl_cpus) replication->Merge(cpu->counters());
   }
+  telemetry.Finish(&stats);
   return stats;
 }
 

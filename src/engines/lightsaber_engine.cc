@@ -30,6 +30,9 @@ struct LightSaberRun {
   uint64_t records_in = 0;
   int finished_workers = 0;
   int64_t last_trigger_wm = core::kWatermarkMin;
+  obs::Tracer* tracer = nullptr;
+  uint32_t trace_window = 0;
+  uint32_t trace_cat = 0;
 };
 
 /// A worker thread: eagerly folds its flow into thread-local partial
@@ -80,6 +83,10 @@ sim::Task Worker(LightSaberRun* run, int w) {
     // Last worker emits the merged windows.
     TriggerWindows(*run->query, core::kWatermarkMax, run->merged.get(),
                    &run->sink, cpu, &run->last_trigger_wm);
+    if (run->tracer != nullptr) {
+      run->tracer->Instant(run->sim.now(), run->trace_window, run->trace_cat,
+                           /*pid=*/0, obs::kTrackEngine);
+    }
     co_await cpu->Sync();
   }
 }
@@ -100,6 +107,16 @@ RunStats LightSaberEngine::Run(const core::QuerySpec& query,
   run.config = config;
   run.sink = core::ResultSink(config.collect_rows);
 
+  RunTelemetry telemetry(config);
+  obs::MetricsRegistry* registry = telemetry.registry();
+  telemetry.Register(&run.sim);
+  telemetry.NameNodes(/*nodes=*/1);
+  run.tracer = run.sim.tracer();
+  if (run.tracer != nullptr) {
+    run.trace_window = run.tracer->Intern("engine.window_fire");
+    run.trace_cat = run.tracer->Intern("lightsaber");
+  }
+
   state::PartitionConfig pcfg;
   pcfg.kind = state::StateKind::kAggregate;
   pcfg.lss_capacity = config.state_lss_capacity;
@@ -117,17 +134,19 @@ RunStats LightSaberEngine::Run(const core::QuerySpec& query,
 
   RunStats stats;
   stats.engine = std::string(name());
-  stats.makespan = TimedSimRun(&run.sim, &stats);
+  TimedSimRun(&run.sim, registry, &stats.sim_events_per_sec_wall);
   SLASH_CHECK_MSG(run.sim.pending_tasks() == 0,
                   "LightSaber run left " << run.sim.pending_tasks()
                                          << " pending tasks");
-  stats.records_in = run.records_in;
-  stats.records_emitted = run.sink.count();
-  stats.result_checksum = run.sink.checksum();
+  registry->GetCounter(obs::metric::kRecordsIn)->Add(run.records_in);
+  registry->GetCounter(obs::metric::kRecordsEmitted)->Add(run.sink.count());
+  registry->GetCounter(obs::metric::kResultChecksum)
+      ->Add(run.sink.checksum());
   if (config.collect_rows) stats.rows = run.sink.rows();
-  perf::Counters workers;
-  for (auto& cpu : run.worker_cpus) workers.Merge(cpu->counters());
-  stats.role_counters["worker"] = workers;
+  perf::Counters* workers =
+      registry->GetCpu(obs::metric::kCpu, {{obs::kLabelRole, "worker"}});
+  for (auto& cpu : run.worker_cpus) workers->Merge(cpu->counters());
+  telemetry.Finish(&stats);
   return stats;
 }
 

@@ -155,7 +155,14 @@ struct SlashRun {
   uint64_t recoveries = 0;
   Nanos recovery_ns = 0;
   uint64_t bytes_replicated = 0;
-  LatencyHistogram latency;
+  // Observability handles (resolved once in Run; tracer null when disabled).
+  obs::Histogram* latency = nullptr;  // channel.transfer_latency_ns
+  obs::Tracer* tracer = nullptr;
+  uint32_t trace_epoch = 0;
+  uint32_t trace_snapshot = 0;
+  uint32_t trace_window = 0;
+  uint32_t trace_recovery = 0;
+  uint32_t trace_cat = 0;
   bool failed = false;
   Status failure;
 
@@ -191,8 +198,13 @@ void TryTrigger(SlashRun* run, NodeState* ns, perf::CpuContext* cpu) {
   const int64_t wm = ns->vclock.Min();
   for (int p = 0; p < run->config.nodes; ++p) {
     if (!ns->ssb->leads(p)) continue;
+    const int64_t before = ns->trigger_wms[p];
     TriggerWindows(*run->query, wm, ns->ssb->local(p), &ns->sink, cpu,
                    &ns->trigger_wms[p]);
+    if (run->tracer != nullptr && ns->trigger_wms[p] != before) {
+      run->tracer->Instant(run->sim.now(), run->trace_window, run->trace_cat,
+                           ns->node, obs::kTrackEngine);
+    }
   }
 }
 
@@ -261,6 +273,10 @@ void TakeSnapshot(SlashRun* run, NodeState* ns, perf::CpuContext* cpu) {
   cpu->ChargeBytes(Op::kEpochScanPerByte, blob.size());
 
   const bool terminal = ns->final_bumped && ns->channels_done();
+  if (run->tracer != nullptr) {
+    run->tracer->Instant(run->sim.now(), run->trace_snapshot, run->trace_cat,
+                         ns->node, obs::kTrackRecovery);
+  }
   run->coordinator->RecordLocal(ns->node, round, blob);
   if (terminal) {
     run->coordinator->MarkFinalFrom(ns->node, round);
@@ -307,7 +323,7 @@ bool PollAndMerge(SlashRun* run, NodeState* ns, perf::CpuContext* cpu) {
     InboundBuffer buffer;
     while (ic.ch->TryPoll(&buffer, cpu)) {
       progressed = true;
-      run->latency.Record(run->sim.now() - buffer.send_time);
+      run->latency->Record(run->sim.now() - buffer.send_time);
       state::DeltaEnvelope envelope;
       SLASH_CHECK(ns->ssb
                       ->MergeIntoPrimary(buffer.payload, buffer.payload_len,
@@ -425,6 +441,10 @@ bool PumpSendQueue(SlashRun* run, NodeState* ns,
 /// the per-partition epoch counters; workers drain their shares when they
 /// observe the new sequence number.
 void BumpEpoch(SlashRun* run, NodeState* ns) {
+  if (run->tracer != nullptr) {
+    run->tracer->Instant(run->sim.now(), run->trace_epoch, run->trace_cat,
+                         ns->node, obs::kTrackEngine);
+  }
   ns->ssb->BeginEpoch();
   ++ns->epoch_seq;
   ns->epoch_low_wm = ns->NodeLowWatermark();
@@ -790,6 +810,10 @@ void OnNodeCrash(SlashRun* run, int node) {
   ++run->attempt;
   run->recovery_start = run->sim.now();
   run->records_at_crash = run->records_in;
+  if (run->tracer != nullptr) {
+    run->tracer->Begin(run->sim.now(), run->trace_recovery, run->trace_cat,
+                       node, obs::kTrackRecovery);
+  }
 
   // Tear the whole attempt down: every channel of the current attempt dies
   // (the crash flushes QPs touching the dead node anyway, and survivors'
@@ -844,8 +868,12 @@ void OnNodeCrash(SlashRun* run, int node) {
   }
   const Nanos delay = kChannelSetupCost * Nanos(new_channels) +
                       Nanos(restore_bytes / kRestoreBytesPerNs);
-  run->sim.ScheduleAt(run->sim.now() + delay, [run, round] {
+  run->sim.ScheduleAt(run->sim.now() + delay, [run, round, node] {
     run->recovery_ns += run->sim.now() - run->recovery_start;
+    if (run->tracer != nullptr) {
+      run->tracer->End(run->sim.now(), run->trace_recovery, run->trace_cat,
+                       node, obs::kTrackRecovery);
+    }
     BuildAttempt(run, round);
     run->recovering = false;
   });
@@ -1111,6 +1139,9 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
   RunStats stats;
   stats.engine = std::string(name());
 
+  RunTelemetry telemetry(config);
+  obs::MetricsRegistry* registry = telemetry.registry();
+
   // Ingestion mode adds one dedicated source node per executor node.
   const int fabric_nodes =
       config.rdma_ingestion ? 2 * config.nodes : config.nodes;
@@ -1128,6 +1159,20 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
     run.injector =
         std::make_unique<sim::FaultInjector>(&run.sim, *config.fault_plan);
     run.sim.set_fault_injector(run.injector.get());
+  }
+
+  // Register the observability plane before building the fabric so the
+  // per-node NIC counters and channel handles wire themselves up.
+  telemetry.Register(&run.sim);
+  telemetry.NameNodes(fabric_nodes);
+  run.latency = registry->GetHistogram(obs::metric::kTransferLatencyNs);
+  run.tracer = run.sim.tracer();
+  if (run.tracer != nullptr) {
+    run.trace_epoch = run.tracer->Intern("engine.epoch");
+    run.trace_snapshot = run.tracer->Intern("checkpoint.snapshot");
+    run.trace_window = run.tracer->Intern("engine.window_fire");
+    run.trace_recovery = run.tracer->Intern("recovery");
+    run.trace_cat = run.tracer->Intern("slash");
   }
 
   rdma::FabricConfig fabric_config;
@@ -1149,6 +1194,7 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
   }();
 
   run.coordinator = std::make_unique<RecoveryCoordinator>(config.nodes);
+  run.coordinator->AttachMetrics(registry);
   run.alive.assign(config.nodes, true);
   run.retired.assign(config.nodes, false);
   run.owner.resize(config.nodes);
@@ -1160,7 +1206,7 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
 
   BuildAttempt(&run, /*round=*/0);
 
-  stats.makespan = TimedSimRun(&run.sim, &stats);
+  TimedSimRun(&run.sim, registry, &stats.sim_events_per_sec_wall);
   // An aborted run legitimately strands coroutines that were mid-protocol
   // when their channel died; only a *completed* run must fully drain.
   SLASH_CHECK_MSG(run.failed || run.sim.pending_tasks() == 0,
@@ -1168,34 +1214,42 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
                                                << " pending tasks");
 
   stats.status = run.failed ? run.failure : Status::OK();
-  for (auto& ch : run.channels) stats.channel_retries += ch->retries();
+  // Channel retries and NIC tx bytes were published live; everything the
+  // run tallied itself lands in the registry here.
   if (!run.failed) {
     // Only the surviving attempt's channels can owe credits; channels of a
     // torn-down attempt legitimately strand some mid-transfer.
+    uint64_t credits = 0;
     for (size_t i = run.attempt_channel_start; i < run.channels.size(); ++i) {
-      stats.credits_outstanding += run.channels[i]->credits_outstanding();
+      credits += run.channels[i]->credits_outstanding();
     }
+    registry->GetCounter(obs::metric::kChannelCreditsOutstanding)
+        ->Add(credits);
   }
   if (run.injector) {
-    stats.faults_injected = run.injector->trace().size();
-    stats.fault_trace_digest = run.injector->trace_digest();
+    registry->GetCounter(obs::metric::kFaultsInjected)
+        ->Add(run.injector->trace().size());
+    registry->GetCounter(obs::metric::kFaultTraceDigest)
+        ->Add(run.injector->trace_digest());
   }
-  stats.records_in = run.records_in;
-  stats.network_bytes = run.fabric->total_tx_bytes();
+  registry->GetCounter(obs::metric::kRecordsIn)->Add(run.records_in);
   if (const auto& pool = run.fabric->buffer_pool();
       pool.hits() + pool.misses() > 0) {
-    stats.buffer_pool_hit_rate = pool.hit_rate();
+    registry->GetGauge(obs::metric::kBufferPoolHitRate)->Set(pool.hit_rate());
   }
-  stats.buffer_latency = run.latency;
-  stats.checkpoints_taken = run.coordinator->checkpoints_taken();
-  stats.checkpoint_bytes_replicated = run.bytes_replicated;
-  stats.recoveries = run.recoveries;
-  stats.recovery_ns = run.recovery_ns;
-  stats.records_replayed = run.records_replayed;
+  registry->GetCounter(obs::metric::kCheckpointBytesReplicated)
+      ->Add(run.bytes_replicated);
+  registry->GetCounter(obs::metric::kRecoveries)->Add(run.recoveries);
+  registry->GetCounter(obs::metric::kRecoveryNs)
+      ->Add(uint64_t(run.recovery_ns));
+  registry->GetCounter(obs::metric::kRecordsReplayed)
+      ->Add(run.records_replayed);
+  obs::Counter* emitted = registry->GetCounter(obs::metric::kRecordsEmitted);
+  obs::Counter* checksum = registry->GetCounter(obs::metric::kResultChecksum);
   for (NodeState* ns : run.nodes) {
     if (ns == nullptr) continue;
-    stats.records_emitted += ns->sink.count();
-    stats.result_checksum += ns->sink.checksum();
+    emitted->Add(ns->sink.count());
+    checksum->Add(ns->sink.checksum());
     if (config.collect_rows) {
       const auto& rows = ns->sink.rows();
       stats.rows.insert(stats.rows.end(), rows.begin(), rows.end());
@@ -1203,21 +1257,22 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
   }
   // CPU counters accumulate across every attempt — a torn-down attempt
   // still burned the cycles.
-  perf::Counters workers;
+  perf::Counters* workers =
+      registry->GetCpu(obs::metric::kCpu, {{obs::kLabelRole, "worker"}});
   for (auto& ns : run.node_storage) {
-    for (auto& cpu : ns->worker_cpus) workers.Merge(cpu->counters());
+    for (auto& cpu : ns->worker_cpus) workers->Merge(cpu->counters());
   }
-  stats.role_counters["worker"] = workers;
   if (!run.generator_cpus.empty()) {
-    perf::Counters generators;
-    for (auto& cpu : run.generator_cpus) generators.Merge(cpu->counters());
-    stats.role_counters["generator"] = generators;
+    perf::Counters* generators =
+        registry->GetCpu(obs::metric::kCpu, {{obs::kLabelRole, "generator"}});
+    for (auto& cpu : run.generator_cpus) generators->Merge(cpu->counters());
   }
   if (!run.repl_cpus.empty()) {
-    perf::Counters replication;
-    for (auto& cpu : run.repl_cpus) replication.Merge(cpu->counters());
-    stats.role_counters["replication"] = replication;
+    perf::Counters* replication = registry->GetCpu(
+        obs::metric::kCpu, {{obs::kLabelRole, "replication"}});
+    for (auto& cpu : run.repl_cpus) replication->Merge(cpu->counters());
   }
+  telemetry.Finish(&stats);
   return stats;
 }
 

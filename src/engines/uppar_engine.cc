@@ -79,7 +79,11 @@ struct UpParRun {
   std::vector<std::unique_ptr<SenderState>> senders;
   std::vector<std::unique_ptr<ConsumerState>> consumers;
   uint64_t records_in = 0;
-  LatencyHistogram latency;
+  // Observability handles (resolved once in Run; tracer null when disabled).
+  obs::Histogram* latency = nullptr;  // channel.transfer_latency_ns
+  obs::Tracer* tracer = nullptr;
+  uint32_t trace_window = 0;
+  uint32_t trace_cat = 0;
   int senders_per_node = 0;
   int receivers_per_node = 0;
   bool failed = false;
@@ -263,7 +267,7 @@ sim::Task Receiver(UpParRun* run, ConsumerState* c) {
         InboundBuffer buffer;
         while (in.channel->TryPoll(&buffer, cpu)) {
           progressed = true;
-          run->latency.Record(run->sim.now() - buffer.send_time);
+          run->latency->Record(run->sim.now() - buffer.send_time);
           ProcessBuffer(run, c, buffer.payload, buffer.payload_len,
                         buffer.watermark, /*final_marker=*/buffer.user_tag == 1,
                         in.sender);
@@ -281,8 +285,13 @@ sim::Task Receiver(UpParRun* run, ConsumerState* c) {
       }
     }
     if (progressed) {
+      const int64_t before = c->last_trigger_wm;
       TriggerWindows(*run->query, c->Watermark(), c->partition.get(),
                      &c->sink, cpu, &c->last_trigger_wm);
+      if (run->tracer != nullptr && c->last_trigger_wm != before) {
+        run->tracer->Instant(run->sim.now(), run->trace_window,
+                             run->trace_cat, c->node, obs::kTrackEngine);
+      }
       co_await cpu->Sync();
     } else if (!run->failed) {
       const Nanos wait_start = run->sim.now();
@@ -314,6 +323,9 @@ RunStats UpParEngine::Run(const core::QuerySpec& query,
   run.senders_per_node = config.workers_per_node / 2;
   run.receivers_per_node = config.workers_per_node - run.senders_per_node;
 
+  RunTelemetry telemetry(config);
+  obs::MetricsRegistry* registry = telemetry.registry();
+
   // The injector must be registered before the fabric is built so the
   // fabric attaches itself as the fault target at construction. The plan is
   // validated up front: a malformed plan is a configuration error, not a
@@ -329,6 +341,17 @@ RunStats UpParEngine::Run(const core::QuerySpec& query,
     run.injector =
         std::make_unique<sim::FaultInjector>(&run.sim, *config.fault_plan);
     run.sim.set_fault_injector(run.injector.get());
+  }
+
+  // Register the observability plane before building the fabric so the
+  // per-node NIC counters and channel handles wire themselves up.
+  telemetry.Register(&run.sim);
+  telemetry.NameNodes(config.nodes);
+  run.latency = registry->GetHistogram(obs::metric::kTransferLatencyNs);
+  run.tracer = run.sim.tracer();
+  if (run.tracer != nullptr) {
+    run.trace_window = run.tracer->Intern("engine.window_fire");
+    run.trace_cat = run.tracer->Intern("uppar");
   }
 
   rdma::FabricConfig fabric_config;
@@ -413,41 +436,48 @@ RunStats UpParEngine::Run(const core::QuerySpec& query,
 
   RunStats stats;
   stats.engine = std::string(name());
-  stats.makespan = TimedSimRun(&run.sim, &stats);
+  TimedSimRun(&run.sim, registry, &stats.sim_events_per_sec_wall);
   // An aborted run legitimately strands coroutines that were mid-protocol
   // when their channel died; only a *completed* run must fully drain.
   SLASH_CHECK_MSG(run.failed || run.sim.pending_tasks() == 0,
                   "UpPar run deadlocked with " << run.sim.pending_tasks()
                                                << " pending tasks");
   stats.status = run.failed ? run.failure : Status::OK();
-  for (auto& ch : run.channels) {
-    stats.channel_retries += ch->retries();
-    if (!run.failed) stats.credits_outstanding += ch->credits_outstanding();
+  // Channel retries and NIC tx bytes were published live.
+  if (!run.failed) {
+    uint64_t credits = 0;
+    for (auto& ch : run.channels) credits += ch->credits_outstanding();
+    registry->GetCounter(obs::metric::kChannelCreditsOutstanding)
+        ->Add(credits);
   }
   if (run.injector) {
-    stats.faults_injected = run.injector->trace().size();
-    stats.fault_trace_digest = run.injector->trace_digest();
+    registry->GetCounter(obs::metric::kFaultsInjected)
+        ->Add(run.injector->trace().size());
+    registry->GetCounter(obs::metric::kFaultTraceDigest)
+        ->Add(run.injector->trace_digest());
   }
-  stats.records_in = run.records_in;
-  stats.network_bytes = run.fabric->total_tx_bytes();
+  registry->GetCounter(obs::metric::kRecordsIn)->Add(run.records_in);
   if (const auto& pool = run.fabric->buffer_pool();
       pool.hits() + pool.misses() > 0) {
-    stats.buffer_pool_hit_rate = pool.hit_rate();
+    registry->GetGauge(obs::metric::kBufferPoolHitRate)->Set(pool.hit_rate());
   }
-  stats.buffer_latency = run.latency;
-  perf::Counters senders, receivers;
-  for (auto& s : run.senders) senders.Merge(s->cpu->counters());
+  perf::Counters* senders =
+      registry->GetCpu(obs::metric::kCpu, {{obs::kLabelRole, "sender"}});
+  perf::Counters* receivers =
+      registry->GetCpu(obs::metric::kCpu, {{obs::kLabelRole, "receiver"}});
+  obs::Counter* emitted = registry->GetCounter(obs::metric::kRecordsEmitted);
+  obs::Counter* checksum = registry->GetCounter(obs::metric::kResultChecksum);
+  for (auto& s : run.senders) senders->Merge(s->cpu->counters());
   for (auto& c : run.consumers) {
-    receivers.Merge(c->cpu->counters());
-    stats.records_emitted += c->sink.count();
-    stats.result_checksum += c->sink.checksum();
+    receivers->Merge(c->cpu->counters());
+    emitted->Add(c->sink.count());
+    checksum->Add(c->sink.checksum());
     if (config.collect_rows) {
       const auto& rows = c->sink.rows();
       stats.rows.insert(stats.rows.end(), rows.begin(), rows.end());
     }
   }
-  stats.role_counters["sender"] = senders;
-  stats.role_counters["receiver"] = receivers;
+  telemetry.Finish(&stats);
   return stats;
 }
 

@@ -1,0 +1,158 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace slash::obs {
+
+void SeriesTable::Add(const std::string& series, const std::string& x,
+                      const std::string& metric, double value) {
+  if (std::find(series_order_.begin(), series_order_.end(), series) ==
+      series_order_.end()) {
+    series_order_.push_back(series);
+  }
+  if (std::find(x_order_.begin(), x_order_.end(), x) == x_order_.end()) {
+    x_order_.push_back(x);
+  }
+  data_[metric][series][x] = value;
+}
+
+void SeriesTable::Print(const std::string& metric) const {
+  Exporter::PrintMetric(*this, metric);
+}
+
+std::string SeriesTable::ToJson() const { return Exporter::TableJson(*this); }
+
+void SeriesTable::PrintAll() const { Exporter::Emit(*this); }
+
+std::string Exporter::SanitizeTitle(const std::string& title) {
+  std::string out;
+  for (const char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!out.empty() && out.back() != '_') {
+      out.push_back('_');
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out.empty() ? std::string("table") : out;
+}
+
+void Exporter::PrintMetric(const SeriesTable& table,
+                           const std::string& metric) {
+  auto it = table.data_.find(metric);
+  if (it == table.data_.end()) return;
+  std::printf("\n%s — %s\n", table.title_.c_str(), metric.c_str());
+  std::printf("%-24s", "");
+  for (const auto& x : table.x_order_) std::printf("%14s", x.c_str());
+  std::printf("\n");
+  for (const auto& series : table.series_order_) {
+    auto sit = it->second.find(series);
+    if (sit == it->second.end()) continue;
+    std::printf("%-24s", series.c_str());
+    for (const auto& x : table.x_order_) {
+      auto vit = sit->second.find(x);
+      if (vit == sit->second.end()) {
+        std::printf("%14s", "-");
+      } else {
+        std::printf("%14.3f", vit->second);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+std::string Exporter::TableJson(const SeriesTable& table) {
+  std::ostringstream out;
+  out << "{\"name\": \"" << SanitizeTitle(table.title_)
+      << "\", \"points\": [";
+  bool first = true;
+  for (const auto& [metric, by_series] : table.data_) {
+    for (const auto& series : table.series_order_) {
+      auto sit = by_series.find(series);
+      if (sit == by_series.end()) continue;
+      for (const auto& x : table.x_order_) {
+        auto vit = sit->second.find(x);
+        if (vit == sit->second.end()) continue;
+        if (!first) out << ", ";
+        first = false;
+        out << "{\"series\": \"" << series << "\", \"x\": \"" << x
+            << "\", \"metric\": \"" << metric << "\", \"value\": "
+            << vit->second << "}";
+      }
+    }
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+void Exporter::Emit(const SeriesTable& table) {
+  for (const auto& [metric, unused] : table.data_) {
+    PrintMetric(table, metric);
+  }
+  const char* dir = BenchJsonDir();
+  if (dir == nullptr) return;
+  const std::string filename =
+      "BENCH_" + SanitizeTitle(table.title_) + ".json";
+  const Status status = WriteFile(dir, filename, TableJson(table));
+  if (!status.ok()) {
+    std::fprintf(stderr, "WARNING: SLASH_BENCH_JSON: %s\n",
+                 status.ToString().c_str());
+    return;
+  }
+  std::printf("\nwrote %s/%s\n", dir, filename.c_str());
+}
+
+namespace {
+const char* NonEmptyEnv(const char* name) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || v[0] == '\0') ? nullptr : v;
+}
+}  // namespace
+
+const char* Exporter::BenchJsonDir() { return NonEmptyEnv("SLASH_BENCH_JSON"); }
+
+const char* Exporter::TraceDir() { return NonEmptyEnv("SLASH_TRACE"); }
+
+Status Exporter::WriteFile(const std::string& dir,
+                           const std::string& filename,
+                           std::string_view contents) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::filesystem::path path = std::filesystem::path(dir) / filename;
+  std::ofstream file(path);
+  if (!file) return Status::Unavailable("cannot write " + path.string());
+  file << contents;
+  return Status::OK();
+}
+
+void Exporter::WriteRunArtifacts(const Tracer& tracer,
+                                 const MetricsSnapshot& snapshot,
+                                 std::string_view label) {
+  const char* dir = TraceDir();
+  if (dir == nullptr) return;
+  // Per-label run sequence: re-running the same binary enumerates its runs
+  // in the same order, so filenames (and hence directory diffs) are
+  // deterministic. Single-threaded like everything else here.
+  static std::map<std::string, int>* counts = new std::map<std::string, int>();
+  const std::string base = SanitizeTitle(std::string(label));
+  const int seq = ++(*counts)[base];
+  const std::string suffix = base + "_" + std::to_string(seq) + ".json";
+  Status status =
+      WriteFile(dir, "TRACE_" + suffix, tracer.ToChromeJson());
+  if (status.ok()) {
+    status = WriteFile(dir, "METRICS_" + suffix, snapshot.ToJson());
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "WARNING: SLASH_TRACE: %s\n",
+                 status.ToString().c_str());
+  }
+}
+
+}  // namespace slash::obs

@@ -1,0 +1,91 @@
+// The export half of the observability layer: ONE path for everything a
+// run emits to humans and CI — paper-style series tables, bench JSON
+// artifacts (SLASH_BENCH_JSON), and per-run Perfetto trace + metrics
+// snapshot files (SLASH_TRACE). The three hand-rolled emitters that used to
+// live in bench_util/harness.cc (text matrix, table JSON, PrintAll side
+// channel) are all folded into Exporter.
+#ifndef SLASH_OBS_EXPORT_H_
+#define SLASH_OBS_EXPORT_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace slash::obs {
+
+/// Accumulates (series, x, metric) points and renders matrices like the
+/// paper's figures: one row per series, one column per x value. Emission
+/// (text and JSON) is delegated to Exporter.
+class SeriesTable {
+ public:
+  explicit SeriesTable(std::string title) : title_(std::move(title)) {}
+
+  void Add(const std::string& series, const std::string& x,
+           const std::string& metric, double value);
+
+  /// Prints one metric as a series-by-x matrix to stdout.
+  void Print(const std::string& metric) const;
+
+  /// Prints every metric seen; when SLASH_BENCH_JSON names a directory,
+  /// also writes `<dir>/BENCH_<sanitized title>.json`.
+  void PrintAll() const;
+
+  /// The JSON serialization written by PrintAll: `{"name": ..., "points":
+  /// [{"series", "x", "metric", "value"}, ...]}` in insertion order.
+  std::string ToJson() const;
+
+  const std::string& title() const { return title_; }
+
+ private:
+  friend class Exporter;
+
+  std::string title_;
+  std::vector<std::string> series_order_;
+  std::vector<std::string> x_order_;
+  std::map<std::string, std::map<std::string, std::map<std::string, double>>>
+      data_;  // metric -> series -> x -> value
+};
+
+/// The single emission path for run/bench artifacts.
+class Exporter {
+ public:
+  /// "Fig 6a: YSB" -> "fig_6a_ysb": lowercase alphanumerics, everything
+  /// else collapsed to single underscores, trimmed at both ends.
+  static std::string SanitizeTitle(const std::string& title);
+
+  /// Prints one metric of `table` as a text matrix to stdout.
+  static void PrintMetric(const SeriesTable& table, const std::string& metric);
+
+  /// `table` as JSON (the SLASH_BENCH_JSON artifact format).
+  static std::string TableJson(const SeriesTable& table);
+
+  /// Prints every metric and, when SLASH_BENCH_JSON names a directory,
+  /// writes the table JSON there.
+  static void Emit(const SeriesTable& table);
+
+  /// SLASH_BENCH_JSON / SLASH_TRACE directories (nullptr when unset/empty).
+  static const char* BenchJsonDir();
+  static const char* TraceDir();
+
+  /// Writes `contents` to `dir/filename`, creating `dir` if needed.
+  static Status WriteFile(const std::string& dir, const std::string& filename,
+                          std::string_view contents);
+
+  /// Writes the per-run SLASH_TRACE artifacts for a completed engine run:
+  /// `TRACE_<label>_<k>.json` (Perfetto trace) and `METRICS_<label>_<k>.json`
+  /// (registry snapshot), where k numbers the runs of this process with the
+  /// same label (deterministic across reruns). No-op when SLASH_TRACE is
+  /// unset.
+  static void WriteRunArtifacts(const Tracer& tracer,
+                                const MetricsSnapshot& snapshot,
+                                std::string_view label);
+};
+
+}  // namespace slash::obs
+
+#endif  // SLASH_OBS_EXPORT_H_

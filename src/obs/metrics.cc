@@ -1,0 +1,338 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace slash::obs {
+
+namespace {
+
+// Round-trip exact double formatting ("%.17g"): the same bits always print
+// the same bytes, which is what makes snapshot JSON a determinism oracle.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string IndexKey(std::string_view name, const LabelSet& labels) {
+  std::string key(name);
+  key.push_back('\x1f');
+  key.append(labels.key());
+  return key;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LabelSet
+// ---------------------------------------------------------------------------
+
+LabelSet::LabelSet(
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        pairs) {
+  entries_.reserve(pairs.size());
+  for (const auto& [k, v] : pairs) entries_.emplace_back(k, v);
+  std::sort(entries_.begin(), entries_.end());
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    SLASH_CHECK_MSG(entries_[i - 1].first != entries_[i].first,
+                    "duplicate label key '" << entries_[i].first << "'");
+  }
+  for (const auto& [k, v] : entries_) {
+    if (!key_.empty()) key_.push_back(',');
+    key_.append(k);
+    key_.push_back('=');
+    key_.append(v);
+  }
+}
+
+std::string_view LabelSet::Get(std::string_view k) const {
+  for (const auto& [key, value] : entries_) {
+    if (key == k) return value;
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+const std::vector<Nanos>& Histogram::Bounds() {
+  // Geometric bucket bounds from 1 ns to ~100 s with ratio 1.08 (the exact
+  // scheme of the LatencyHistogram this class absorbed, so percentile
+  // results are unchanged).
+  static const std::vector<Nanos> bounds = [] {
+    std::vector<Nanos> b;
+    Nanos bound = 1;
+    while (bound < 100 * kSecond) {
+      b.push_back(bound);
+      Nanos next = static_cast<Nanos>(std::ceil(double(bound) * 1.08));
+      bound = std::max(next, bound + 1);
+    }
+    b.push_back(100 * kSecond);
+    return b;
+  }();
+  return bounds;
+}
+
+size_t Histogram::BucketFor(Nanos v) {
+  const std::vector<Nanos>& bounds = Bounds();
+  auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+  if (it == bounds.end()) return bounds.size() - 1;
+  return static_cast<size_t>(it - bounds.begin());
+}
+
+void Histogram::EnsureBuckets() {
+  if (buckets_.empty()) buckets_.assign(Bounds().size(), 0);
+}
+
+void Histogram::Record(Nanos latency) {
+  if (latency < 1) latency = 1;
+  EnsureBuckets();
+  ++buckets_[BucketFor(latency)];
+  ++count_;
+  sum_ += double(latency);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  EnsureBuckets();
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+Nanos Histogram::Percentile(double p) const {
+  SLASH_CHECK_GE(p, 0.0);
+  SLASH_CHECK_LE(p, 100.0);
+  if (count_ == 0) return 0;
+  const std::vector<Nanos>& bounds = Bounds();
+  const uint64_t target =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * double(count_)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) return bounds[i];
+  }
+  return bounds.back();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+std::string_view InstrumentKindName(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter: return "counter";
+    case InstrumentKind::kGauge: return "gauge";
+    case InstrumentKind::kHistogram: return "histogram";
+    case InstrumentKind::kCpu: return "cpu";
+  }
+  return "?";
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::Resolve(std::string_view name,
+                                                      const LabelSet& labels,
+                                                      InstrumentKind kind) {
+  const std::string key = IndexKey(name, labels);
+  if (auto it = index_.find(key); it != index_.end()) {
+    Instrument* inst = &instruments_[it->second];
+    SLASH_CHECK_MSG(inst->kind == kind,
+                    "instrument '" << name << "' registered as "
+                                   << InstrumentKindName(inst->kind)
+                                   << ", requested as "
+                                   << InstrumentKindName(kind));
+    return inst;
+  }
+  index_.emplace(key, instruments_.size());
+  Instrument& inst = instruments_.emplace_back();
+  inst.name = std::string(name);
+  inst.labels = labels;
+  inst.kind = kind;
+  if (kind == InstrumentKind::kHistogram) {
+    inst.histogram = std::make_unique<Histogram>();
+  } else if (kind == InstrumentKind::kCpu) {
+    inst.cpu = std::make_unique<perf::Counters>();
+  }
+  return &inst;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     const LabelSet& labels) {
+  return &Resolve(name, labels, InstrumentKind::kCounter)->counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 const LabelSet& labels) {
+  return &Resolve(name, labels, InstrumentKind::kGauge)->gauge;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         const LabelSet& labels) {
+  return Resolve(name, labels, InstrumentKind::kHistogram)->histogram.get();
+}
+
+perf::Counters* MetricsRegistry::GetCpu(std::string_view name,
+                                        const LabelSet& labels) {
+  return Resolve(name, labels, InstrumentKind::kCpu)->cpu.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.entries_.reserve(instruments_.size());
+  for (const Instrument& inst : instruments_) {
+    MetricsSnapshot::Entry e;
+    e.name = inst.name;
+    e.labels = inst.labels;
+    e.kind = inst.kind;
+    switch (inst.kind) {
+      case InstrumentKind::kCounter: e.counter = inst.counter.value(); break;
+      case InstrumentKind::kGauge: e.gauge = inst.gauge.value(); break;
+      case InstrumentKind::kHistogram: e.histogram = *inst.histogram; break;
+      case InstrumentKind::kCpu: e.cpu = *inst.cpu; break;
+    }
+    snap.entries_.push_back(std::move(e));
+  }
+  std::sort(snap.entries_.begin(), snap.entries_.end(),
+            [](const MetricsSnapshot::Entry& a,
+               const MetricsSnapshot::Entry& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels.key() < b.labels.key();
+            });
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------------
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  uint64_t total = 0;
+  for (const Entry& e : entries_) {
+    if (e.kind == InstrumentKind::kCounter && e.name == name) {
+      total += e.counter;
+    }
+  }
+  return total;
+}
+
+double MetricsSnapshot::GaugeValue(std::string_view name) const {
+  double total = 0;
+  for (const Entry& e : entries_) {
+    if (e.kind == InstrumentKind::kGauge && e.name == name) total += e.gauge;
+  }
+  return total;
+}
+
+Histogram MetricsSnapshot::HistogramValue(std::string_view name) const {
+  Histogram out;
+  for (const Entry& e : entries_) {
+    if (e.kind == InstrumentKind::kHistogram && e.name == name) {
+      out.Merge(e.histogram);
+    }
+  }
+  return out;
+}
+
+std::map<std::string, perf::Counters> MetricsSnapshot::CpuByLabel(
+    std::string_view name, std::string_view label_key) const {
+  std::map<std::string, perf::Counters> out;
+  for (const Entry& e : entries_) {
+    if (e.kind != InstrumentKind::kCpu || e.name != name) continue;
+    out[std::string(e.labels.Get(label_key))].Merge(e.cpu);
+  }
+  return out;
+}
+
+perf::Counters MetricsSnapshot::CpuTotal(std::string_view name) const {
+  perf::Counters total;
+  for (const Entry& e : entries_) {
+    if (e.kind == InstrumentKind::kCpu && e.name == name) total.Merge(e.cpu);
+  }
+  return total;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  // Merge into a (name, labels)-keyed view, then restore canonical order.
+  // Entry-wise: counters/gauges add, histograms merge bucket-wise, CPU
+  // blocks go through perf::Counters::Merge — the one aggregation path.
+  for (const Entry& oe : other.entries_) {
+    Entry* mine = nullptr;
+    for (Entry& e : entries_) {
+      if (e.name == oe.name && e.labels.key() == oe.labels.key()) {
+        mine = &e;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      entries_.push_back(oe);
+      continue;
+    }
+    SLASH_CHECK_MSG(mine->kind == oe.kind,
+                    "snapshot merge kind mismatch for '" << oe.name << "'");
+    switch (oe.kind) {
+      case InstrumentKind::kCounter: mine->counter += oe.counter; break;
+      case InstrumentKind::kGauge: mine->gauge += oe.gauge; break;
+      case InstrumentKind::kHistogram: mine->histogram.Merge(oe.histogram);
+        break;
+      case InstrumentKind::kCpu: mine->cpu.Merge(oe.cpu); break;
+    }
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels.key() < b.labels.key();
+            });
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"metrics\": [";
+  bool first = true;
+  for (const Entry& e : entries_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": \"" + e.name + "\"";
+    if (!e.labels.empty()) {
+      out += ", \"labels\": {";
+      bool lf = true;
+      for (const auto& [k, v] : e.labels.entries()) {
+        if (!lf) out += ", ";
+        lf = false;
+        out += "\"" + k + "\": \"" + v + "\"";
+      }
+      out += "}";
+    }
+    out += ", \"kind\": \"" + std::string(InstrumentKindName(e.kind)) + "\"";
+    switch (e.kind) {
+      case InstrumentKind::kCounter:
+        out += ", \"value\": " + std::to_string(e.counter);
+        break;
+      case InstrumentKind::kGauge:
+        out += ", \"value\": " + FormatDouble(e.gauge);
+        break;
+      case InstrumentKind::kHistogram:
+        out += ", \"count\": " + std::to_string(e.histogram.count());
+        out += ", \"sum\": " + FormatDouble(e.histogram.sum());
+        out += ", \"p50\": " + std::to_string(e.histogram.Percentile(50));
+        out += ", \"p90\": " + std::to_string(e.histogram.Percentile(90));
+        out += ", \"p99\": " + std::to_string(e.histogram.Percentile(99));
+        break;
+      case InstrumentKind::kCpu:
+        out += ", \"instructions\": " + FormatDouble(e.cpu.instructions);
+        out += ", \"cycles\": " + FormatDouble(e.cpu.total_cycles());
+        out += ", \"mem_bytes\": " + std::to_string(e.cpu.mem_bytes);
+        out += ", \"records\": " + std::to_string(e.cpu.records);
+        break;
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace slash::obs

@@ -1,0 +1,146 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace slash::obs {
+
+namespace {
+
+// Chrome trace_event timestamps are microseconds; the sim clock is integer
+// nanoseconds. Fixed-point "<us>.<ns%1000 as 3 digits>" keeps full
+// precision and — being pure integer math — is byte-deterministic.
+void AppendMicros(std::string* out, int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  out->append(buf);
+}
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer(const Options& options)
+    : enabled_(options.enabled),
+      capacity_(options.capacity == 0 ? 1 : options.capacity) {
+  // The ring is only materialized for an enabled tracer: a disabled one
+  // must cost nothing beyond the object itself.
+  if (enabled_) ring_.resize(capacity_);
+}
+
+uint32_t Tracer::Intern(std::string_view s) {
+  if (auto it = name_ids_.find(s); it != name_ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(s);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+void Tracer::Push(const EventRec& rec) {
+  ring_[next_] = rec;
+  next_ = (next_ + 1) % capacity_;
+  if (count_ < capacity_) {
+    ++count_;
+  } else {
+    ++dropped_;  // overwrote the oldest event
+  }
+}
+
+void Tracer::Instant(Nanos ts, uint32_t name_id, uint32_t cat_id, int pid,
+                     int tid) {
+  if (!enabled_) return;
+  Push({ts, 0, name_id, cat_id, pid, tid, 'i'});
+}
+
+void Tracer::Complete(Nanos ts, Nanos dur, uint32_t name_id, uint32_t cat_id,
+                      int pid, int tid) {
+  if (!enabled_) return;
+  Push({ts, dur, name_id, cat_id, pid, tid, 'X'});
+}
+
+void Tracer::Begin(Nanos ts, uint32_t name_id, uint32_t cat_id, int pid,
+                   int tid) {
+  if (!enabled_) return;
+  Push({ts, 0, name_id, cat_id, pid, tid, 'B'});
+}
+
+void Tracer::End(Nanos ts, uint32_t name_id, uint32_t cat_id, int pid,
+                 int tid) {
+  if (!enabled_) return;
+  Push({ts, 0, name_id, cat_id, pid, tid, 'E'});
+}
+
+void Tracer::SetProcessName(int pid, std::string_view name) {
+  if (!enabled_) return;
+  process_names_.emplace_back(pid, std::string(name));
+}
+
+void Tracer::SetTrackName(int pid, int tid, std::string_view name) {
+  if (!enabled_) return;
+  track_names_.emplace_back(std::make_pair(pid, tid), std::string(name));
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const auto& [pid, name] : process_names_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+           std::to_string(pid) + ", \"tid\": 0, \"args\": {\"name\": \"";
+    AppendEscaped(&out, name);
+    out += "\"}}";
+  }
+  for (const auto& [key, name] : track_names_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " +
+           std::to_string(key.first) +
+           ", \"tid\": " + std::to_string(key.second) +
+           ", \"args\": {\"name\": \"";
+    AppendEscaped(&out, name);
+    out += "\"}}";
+  }
+  // Ring order: oldest retained event first.
+  const size_t start = count_ < capacity_ ? 0 : next_;
+  for (size_t i = 0; i < count_; ++i) {
+    const EventRec& e = ring_[(start + i) % capacity_];
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\": \"";
+    AppendEscaped(&out, names_[e.name]);
+    out += "\", \"cat\": \"";
+    AppendEscaped(&out, names_[e.cat]);
+    out += "\", \"ph\": \"";
+    out.push_back(e.phase);
+    out += "\", \"ts\": ";
+    AppendMicros(&out, e.ts);
+    if (e.phase == 'X') {
+      out += ", \"dur\": ";
+      AppendMicros(&out, e.dur);
+    }
+    if (e.phase == 'i') out += ", \"s\": \"t\"";
+    out += ", \"pid\": " + std::to_string(e.pid) +
+           ", \"tid\": " + std::to_string(e.tid) + "}";
+  }
+  out += "],\n\"displayTimeUnit\": \"ns\"}\n";
+  return out;
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::Unavailable("cannot write trace file " + path);
+  file << ToChromeJson();
+  return Status::OK();
+}
+
+}  // namespace slash::obs

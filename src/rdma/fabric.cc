@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace slash::rdma {
 
@@ -15,6 +17,14 @@ Fabric::Fabric(sim::Simulator* sim, const FabricConfig& config)
   for (int n = 0; n < config.nodes; ++n) {
     pds_.push_back(std::make_unique<ProtectionDomain>(n));
     nics_.push_back(std::make_unique<Nic>(n, config.nic));
+  }
+  if (obs::MetricsRegistry* registry = sim_->metrics()) {
+    // Per-node tx counters; their sum is exactly total_tx_bytes().
+    for (int n = 0; n < config.nodes; ++n) {
+      nics_[n]->set_tx_counter(registry->GetCounter(
+          obs::metric::kNetworkTxBytes,
+          {{obs::kLabelNode, std::to_string(n)}}));
+    }
   }
   if (sim::FaultInjector* inj = sim_->fault_injector()) {
     inj->Attach(this);
@@ -75,9 +85,19 @@ QpEndpoint* Fabric::FindQp(uint32_t qp_num) const {
   return nullptr;
 }
 
+// Fault actions are rare (a handful per run), so they use the tracer's
+// interning convenience path instead of cached ids.
+void Fabric::TraceFault(std::string_view name, int node) {
+  if (obs::Tracer* tracer = sim_->tracer()) {
+    tracer->InstantNamed(sim_->now(), name, "fault", node,
+                         obs::kTrackChannel);
+  }
+}
+
 void Fabric::FailQp(uint32_t qp_num) {
   QpEndpoint* ep = FindQp(qp_num);
   SLASH_CHECK_MSG(ep != nullptr, "FaultPlan names unknown qp_num " << qp_num);
+  TraceFault("fabric.qp_fail", ep->node());
   ep->EnterErrorState();
   if (ep->peer() != nullptr) ep->peer()->EnterErrorState();
 }
@@ -85,15 +105,18 @@ void Fabric::FailQp(uint32_t qp_num) {
 void Fabric::RecoverQp(uint32_t qp_num) {
   QpEndpoint* ep = FindQp(qp_num);
   SLASH_CHECK_MSG(ep != nullptr, "FaultPlan names unknown qp_num " << qp_num);
+  TraceFault("fabric.qp_recover", ep->node());
   ep->state_ = QpState::kReady;
   if (ep->peer() != nullptr) ep->peer()->state_ = QpState::kReady;
 }
 
 void Fabric::SetNicBandwidthScale(int node, double scale) {
+  TraceFault("fabric.nic_bandwidth_scale", node);
   nic(node)->set_bandwidth_scale(scale);
 }
 
 void Fabric::PauseNode(int node, Nanos until) {
+  TraceFault("fabric.node_pause", node);
   nic(node)->PauseUntil(until);
 }
 
@@ -102,6 +125,7 @@ void Fabric::CrashNode(int node) {
   SLASH_CHECK_LT(node, config_.nodes);
   if (dead_[node]) return;
   dead_[node] = true;
+  TraceFault("fabric.node_crash", node);
   // The engine observes the crash before any flush completion can fire:
   // it marks the affected channels broken so the retry machinery does not
   // fight the teardown, then schedules recovery.

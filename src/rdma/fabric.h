@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -121,6 +122,10 @@ class Fabric : public sim::FaultTarget {
 
   // The injector registered on the simulator, or nullptr (fault-free).
   sim::FaultInjector* injector() const { return sim_->fault_injector(); }
+
+  // Emits a fault-action instant on `node`'s channel track (no-op without a
+  // tracer registered on the simulator).
+  void TraceFault(std::string_view name, int node);
 
   // Pooled in-flight "delivered" flags. Each transfer's delivery and ack
   // events share one flag; the ack always fires after the delivery (it is

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace slash::rdma {
 
@@ -27,6 +28,7 @@ Nanos Nic::ReserveTx(Nanos now, uint64_t bytes) {
   tx_free_ = start + TransferDuration(bytes);
   tx_bytes_ += bytes;
   ++tx_messages_;
+  if (tx_counter_ != nullptr) tx_counter_->Add(bytes);
   return tx_free_;
 }
 

@@ -16,6 +16,10 @@
 
 #include "common/units.h"
 
+namespace slash::obs {
+class Counter;
+}  // namespace slash::obs
+
 namespace slash::rdma {
 
 /// NIC and link model parameters.
@@ -66,6 +70,10 @@ class Nic {
   uint64_t tx_messages() const { return tx_messages_; }
   uint64_t rx_messages() const { return rx_messages_; }
 
+  /// Registers a registry counter mirroring tx_bytes(); the fabric wires a
+  /// per-node `fabric.tx_bytes` instrument here at construction.
+  void set_tx_counter(obs::Counter* counter) { tx_counter_ = counter; }
+
   /// Time at which the transmit path becomes idle.
   Nanos tx_busy_until() const { return tx_free_; }
 
@@ -79,6 +87,7 @@ class Nic {
   uint64_t rx_bytes_ = 0;
   uint64_t tx_messages_ = 0;
   uint64_t rx_messages_ = 0;
+  obs::Counter* tx_counter_ = nullptr;
 };
 
 }  // namespace slash::rdma

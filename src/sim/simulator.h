@@ -44,6 +44,11 @@
 #include "common/logging.h"
 #include "common/units.h"
 
+namespace slash::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace slash::obs
+
 namespace slash::sim {
 
 class Simulator;
@@ -205,6 +210,17 @@ class Simulator {
     fault_injector_ = injector;
   }
   FaultInjector* fault_injector() const { return fault_injector_; }
+
+  /// Registers the run's observability plane (see src/obs/). Substrate
+  /// layers built on this simulator (fabric, NICs, channels) discover both
+  /// here and resolve their instrument handles / interned trace names once
+  /// at construction — the same discovery pattern as the fault injector.
+  /// Register before building the fabric. `tracer` should be nullptr when
+  /// tracing is disabled so every trace point stays a single branch.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
 
   /// Awaitable: suspends the current coroutine for `delay` virtual ns.
   /// `delay` must be >= 0: a negative delay is a caller bug (it would
@@ -404,6 +420,8 @@ class Simulator {
   uint64_t next_seq_ = 0;
   int pending_tasks_ = 0;
   FaultInjector* fault_injector_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 
   uint64_t events_fired_ = 0;
   uint64_t pool_hits_ = 0;

@@ -200,21 +200,8 @@ TEST(RunningSummaryTest, TracksMoments) {
   EXPECT_DOUBLE_EQ(s.max(), 3.0);
 }
 
-TEST(LatencyHistogramTest, PercentilesBracketSamples) {
-  LatencyHistogram h;
-  for (int i = 1; i <= 1000; ++i) h.Record(i * 1000);  // 1us..1ms
-  EXPECT_EQ(h.count(), 1000u);
-  // p50 should be near 500us within the 8% bucket resolution.
-  EXPECT_NEAR(double(h.Percentile(50)), 500000.0, 500000.0 * 0.15);
-  EXPECT_GE(h.Percentile(100), 1000000);
-  EXPECT_LE(h.Percentile(1), 20000);
-}
-
-TEST(LatencyHistogramTest, EmptyIsZero) {
-  LatencyHistogram h;
-  EXPECT_EQ(h.Percentile(50), 0);
-  EXPECT_EQ(h.mean(), 0.0);
-}
+// The latency-histogram tests moved to obs_test.cc with the histogram
+// itself (now obs::Histogram).
 
 TEST(UnitsTest, FormatBytes) {
   EXPECT_EQ(FormatBytes(64), "64 B");

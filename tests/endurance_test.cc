@@ -36,9 +36,9 @@ TEST(EnduranceTest, RunsAreBitDeterministic) {
   SlashEngine a, b;
   const RunStats ra = a.Run(workload.MakeQuery(), workload, cfg);
   const RunStats rb = b.Run(workload.MakeQuery(), workload, cfg);
-  EXPECT_EQ(ra.makespan, rb.makespan);
-  EXPECT_EQ(ra.result_checksum, rb.result_checksum);
-  EXPECT_EQ(ra.network_bytes, rb.network_bytes);
+  EXPECT_EQ(ra.makespan(), rb.makespan());
+  EXPECT_EQ(ra.result_checksum(), rb.result_checksum());
+  EXPECT_EQ(ra.network_bytes(), rb.network_bytes());
   EXPECT_EQ(ra.TotalCounters().instructions, rb.TotalCounters().instructions);
 }
 
@@ -54,7 +54,7 @@ TEST(EnduranceTest, DifferentSeedsDifferentDataSameCorrectness) {
     const core::OracleOutput oracle = core::ComputeOracle(
         workload.MakeQuery(), workload.Sources(cfg.records_per_worker, seed),
         cfg.nodes * cfg.workers_per_node);
-    EXPECT_EQ(stats.result_checksum, oracle.checksum) << "seed " << seed;
+    EXPECT_EQ(stats.result_checksum(), oracle.checksum) << "seed " << seed;
   }
 }
 
@@ -74,8 +74,8 @@ TEST(EnduranceTest, ManyEpochsManyWindowGenerations) {
   const core::OracleOutput oracle = core::ComputeOracle(
       workload.MakeQuery(), workload.Sources(cfg.records_per_worker, cfg.seed),
       cfg.nodes * cfg.workers_per_node);
-  EXPECT_EQ(stats.result_checksum, oracle.checksum);
-  EXPECT_EQ(stats.records_emitted, oracle.count);
+  EXPECT_EQ(stats.result_checksum(), oracle.checksum);
+  EXPECT_EQ(stats.records_emitted(), oracle.count);
   // All 12 window generations produced results.
   int64_t max_bucket = 0;
   for (const auto& row : stats.rows) {
@@ -96,7 +96,7 @@ TEST(EnduranceTest, SingleCreditChannelsStillCorrect) {
   const core::OracleOutput oracle = core::ComputeOracle(
       workload.MakeQuery(), workload.Sources(cfg.records_per_worker, cfg.seed),
       cfg.nodes * cfg.workers_per_node);
-  EXPECT_EQ(stats.result_checksum, oracle.checksum);
+  EXPECT_EQ(stats.result_checksum(), oracle.checksum);
 }
 
 TEST(EnduranceTest, TinySlotsForceChunkedDeltas) {
@@ -114,7 +114,7 @@ TEST(EnduranceTest, TinySlotsForceChunkedDeltas) {
   const core::OracleOutput oracle = core::ComputeOracle(
       workload.MakeQuery(), workload.Sources(cfg.records_per_worker, cfg.seed),
       cfg.nodes * cfg.workers_per_node);
-  EXPECT_EQ(stats.result_checksum, oracle.checksum);
+  EXPECT_EQ(stats.result_checksum(), oracle.checksum);
 }
 
 TEST(EnduranceTest, TinyLssForcesAdaptiveResizes) {
@@ -129,7 +129,7 @@ TEST(EnduranceTest, TinyLssForcesAdaptiveResizes) {
   const core::OracleOutput oracle = core::ComputeOracle(
       workload.MakeQuery(), workload.Sources(cfg.records_per_worker, cfg.seed),
       cfg.nodes * cfg.workers_per_node);
-  EXPECT_EQ(stats.result_checksum, oracle.checksum);
+  EXPECT_EQ(stats.result_checksum(), oracle.checksum);
 }
 
 TEST(EnduranceTest, LargeClusterSmallInput) {
@@ -146,7 +146,7 @@ TEST(EnduranceTest, LargeClusterSmallInput) {
   const core::OracleOutput oracle = core::ComputeOracle(
       workload.MakeQuery(), workload.Sources(cfg.records_per_worker, cfg.seed),
       cfg.nodes * cfg.workers_per_node);
-  EXPECT_EQ(stats.result_checksum, oracle.checksum);
+  EXPECT_EQ(stats.result_checksum(), oracle.checksum);
 }
 
 TEST(EnduranceTest, ZeroSelectivityStream) {
@@ -167,8 +167,8 @@ TEST(EnduranceTest, ZeroSelectivityStream) {
   ClusterConfig cfg = BaseConfig();
   SlashEngine engine;
   const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
-  EXPECT_EQ(stats.records_emitted, 0u);
-  EXPECT_GT(stats.records_in, 0u);
+  EXPECT_EQ(stats.records_emitted(), 0u);
+  EXPECT_GT(stats.records_in(), 0u);
 }
 
 TEST(EnduranceTest, SustainedFlakyLinkLongYsbRun) {
@@ -201,16 +201,16 @@ TEST(EnduranceTest, SustainedFlakyLinkLongYsbRun) {
   const core::OracleOutput oracle = core::ComputeOracle(
       workload.MakeQuery(), workload.Sources(cfg.records_per_worker, cfg.seed),
       cfg.nodes * cfg.workers_per_node);
-  EXPECT_EQ(stats.result_checksum, oracle.checksum);
-  EXPECT_EQ(stats.records_emitted, oracle.count);
+  EXPECT_EQ(stats.result_checksum(), oracle.checksum);
+  EXPECT_EQ(stats.records_emitted(), oracle.count);
   // Monotone progress: the whole stream was consumed despite the flapping.
-  EXPECT_EQ(stats.records_in,
+  EXPECT_EQ(stats.records_in(),
             uint64_t(cfg.nodes) * cfg.workers_per_node *
                 cfg.records_per_worker);
   // No credit leak across the flap cycles.
-  EXPECT_EQ(stats.credits_outstanding, 0u);
+  EXPECT_EQ(stats.credits_outstanding(), 0u);
   // The link actually flapped during the run (degrade + restore events).
-  EXPECT_GE(stats.faults_injected, 2u);
+  EXPECT_GE(stats.faults_injected(), 2u);
 }
 
 TEST(EnduranceTest, UpParDeterministicToo) {
@@ -221,8 +221,8 @@ TEST(EnduranceTest, UpParDeterministicToo) {
   UpParEngine a, b;
   const RunStats ra = a.Run(workload.MakeQuery(), workload, cfg);
   const RunStats rb = b.Run(workload.MakeQuery(), workload, cfg);
-  EXPECT_EQ(ra.makespan, rb.makespan);
-  EXPECT_EQ(ra.result_checksum, rb.result_checksum);
+  EXPECT_EQ(ra.makespan(), rb.makespan());
+  EXPECT_EQ(ra.result_checksum(), rb.result_checksum());
 }
 
 }  // namespace

@@ -40,9 +40,9 @@ void ExpectMatchesOracle(Engine* engine, const workloads::Workload& workload,
   const core::OracleOutput oracle = core::ComputeOracle(
       query, workload.Sources(cfg.records_per_worker, cfg.seed),
       cfg.nodes * cfg.workers_per_node);
-  EXPECT_EQ(stats.records_in, oracle.records_in) << engine->name();
-  EXPECT_EQ(stats.records_emitted, oracle.count) << engine->name();
-  EXPECT_EQ(stats.result_checksum, oracle.checksum) << engine->name();
+  EXPECT_EQ(stats.records_in(), oracle.records_in) << engine->name();
+  EXPECT_EQ(stats.records_emitted(), oracle.count) << engine->name();
+  EXPECT_EQ(stats.result_checksum(), oracle.checksum) << engine->name();
   std::vector<core::WindowResult> rows = stats.rows;
   std::sort(rows.begin(), rows.end());
   EXPECT_EQ(rows, oracle.rows) << engine->name();
@@ -162,8 +162,8 @@ TEST(EngineOrderingTest, SlashFastestOnYsb) {
   const RunStats f = flink.Run(query, workload, cfg);
 
   // Identical work...
-  EXPECT_EQ(s.result_checksum, u.result_checksum);
-  EXPECT_EQ(u.result_checksum, f.result_checksum);
+  EXPECT_EQ(s.result_checksum(), u.result_checksum());
+  EXPECT_EQ(u.result_checksum(), f.result_checksum());
   // ...different speed, in the paper's order.
   EXPECT_GT(s.throughput_rps(), 2.0 * u.throughput_rps());
   EXPECT_GT(u.throughput_rps(), f.throughput_rps());
@@ -206,7 +206,7 @@ TEST(ExecutionStrategyTest, CompiledMatchesInterpretedResultsAndIsFaster) {
   const RunStats a = engine.Run(query, workload, interpreted);
   const RunStats b = engine.Run(query, workload, compiled);
 
-  EXPECT_EQ(a.result_checksum, b.result_checksum);  // identical semantics
+  EXPECT_EQ(a.result_checksum(), b.result_checksum());  // identical semantics
   EXPECT_GT(a.TotalCounters().instructions,
             b.TotalCounters().instructions);        // fewer dispatches
   EXPECT_GT(b.throughput_rps(), a.throughput_rps());

@@ -336,7 +336,7 @@ TEST(FaultEngineTest, TransientQpErrorMidEpochIdenticalToFaultFreeRun) {
   // Break the first state channel's connection halfway through the run and
   // recover it 200 us later — squarely inside the retry budget.
   sim::FaultPlan plan;
-  plan.qp_errors.push_back({.at = clean.makespan / 2,
+  plan.qp_errors.push_back({.at = clean.makespan() / 2,
                             .qp_num = 1,
                             .recover_after = 200 * kMicrosecond});
   engines::ClusterConfig faulted = cfg;
@@ -346,16 +346,16 @@ TEST(FaultEngineTest, TransientQpErrorMidEpochIdenticalToFaultFreeRun) {
       engine.Run(workload.MakeQuery(), workload, faulted);
 
   ASSERT_TRUE(stats.ok()) << stats.status.message();
-  EXPECT_EQ(stats.result_checksum, clean.result_checksum);
-  EXPECT_EQ(stats.records_emitted, clean.records_emitted);
-  EXPECT_EQ(stats.records_in, clean.records_in);
-  EXPECT_EQ(stats.credits_outstanding, 0u);
-  EXPECT_GE(stats.faults_injected, 2u);  // error + recovery in the trace
+  EXPECT_EQ(stats.result_checksum(), clean.result_checksum());
+  EXPECT_EQ(stats.records_emitted(), clean.records_emitted());
+  EXPECT_EQ(stats.records_in(), clean.records_in());
+  EXPECT_EQ(stats.credits_outstanding(), 0u);
+  EXPECT_GE(stats.faults_injected(), 2u);  // error + recovery in the trace
   // And the oracle agrees (recovery did not corrupt or duplicate state).
   const core::OracleOutput oracle = core::ComputeOracle(
       workload.MakeQuery(), workload.Sources(cfg.records_per_worker, cfg.seed),
       cfg.nodes * cfg.workers_per_node);
-  EXPECT_EQ(stats.result_checksum, oracle.checksum);
+  EXPECT_EQ(stats.result_checksum(), oracle.checksum);
 }
 
 TEST(FaultEngineTest, TransientPauseAndDegradationIdenticalResults) {
@@ -370,11 +370,11 @@ TEST(FaultEngineTest, TransientPauseAndDegradationIdenticalResults) {
   ASSERT_TRUE(clean.ok());
 
   sim::FaultPlan plan;
-  plan.nic_degrades.push_back({.at = clean.makespan / 4,
+  plan.nic_degrades.push_back({.at = clean.makespan() / 4,
                                .node = 1,
                                .bandwidth_scale = 0.1,
                                .duration = 100 * kMicrosecond});
-  plan.node_pauses.push_back({.at = clean.makespan / 2,
+  plan.node_pauses.push_back({.at = clean.makespan() / 2,
                               .node = 0,
                               .duration = 50 * kMicrosecond});
   engines::ClusterConfig faulted = cfg;
@@ -384,10 +384,10 @@ TEST(FaultEngineTest, TransientPauseAndDegradationIdenticalResults) {
       engine.Run(workload.MakeQuery(), workload, faulted);
 
   ASSERT_TRUE(stats.ok()) << stats.status.message();
-  EXPECT_EQ(stats.result_checksum, clean.result_checksum);
-  EXPECT_EQ(stats.records_emitted, clean.records_emitted);
-  EXPECT_EQ(stats.credits_outstanding, 0u);
-  EXPECT_EQ(stats.faults_injected, 3u);  // degrade + restore + pause
+  EXPECT_EQ(stats.result_checksum(), clean.result_checksum());
+  EXPECT_EQ(stats.records_emitted(), clean.records_emitted());
+  EXPECT_EQ(stats.credits_outstanding(), 0u);
+  EXPECT_EQ(stats.faults_injected(), 3u);  // degrade + restore + pause
 }
 
 TEST(FaultEngineTest, PermanentNicFailureAbortsWithCleanStatus) {
@@ -412,8 +412,8 @@ TEST(FaultEngineTest, PermanentNicFailureAbortsWithCleanStatus) {
 
   EXPECT_FALSE(stats.ok());
   EXPECT_EQ(stats.status.code(), StatusCode::kUnavailable);
-  EXPECT_GT(stats.channel_retries, 0u);
-  EXPECT_GT(stats.faults_injected, 0u);
+  EXPECT_GT(stats.channel_retries(), 0u);
+  EXPECT_GT(stats.faults_injected(), 0u);
 }
 
 TEST(FaultEngineTest, UpParPermanentFailureAbortsWithCleanStatus) {
@@ -453,12 +453,12 @@ TEST(FaultEngineTest, FaultedRunsAreDeterministic) {
   const engines::RunStats ra = a.Run(workload.MakeQuery(), workload, cfg);
   const engines::RunStats rb = b.Run(workload.MakeQuery(), workload, cfg);
   ASSERT_TRUE(ra.ok()) << ra.status.message();
-  EXPECT_EQ(ra.makespan, rb.makespan);
-  EXPECT_EQ(ra.result_checksum, rb.result_checksum);
-  EXPECT_EQ(ra.channel_retries, rb.channel_retries);
-  EXPECT_EQ(ra.faults_injected, rb.faults_injected);
-  EXPECT_EQ(ra.fault_trace_digest, rb.fault_trace_digest);
-  EXPECT_GT(ra.channel_retries, 0u);
+  EXPECT_EQ(ra.makespan(), rb.makespan());
+  EXPECT_EQ(ra.result_checksum(), rb.result_checksum());
+  EXPECT_EQ(ra.channel_retries(), rb.channel_retries());
+  EXPECT_EQ(ra.faults_injected(), rb.faults_injected());
+  EXPECT_EQ(ra.fault_trace_digest(), rb.fault_trace_digest());
+  EXPECT_GT(ra.channel_retries(), 0u);
 }
 
 }  // namespace

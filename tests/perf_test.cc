@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perf/cost_model.h"
 #include "perf/counters.h"
 #include "sim/simulator.h"
@@ -229,6 +231,59 @@ TEST(AllocTrackerTest, EventPathIsAllocationFreeInSteadyState) {
   EXPECT_EQ(sim.pool_misses(), pool_misses_before)
       << "armed-phase event nodes were not all recycled";
   sim.Run();  // drain the rest; the delay loop completes
+  EXPECT_EQ(sim.pending_tasks(), 0);
+}
+
+// Same guard with the observability plane live: pre-resolved counter /
+// histogram handles and ring-buffer trace events must not allocate either.
+// Handles are resolved and the histogram's lazy buckets are materialized
+// before arming (that is the contract: resolve at setup, publish on the hot
+// path).
+TEST(AllocTrackerTest, EventPathStaysAllocationFreeWithMetricsEnabled) {
+  sim::Simulator sim;
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer(
+      obs::Tracer::Options{.capacity = 1 << 12, .enabled = true});
+  sim.set_metrics(&registry);
+  sim.set_tracer(&tracer);
+
+  obs::Counter* counter = registry.GetCounter("test.steps");
+  obs::Histogram* histogram = registry.GetHistogram("test.latency_ns");
+  histogram->Record(1);  // materialize the lazy bucket vector
+  const uint32_t name_id = tracer.Intern("test.step");
+  const uint32_t cat_id = tracer.Intern("test");
+
+  constexpr uint64_t kFiresPerTimer = 8000;
+  for (int t = 0; t < 64; ++t) {
+    sim.ScheduleAt(Nanos(t % 16),
+                   SteadyTimer{&sim, kFiresPerTimer, Nanos(1 + t % 8)});
+  }
+  sim.Spawn(SteadyDelayLoop(&sim, 500000));
+
+  uint64_t warmed = 0;
+  while (warmed < 300000 && sim.Step()) ++warmed;
+  ASSERT_EQ(warmed, 300000u);
+
+  AllocTracker::Arm();
+  uint64_t armed = 0;
+  while (armed < 100000 && sim.Step()) {
+    ++armed;
+    counter->Add(1);
+    histogram->Record(Nanos(1 + armed % 4096));
+    tracer.Instant(sim.now(), name_id, cat_id, /*pid=*/0,
+                   obs::kTrackEngine);
+  }
+  AllocTracker::Disarm();
+
+  EXPECT_EQ(armed, 100000u);
+  EXPECT_EQ(AllocTracker::allocations(), 0u)
+      << "metrics-enabled event path allocated " << AllocTracker::bytes()
+      << " bytes";
+  EXPECT_EQ(counter->value(), 100000u);
+  EXPECT_EQ(histogram->count(), 100001u);
+  // The ring holds the last `capacity` events; overflow drops, never grows.
+  EXPECT_EQ(tracer.size() + tracer.dropped(), 100000u);
+  sim.Run();
   EXPECT_EQ(sim.pending_tasks(), 0);
 }
 

@@ -330,15 +330,15 @@ TEST_P(FaultDeterminismSweep, SameSeedSamePlanIdenticalReplay) {
   const engines::RunStats rb = run_once();
 
   EXPECT_EQ(ra.ok(), rb.ok());
-  EXPECT_EQ(ra.makespan, rb.makespan);
-  EXPECT_EQ(ra.result_checksum, rb.result_checksum);
-  EXPECT_EQ(ra.records_emitted, rb.records_emitted);
-  EXPECT_EQ(ra.network_bytes, rb.network_bytes);
-  EXPECT_EQ(ra.channel_retries, rb.channel_retries);
-  EXPECT_EQ(ra.faults_injected, rb.faults_injected);
-  EXPECT_EQ(ra.fault_trace_digest, rb.fault_trace_digest);
+  EXPECT_EQ(ra.makespan(), rb.makespan());
+  EXPECT_EQ(ra.result_checksum(), rb.result_checksum());
+  EXPECT_EQ(ra.records_emitted(), rb.records_emitted());
+  EXPECT_EQ(ra.network_bytes(), rb.network_bytes());
+  EXPECT_EQ(ra.channel_retries(), rb.channel_retries());
+  EXPECT_EQ(ra.faults_injected(), rb.faults_injected());
+  EXPECT_EQ(ra.fault_trace_digest(), rb.fault_trace_digest());
   // The plan actually fired: replays of a no-op schedule prove nothing.
-  EXPECT_GT(ra.faults_injected, 0u);
+  EXPECT_GT(ra.faults_injected(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -41,8 +41,8 @@ core::OracleOutput Oracle(const workloads::Workload& workload,
 void ExpectMatchesOracle(const RunStats& stats,
                          const core::OracleOutput& oracle) {
   ASSERT_TRUE(stats.ok()) << stats.status.message();
-  EXPECT_EQ(stats.records_emitted, oracle.count);
-  EXPECT_EQ(stats.result_checksum, oracle.checksum) << "result rows differ";
+  EXPECT_EQ(stats.records_emitted(), oracle.count);
+  EXPECT_EQ(stats.result_checksum(), oracle.checksum) << "result rows differ";
   std::vector<core::WindowResult> rows = stats.rows;
   std::sort(rows.begin(), rows.end());
   EXPECT_EQ(rows, oracle.rows);
@@ -58,10 +58,10 @@ RunStats RunWithMidRunCrash(Engine& engine, const workloads::Workload& workload,
   const core::QuerySpec query = workload.MakeQuery();
   const RunStats clean = engine.Run(query, workload, cfg);
   EXPECT_TRUE(clean.ok()) << clean.status.message();
-  EXPECT_GT(clean.makespan, 0);
+  EXPECT_GT(clean.makespan(), 0);
 
   plan_out->node_crashes.push_back(
-      {.at = Nanos(double(clean.makespan) * fraction), .node = victim});
+      {.at = Nanos(double(clean.makespan()) * fraction), .node = victim});
   cfg.fault_plan = plan_out;
   return engine.Run(query, workload, cfg);
 }
@@ -78,12 +78,12 @@ TEST(SlashRecoveryTest, YsbNodeCrashRecoversToOracleResults) {
       RunWithMidRunCrash(engine, workload, cfg, /*victim=*/1, 0.5, &plan);
 
   ExpectMatchesOracle(stats, Oracle(workload, cfg));
-  EXPECT_EQ(stats.recoveries, 1u);
-  EXPECT_GT(stats.recovery_ns, 0);
-  EXPECT_GT(stats.records_replayed, 0u);
-  EXPECT_GT(stats.checkpoints_taken, 0u);
-  EXPECT_GT(stats.checkpoint_bytes_replicated, 0u);
-  EXPECT_EQ(stats.credits_outstanding, 0u);
+  EXPECT_EQ(stats.recoveries(), 1u);
+  EXPECT_GT(stats.recovery_ns(), 0);
+  EXPECT_GT(stats.records_replayed(), 0u);
+  EXPECT_GT(stats.checkpoints_taken(), 0u);
+  EXPECT_GT(stats.checkpoint_bytes_replicated(), 0u);
+  EXPECT_EQ(stats.credits_outstanding(), 0u);
 }
 
 TEST(SlashRecoveryTest, NexmarkJoinNodeCrashRecoversToOracleResults) {
@@ -98,7 +98,7 @@ TEST(SlashRecoveryTest, NexmarkJoinNodeCrashRecoversToOracleResults) {
       RunWithMidRunCrash(engine, workload, cfg, /*victim=*/0, 0.4, &plan);
 
   ExpectMatchesOracle(stats, Oracle(workload, cfg));
-  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.recoveries(), 1u);
 }
 
 TEST(SlashRecoveryTest, CrashedRunIsDeterministicAcrossReplays) {
@@ -117,11 +117,11 @@ TEST(SlashRecoveryTest, CrashedRunIsDeterministicAcrossReplays) {
   const RunStats second = engine.Run(workload.MakeQuery(), workload, cfg);
   ASSERT_TRUE(second.ok()) << second.status.message();
 
-  EXPECT_EQ(first.result_checksum, second.result_checksum);
-  EXPECT_EQ(first.makespan, second.makespan);
-  EXPECT_EQ(first.records_replayed, second.records_replayed);
-  EXPECT_EQ(first.recovery_ns, second.recovery_ns);
-  EXPECT_EQ(first.fault_trace_digest, second.fault_trace_digest);
+  EXPECT_EQ(first.result_checksum(), second.result_checksum());
+  EXPECT_EQ(first.makespan(), second.makespan());
+  EXPECT_EQ(first.records_replayed(), second.records_replayed());
+  EXPECT_EQ(first.recovery_ns(), second.recovery_ns());
+  EXPECT_EQ(first.fault_trace_digest(), second.fault_trace_digest());
 }
 
 TEST(SlashRecoveryTest, ReplicationFactorTwoSurvivesCrash) {
@@ -137,7 +137,7 @@ TEST(SlashRecoveryTest, ReplicationFactorTwoSurvivesCrash) {
       RunWithMidRunCrash(engine, workload, cfg, /*victim=*/1, 0.5, &plan);
 
   ExpectMatchesOracle(stats, Oracle(workload, cfg));
-  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.recoveries(), 1u);
 }
 
 TEST(SlashRecoveryTest, WiderCheckpointIntervalStillRecovers) {
@@ -153,7 +153,7 @@ TEST(SlashRecoveryTest, WiderCheckpointIntervalStillRecovers) {
       RunWithMidRunCrash(engine, workload, cfg, /*victim=*/1, 0.5, &plan);
 
   ExpectMatchesOracle(stats, Oracle(workload, cfg));
-  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.recoveries(), 1u);
 }
 
 TEST(SlashRecoveryTest, RdmaIngestionNodeCrashRecoversToOracleResults) {
@@ -169,8 +169,8 @@ TEST(SlashRecoveryTest, RdmaIngestionNodeCrashRecoversToOracleResults) {
       RunWithMidRunCrash(engine, workload, cfg, /*victim=*/1, 0.5, &plan);
 
   ExpectMatchesOracle(stats, Oracle(workload, cfg));
-  EXPECT_EQ(stats.recoveries, 1u);
-  EXPECT_GT(stats.records_replayed, 0u);
+  EXPECT_EQ(stats.recoveries(), 1u);
+  EXPECT_GT(stats.records_replayed(), 0u);
 }
 
 TEST(SlashRecoveryTest, CrashWithoutCheckpointingAbortsCleanly) {
@@ -187,7 +187,7 @@ TEST(SlashRecoveryTest, CrashWithoutCheckpointingAbortsCleanly) {
 
   EXPECT_FALSE(stats.ok());
   EXPECT_EQ(stats.status.code(), StatusCode::kUnavailable);
-  EXPECT_EQ(stats.recoveries, 0u);
+  EXPECT_EQ(stats.recoveries(), 0u);
 }
 
 TEST(SlashRecoveryTest, EarlyCrashBeforeFirstCheckpointRestartsFromScratch) {
@@ -206,7 +206,7 @@ TEST(SlashRecoveryTest, EarlyCrashBeforeFirstCheckpointRestartsFromScratch) {
   const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
 
   ExpectMatchesOracle(stats, Oracle(workload, cfg));
-  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.recoveries(), 1u);
 }
 
 // --- FaultPlan registration-time validation -------------------------------
@@ -287,11 +287,11 @@ TEST(FlinkRecoveryTest, YsbNodeCrashRecoversToOracleResults) {
       RunWithMidRunCrash(engine, workload, cfg, /*victim=*/1, 0.5, &plan);
 
   ExpectMatchesOracle(stats, Oracle(workload, cfg));
-  EXPECT_EQ(stats.recoveries, 1u);
-  EXPECT_GT(stats.recovery_ns, 0);
-  EXPECT_GT(stats.records_replayed, 0u);
-  EXPECT_GT(stats.checkpoints_taken, 0u);
-  EXPECT_GT(stats.checkpoint_bytes_replicated, 0u);
+  EXPECT_EQ(stats.recoveries(), 1u);
+  EXPECT_GT(stats.recovery_ns(), 0);
+  EXPECT_GT(stats.records_replayed(), 0u);
+  EXPECT_GT(stats.checkpoints_taken(), 0u);
+  EXPECT_GT(stats.checkpoint_bytes_replicated(), 0u);
 }
 
 TEST(FlinkRecoveryTest, CrashedRunIsDeterministicAcrossReplays) {
@@ -310,9 +310,9 @@ TEST(FlinkRecoveryTest, CrashedRunIsDeterministicAcrossReplays) {
   const RunStats second = engine.Run(workload.MakeQuery(), workload, cfg);
   ASSERT_TRUE(second.ok()) << second.status.message();
 
-  EXPECT_EQ(first.result_checksum, second.result_checksum);
-  EXPECT_EQ(first.makespan, second.makespan);
-  EXPECT_EQ(first.records_replayed, second.records_replayed);
+  EXPECT_EQ(first.result_checksum(), second.result_checksum());
+  EXPECT_EQ(first.makespan(), second.makespan());
+  EXPECT_EQ(first.records_replayed(), second.records_replayed());
 }
 
 TEST(FlinkRecoveryTest, CrashWithoutCheckpointingAbortsCleanly) {

@@ -39,14 +39,14 @@ void ExpectMatchesOracle(const workloads::Workload& workload,
       query, workload.Sources(cfg.records_per_worker, cfg.seed),
       cfg.nodes * cfg.workers_per_node);
 
-  EXPECT_EQ(stats.records_in, oracle.records_in);
-  EXPECT_EQ(stats.records_emitted, oracle.count);
-  EXPECT_EQ(stats.result_checksum, oracle.checksum) << "result rows differ";
+  EXPECT_EQ(stats.records_in(), oracle.records_in);
+  EXPECT_EQ(stats.records_emitted(), oracle.count);
+  EXPECT_EQ(stats.result_checksum(), oracle.checksum) << "result rows differ";
   // Full row-level equality.
   std::vector<core::WindowResult> rows = stats.rows;
   std::sort(rows.begin(), rows.end());
   EXPECT_EQ(rows, oracle.rows);
-  EXPECT_GT(stats.makespan, 0);
+  EXPECT_GT(stats.makespan(), 0);
 }
 
 TEST(SlashEngineTest, YsbMatchesOracleTwoNodes) {
@@ -109,9 +109,9 @@ TEST(SlashEngineTest, NetworkCarriesDeltasNotRecords) {
   SlashEngine engine;
   const RunStats stats =
       engine.Run(workload.MakeQuery(), workload, cfg);
-  const uint64_t input_bytes = stats.records_in * 78;
-  EXPECT_LT(stats.network_bytes, input_bytes / 4);
-  EXPECT_GT(stats.network_bytes, 0u);
+  const uint64_t input_bytes = stats.records_in() * 78;
+  EXPECT_LT(stats.network_bytes(), input_bytes / 4);
+  EXPECT_GT(stats.network_bytes(), 0u);
 }
 
 TEST(SlashEngineTest, CountersAccumulatePerRole) {
@@ -122,12 +122,12 @@ TEST(SlashEngineTest, CountersAccumulatePerRole) {
   SlashEngine engine;
   const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
   // Merging happens on the worker cores (no dedicated leader role).
-  ASSERT_TRUE(stats.role_counters.count("worker"));
-  const perf::Counters& workers = stats.role_counters.at("worker");
-  EXPECT_EQ(workers.records, stats.records_in);
+  ASSERT_TRUE(stats.role_counters().count("worker"));
+  const perf::Counters& workers = stats.role_counters().at("worker");
+  EXPECT_EQ(workers.records, stats.records_in());
   EXPECT_GT(workers.instructions, 0);
   EXPECT_GT(workers.ipc(), 0);
-  EXPECT_GT(stats.memory_bandwidth_gbps(), 0);
+  EXPECT_GT(stats.memory_bandwidth_gbytes_per_sec(), 0);
 }
 
 TEST(SlashEngineTest, RdmaIngestionMatchesOracle) {
@@ -143,14 +143,14 @@ TEST(SlashEngineTest, RdmaIngestionMatchesOracle) {
   const core::OracleOutput oracle = core::ComputeOracle(
       workload.MakeQuery(), workload.Sources(cfg.records_per_worker, cfg.seed),
       cfg.nodes * cfg.workers_per_node);
-  EXPECT_EQ(stats.records_in, oracle.records_in);
-  EXPECT_EQ(stats.result_checksum, oracle.checksum);
+  EXPECT_EQ(stats.records_in(), oracle.records_in);
+  EXPECT_EQ(stats.result_checksum(), oracle.checksum);
   std::vector<core::WindowResult> rows = stats.rows;
   std::sort(rows.begin(), rows.end());
   EXPECT_EQ(rows, oracle.rows);
   // The generator role did the source reads and buffer fills.
-  ASSERT_TRUE(stats.role_counters.count("generator"));
-  EXPECT_GT(stats.role_counters.at("generator").instructions, 0);
+  ASSERT_TRUE(stats.role_counters().count("generator"));
+  EXPECT_GT(stats.role_counters().at("generator").instructions, 0);
 }
 
 TEST(SlashEngineTest, RdmaIngestionCarriesRawRecordsOnWire) {
@@ -166,9 +166,9 @@ TEST(SlashEngineTest, RdmaIngestionCarriesRawRecordsOnWire) {
   const RunStats local = engine.Run(workload.MakeQuery(), workload, cfg);
   cfg.rdma_ingestion = true;
   const RunStats ingested = engine.Run(workload.MakeQuery(), workload, cfg);
-  EXPECT_EQ(local.result_checksum, ingested.result_checksum);
-  EXPECT_GE(ingested.network_bytes, ingested.records_in * 78);
-  EXPECT_LT(local.network_bytes, ingested.network_bytes);
+  EXPECT_EQ(local.result_checksum(), ingested.result_checksum());
+  EXPECT_GE(ingested.network_bytes(), ingested.records_in() * 78);
+  EXPECT_LT(local.network_bytes(), ingested.network_bytes());
 }
 
 TEST(SlashEngineTest, RdmaIngestionJoinMatchesOracle) {
@@ -182,8 +182,8 @@ TEST(SlashEngineTest, RdmaIngestionJoinMatchesOracle) {
   const core::OracleOutput oracle = core::ComputeOracle(
       workload.MakeQuery(), workload.Sources(cfg.records_per_worker, cfg.seed),
       cfg.nodes * cfg.workers_per_node);
-  EXPECT_EQ(stats.result_checksum, oracle.checksum);
-  EXPECT_EQ(stats.records_emitted, oracle.count);
+  EXPECT_EQ(stats.result_checksum(), oracle.checksum);
+  EXPECT_EQ(stats.records_emitted(), oracle.count);
 }
 
 // Property sweep: P2 must hold for every epoch length (more/fewer syncs),

@@ -183,8 +183,8 @@ TEST_P(SlidingEngineSweep, MatchesOracle) {
   const core::OracleOutput oracle = core::ComputeOracle(
       query, workload.Sources(cfg.records_per_worker, cfg.seed),
       cfg.nodes * cfg.workers_per_node);
-  EXPECT_EQ(stats.records_emitted, oracle.count) << engine->name();
-  EXPECT_EQ(stats.result_checksum, oracle.checksum) << engine->name();
+  EXPECT_EQ(stats.records_emitted(), oracle.count) << engine->name();
+  EXPECT_EQ(stats.result_checksum(), oracle.checksum) << engine->name();
   std::vector<WindowResult> rows = stats.rows;
   std::sort(rows.begin(), rows.end());
   EXPECT_EQ(rows, oracle.rows) << engine->name();

@@ -25,7 +25,7 @@ TEST(TransferTest, DirectModeDeliversEveryRecord) {
             cfg.records_per_producer * uint64_t(cfg.producers));
   EXPECT_EQ(result.payload_bytes, result.records * cfg.record_bytes);
   EXPECT_GT(result.makespan, 0);
-  EXPECT_GT(result.goodput_gbps(), 0);
+  EXPECT_GT(result.goodput_gbytes_per_sec(), 0);
 }
 
 TEST(TransferTest, PartitionedModeDeliversEveryRecord) {
@@ -82,9 +82,9 @@ TEST(TransferTest, MoreProducersMoreThroughputUntilLineRate) {
   cfg.partitioned = true;  // sender-CPU-bound mode scales with threads
   cfg.consumers = 10;
   cfg.producers = 1;
-  const double one = RunTransfer(cfg).goodput_gbps();
+  const double one = RunTransfer(cfg).goodput_gbytes_per_sec();
   cfg.producers = 4;
-  const double four = RunTransfer(cfg).goodput_gbps();
+  const double four = RunTransfer(cfg).goodput_gbytes_per_sec();
   EXPECT_GT(four, 2.5 * one);
   EXPECT_LT(four, 11.8);  // never exceeds the modeled line rate
 }
