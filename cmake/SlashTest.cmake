@@ -1,13 +1,21 @@
 # Helpers deduplicating the per-binary boilerplate shared by tests/ and
 # bench/: one executable per source file, linked against the slash library.
 
-# slash_add_test(<source.cc>): one gtest binary, registered with ctest.
+# slash_add_test(<source.cc> [LABELS <label>...]): one gtest binary,
+# registered with ctest. Labels define the test tiers (see
+# tests/CMakeLists.txt for the tier catalog); unlabeled tests default to
+# the fast tier1 suite.
 function(slash_add_test test_src)
+  cmake_parse_arguments(ARG "" "" "LABELS" ${ARGN})
   get_filename_component(test_name ${test_src} NAME_WE)
   add_executable(${test_name} ${test_src})
   target_link_libraries(${test_name}
     PRIVATE slash GTest::gtest GTest::gtest_main)
   add_test(NAME ${test_name} COMMAND ${test_name})
+  if(NOT ARG_LABELS)
+    set(ARG_LABELS tier1)
+  endif()
+  set_tests_properties(${test_name} PROPERTIES LABELS "${ARG_LABELS}")
 endfunction()
 
 # slash_add_bench(<source.cc>): one benchmark binary under build/bench/.

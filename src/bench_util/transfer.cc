@@ -273,6 +273,7 @@ TransferResult RunTransfer(const TransferConfig& config) {
   rdma::FabricConfig fabric_config;
   fabric_config.nodes = 2;
   fabric_config.nic = config.nic;
+  fabric_config.connection = config.connection;
   run.fabric = std::make_unique<rdma::Fabric>(&run.sim, fabric_config);
 
   channel::ChannelConfig ch_cfg;

@@ -23,6 +23,7 @@
 #include "obs/metrics.h"
 #include "perf/cost_model.h"
 #include "rdma/nic.h"
+#include "rdma/srq.h"
 #include "workloads/distributions.h"
 
 namespace slash::bench {
@@ -40,6 +41,7 @@ struct TransferConfig {
   workloads::KeyDistribution keys = workloads::KeyDistribution::Uniform();
   uint64_t key_range = 100'000'000;
   rdma::NicConfig nic;
+  rdma::ConnectionConfig connection;  // flow->QP mapping (rdma/srq.h)
   double cpu_ghz = 2.4;
   uint64_t seed = 42;
 };

@@ -51,9 +51,7 @@ std::unique_ptr<RdmaChannel> RdmaChannel::Create(rdma::Fabric* fabric,
   channel->credit_mr_ = fabric->pd(producer_node)->RegisterRegion(64);
   channel->credit_src_ = fabric->pd(consumer_node)->RegisterRegion(64);
 
-  rdma::QpPair qp = fabric->Connect(producer_node, consumer_node);
-  channel->producer_qp_ = qp.first;
-  channel->consumer_qp_ = qp.second;
+  channel->flow_ = fabric->OpenFlow(producer_node, consumer_node);
   channel->external_spans_.assign(config.credits, rdma::MemorySpan{});
 
   RdmaChannel* ch = channel.get();
@@ -65,12 +63,13 @@ std::unique_ptr<RdmaChannel> RdmaChannel::Create(rdma::Fabric* fabric,
     ch->credit_event_.Notify();
     for (sim::Event* observer : ch->credit_observers_) observer->Notify();
   });
-  // Both QPs are channel-private, so every completion on their send CQs
-  // belongs to the retry machinery (channel writes are unsignaled: the only
-  // completions are error reports and acks of retried transfers).
-  channel->producer_qp_->send_cq().SetInterceptor(
+  // Every completion of work this channel posts routes back through the
+  // flow to the retry machinery (channel writes are unsignaled: the only
+  // completions are error reports and acks of retried transfers), even
+  // when the carrying endpoints are shared with other channels.
+  channel->flow_->SetProducerHandler(
       [ch](const rdma::Completion& c) { return ch->OnProducerCompletion(c); });
-  channel->consumer_qp_->send_cq().SetInterceptor(
+  channel->flow_->SetConsumerHandler(
       [ch](const rdma::Completion& c) { return ch->OnConsumerCompletion(c); });
 
   // Resolve observability handles once; publish points are one branch each.
@@ -165,7 +164,7 @@ Status RdmaChannel::Post(const SlotRef& slot, uint64_t payload_len,
   // error completions still surface and drive the retry machinery.
   cpu->Charge(perf::Op::kRdmaPost);
   ++sent_count_;
-  return producer_qp_->PostWrite(
+  return flow_->PostToConsumer(
       rdma::MemorySpan{staging_, SlotOffset(slot.slot_index),
                        config_.slot_bytes},
       queue_->remote_key(), SlotOffset(slot.slot_index),
@@ -218,10 +217,9 @@ Status RdmaChannel::PostExternal(rdma::MemorySpan payload, uint64_t user_tag,
   cpu->Charge(perf::Op::kRdmaPost, 2);
   ++acquired_count_;
   ++sent_count_;
-  return producer_qp_->PostWrite(payload, queue_->remote_key(),
-                                 SlotOffset(slot),
-                                 MakeWrId(sent_count_, kWrExtPayload),
-                                 /*signaled=*/true);
+  return flow_->PostToConsumer(payload, queue_->remote_key(), SlotOffset(slot),
+                               MakeWrId(sent_count_, kWrExtPayload),
+                               /*signaled=*/true);
 }
 
 void RdmaChannel::MarkCheckpoint() {
@@ -277,10 +275,10 @@ Status RdmaChannel::Release(const InboundBuffer& buffer,
   // retried credit write simply re-publishes the latest count).
   std::memcpy(credit_src_->data(), &released_count_, 8);
   cpu->Charge(perf::Op::kCreditUpdate);
-  return consumer_qp_->PostWrite(rdma::MemorySpan{credit_src_, 0, 8},
-                                 credit_mr_->remote_key(), /*remote_offset=*/0,
-                                 MakeWrId(released_count_, kWrCredit),
-                                 /*signaled=*/false);
+  return flow_->PostToProducer(rdma::MemorySpan{credit_src_, 0, 8},
+                               credit_mr_->remote_key(), /*remote_offset=*/0,
+                               MakeWrId(released_count_, kWrCredit),
+                               /*signaled=*/false);
 }
 
 // ---------------------------------------------------------------------------
@@ -354,17 +352,17 @@ void RdmaChannel::RetryPost(uint64_t wr_id) {
   Status status;
   switch (kind) {
     case kWrSlot:
-      status = producer_qp_->PostWrite(
+      status = flow_->PostToConsumer(
           rdma::MemorySpan{staging_, SlotOffset(slot), config_.slot_bytes},
           queue_->remote_key(), SlotOffset(slot), wr_id, /*signaled=*/true);
       break;
     case kWrExtPayload:
-      status = producer_qp_->PostWrite(
-          external_spans_[slot], queue_->remote_key(), SlotOffset(slot), wr_id,
-          /*signaled=*/true);
+      status = flow_->PostToConsumer(external_spans_[slot],
+                                     queue_->remote_key(), SlotOffset(slot),
+                                     wr_id, /*signaled=*/true);
       break;
     case kWrExtFooter:
-      status = producer_qp_->PostWrite(
+      status = flow_->PostToConsumer(
           rdma::MemorySpan{staging_, FooterOffset(slot), kFooterBytes},
           queue_->remote_key(), FooterOffset(slot), wr_id, /*signaled=*/true);
       break;
@@ -379,7 +377,7 @@ void RdmaChannel::RetryCreditWrite() {
   if (broken_) return;
   // Cumulative counter: just re-publish the latest value.
   std::memcpy(credit_src_->data(), &released_count_, 8);
-  Status status = consumer_qp_->PostWrite(
+  Status status = flow_->PostToProducer(
       rdma::MemorySpan{credit_src_, 0, 8}, credit_mr_->remote_key(),
       /*remote_offset=*/0, MakeWrId(released_count_, kWrCredit),
       /*signaled=*/true);
@@ -389,7 +387,7 @@ void RdmaChannel::RetryCreditWrite() {
 void RdmaChannel::PostExternalFooter(uint64_t msg) {
   if (broken_) return;
   const uint32_t slot = static_cast<uint32_t>((msg - 1) % config_.credits);
-  Status status = producer_qp_->PostWrite(
+  Status status = flow_->PostToConsumer(
       rdma::MemorySpan{staging_, FooterOffset(slot), kFooterBytes},
       queue_->remote_key(), FooterOffset(slot), MakeWrId(msg, kWrExtFooter),
       /*signaled=*/false);

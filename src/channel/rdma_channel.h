@@ -129,10 +129,18 @@ struct InboundBuffer {
 /// from coroutines of the producer node, the consumer-side API
 /// (TryPoll/Release/data_event) only from the consumer node. All CPU costs
 /// are charged to the CpuContext passed per call.
+///
+/// Connection scaling: the channel posts through a fabric Flow, not raw
+/// QPs, so how its traffic maps onto physical connections is decided by
+/// FabricConfig::connection (rdma/srq.h) — a dedicated QP pair in the
+/// default full-mesh mode, shared per-node endpoints in the SRQ/shared
+/// modes. The protocol (and its determinism) is mode-independent: flows
+/// keep per-flow FIFO ordering and route completions back here even on a
+/// shared CQ.
 class RdmaChannel {
  public:
   /// Creates a channel: registers both circular queues and the credit
-  /// counter, and connects the QP.
+  /// counter, and opens the flow.
   static std::unique_ptr<RdmaChannel> Create(rdma::Fabric* fabric,
                                              int producer_node,
                                              int consumer_node,
@@ -226,6 +234,10 @@ class RdmaChannel {
   /// Transfers re-posted after an error completion (transparent recovery).
   uint64_t retries() const { return retries_; }
 
+  /// The fabric flow carrying this channel (tests: QP accounting and
+  /// targeted fault injection on the underlying endpoints).
+  rdma::Flow* flow() const { return flow_; }
+
   /// Closes the channel immediately with `cause` (e.g. the peer node
   /// crashed). Equivalent to the retry machinery exhausting its budget:
   /// both sides' events fire, posts fail with kUnavailable, and later
@@ -287,8 +299,8 @@ class RdmaChannel {
     return msg * 4 + kind;
   }
 
-  // Interceptors installed on the two send CQs (every WR on those QPs is
-  // channel-internal, so they consume all completions).
+  // Flow completion handlers (every WR this channel posts routes back
+  // here, so they consume all completions).
   bool OnProducerCompletion(const rdma::Completion& c);
   bool OnConsumerCompletion(const rdma::Completion& c);
 
@@ -321,10 +333,12 @@ class RdmaChannel {
   uint32_t trace_close_ = 0;
   uint32_t trace_cat_ = 0;
 
+  // The logical connection carrying both directions (data + credits).
+  rdma::Flow* flow_ = nullptr;
+
   // Producer-side state.
   rdma::MemoryRegion* staging_ = nullptr;   // producer circular queue
   rdma::MemoryRegion* credit_mr_ = nullptr; // cumulative release counter
-  rdma::QpEndpoint* producer_qp_ = nullptr;
   uint64_t sent_count_ = 0;
   uint64_t acquired_count_ = 0;
   sim::Event credit_event_;
@@ -348,7 +362,6 @@ class RdmaChannel {
   // Consumer-side state.
   rdma::MemoryRegion* queue_ = nullptr;      // consumer circular queue
   rdma::MemoryRegion* credit_src_ = nullptr; // staging for the credit write
-  rdma::QpEndpoint* consumer_qp_ = nullptr;
   uint64_t received_count_ = 0;
   uint64_t released_count_ = 0;
   sim::Event data_event_;

@@ -87,6 +87,11 @@ struct ClusterConfig {
   channel::ChannelConfig channel;  // credits = 8, 64 KiB slots
   rdma::NicConfig nic;             // 11.8 GB/s, ~1 us
   rdma::SocketConfig socket;       // IPoIB penalties (Flink-like only)
+  /// How channel flows map onto QPs (rdma/srq.h): full-mesh (default),
+  /// per-node SRQ transports, or shared QP pools. A resource knob, not a
+  /// semantics knob — result_checksum and the canonical MetricsSnapshot
+  /// are byte-identical across modes at equal seed.
+  rdma::ConnectionConfig connection;
 
   /// Epoch length in processed input bytes (paper default 64 MiB; scaled).
   uint64_t epoch_bytes = 4 * kMiB;

@@ -991,6 +991,7 @@ RunStats FlinkLikeEngine::Run(const core::QuerySpec& query,
   rdma::FabricConfig fabric_config;
   fabric_config.nodes = config.nodes;
   fabric_config.nic = config.nic;
+  fabric_config.connection = config.connection;
   run.fabric = std::make_unique<rdma::Fabric>(&run.sim, fabric_config);
   run.fabric->SetNodeCrashHandler(
       [run_ptr = &run](int node) { OnNodeCrash(run_ptr, node); });

@@ -1178,6 +1178,7 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
   rdma::FabricConfig fabric_config;
   fabric_config.nodes = fabric_nodes;
   fabric_config.nic = config.nic;
+  fabric_config.connection = config.connection;
   run.fabric = std::make_unique<rdma::Fabric>(&run.sim, fabric_config);
   run.fabric->SetNodeCrashHandler(
       [run_ptr = &run](int node) { OnNodeCrash(run_ptr, node); });

@@ -357,6 +357,7 @@ RunStats UpParEngine::Run(const core::QuerySpec& query,
   rdma::FabricConfig fabric_config;
   fabric_config.nodes = config.nodes;
   fabric_config.nic = config.nic;
+  fabric_config.connection = config.connection;
   run.fabric = std::make_unique<rdma::Fabric>(&run.sim, fabric_config);
 
   state::PartitionConfig pcfg;

@@ -70,6 +70,10 @@ void Exporter::PrintMetric(const SeriesTable& table,
 
 std::string Exporter::TableJson(const SeriesTable& table) {
   std::ostringstream out;
+  // Round-trip precision: baseline comparison (tools/bench_compare.py)
+  // diffs deterministic metrics exactly, so the artifact must not round
+  // counters or checksums away (the default 6 significant digits would).
+  out.precision(17);
   out << "{\"name\": \"" << SanitizeTitle(table.title_)
       << "\", \"points\": [";
   bool first = true;

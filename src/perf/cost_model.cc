@@ -139,4 +139,15 @@ const CostModel& CostModel::Default() {
   return *model;
 }
 
+double QpCacheMissRate(uint64_t active_qps, uint32_t cache_entries) {
+  if (cache_entries == 0 || active_qps <= cache_entries) return 0.0;
+  return 1.0 - double(cache_entries) / double(active_qps);
+}
+
+Nanos QpContextFetchOverhead(uint64_t active_qps, uint32_t cache_entries,
+                             Nanos miss_penalty) {
+  return static_cast<Nanos>(QpCacheMissRate(active_qps, cache_entries) *
+                            double(miss_penalty));
+}
+
 }  // namespace slash::perf

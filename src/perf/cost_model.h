@@ -89,6 +89,22 @@ struct OpCost {
   }
 };
 
+/// Expected fraction of messages whose QP context misses the NIC's on-chip
+/// connection cache, under the standard uniform-access approximation: with
+/// `active_qps` live contexts competing for `cache_entries` slots, a
+/// message's context is resident with probability cache/active. 0 when the
+/// cache is disabled (entries == 0) or everything fits — the regime where
+/// connection scaling (rdma/srq.h) keeps clusters by reducing active QPs.
+double QpCacheMissRate(uint64_t active_qps, uint32_t cache_entries);
+
+/// Deterministic expected per-message overhead of QP-context fetches:
+/// miss_rate x miss_penalty (one PCIe round-trip to re-fetch an evicted
+/// context, per the RDMA connection-scalability literature). Charged by
+/// the NIC as additional per-message processing time; an expected value
+/// rather than a sampled one so runs stay seed-independent.
+Nanos QpContextFetchOverhead(uint64_t active_qps, uint32_t cache_entries,
+                             Nanos miss_penalty);
+
 /// An immutable table of per-Op costs.
 class CostModel {
  public:

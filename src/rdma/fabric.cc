@@ -1,6 +1,8 @@
 #include "rdma/fabric.h"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -14,6 +16,7 @@ Fabric::Fabric(sim::Simulator* sim, const FabricConfig& config)
   pds_.reserve(config.nodes);
   nics_.reserve(config.nodes);
   dead_.assign(config.nodes, false);
+  qp_per_node_.assign(config.nodes, 0);
   for (int n = 0; n < config.nodes; ++n) {
     pds_.push_back(std::make_unique<ProtectionDomain>(n));
     nics_.push_back(std::make_unique<Nic>(n, config.nic));
@@ -26,6 +29,34 @@ Fabric::Fabric(sim::Simulator* sim, const FabricConfig& config)
           {{obs::kLabelNode, std::to_string(n)}}));
     }
   }
+  // Shared transports are built eagerly so QP numbering, accounting, and
+  // fault-plan targets do not depend on the order flows open in.
+  const ConnectionConfig& conn = config_.connection;
+  switch (conn.mode) {
+    case ConnectionMode::kFullMesh:
+      break;
+    case ConnectionMode::kSrq:
+      srqs_.reserve(config.nodes);
+      srq_transports_.resize(config.nodes);
+      for (int n = 0; n < config.nodes; ++n) {
+        srqs_.push_back(std::make_unique<Srq>(n, conn.srq_depth));
+        srq_transports_[n].initiator = MakeEndpoint(n, /*hub=*/true);
+        srq_transports_[n].target = MakeEndpoint(n, /*hub=*/true);
+        srq_transports_[n].target->srq_ = srqs_[n].get();
+      }
+      break;
+    case ConnectionMode::kShared:
+      SLASH_CHECK_GT(conn.shared_pool_size, 0u);
+      shared_pools_.resize(config.nodes);
+      for (int n = 0; n < config.nodes; ++n) {
+        shared_pools_[n].reserve(conn.shared_pool_size);
+        for (uint32_t s = 0; s < conn.shared_pool_size; ++s) {
+          shared_pools_[n].push_back(MakeEndpoint(n, /*hub=*/true));
+        }
+      }
+      break;
+  }
+  PublishConnectionStats();
   if (sim::FaultInjector* inj = sim_->fault_injector()) {
     inj->Attach(this);
   }
@@ -43,17 +74,157 @@ Nic* Fabric::nic(int node) {
   return nics_[node].get();
 }
 
+QpEndpoint* Fabric::MakeEndpoint(int node, bool hub) {
+  endpoints_.push_back(
+      std::make_unique<QpEndpoint>(this, node, next_qp_num_++, hub));
+  QpEndpoint* ep = endpoints_.back().get();
+  ++qp_per_node_[node];
+  // The NIC's context-cache pressure model (opt-in) keys off how many live
+  // QP contexts compete for its cache.
+  nics_[node]->set_active_qps(qp_per_node_[node]);
+  return ep;
+}
+
 QpPair Fabric::Connect(int node_a, int node_b) {
   SLASH_CHECK_MSG(!dead_[node_a] && !dead_[node_b],
                   "Connect() touching a crashed node");
-  auto a = std::make_unique<QpEndpoint>(this, node_a, next_qp_num_++);
-  auto b = std::make_unique<QpEndpoint>(this, node_b, next_qp_num_++);
-  a->peer_ = b.get();
-  b->peer_ = a.get();
-  QpPair pair{a.get(), b.get()};
-  endpoints_.push_back(std::move(a));
-  endpoints_.push_back(std::move(b));
-  return pair;
+  QpEndpoint* a = MakeEndpoint(node_a, /*hub=*/false);
+  QpEndpoint* b = MakeEndpoint(node_b, /*hub=*/false);
+  a->peer_ = b;
+  b->peer_ = a;
+  return QpPair{a, b};
+}
+
+Flow* Fabric::OpenFlow(int producer_node, int consumer_node) {
+  SLASH_CHECK_MSG(!dead_[producer_node] && !dead_[consumer_node],
+                  "OpenFlow() touching a crashed node");
+  const uint32_t id = static_cast<uint32_t>(flows_.size());
+  QpEndpoint* fwd_from = nullptr;
+  QpEndpoint* fwd_to = nullptr;
+  QpEndpoint* rev_from = nullptr;
+  QpEndpoint* rev_to = nullptr;
+  switch (config_.connection.mode) {
+    case ConnectionMode::kFullMesh: {
+      // Dedicated QP pair, exactly the pre-scaling substrate.
+      QpPair pair = Connect(producer_node, consumer_node);
+      fwd_from = pair.first;
+      fwd_to = pair.second;
+      rev_from = pair.second;
+      rev_to = pair.first;
+      break;
+    }
+    case ConnectionMode::kSrq: {
+      // All outbound posts of a node share its initiator; all inbound
+      // traffic lands on its SRQ-fed target.
+      fwd_from = srq_transports_[producer_node].initiator;
+      fwd_to = srq_transports_[consumer_node].target;
+      rev_from = srq_transports_[consumer_node].initiator;
+      rev_to = srq_transports_[producer_node].target;
+      break;
+    }
+    case ConnectionMode::kShared: {
+      // Static assignment onto the duplex pool by flow id: deterministic
+      // and balanced for dense flow populations.
+      const auto& ppool = shared_pools_[producer_node];
+      const auto& cpool = shared_pools_[consumer_node];
+      fwd_from = ppool[id % ppool.size()];
+      fwd_to = cpool[id % cpool.size()];
+      rev_from = fwd_to;
+      rev_to = fwd_from;
+      break;
+    }
+  }
+  flows_.push_back(std::unique_ptr<Flow>(
+      new Flow(id, fwd_from, fwd_to, rev_from, rev_to)));
+  Flow* flow = flows_.back().get();
+  // Both carrying endpoints demux through the fabric. Re-installing the
+  // same interceptor on a shared endpoint is idempotent.
+  auto demux = [this](const Completion& c) { return DemuxFlowCompletion(c); };
+  fwd_from->send_cq().SetInterceptor(demux);
+  rev_from->send_cq().SetInterceptor(demux);
+  PublishConnectionStats();
+  return flow;
+}
+
+Srq* Fabric::srq(int node) const {
+  if (srqs_.empty()) return nullptr;
+  SLASH_CHECK_GE(node, 0);
+  SLASH_CHECK_LT(node, config_.nodes);
+  return srqs_[node].get();
+}
+
+ConnectionStats Fabric::connection_stats() const {
+  ConnectionStats stats;
+  stats.flows = flows_.size();
+  stats.qp_endpoints = endpoints_.size();
+  stats.srqs = srqs_.size();
+  std::vector<uint64_t> mem_per_node(config_.nodes, 0);
+  for (const auto& ep : endpoints_) {
+    mem_per_node[ep->node()] +=
+        config_.connection.QpMemoryBytes(ep->srq() != nullptr);
+  }
+  for (const auto& srq : srqs_) {
+    mem_per_node[srq->node()] += config_.connection.SrqMemoryBytes();
+  }
+  for (int n = 0; n < config_.nodes; ++n) {
+    stats.qp_memory_bytes += mem_per_node[n];
+    stats.max_qp_memory_bytes_per_node =
+        std::max(stats.max_qp_memory_bytes_per_node, mem_per_node[n]);
+    stats.max_qp_endpoints_per_node = std::max(
+        stats.max_qp_endpoints_per_node, uint64_t(qp_per_node_[n]));
+  }
+  return stats;
+}
+
+void Fabric::PublishConnectionStats() {
+  if (!config_.connection.publish_stats) return;
+  obs::MetricsRegistry* registry = sim_->metrics();
+  if (registry == nullptr) return;
+  const ConnectionStats stats = connection_stats();
+  registry->GetGauge(obs::metric::kFabricFlows)->Set(double(stats.flows));
+  registry->GetGauge(obs::metric::kFabricQpEndpoints)
+      ->Set(double(stats.qp_endpoints));
+  registry->GetGauge(obs::metric::kFabricQpMemoryBytes)
+      ->Set(double(stats.qp_memory_bytes));
+  registry->GetGauge(obs::metric::kFabricSrqs)->Set(double(stats.srqs));
+}
+
+uint64_t Flow::Tag(uint64_t wr_id, bool reverse) const {
+  SLASH_CHECK_LE(wr_id, kWrPayloadMask);
+  return (uint64_t(id_ + 1) << (kWrPayloadBits + 1)) |
+         (uint64_t(reverse) << kWrPayloadBits) | wr_id;
+}
+
+bool Fabric::DemuxFlowCompletion(const Completion& c) {
+  const uint64_t tag = c.wr_id >> (Flow::kWrPayloadBits + 1);
+  if (tag == 0 || tag > flows_.size()) return false;
+  Flow* flow = flows_[tag - 1].get();
+  const bool reverse = (c.wr_id >> Flow::kWrPayloadBits) & 1;
+  Completion inner = c;
+  inner.wr_id = c.wr_id & Flow::kWrPayloadMask;
+  const Flow::CompletionHandler& handler =
+      reverse ? flow->consumer_handler_ : flow->producer_handler_;
+  return handler ? handler(inner) : false;
+}
+
+Status Flow::PostToConsumer(MemorySpan local, RemoteKey rkey,
+                            uint64_t remote_offset, uint64_t wr_id,
+                            bool signaled) {
+  return fwd_from_->PostWriteTo(fwd_to_, local, rkey, remote_offset,
+                                Tag(wr_id, /*reverse=*/false), signaled);
+}
+
+Status Flow::PostToProducer(MemorySpan local, RemoteKey rkey,
+                            uint64_t remote_offset, uint64_t wr_id,
+                            bool signaled) {
+  return rev_from_->PostWriteTo(rev_to_, local, rkey, remote_offset,
+                                Tag(wr_id, /*reverse=*/true), signaled);
+}
+
+Status Flow::SendToConsumer(MemorySpan local, uint64_t wr_id, bool signaled,
+                            uint32_t immediate, bool has_immediate) {
+  return fwd_from_->PostSendTo(fwd_to_, local, Tag(wr_id, /*reverse=*/false),
+                               signaled, immediate, has_immediate);
 }
 
 uint64_t Fabric::total_tx_bytes() const {
@@ -132,10 +303,22 @@ void Fabric::CrashNode(int node) {
   if (crash_handler_) crash_handler_(node);
   // Every connection with an endpoint on the dead node dies. In-flight
   // work flushes with error completions through the normal async path.
+  // Hub endpoints on surviving nodes stay healthy: their other flows are
+  // unaffected (the per-transfer destination check handles the dead side).
   for (const auto& ep : endpoints_) {
     if (ep->node() != node) continue;
     ep->EnterErrorState();
     if (ep->peer() != nullptr) ep->peer()->EnterErrorState();
+  }
+  // SRQ buffers are shared, node-wide state (not flushed by a single QP
+  // erroring), but a crash kills the whole node: drain them with flush
+  // errors like a private receive FIFO.
+  if (Srq* dead_srq = srq(node)) {
+    for (const PostedRecv& recv : dead_srq->Flush()) {
+      srq_transports_[node].target->recv_cq().Push(
+          Completion{recv.wr_id, WorkType::kRecv, 0, 0,
+                     /*has_immediate=*/false, WcStatus::kFlushErr});
+    }
   }
 }
 
@@ -153,11 +336,10 @@ void Fabric::FlushWr(QpEndpoint* from, WorkType type, uint64_t wr_id,
   });
 }
 
-Status Fabric::ExecuteWrite(QpEndpoint* from, MemorySpan local, RemoteKey rkey,
-                            uint64_t remote_offset, uint64_t wr_id,
-                            bool signaled, uint32_t immediate,
+Status Fabric::ExecuteWrite(QpEndpoint* from, QpEndpoint* to, MemorySpan local,
+                            RemoteKey rkey, uint64_t remote_offset,
+                            uint64_t wr_id, bool signaled, uint32_t immediate,
                             bool has_immediate) {
-  QpEndpoint* to = from->peer();
   MemoryRegion* remote = pd(to->node())->FindByRkey(rkey.rkey);
   if (remote == nullptr) {
     return Status::NotFound("unknown rkey on destination node");
@@ -166,7 +348,11 @@ Status Fabric::ExecuteWrite(QpEndpoint* from, MemorySpan local, RemoteKey rkey,
     return Status::OutOfRange("remote write beyond region bounds");
   }
   const uint64_t len = local.length;
-  if (from->state_ == QpState::kError) {
+  // Hub endpoints are peer-less, so the destination's health must be
+  // checked explicitly (connected pairs error in lockstep, shared
+  // endpoints do not: a dead consumer must not flush a producer hub that
+  // still serves other flows).
+  if (from->state_ == QpState::kError || to->state_ == QpState::kError) {
     FlushWr(from, WorkType::kWrite, wr_id, len);
     return Status::OK();
   }
@@ -226,8 +412,11 @@ void Fabric::ScheduleWriteDelivery(QpEndpoint* from, QpEndpoint* to,
   bool* delivered = AcquireFlag();
   sim_->ScheduleAt(arrival, [=, this] {
     // A connection that errored while the message was in flight never
-    // materializes it (the responder tears the RC context down).
-    if (from->state_ == QpState::kError) return;
+    // materializes it (the responder tears the RC context down). For
+    // shared endpoints, either side erroring kills the transfer.
+    if (from->state_ == QpState::kError || to->state_ == QpState::kError) {
+      return;
+    }
     *delivered = true;
     std::memcpy(remote->data() + remote_offset, local.data(), len);
     // RDMA WRITE fills memory from lower to higher addresses: the channel
@@ -258,9 +447,9 @@ void Fabric::ScheduleWriteDelivery(QpEndpoint* from, QpEndpoint* to,
   });
 }
 
-Status Fabric::ExecuteRead(QpEndpoint* from, MemorySpan local, RemoteKey rkey,
-                           uint64_t remote_offset, uint64_t wr_id) {
-  QpEndpoint* to = from->peer();
+Status Fabric::ExecuteRead(QpEndpoint* from, QpEndpoint* to, MemorySpan local,
+                           RemoteKey rkey, uint64_t remote_offset,
+                           uint64_t wr_id) {
   MemoryRegion* remote = pd(to->node())->FindByRkey(rkey.rkey);
   if (remote == nullptr) {
     return Status::NotFound("unknown rkey on destination node");
@@ -269,7 +458,7 @@ Status Fabric::ExecuteRead(QpEndpoint* from, MemorySpan local, RemoteKey rkey,
     return Status::OutOfRange("remote read beyond region bounds");
   }
   const uint64_t len = local.length;
-  if (from->state_ == QpState::kError) {
+  if (from->state_ == QpState::kError || to->state_ == QpState::kError) {
     FlushWr(from, WorkType::kRead, wr_id, len);
     return Status::OK();
   }
@@ -312,7 +501,7 @@ Status Fabric::ExecuteRead(QpEndpoint* from, MemorySpan local, RemoteKey rkey,
   ++from->outstanding_;
   sim_->ScheduleAt(resp_arrival, [=] {
     --from->outstanding_;
-    if (from->state_ == QpState::kError) {
+    if (from->state_ == QpState::kError || to->state_ == QpState::kError) {
       // Connection died while the read was in flight.
       from->send_cq().Push(Completion{wr_id, WorkType::kRead, len, 0,
                                       /*has_immediate=*/false,
@@ -326,20 +515,30 @@ Status Fabric::ExecuteRead(QpEndpoint* from, MemorySpan local, RemoteKey rkey,
   return Status::OK();
 }
 
-Status Fabric::ExecuteSend(QpEndpoint* from, MemorySpan local, uint64_t wr_id,
-                           bool signaled, uint32_t immediate,
+Status Fabric::ExecuteSend(QpEndpoint* from, QpEndpoint* to, MemorySpan local,
+                           uint64_t wr_id, bool signaled, uint32_t immediate,
                            bool has_immediate) {
-  QpEndpoint* to = from->peer();
-  if (from->state_ == QpState::kError) {
+  if (from->state_ == QpState::kError || to->state_ == QpState::kError) {
     FlushWr(from, WorkType::kSend, wr_id, local.length);
     return Status::OK();
   }
-  if (to->recv_queue_.empty()) {
-    // Receiver-not-ready on a reliable connection; a real NIC would retry,
-    // our protocols are required to pre-post. Surface it as an error.
-    return Status::FailedPrecondition("no posted receive buffer on peer");
+  // Receives come from the destination's node-wide SRQ when one is
+  // attached, otherwise from its private posted-receive FIFO. Either way
+  // the oldest buffer wins — arrival order, not sender identity.
+  const bool from_srq = to->srq_ != nullptr;
+  PostedRecv recv;
+  if (from_srq) {
+    if (!to->srq_->PeekFront(&recv)) {
+      return Status::FailedPrecondition("no posted receive buffer in srq");
+    }
+  } else {
+    if (to->recv_queue_.empty()) {
+      // Receiver-not-ready on a reliable connection; a real NIC would
+      // retry, our protocols are required to pre-post. Surface an error.
+      return Status::FailedPrecondition("no posted receive buffer on peer");
+    }
+    recv = to->recv_queue_.front();
   }
-  QpEndpoint::PostedRecv recv = to->recv_queue_.front();
   if (recv.buffer.length < local.length) {
     return Status::InvalidArgument("posted receive buffer too small");
   }
@@ -366,14 +565,21 @@ Status Fabric::ExecuteSend(QpEndpoint* from, MemorySpan local, uint64_t wr_id,
     }
     extra_delay = fault.extra_delay;
   }
-  to->recv_queue_.pop_front();
+  if (from_srq) {
+    PostedRecv taken;
+    to->srq_->TakeFront(&taken);
+  } else {
+    to->recv_queue_.pop_front();
+  }
   const Nanos arrival =
       nic(to->node())->ReserveRx(tx_end + lat + extra_delay, len);
 
   ++from->outstanding_;
   bool* delivered = AcquireFlag();
   sim_->ScheduleAt(arrival, [=] {
-    if (from->state_ == QpState::kError) return;  // lost mid-flight
+    if (from->state_ == QpState::kError || to->state_ == QpState::kError) {
+      return;  // lost mid-flight
+    }
     *delivered = true;
     std::memcpy(recv.buffer.data(), local.data(), len);
     recv.buffer.region->NotifyRemoteWrite(recv.buffer.offset, len);

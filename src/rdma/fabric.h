@@ -17,21 +17,113 @@
 #include "rdma/memory.h"
 #include "rdma/nic.h"
 #include "rdma/queue_pair.h"
+#include "rdma/srq.h"
 #include "sim/fault.h"
 #include "sim/simulator.h"
 
 namespace slash::rdma {
 
+class Flow;
+
 /// Fabric topology and link parameters.
 struct FabricConfig {
   int nodes = 2;
   NicConfig nic;
+  /// How flows map onto connections (rdma/srq.h): dedicated full-mesh QPs
+  /// (default, the paper's setup), per-node SRQ transports, or a shared
+  /// per-node QP pool.
+  ConnectionConfig connection;
 };
 
 /// A connected pair of QP endpoints.
 struct QpPair {
   QpEndpoint* first = nullptr;   // endpoint on node a
   QpEndpoint* second = nullptr;  // endpoint on node b
+};
+
+/// A logical producer->consumer connection handed out by Fabric::OpenFlow.
+///
+/// The flow is the unit the channel layer (and anything above it) programs
+/// against; which physical QP endpoints carry it is the connection mode's
+/// business. In kFullMesh each flow owns a dedicated QP pair (identical to
+/// Fabric::Connect); in kSrq/kShared many flows multiplex shared hub
+/// endpoints. Flows preserve the RC contract the channel protocol needs:
+/// posts of one flow complete in order, and completions are routed back to
+/// the flow that posted them even on a shared CQ.
+///
+/// Routing works by tagging: the flow packs its id (and the direction) into
+/// the high bits of every wr_id it posts, and a fabric-installed CQ
+/// interceptor demultiplexes completions back to the flow's handler with
+/// the caller's original wr_id restored. Callers therefore keep at most
+/// kWrPayloadBits of wr_id space — plenty for the channel layer's
+/// message-number encoding.
+class Flow {
+ public:
+  /// Caller-visible wr_id bits; the rest carry the flow id + direction.
+  static constexpr int kWrPayloadBits = 43;
+  static constexpr uint64_t kWrPayloadMask =
+      (uint64_t(1) << kWrPayloadBits) - 1;
+
+  Flow(const Flow&) = delete;
+  Flow& operator=(const Flow&) = delete;
+
+  uint32_t id() const { return id_; }
+  int producer_node() const { return fwd_from_->node(); }
+  int consumer_node() const { return fwd_to_->node(); }
+
+  /// The physical endpoints carrying each direction (dedicated in
+  /// kFullMesh, shared hubs otherwise). Tests use these for QP accounting
+  /// and targeted fault injection.
+  QpEndpoint* producer_endpoint() const { return fwd_from_; }
+  QpEndpoint* consumer_endpoint() const { return fwd_to_; }
+
+  /// One-sided write, producer side -> consumer node.
+  Status PostToConsumer(MemorySpan local, RemoteKey rkey,
+                        uint64_t remote_offset, uint64_t wr_id, bool signaled);
+
+  /// One-sided write, consumer side -> producer node (credit returns).
+  Status PostToProducer(MemorySpan local, RemoteKey rkey,
+                        uint64_t remote_offset, uint64_t wr_id, bool signaled);
+
+  /// Two-sided send, producer side -> consumer node (consumes a posted
+  /// receive: the consumer endpoint's private FIFO, or its node SRQ).
+  Status SendToConsumer(MemorySpan local, uint64_t wr_id, bool signaled,
+                        uint32_t immediate = 0, bool has_immediate = false);
+
+  /// Handlers for completions of work this flow posted (producer-direction
+  /// posts report to the producer handler, consumer-direction posts to the
+  /// consumer handler). Semantics match CompletionQueue::SetInterceptor:
+  /// return true to consume the completion; returning false (or having no
+  /// handler) enqueues it on the carrying endpoint's send CQ with the
+  /// tagged wr_id. The channel layer always consumes.
+  using CompletionHandler = std::function<bool(const Completion&)>;
+  void SetProducerHandler(CompletionHandler handler) {
+    producer_handler_ = std::move(handler);
+  }
+  void SetConsumerHandler(CompletionHandler handler) {
+    consumer_handler_ = std::move(handler);
+  }
+
+ private:
+  friend class Fabric;
+
+  Flow(uint32_t id, QpEndpoint* fwd_from, QpEndpoint* fwd_to,
+       QpEndpoint* rev_from, QpEndpoint* rev_to)
+      : id_(id),
+        fwd_from_(fwd_from),
+        fwd_to_(fwd_to),
+        rev_from_(rev_from),
+        rev_to_(rev_to) {}
+
+  uint64_t Tag(uint64_t wr_id, bool reverse) const;
+
+  uint32_t id_;
+  QpEndpoint* fwd_from_;  // producer-side source endpoint
+  QpEndpoint* fwd_to_;    // consumer-side destination endpoint
+  QpEndpoint* rev_from_;  // consumer-side source endpoint
+  QpEndpoint* rev_to_;    // producer-side destination endpoint
+  CompletionHandler producer_handler_;
+  CompletionHandler consumer_handler_;
 };
 
 /// The fabric is also the substrate's fault-injection target: when a
@@ -58,8 +150,26 @@ class Fabric : public sim::FaultTarget {
   Nic* nic(int node);
 
   /// Creates a reliable connection between `node_a` and `node_b`.
-  /// Both endpoints (and their CQs) are owned by the fabric.
+  /// Both endpoints (and their CQs) are owned by the fabric. Always a
+  /// dedicated pair, regardless of connection mode — the mode governs how
+  /// *flows* map to connections; direct users (the pull-channel ablation,
+  /// substrate tests) keep private QPs.
   QpPair Connect(int node_a, int node_b);
+
+  /// Opens a logical producer->consumer flow mapped onto connections
+  /// according to config().connection.mode (see rdma/srq.h). The flow is
+  /// owned by the fabric.
+  Flow* OpenFlow(int producer_node, int consumer_node);
+
+  /// The shared receive queue of `node` (kSrq mode), nullptr otherwise.
+  Srq* srq(int node) const;
+
+  /// Connection-layer resource accounting: QP/SRQ counts and modeled QP
+  /// memory, cluster-wide and per-node maxima.
+  ConnectionStats connection_stats() const;
+
+  /// Flows opened so far.
+  size_t flow_count() const { return flows_.size(); }
 
   /// Total bytes moved across all NICs (transmit side).
   uint64_t total_tx_bytes() const;
@@ -87,7 +197,9 @@ class Fabric : public sim::FaultTarget {
   }
 
   // --- sim::FaultTarget ------------------------------------------------------
-  // Connection-wide: failing either QP number errors both endpoints.
+  // Connection-wide: failing either QP number errors both endpoints. On a
+  // shared hub endpoint (no fixed peer) only that endpoint errors — every
+  // flow multiplexed over it is affected, flows on other endpoints are not.
   void FailQp(uint32_t qp_num) override;
   void RecoverQp(uint32_t qp_num) override;
   void SetNicBandwidthScale(int node, double scale) override;
@@ -96,16 +208,19 @@ class Fabric : public sim::FaultTarget {
 
  private:
   friend class QpEndpoint;
+  friend class Flow;
 
   // Executes the timing model + data movement of the verbs. Called by
-  // QpEndpoint.
-  Status ExecuteWrite(QpEndpoint* from, MemorySpan local, RemoteKey rkey,
-                      uint64_t remote_offset, uint64_t wr_id, bool signaled,
-                      uint32_t immediate, bool has_immediate);
-  Status ExecuteRead(QpEndpoint* from, MemorySpan local, RemoteKey rkey,
-                     uint64_t remote_offset, uint64_t wr_id);
-  Status ExecuteSend(QpEndpoint* from, MemorySpan local, uint64_t wr_id,
-                     bool signaled, uint32_t immediate, bool has_immediate);
+  // QpEndpoint with an explicit destination endpoint (the fixed peer for
+  // connected QPs, the flow's destination for hub endpoints).
+  Status ExecuteWrite(QpEndpoint* from, QpEndpoint* to, MemorySpan local,
+                      RemoteKey rkey, uint64_t remote_offset, uint64_t wr_id,
+                      bool signaled, uint32_t immediate, bool has_immediate);
+  Status ExecuteRead(QpEndpoint* from, QpEndpoint* to, MemorySpan local,
+                     RemoteKey rkey, uint64_t remote_offset, uint64_t wr_id);
+  Status ExecuteSend(QpEndpoint* from, QpEndpoint* to, MemorySpan local,
+                     uint64_t wr_id, bool signaled, uint32_t immediate,
+                     bool has_immediate);
 
   // Schedules an immediate flush completion for a WR posted while (or
   // delivered after) the QP entered the error state. Error completions are
@@ -135,6 +250,22 @@ class Fabric : public sim::FaultTarget {
   bool* AcquireFlag();
   void ReleaseFlag(bool* flag);
 
+  // All endpoint creation funnels through here: assigns the QP number,
+  // updates per-node QP accounting and the NIC's active-QP count (the
+  // context-cache pressure input).
+  QpEndpoint* MakeEndpoint(int node, bool hub);
+
+  // Routes a tagged completion back to the posting flow's handler with the
+  // caller wr_id restored; returns false for untagged completions so they
+  // take the normal CQ path. Installed as the send-CQ interceptor of every
+  // endpoint that carries flows.
+  bool DemuxFlowCompletion(const Completion& c);
+
+  // Mirrors connection_stats() into the metrics registry; no-op unless
+  // config_.connection.publish_stats (keeping the canonical engine
+  // snapshot byte-identical across modes).
+  void PublishConnectionStats();
+
   sim::Simulator* sim_;
   FabricConfig config_;
   std::vector<std::unique_ptr<ProtectionDomain>> pds_;
@@ -146,6 +277,20 @@ class Fabric : public sim::FaultTarget {
   BufferPool buffer_pool_;
   std::vector<std::unique_ptr<bool[]>> flag_chunks_;
   std::vector<bool*> free_flags_;
+
+  // Connection-scaling state (rdma/srq.h). kSrq: per-node {initiator,
+  // SRQ-fed target} hub endpoints; kShared: per-node duplex hub pools.
+  // Built eagerly at construction so QP numbering and accounting do not
+  // depend on flow-open order.
+  struct SrqTransport {
+    QpEndpoint* initiator = nullptr;
+    QpEndpoint* target = nullptr;
+  };
+  std::vector<SrqTransport> srq_transports_;
+  std::vector<std::unique_ptr<Srq>> srqs_;
+  std::vector<std::vector<QpEndpoint*>> shared_pools_;
+  std::vector<std::unique_ptr<Flow>> flows_;
+  std::vector<uint32_t> qp_per_node_;
 };
 
 }  // namespace slash::rdma

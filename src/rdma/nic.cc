@@ -4,13 +4,20 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "perf/cost_model.h"
 
 namespace slash::rdma {
 
 Nanos Nic::TransferDuration(uint64_t bytes) const {
-  return config_.per_message_overhead +
+  return config_.per_message_overhead + qp_fetch_overhead_ +
          static_cast<Nanos>(double(bytes) /
                             (config_.bandwidth_bps * bandwidth_scale_) * 1e9);
+}
+
+void Nic::set_active_qps(uint32_t count) {
+  active_qps_ = count;
+  qp_fetch_overhead_ = perf::QpContextFetchOverhead(
+      active_qps_, config_.qp_cache_entries, config_.qp_cache_miss_penalty);
 }
 
 void Nic::set_bandwidth_scale(double scale) {

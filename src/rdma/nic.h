@@ -30,6 +30,17 @@ struct NicConfig {
   Nanos wire_latency = 900;
   /// Fixed per-message NIC processing overhead (WQE fetch, DMA setup).
   Nanos per_message_overhead = 60;
+
+  /// QP-context cache pressure model (opt-in; see rdma/srq.h). When
+  /// `qp_cache_entries` > 0 and a node has more live QPs than fit, every
+  /// message pays the deterministic expected context-fetch cost
+  /// perf::QpContextFetchOverhead(active_qps, entries, penalty) on top of
+  /// per_message_overhead — the NIC-cache cliff full-mesh clusters hit at
+  /// scale and connection sharing avoids. 0 disables the model entirely
+  /// (the default), keeping timing identical across connection modes.
+  uint32_t qp_cache_entries = 0;
+  /// Cost of re-fetching one evicted QP context over PCIe.
+  Nanos qp_cache_miss_penalty = 200;
 };
 
 /// Per-node NIC state: transmit/receive serialization clocks and traffic
@@ -77,9 +88,20 @@ class Nic {
   /// Time at which the transmit path becomes idle.
   Nanos tx_busy_until() const { return tx_free_; }
 
+  /// Live QP contexts on this NIC; maintained by the fabric as endpoints
+  /// are created. Recomputes the cached context-fetch overhead, which is 0
+  /// unless the cache model is enabled and oversubscribed.
+  void set_active_qps(uint32_t count);
+  uint32_t active_qps() const { return active_qps_; }
+
+  /// The expected per-message QP-context fetch cost currently in effect.
+  Nanos qp_fetch_overhead() const { return qp_fetch_overhead_; }
+
  private:
   int node_;
   NicConfig config_;
+  uint32_t active_qps_ = 0;
+  Nanos qp_fetch_overhead_ = 0;
   double bandwidth_scale_ = 1.0;
   Nanos tx_free_ = 0;
   Nanos rx_free_ = 0;

@@ -29,12 +29,18 @@ void CompletionQueue::Push(const Completion& c) {
   ready_.Notify();
 }
 
-QpEndpoint::QpEndpoint(Fabric* fabric, int node, uint32_t qp_num)
+QpEndpoint::QpEndpoint(Fabric* fabric, int node, uint32_t qp_num, bool hub)
     : fabric_(fabric),
       node_(node),
       qp_num_(qp_num),
+      hub_(hub),
       send_cq_(std::make_unique<CompletionQueue>(fabric->simulator())),
-      recv_cq_(std::make_unique<CompletionQueue>(fabric->simulator())) {}
+      recv_cq_(std::make_unique<CompletionQueue>(fabric->simulator())) {
+  // A hub endpoint multiplexes the work queues of many flows; scale its
+  // send-queue bound so the aggregate in-flight budget matches what the
+  // same flows would have had over dedicated QPs.
+  if (hub_) max_outstanding_ = 1 << 20;
+}
 
 Status QpEndpoint::ValidateLocal(const MemorySpan& local) const {
   if (!local.valid()) {
@@ -52,29 +58,61 @@ Status QpEndpoint::ValidateLocal(const MemorySpan& local) const {
 Status QpEndpoint::PostWrite(MemorySpan local, RemoteKey rkey,
                              uint64_t remote_offset, uint64_t wr_id,
                              bool signaled) {
-  SLASH_RETURN_IF_ERROR(ValidateLocal(local));
-  return fabric_->ExecuteWrite(this, local, rkey, remote_offset, wr_id,
-                               signaled, 0, /*has_immediate=*/false);
+  return PostWriteTo(peer_, local, rkey, remote_offset, wr_id, signaled);
 }
 
 Status QpEndpoint::PostWriteWithImm(MemorySpan local, RemoteKey rkey,
                                     uint64_t remote_offset, uint64_t wr_id,
                                     bool signaled, uint32_t immediate) {
+  return PostWriteWithImmTo(peer_, local, rkey, remote_offset, wr_id, signaled,
+                            immediate);
+}
+
+Status QpEndpoint::PostWriteTo(QpEndpoint* to, MemorySpan local, RemoteKey rkey,
+                               uint64_t remote_offset, uint64_t wr_id,
+                               bool signaled) {
+  if (to == nullptr) {
+    return Status::InvalidArgument("endpoint has no destination");
+  }
   SLASH_RETURN_IF_ERROR(ValidateLocal(local));
-  return fabric_->ExecuteWrite(this, local, rkey, remote_offset, wr_id,
+  return fabric_->ExecuteWrite(this, to, local, rkey, remote_offset, wr_id,
+                               signaled, 0, /*has_immediate=*/false);
+}
+
+Status QpEndpoint::PostWriteWithImmTo(QpEndpoint* to, MemorySpan local,
+                                      RemoteKey rkey, uint64_t remote_offset,
+                                      uint64_t wr_id, bool signaled,
+                                      uint32_t immediate) {
+  if (to == nullptr) {
+    return Status::InvalidArgument("endpoint has no destination");
+  }
+  SLASH_RETURN_IF_ERROR(ValidateLocal(local));
+  return fabric_->ExecuteWrite(this, to, local, rkey, remote_offset, wr_id,
                                signaled, immediate, /*has_immediate=*/true);
 }
 
 Status QpEndpoint::PostRead(MemorySpan local, RemoteKey rkey,
                             uint64_t remote_offset, uint64_t wr_id) {
+  if (peer_ == nullptr) {
+    return Status::InvalidArgument("endpoint has no destination");
+  }
   SLASH_RETURN_IF_ERROR(ValidateLocal(local));
-  return fabric_->ExecuteRead(this, local, rkey, remote_offset, wr_id);
+  return fabric_->ExecuteRead(this, peer_, local, rkey, remote_offset, wr_id);
 }
 
 Status QpEndpoint::PostSend(MemorySpan local, uint64_t wr_id, bool signaled,
                             uint32_t immediate, bool has_immediate) {
+  return PostSendTo(peer_, local, wr_id, signaled, immediate, has_immediate);
+}
+
+Status QpEndpoint::PostSendTo(QpEndpoint* to, MemorySpan local, uint64_t wr_id,
+                              bool signaled, uint32_t immediate,
+                              bool has_immediate) {
+  if (to == nullptr) {
+    return Status::InvalidArgument("endpoint has no destination");
+  }
   SLASH_RETURN_IF_ERROR(ValidateLocal(local));
-  return fabric_->ExecuteSend(this, local, wr_id, signaled, immediate,
+  return fabric_->ExecuteSend(this, to, local, wr_id, signaled, immediate,
                               has_immediate);
 }
 
@@ -92,6 +130,10 @@ void QpEndpoint::EnterErrorState() {
 }
 
 Status QpEndpoint::PostRecv(MemorySpan buffer, uint64_t wr_id) {
+  if (srq_ != nullptr) {
+    return Status::FailedPrecondition(
+        "endpoint receives from an SRQ; post to the shared queue");
+  }
   if (!buffer.valid()) {
     return Status::InvalidArgument("recv buffer out of region bounds");
   }

@@ -19,6 +19,7 @@
 
 #include "common/status.h"
 #include "rdma/memory.h"
+#include "rdma/srq.h"
 #include "sim/simulator.h"
 
 namespace slash::rdma {
@@ -107,11 +108,15 @@ class CompletionQueue {
 
 /// One endpoint of a reliable connection.
 ///
-/// Created in connected pairs by Fabric::Connect. Each endpoint has a send
-/// CQ, a receive CQ, and a FIFO of pre-posted receive buffers.
+/// Created in connected pairs by Fabric::Connect — or, in the scalable
+/// connection modes (rdma/srq.h), as a peer-less *hub* endpoint shared by
+/// many flows, where the destination endpoint is supplied per post instead
+/// of being fixed at connect time. Each endpoint has a send CQ, a receive
+/// CQ, and (unless an SRQ is attached) a private FIFO of pre-posted
+/// receive buffers.
 class QpEndpoint {
  public:
-  QpEndpoint(Fabric* fabric, int node, uint32_t qp_num);
+  QpEndpoint(Fabric* fabric, int node, uint32_t qp_num, bool hub = false);
   QpEndpoint(const QpEndpoint&) = delete;
   QpEndpoint& operator=(const QpEndpoint&) = delete;
 
@@ -121,9 +126,19 @@ class QpEndpoint {
   CompletionQueue& send_cq() { return *send_cq_; }
   CompletionQueue& recv_cq() { return *recv_cq_; }
 
+  /// True for a shared (hub) endpoint: it has no fixed peer and is posted
+  /// to with the explicit-destination verbs below. Hub endpoints carry
+  /// many flows, so their send-queue bound is sized accordingly.
+  bool hub() const { return hub_; }
+
+  /// The node-wide shared receive queue feeding this endpoint's SENDs, or
+  /// nullptr when receives come from the private posted-receive FIFO.
+  Srq* srq() const { return srq_; }
+
   /// One-sided write of `local` into the peer region identified by `rkey`
   /// at `remote_offset`. If `signaled`, a kWrite completion is delivered to
   /// this endpoint's send CQ once the write is remotely visible and acked.
+  /// Requires a connected (non-hub) endpoint.
   Status PostWrite(MemorySpan local, RemoteKey rkey, uint64_t remote_offset,
                    uint64_t wr_id, bool signaled);
 
@@ -143,7 +158,21 @@ class QpEndpoint {
   Status PostSend(MemorySpan local, uint64_t wr_id, bool signaled,
                   uint32_t immediate = 0, bool has_immediate = false);
 
-  /// Posts a receive buffer for inbound SENDs.
+  /// Explicit-destination variants of the verbs, used by flows over shared
+  /// (hub) endpoints, where one endpoint carries traffic to many
+  /// destinations (rdma/srq.h). The peer-based verbs above are exactly
+  /// PostXxxTo(peer(), ...).
+  Status PostWriteTo(QpEndpoint* to, MemorySpan local, RemoteKey rkey,
+                     uint64_t remote_offset, uint64_t wr_id, bool signaled);
+  Status PostWriteWithImmTo(QpEndpoint* to, MemorySpan local, RemoteKey rkey,
+                            uint64_t remote_offset, uint64_t wr_id,
+                            bool signaled, uint32_t immediate);
+  Status PostSendTo(QpEndpoint* to, MemorySpan local, uint64_t wr_id,
+                    bool signaled, uint32_t immediate = 0,
+                    bool has_immediate = false);
+
+  /// Posts a receive buffer for inbound SENDs. On an SRQ-attached endpoint
+  /// this fails: buffers must be posted to the node's shared receive queue.
   Status PostRecv(MemorySpan buffer, uint64_t wr_id);
 
   /// Number of posted-but-unmatched receive buffers.
@@ -160,11 +189,6 @@ class QpEndpoint {
  private:
   friend class Fabric;
 
-  struct PostedRecv {
-    MemorySpan buffer;
-    uint64_t wr_id;
-  };
-
   Status ValidateLocal(const MemorySpan& local) const;
 
   /// Enters the error state: pending receive buffers are flushed to the
@@ -174,7 +198,9 @@ class QpEndpoint {
   Fabric* fabric_;
   int node_;
   uint32_t qp_num_;
+  bool hub_;
   QpEndpoint* peer_ = nullptr;
+  Srq* srq_ = nullptr;
   std::unique_ptr<CompletionQueue> send_cq_;
   std::unique_ptr<CompletionQueue> recv_cq_;
   std::deque<PostedRecv> recv_queue_;

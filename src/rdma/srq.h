@@ -1,0 +1,162 @@
+// Connection scaling for the simulated RDMA substrate: shared receive
+// queues and connection-sharing modes.
+//
+// The paper's protocol assumes full-mesh reliable connections — one private
+// QP per producer/consumer flow — which is fine at its 16-node scale but
+// hits the well-known RDMA scalability wall beyond that: every RC QP is
+// per-connection state (a NIC-resident context plus host-memory send/recv
+// rings), so all-pairs traffic costs O(N^2) QPs cluster-wide and the NIC's
+// small on-chip context cache starts thrashing. Storm's connection-
+// scalability analysis quantifies the cache cliff; RDMAvisor recovers
+// scalability by multiplexing many logical flows over a shared pool of QPs.
+// This header provides the substrate's three connection modes:
+//
+//  * kFullMesh — the paper's configuration: every flow gets a dedicated
+//    QP pair. O(N^2) QPs for all-pairs traffic.
+//  * kSrq     — XRC/DC-style: each node owns one initiator endpoint (all
+//    outbound flows) and one target endpoint whose receives are fed from a
+//    node-wide shared receive queue. 2 QPs per node, O(N) total.
+//  * kShared  — RDMAvisor-style: each node owns a small pool of duplex
+//    shared endpoints; flows are assigned to pool members statically by
+//    flow id. pool_size QPs per node, O(N) total.
+//
+// The mode is a *resource* knob, not a semantics knob: flows keep their
+// per-flow FIFO ordering (RC in-order delivery is per connection, and a
+// flow always maps to exactly one connection in every mode), and with the
+// NIC's QP-context cache model disabled (the default) all three modes
+// produce byte-identical runs — same schedule, same MetricsSnapshot, same
+// result checksums. What changes is the accounting: QP counts and modeled
+// QP memory, and (opt-in) the NIC cache-pressure penalty.
+#ifndef SLASH_RDMA_SRQ_H_
+#define SLASH_RDMA_SRQ_H_
+
+#include <cstdint>
+#include <deque>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdma/memory.h"
+
+namespace slash::rdma {
+
+/// How logical flows map onto reliable connections.
+enum class ConnectionMode : uint8_t {
+  kFullMesh = 0,
+  kSrq = 1,
+  kShared = 2,
+};
+
+/// Stable lowercase name ("full_mesh", "srq", "shared") for configs,
+/// bench series and logs.
+std::string_view ConnectionModeName(ConnectionMode mode);
+
+/// Parses a mode name; returns false (and leaves `out` untouched) on an
+/// unknown name.
+bool ParseConnectionMode(std::string_view name, ConnectionMode* out);
+
+/// Connection-layer configuration, part of FabricConfig (and surfaced
+/// per-run through engines::ClusterConfig).
+struct ConnectionConfig {
+  ConnectionMode mode = ConnectionMode::kFullMesh;
+
+  /// kShared: duplex shared endpoints per node. Flows hash onto the pool
+  /// by flow id.
+  uint32_t shared_pool_size = 2;
+
+  /// kSrq: receive-ring entries of each node-wide shared receive queue.
+  uint32_t srq_depth = 1024;
+
+  /// Modeled per-QP footprint: NIC-resident connection context plus the
+  /// host send/recv work-queue rings (entries x descriptor bytes). The
+  /// defaults land in the tens-of-KiB-per-QP range reported for RC
+  /// contexts by the connection-scalability literature. SRQ-attached
+  /// endpoints share the node-wide receive ring and skip the private one.
+  uint32_t qp_context_bytes = 512;
+  uint32_t send_wqe_entries = 256;
+  uint32_t recv_wqe_entries = 256;
+  uint32_t wqe_bytes = 64;
+
+  /// Publish fabric.qp_* gauges into the run's MetricsRegistry. Off by
+  /// default so the canonical engine MetricsSnapshot stays byte-identical
+  /// across connection modes (the cross-mode determinism oracle); benches
+  /// and tests that want the gauges opt in.
+  bool publish_stats = false;
+
+  /// Modeled bytes of one QP endpoint (context + rings).
+  uint64_t QpMemoryBytes(bool srq_attached) const {
+    uint64_t bytes = uint64_t(qp_context_bytes) +
+                     uint64_t(send_wqe_entries) * wqe_bytes;
+    if (!srq_attached) bytes += uint64_t(recv_wqe_entries) * wqe_bytes;
+    return bytes;
+  }
+
+  /// Modeled bytes of one node-wide shared receive queue.
+  uint64_t SrqMemoryBytes() const { return uint64_t(srq_depth) * wqe_bytes; }
+};
+
+/// Connection-layer resource accounting, computed on demand by
+/// Fabric::connection_stats(). This is what the weak-scaling bench plots:
+/// full-mesh QP counts grow O(N^2) with all-pairs flows while kSrq/kShared
+/// stay O(N).
+struct ConnectionStats {
+  uint64_t flows = 0;
+  uint64_t qp_endpoints = 0;
+  uint64_t srqs = 0;
+  uint64_t max_qp_endpoints_per_node = 0;
+  uint64_t qp_memory_bytes = 0;              // cluster-wide modeled total
+  uint64_t max_qp_memory_bytes_per_node = 0;
+};
+
+/// A posted receive buffer (ibv_recv_wr analogue), queued either on a
+/// QpEndpoint's private receive FIFO or on a node-wide Srq.
+struct PostedRecv {
+  MemorySpan buffer;
+  uint64_t wr_id = 0;
+};
+
+/// A shared receive queue (ibv_srq analogue): one per node in kSrq mode.
+///
+/// Receive buffers posted here are consumed in FIFO order by inbound SENDs
+/// from *any* peer multiplexed onto the node's target endpoint — exactly
+/// the real SRQ contract: the arrival order of matched sends, not the
+/// identity of the sender, decides which buffer each message lands in.
+/// Completions are still delivered to the consuming endpoint's receive CQ.
+class Srq {
+ public:
+  Srq(int node, uint32_t depth) : node_(node), depth_(depth) {}
+  Srq(const Srq&) = delete;
+  Srq& operator=(const Srq&) = delete;
+
+  int node() const { return node_; }
+  uint32_t depth() const { return depth_; }
+
+  /// Posts a receive buffer; fails when the ring is full or the buffer is
+  /// not registered on this SRQ's node.
+  Status PostRecv(MemorySpan buffer, uint64_t wr_id);
+
+  /// Posted-but-unmatched buffers.
+  size_t posted() const { return queue_.size(); }
+
+  /// Buffers consumed by inbound sends over the SRQ's lifetime.
+  uint64_t consumed() const { return consumed_; }
+
+  /// Copies the oldest posted buffer without consuming it.
+  bool PeekFront(PostedRecv* out) const;
+
+  /// Dequeues the oldest posted buffer (fabric-internal, on SEND arrival).
+  bool TakeFront(PostedRecv* out);
+
+  /// Drains all posted buffers (fabric-internal, on node crash); the
+  /// caller flushes them to the owning endpoint's receive CQ.
+  std::deque<PostedRecv> Flush();
+
+ private:
+  int node_;
+  uint32_t depth_;
+  std::deque<PostedRecv> queue_;
+  uint64_t consumed_ = 0;
+};
+
+}  // namespace slash::rdma
+
+#endif  // SLASH_RDMA_SRQ_H_

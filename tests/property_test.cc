@@ -446,5 +446,73 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(dist) + "_" + kind;
     });
 
+// --- Connection-mode determinism across engines ------------------------------
+//
+// The connection mode (rdma/srq.h) is a resource knob, not a semantics
+// knob: with the NIC's QP-context cache model off (the default), full-mesh,
+// SRQ, and shared-pool runs of the same workload must be byte-identical —
+// same result checksum AND the same canonical metrics snapshot, down to
+// the serialized JSON. This is the cross-mode determinism oracle the
+// weak-scaling bench relies on.
+
+using ModeParam = std::tuple<int /*engine: 0=Slash, 1=UpPar*/, int /*seed*/>;
+
+class ConnectionModeSweep : public ::testing::TestWithParam<ModeParam> {};
+
+TEST_P(ConnectionModeSweep, ModesAreByteIdentical) {
+  const auto [engine_kind, seed] = GetParam();
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 1000;
+  workloads::YsbWorkload workload(ycfg);
+
+  auto run_mode = [&](rdma::ConnectionMode mode) -> engines::RunStats {
+    engines::ClusterConfig cfg;
+    cfg.seed = uint64_t(seed);
+    cfg.nodes = 3;
+    cfg.workers_per_node = 2;
+    cfg.records_per_worker = 2000;
+    cfg.channel.slot_bytes = 16 * kKiB;
+    cfg.collect_rows = false;
+    cfg.connection.mode = mode;
+    if (engine_kind == 0) {
+      engines::SlashEngine engine;
+      return engine.Run(workload.MakeQuery(), workload, cfg);
+    }
+    engines::UpParEngine engine;
+    return engine.Run(workload.MakeQuery(), workload, cfg);
+  };
+
+  const engines::RunStats mesh = run_mode(rdma::ConnectionMode::kFullMesh);
+  const engines::RunStats srq = run_mode(rdma::ConnectionMode::kSrq);
+  const engines::RunStats shared = run_mode(rdma::ConnectionMode::kShared);
+
+  ASSERT_TRUE(mesh.ok());
+  ASSERT_TRUE(srq.ok());
+  ASSERT_TRUE(shared.ok());
+  EXPECT_GT(mesh.records_emitted(), 0u);
+
+  EXPECT_EQ(mesh.result_checksum(), srq.result_checksum());
+  EXPECT_EQ(mesh.result_checksum(), shared.result_checksum());
+  EXPECT_EQ(mesh.makespan(), srq.makespan());
+  EXPECT_EQ(mesh.makespan(), shared.makespan());
+  // The whole snapshot, serialized: any mode-dependent instrument, count,
+  // or timing divergence shows up here.
+  const std::string mesh_json = mesh.metrics.ToJson();
+  EXPECT_EQ(mesh_json, srq.metrics.ToJson());
+  EXPECT_EQ(mesh_json, shared.metrics.ToJson());
+  // And the snapshot stays clean of connection-layer gauges unless a run
+  // opts in via publish_stats (off above).
+  EXPECT_EQ(mesh_json.find("fabric.qp"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ConnectionModeSweep,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(11, 12)),
+    [](const ::testing::TestParamInfo<ModeParam>& info) {
+      return std::string(std::get<0>(info.param) == 0 ? "slash" : "uppar") +
+             "_s" + std::to_string(std::get<1>(info.param));
+    });
+
 }  // namespace
 }  // namespace slash

@@ -1,0 +1,453 @@
+// Connection-scaling substrate tests (rdma/srq.h): the SRQ contract, the
+// flow abstraction over shared hub endpoints, exact QP accounting per
+// connection mode, fault isolation on shared QPs, and teardown with work
+// still in flight.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "rdma/fabric.h"
+#include "sim/simulator.h"
+
+namespace slash::rdma {
+namespace {
+
+FabricConfig Config(int nodes, ConnectionMode mode) {
+  FabricConfig cfg;
+  cfg.nodes = nodes;
+  cfg.nic.bandwidth_bps = 10e9;
+  cfg.nic.wire_latency = 1000;
+  cfg.nic.per_message_overhead = 0;
+  cfg.connection.mode = mode;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Mode names
+// ---------------------------------------------------------------------------
+
+TEST(ConnectionModeTest, NamesRoundTrip) {
+  for (ConnectionMode mode : {ConnectionMode::kFullMesh, ConnectionMode::kSrq,
+                              ConnectionMode::kShared}) {
+    ConnectionMode parsed;
+    ASSERT_TRUE(ParseConnectionMode(ConnectionModeName(mode), &parsed));
+    EXPECT_EQ(parsed, mode);
+  }
+  ConnectionMode out = ConnectionMode::kSrq;
+  EXPECT_FALSE(ParseConnectionMode("bogus", &out));
+  EXPECT_EQ(out, ConnectionMode::kSrq);  // untouched on failure
+}
+
+// ---------------------------------------------------------------------------
+// Srq unit: posting rules and FIFO hand-out
+// ---------------------------------------------------------------------------
+
+TEST(SrqTest, PostRecvValidatesNodeAndCapacity) {
+  sim::Simulator sim;
+  FabricConfig cfg = Config(2, ConnectionMode::kSrq);
+  cfg.connection.srq_depth = 2;
+  Fabric fabric(&sim, cfg);
+  MemoryRegion* home = fabric.pd(1)->RegisterRegion(256);
+  MemoryRegion* away = fabric.pd(0)->RegisterRegion(256);
+  Srq* srq = fabric.srq(1);
+  ASSERT_NE(srq, nullptr);
+  EXPECT_EQ(srq->node(), 1);
+  EXPECT_EQ(srq->depth(), 2u);
+
+  // Buffers must live on the SRQ's node.
+  EXPECT_EQ(srq->PostRecv(MemorySpan{away, 0, 64}, 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(srq->PostRecv(MemorySpan{home, 200, 64}, 1).code(),
+            StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(srq->PostRecv(MemorySpan{home, 0, 64}, 1).ok());
+  ASSERT_TRUE(srq->PostRecv(MemorySpan{home, 64, 64}, 2).ok());
+  // The ring is bounded by srq_depth.
+  EXPECT_EQ(srq->PostRecv(MemorySpan{home, 128, 64}, 3).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(srq->posted(), 2u);
+
+  // Peek copies without consuming; Take consumes in FIFO order.
+  PostedRecv peeked;
+  ASSERT_TRUE(srq->PeekFront(&peeked));
+  EXPECT_EQ(peeked.wr_id, 1u);
+  EXPECT_EQ(srq->posted(), 2u);
+  PostedRecv taken;
+  ASSERT_TRUE(srq->TakeFront(&taken));
+  EXPECT_EQ(taken.wr_id, 1u);
+  ASSERT_TRUE(srq->TakeFront(&taken));
+  EXPECT_EQ(taken.wr_id, 2u);
+  EXPECT_FALSE(srq->TakeFront(&taken));
+  EXPECT_FALSE(srq->PeekFront(&peeked));
+  EXPECT_EQ(srq->consumed(), 2u);
+}
+
+TEST(SrqTest, AttachedEndpointRejectsPrivatePostRecv) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, Config(2, ConnectionMode::kSrq));
+  MemoryRegion* dst = fabric.pd(1)->RegisterRegion(256);
+  Flow* flow = fabric.OpenFlow(0, 1);
+  // The consumer-side endpoint is the node's SRQ-fed target hub: receives
+  // must go through the shared queue.
+  ASSERT_NE(flow->consumer_endpoint()->srq(), nullptr);
+  EXPECT_EQ(flow->consumer_endpoint()->PostRecv(MemorySpan{dst, 0, 64}, 1)
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// SRQ FIFO across multiplexed peers
+// ---------------------------------------------------------------------------
+
+// The real SRQ contract: buffers are matched to inbound SENDs in arrival
+// order, regardless of which peer sent them. Two producers (nodes 0 and 1)
+// send to node 2; the first-posted buffer goes to whichever send lands
+// first.
+TEST(SrqModeTest, FifoAcrossMultiplexedPeers) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, Config(3, ConnectionMode::kSrq));
+  MemoryRegion* src_a = fabric.pd(0)->RegisterRegion(64);
+  MemoryRegion* src_b = fabric.pd(1)->RegisterRegion(64);
+  MemoryRegion* dst = fabric.pd(2)->RegisterRegion(256);
+  Flow* from_a = fabric.OpenFlow(0, 2);
+  Flow* from_b = fabric.OpenFlow(1, 2);
+  // Both flows land on the same target hub endpoint of node 2.
+  ASSERT_EQ(from_a->consumer_endpoint(), from_b->consumer_endpoint());
+  QpEndpoint* target = from_a->consumer_endpoint();
+
+  Srq* srq = fabric.srq(2);
+  ASSERT_TRUE(srq->PostRecv(MemorySpan{dst, 0, 64}, 101).ok());
+  ASSERT_TRUE(srq->PostRecv(MemorySpan{dst, 64, 64}, 102).ok());
+  ASSERT_TRUE(srq->PostRecv(MemorySpan{dst, 128, 64}, 103).ok());
+
+  // Serialize arrivals: b first, then a, then b again.
+  std::memcpy(src_b->data(), "from-b-1", 8);
+  ASSERT_TRUE(from_b->SendToConsumer(MemorySpan{src_b, 0, 8}, 0,
+                                     /*signaled=*/false)
+                  .ok());
+  sim.Run();
+  std::memcpy(src_a->data(), "from-a-1", 8);
+  ASSERT_TRUE(from_a->SendToConsumer(MemorySpan{src_a, 0, 8}, 0,
+                                     /*signaled=*/false)
+                  .ok());
+  sim.Run();
+  std::memcpy(src_b->data(), "from-b-2", 8);
+  ASSERT_TRUE(from_b->SendToConsumer(MemorySpan{src_b, 0, 8}, 0,
+                                     /*signaled=*/false)
+                  .ok());
+  sim.Run();
+
+  // Buffers consumed in posting order, senders interleaved.
+  Completion c;
+  ASSERT_TRUE(target->recv_cq().TryPoll(&c));
+  EXPECT_EQ(c.wr_id, 101u);
+  EXPECT_EQ(std::memcmp(dst->data(), "from-b-1", 8), 0);
+  ASSERT_TRUE(target->recv_cq().TryPoll(&c));
+  EXPECT_EQ(c.wr_id, 102u);
+  EXPECT_EQ(std::memcmp(dst->data() + 64, "from-a-1", 8), 0);
+  ASSERT_TRUE(target->recv_cq().TryPoll(&c));
+  EXPECT_EQ(c.wr_id, 103u);
+  EXPECT_EQ(std::memcmp(dst->data() + 128, "from-b-2", 8), 0);
+  EXPECT_FALSE(target->recv_cq().TryPoll(&c));
+  EXPECT_EQ(srq->posted(), 0u);
+  EXPECT_EQ(srq->consumed(), 3u);
+
+  // With the shared queue empty, a send hits RNR exactly like a private
+  // FIFO would.
+  EXPECT_EQ(from_a->SendToConsumer(MemorySpan{src_a, 0, 8}, 0, false).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Exact QP accounting per mode
+// ---------------------------------------------------------------------------
+
+// Opens the all-pairs flow population (every ordered pair) and returns the
+// fabric's resource accounting.
+ConnectionStats AllPairsStats(const FabricConfig& cfg) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, cfg);
+  for (int p = 0; p < cfg.nodes; ++p) {
+    for (int c = 0; c < cfg.nodes; ++c) {
+      if (p != c) fabric.OpenFlow(p, c);
+    }
+  }
+  return fabric.connection_stats();
+}
+
+TEST(ConnectionStatsTest, FullMeshCountsQuadratic) {
+  const int n = 4;
+  FabricConfig cfg = Config(n, ConnectionMode::kFullMesh);
+  ConnectionStats stats = AllPairsStats(cfg);
+  const uint64_t flows = uint64_t(n) * (n - 1);
+  EXPECT_EQ(stats.flows, flows);
+  // One dedicated endpoint pair per flow.
+  EXPECT_EQ(stats.qp_endpoints, 2 * flows);
+  EXPECT_EQ(stats.srqs, 0u);
+  // Each node terminates 2(n-1) flows (n-1 outbound + n-1 inbound).
+  EXPECT_EQ(stats.max_qp_endpoints_per_node, uint64_t(2 * (n - 1)));
+  const uint64_t per_qp = cfg.connection.QpMemoryBytes(false);
+  EXPECT_EQ(stats.qp_memory_bytes, 2 * flows * per_qp);
+  EXPECT_EQ(stats.max_qp_memory_bytes_per_node, 2 * (n - 1) * per_qp);
+}
+
+TEST(ConnectionStatsTest, SrqCountsLinear) {
+  const int n = 4;
+  FabricConfig cfg = Config(n, ConnectionMode::kSrq);
+  ConnectionStats stats = AllPairsStats(cfg);
+  EXPECT_EQ(stats.flows, uint64_t(n) * (n - 1));
+  // Exactly {initiator, target} per node, however many flows are open.
+  EXPECT_EQ(stats.qp_endpoints, uint64_t(2 * n));
+  EXPECT_EQ(stats.srqs, uint64_t(n));
+  EXPECT_EQ(stats.max_qp_endpoints_per_node, 2u);
+  // Initiator keeps a private recv ring; the SRQ-attached target does not.
+  const uint64_t per_node = cfg.connection.QpMemoryBytes(false) +
+                            cfg.connection.QpMemoryBytes(true) +
+                            cfg.connection.SrqMemoryBytes();
+  EXPECT_EQ(stats.qp_memory_bytes, uint64_t(n) * per_node);
+  EXPECT_EQ(stats.max_qp_memory_bytes_per_node, per_node);
+}
+
+TEST(ConnectionStatsTest, SharedPoolCountsLinear) {
+  const int n = 4;
+  FabricConfig cfg = Config(n, ConnectionMode::kShared);
+  cfg.connection.shared_pool_size = 3;
+  ConnectionStats stats = AllPairsStats(cfg);
+  EXPECT_EQ(stats.flows, uint64_t(n) * (n - 1));
+  EXPECT_EQ(stats.qp_endpoints, uint64_t(3 * n));
+  EXPECT_EQ(stats.srqs, 0u);
+  EXPECT_EQ(stats.max_qp_endpoints_per_node, 3u);
+  const uint64_t per_qp = cfg.connection.QpMemoryBytes(false);
+  EXPECT_EQ(stats.qp_memory_bytes, uint64_t(3 * n) * per_qp);
+  EXPECT_EQ(stats.max_qp_memory_bytes_per_node, 3 * per_qp);
+}
+
+// The scaling claim itself: doubling the cluster quadruples full-mesh QPs
+// but only doubles the scalable modes'.
+TEST(ConnectionStatsTest, ScalableModesGrowLinearly) {
+  auto endpoints = [](int n, ConnectionMode mode) {
+    return AllPairsStats(Config(n, mode)).qp_endpoints;
+  };
+  // Full mesh follows 2n(n-1): quadratic in the cluster size.
+  EXPECT_EQ(endpoints(4, ConnectionMode::kFullMesh), 2u * 4 * 3);
+  EXPECT_EQ(endpoints(8, ConnectionMode::kFullMesh), 2u * 8 * 7);
+  EXPECT_EQ(endpoints(8, ConnectionMode::kSrq),
+            2 * endpoints(4, ConnectionMode::kSrq));
+  EXPECT_EQ(endpoints(8, ConnectionMode::kShared),
+            2 * endpoints(4, ConnectionMode::kShared));
+  // And the crossover is real: at 8 nodes full-mesh already needs 7x the
+  // endpoints of the SRQ transport.
+  EXPECT_EQ(endpoints(8, ConnectionMode::kFullMesh), 112u);
+  EXPECT_EQ(endpoints(8, ConnectionMode::kSrq), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault isolation on shared QPs
+// ---------------------------------------------------------------------------
+
+// Failing one pool endpoint must break exactly the flows mapped onto it:
+// their posts flush with errors, while flows on the other pool member keep
+// moving bytes.
+TEST(SharedModeTest, QpFaultAffectsOnlyItsFlows) {
+  sim::Simulator sim;
+  FabricConfig cfg = Config(2, ConnectionMode::kShared);
+  cfg.connection.shared_pool_size = 2;
+  Fabric fabric(&sim, cfg);
+  MemoryRegion* src = fabric.pd(0)->RegisterRegion(256);
+  MemoryRegion* dst = fabric.pd(1)->RegisterRegion(256);
+  std::memcpy(src->data(), "flow-zero", 9);
+  std::memcpy(src->data() + 64, "flow-one", 8);
+
+  // Flow ids assign round-robin onto the pool: flow 0 -> pool[0],
+  // flow 1 -> pool[1].
+  Flow* flow0 = fabric.OpenFlow(0, 1);
+  Flow* flow1 = fabric.OpenFlow(0, 1);
+  ASSERT_NE(flow0->producer_endpoint(), flow1->producer_endpoint());
+
+  std::vector<Completion> done0, done1;
+  flow0->SetProducerHandler([&](const Completion& c) {
+    done0.push_back(c);
+    return true;
+  });
+  flow1->SetProducerHandler([&](const Completion& c) {
+    done1.push_back(c);
+    return true;
+  });
+
+  // Error flow0's producer-side hub. Hub endpoints have no fixed peer, so
+  // only this endpoint errors — the consumer-side hub it was talking to
+  // stays up for other flows.
+  fabric.FailQp(flow0->producer_endpoint()->qp_num());
+  EXPECT_EQ(flow0->producer_endpoint()->state(), QpState::kError);
+  EXPECT_EQ(flow0->consumer_endpoint()->state(), QpState::kReady);
+  EXPECT_EQ(flow1->producer_endpoint()->state(), QpState::kReady);
+
+  ASSERT_TRUE(flow0->PostToConsumer(MemorySpan{src, 0, 9}, dst->remote_key(),
+                                    0, /*wr_id=*/7, /*signaled=*/true)
+                  .ok());
+  ASSERT_TRUE(flow1->PostToConsumer(MemorySpan{src, 64, 8}, dst->remote_key(),
+                                    64, /*wr_id=*/8, /*signaled=*/true)
+                  .ok());
+  sim.Run();
+
+  // flow0's write flushed without moving bytes; flow1's landed.
+  ASSERT_EQ(done0.size(), 1u);
+  EXPECT_EQ(done0[0].wr_id, 7u);
+  EXPECT_EQ(done0[0].status, WcStatus::kFlushErr);
+  EXPECT_NE(std::memcmp(dst->data(), "flow-zero", 9), 0);
+  ASSERT_EQ(done1.size(), 1u);
+  EXPECT_EQ(done1[0].wr_id, 8u);
+  EXPECT_EQ(done1[0].status, WcStatus::kSuccess);
+  EXPECT_EQ(std::memcmp(dst->data() + 64, "flow-one", 8), 0);
+
+  // Recovery restores the shared endpoint for its flows.
+  fabric.RecoverQp(flow0->producer_endpoint()->qp_num());
+  ASSERT_TRUE(flow0->PostToConsumer(MemorySpan{src, 0, 9}, dst->remote_key(),
+                                    0, /*wr_id=*/9, /*signaled=*/true)
+                  .ok());
+  sim.Run();
+  ASSERT_EQ(done0.size(), 2u);
+  EXPECT_EQ(done0[1].status, WcStatus::kSuccess);
+  EXPECT_EQ(std::memcmp(dst->data(), "flow-zero", 9), 0);
+}
+
+// A dead *destination* endpoint must not poison the shared producer hub:
+// the post completes with an error, but the hub stays usable for flows to
+// healthy destinations.
+TEST(SharedModeTest, DeadDestinationLeavesSharedHubUsable) {
+  sim::Simulator sim;
+  FabricConfig cfg = Config(3, ConnectionMode::kShared);
+  cfg.connection.shared_pool_size = 1;  // everything multiplexes one hub
+  Fabric fabric(&sim, cfg);
+  MemoryRegion* src = fabric.pd(0)->RegisterRegion(256);
+  MemoryRegion* dst1 = fabric.pd(1)->RegisterRegion(256);
+  MemoryRegion* dst2 = fabric.pd(2)->RegisterRegion(256);
+  Flow* to1 = fabric.OpenFlow(0, 1);
+  Flow* to2 = fabric.OpenFlow(0, 2);
+  // With a pool of one, both flows share the same producer-side endpoint.
+  ASSERT_EQ(to1->producer_endpoint(), to2->producer_endpoint());
+
+  std::vector<Completion> done1, done2;
+  to1->SetProducerHandler([&](const Completion& c) {
+    done1.push_back(c);
+    return true;
+  });
+  to2->SetProducerHandler([&](const Completion& c) {
+    done2.push_back(c);
+    return true;
+  });
+
+  fabric.FailQp(to1->consumer_endpoint()->qp_num());
+  std::memcpy(src->data(), "payload!", 8);
+  ASSERT_TRUE(to1->PostToConsumer(MemorySpan{src, 0, 8}, dst1->remote_key(),
+                                  0, 1, true)
+                  .ok());
+  ASSERT_TRUE(to2->PostToConsumer(MemorySpan{src, 0, 8}, dst2->remote_key(),
+                                  0, 2, true)
+                  .ok());
+  sim.Run();
+
+  ASSERT_EQ(done1.size(), 1u);
+  EXPECT_EQ(done1[0].status, WcStatus::kFlushErr);
+  ASSERT_EQ(done2.size(), 1u);
+  EXPECT_EQ(done2[0].status, WcStatus::kSuccess);
+  EXPECT_EQ(std::memcmp(dst2->data(), "payload!", 8), 0);
+  // The shared hub itself never entered the error state.
+  EXPECT_EQ(to1->producer_endpoint()->state(), QpState::kReady);
+}
+
+// ---------------------------------------------------------------------------
+// Node crash: SRQ drains with flush errors
+// ---------------------------------------------------------------------------
+
+TEST(SrqModeTest, CrashDrainsSharedReceiveQueue) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, Config(3, ConnectionMode::kSrq));
+  MemoryRegion* dst = fabric.pd(2)->RegisterRegion(256);
+  Flow* flow = fabric.OpenFlow(0, 2);
+  Srq* srq = fabric.srq(2);
+  ASSERT_TRUE(srq->PostRecv(MemorySpan{dst, 0, 64}, 21).ok());
+  ASSERT_TRUE(srq->PostRecv(MemorySpan{dst, 64, 64}, 22).ok());
+
+  fabric.CrashNode(2);
+  EXPECT_TRUE(fabric.node_dead(2));
+  EXPECT_EQ(srq->posted(), 0u);
+  // Both buffers flushed to the target hub's receive CQ, like a private
+  // FIFO on QP error.
+  Completion c;
+  ASSERT_TRUE(flow->consumer_endpoint()->recv_cq().TryPoll(&c));
+  EXPECT_EQ(c.wr_id, 21u);
+  EXPECT_EQ(c.status, WcStatus::kFlushErr);
+  ASSERT_TRUE(flow->consumer_endpoint()->recv_cq().TryPoll(&c));
+  EXPECT_EQ(c.wr_id, 22u);
+  EXPECT_EQ(c.status, WcStatus::kFlushErr);
+  EXPECT_FALSE(flow->consumer_endpoint()->recv_cq().TryPoll(&c));
+}
+
+// ---------------------------------------------------------------------------
+// Teardown with in-flight transfers
+// ---------------------------------------------------------------------------
+
+// Destroying the fabric (and simulator) with posted-but-undelivered work,
+// unpolled completions, and populated SRQs must be clean — no leaks, no
+// dangling event references. ASan/UBSan in CI give this test its teeth.
+TEST(TeardownTest, InFlightTransfersTearDownCleanly) {
+  for (ConnectionMode mode : {ConnectionMode::kFullMesh, ConnectionMode::kSrq,
+                              ConnectionMode::kShared}) {
+    auto sim = std::make_unique<sim::Simulator>();
+    auto fabric = std::make_unique<Fabric>(sim.get(), Config(3, mode));
+    MemoryRegion* src = fabric->pd(0)->RegisterRegion(4096);
+    MemoryRegion* dst = fabric->pd(2)->RegisterRegion(4096);
+    Flow* flow = fabric->OpenFlow(0, 2);
+    flow->SetProducerHandler([](const Completion&) { return true; });
+    if (Srq* srq = fabric->srq(2)) {
+      ASSERT_TRUE(srq->PostRecv(MemorySpan{dst, 0, 64}, 1).ok());
+      ASSERT_TRUE(srq->PostRecv(MemorySpan{dst, 64, 64}, 2).ok());
+      ASSERT_TRUE(
+          flow->SendToConsumer(MemorySpan{src, 0, 64}, 0, /*signaled=*/true)
+              .ok());
+    }
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(flow->PostToConsumer(MemorySpan{src, uint64_t(i) * 64, 64},
+                                       dst->remote_key(), uint64_t(i) * 64,
+                                       i, /*signaled=*/true)
+                      .ok());
+    }
+    // Deliberately do NOT run the simulator: delivery/ack events, NIC
+    // reservations, and CQ wakeups are all still pending. Fabric first,
+    // then the simulator with its orphaned events.
+    fabric.reset();
+    sim.reset();
+  }
+}
+
+// Same, but after running partway: completions sit unpolled in CQs and the
+// SRQ still holds unmatched buffers.
+TEST(TeardownTest, UnpolledCompletionsTearDownCleanly) {
+  auto sim = std::make_unique<sim::Simulator>();
+  auto fabric =
+      std::make_unique<Fabric>(sim.get(), Config(3, ConnectionMode::kSrq));
+  MemoryRegion* src = fabric->pd(0)->RegisterRegion(4096);
+  MemoryRegion* dst = fabric->pd(2)->RegisterRegion(4096);
+  Flow* flow = fabric->OpenFlow(0, 2);
+  Srq* srq = fabric->srq(2);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        srq->PostRecv(MemorySpan{dst, uint64_t(i) * 64, 64}, 100 + i).ok());
+  }
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(flow->SendToConsumer(MemorySpan{src, uint64_t(i) * 64, 64},
+                                     i, /*signaled=*/true)
+                    .ok());
+  }
+  sim->Run();
+  // Two send + two recv completions unpolled, two buffers still posted.
+  EXPECT_EQ(srq->posted(), 2u);
+  fabric.reset();
+  sim.reset();
+}
+
+}  // namespace
+}  // namespace slash::rdma

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json artifact against a committed baseline.
+
+The bench binaries emit SLASH_BENCH_JSON artifacts of the form
+
+    {"name": "weakscale", "points": [
+        {"series": "full_mesh", "x": "n=16", "metric": "qp endpoints",
+         "value": 480.0}, ...]}
+
+keyed by (series, x, metric). This tool diffs two such files:
+
+  * Deterministic metrics (everything by default) must match EXACTLY —
+    they are virtual-time or counting quantities (makespans, QP counts,
+    checksums, modeled memory) that the simulator reproduces bit-for-bit,
+    so any difference is a real behavior change and fails the check.
+  * Wall-clock metrics (any metric whose name contains "wall", e.g.
+    "sim events/s (wall)") are host-speed measurements: they are checked
+    for presence and positivity, and only compared numerically when
+    --wall-rel-tol is given (useful on a machine comparable to the one
+    that produced the baseline; CI leaves it off).
+
+Exit status: 0 when the current artifact matches the baseline, 1 on any
+difference, 2 on usage/IO errors. The diff is printed one finding per
+line so CI logs read directly.
+
+Usage:
+    tools/bench_compare.py BASELINE CURRENT [--wall-rel-tol FRAC] [--subset]
+
+    --subset   Allow CURRENT to cover only part of the baseline's keys
+               (CI smoke runs a --benchmark_filter slice); missing keys
+               are not failures, but keys absent from the BASELINE still
+               are. Without it, key sets must match exactly.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_points(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    points = {}
+    for p in doc.get("points", []):
+        key = (p["series"], p["x"], p["metric"])
+        if key in points:
+            print(f"error: duplicate key {key} in {path}", file=sys.stderr)
+            sys.exit(2)
+        points[key] = float(p["value"])
+    if not points:
+        print(f"error: no points in {path}", file=sys.stderr)
+        sys.exit(2)
+    return doc.get("name", "?"), points
+
+
+def is_wall_metric(metric):
+    return "wall" in metric
+
+
+def fmt(key):
+    series, x, metric = key
+    return f"{series} / {x} / {metric}"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed BENCH_*.json baseline")
+    ap.add_argument("current", help="freshly produced BENCH_*.json")
+    ap.add_argument(
+        "--wall-rel-tol",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="also compare wall-clock metrics, within this relative "
+        "tolerance (e.g. 0.5); default: presence + positivity only",
+    )
+    ap.add_argument(
+        "--subset",
+        action="store_true",
+        help="allow the current file to cover a subset of the baseline "
+        "(filtered CI smoke runs)",
+    )
+    args = ap.parse_args()
+
+    base_name, base = load_points(args.baseline)
+    cur_name, cur = load_points(args.current)
+
+    failures = []
+    if base_name != cur_name:
+        failures.append(f"table name differs: {base_name!r} vs {cur_name!r}")
+
+    for key in sorted(set(cur) - set(base)):
+        failures.append(f"unexpected new datapoint (not in baseline): {fmt(key)}")
+    if not args.subset:
+        for key in sorted(set(base) - set(cur)):
+            failures.append(f"missing datapoint: {fmt(key)}")
+
+    compared = 0
+    for key in sorted(set(base) & set(cur)):
+        want, got = base[key], cur[key]
+        if is_wall_metric(key[2]):
+            if not got > 0:
+                failures.append(f"wall metric not positive: {fmt(key)} = {got}")
+            elif args.wall_rel_tol is not None:
+                rel = abs(got - want) / max(abs(want), 1e-300)
+                if rel > args.wall_rel_tol:
+                    failures.append(
+                        f"wall metric off by {rel:.1%} (> "
+                        f"{args.wall_rel_tol:.1%}): {fmt(key)}: "
+                        f"baseline {want}, current {got}"
+                    )
+            compared += 1
+        else:
+            if got != want:
+                failures.append(
+                    f"deterministic metric changed: {fmt(key)}: "
+                    f"baseline {want!r}, current {got!r}"
+                )
+            compared += 1
+
+    if failures:
+        print(f"bench_compare: {args.current} vs {args.baseline}: "
+              f"{len(failures)} difference(s)")
+        for f in failures:
+            print(f"  FAIL {f}")
+        sys.exit(1)
+    print(f"bench_compare: OK — {compared} datapoint(s) match "
+          f"{args.baseline}" + (" (subset)" if args.subset else ""))
+
+
+if __name__ == "__main__":
+    main()
