@@ -28,6 +28,7 @@ enum class StatusCode : uint8_t {
   kInternal = 8,
   kUnimplemented = 9,
   kUnavailable = 10,
+  kDeadlineExceeded = 11,
 };
 
 /// Returns a stable lower-case name for `code` (e.g. "invalid_argument").
@@ -82,6 +83,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff this status represents success.

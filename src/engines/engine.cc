@@ -8,12 +8,22 @@ namespace slash::engines {
 
 RecoveryCoordinator::RecoveryCoordinator(int nodes)
     : nodes_(nodes), blobs_(nodes), final_from_(nodes, -1),
-      retired_(nodes, false) {}
+      retired_(nodes, false), retire_round_(nodes, 0) {}
 
 void RecoveryCoordinator::RecordLocal(int node, uint64_t round,
                                       std::vector<uint8_t> bytes) {
   SLASH_CHECK_GE(node, 0);
   SLASH_CHECK_LT(node, nodes_);
+  // Fencing invariant: a retired (quarantined/dead) node's snapshots are
+  // taken by its heir under the heir's own identity, and no round may be
+  // committed twice — a double commit would mean two nodes both believed
+  // they led the same partitions for the same epoch (split brain).
+  SLASH_CHECK_MSG(!retired_[node],
+                  "retired node " << node << " attempted to commit round "
+                                  << round);
+  SLASH_CHECK_MSG(blobs_[node].count(round) == 0,
+                  "epoch committed twice: node " << node << " round "
+                                                 << round);
   Blob& blob = blobs_[node][round];
   blob.bytes = std::move(bytes);
   blob.holders.assign(1, node);
@@ -72,7 +82,11 @@ uint64_t RecoveryCoordinator::LatestRecoverableRound(
   for (uint64_t k = max_round; k >= 1; --k) {
     bool all_restorable = true;
     for (int node = 0; node < nodes_ && all_restorable; ++node) {
-      if (retired_[node]) continue;
+      // A retired node is exempt only for rounds after its retirement: the
+      // heir's own blobs carry its partitions from then on. At or before
+      // the retirement round the retired node's blob (on a live holder) is
+      // still required.
+      if (retired_[node] && k > retire_round_[node]) continue;
       const Blob* blob = FindBlob(node, k);
       if (blob == nullptr) {
         all_restorable = false;
@@ -87,10 +101,21 @@ uint64_t RecoveryCoordinator::LatestRecoverableRound(
   return 0;
 }
 
-void RecoveryCoordinator::RetireNode(int node) {
+void RecoveryCoordinator::RetireNode(int node, uint64_t retirement_round) {
   SLASH_CHECK_GE(node, 0);
   SLASH_CHECK_LT(node, nodes_);
   retired_[node] = true;
+  retire_round_[node] = retirement_round;
+}
+
+void RecoveryCoordinator::UnretireNode(int node) {
+  SLASH_CHECK_GE(node, 0);
+  SLASH_CHECK_LT(node, nodes_);
+  retired_[node] = false;
+  retire_round_[node] = 0;
+  // The rejoined node replays input forward again, so a pre-quarantine
+  // terminal snapshot must not stand in for rounds it will now regenerate.
+  final_from_[node] = -1;
 }
 
 void RecoveryCoordinator::DiscardRoundsAfter(uint64_t round) {

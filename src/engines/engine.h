@@ -25,6 +25,7 @@
 
 #include "channel/rdma_channel.h"
 #include "common/stats.h"
+#include "health/health.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "core/pipeline.h"
@@ -131,6 +132,15 @@ struct ClusterConfig {
   /// Checkpointing / crash recovery (Slash and Flink-like engines).
   CheckpointConfig checkpoint;
 
+  /// Failure detection and self-healing (Slash engine only; other engines
+  /// reject `health.enabled` with kUnimplemented). When enabled alongside
+  /// checkpointing, a deterministic HealthMonitor probes per-node liveness
+  /// words over one-sided RDMA READs; a suspected node is quarantined and
+  /// recovered exactly like a declared crash, a healed node rejoins via
+  /// snapshot restore, and a minority partition self-fences so no epoch can
+  /// commit twice.
+  health::HealthConfig health;
+
   /// Optional caller-provided tracer (not owned; must outlive Run). When
   /// set, the engine emits its trace here and does NOT write SLASH_TRACE
   /// files — tests use this to capture traces programmatically. When null,
@@ -222,6 +232,30 @@ struct RunStats {
   }
   uint64_t records_replayed() const {      // input re-read after rollback
     return metrics.CounterValue(obs::metric::kRecordsReplayed);
+  }
+
+  // --- Health / gray-failure accessors (zero when health is off) ----------
+
+  uint64_t health_probes_sent() const {
+    return metrics.CounterValue(obs::metric::kHealthProbesSent);
+  }
+  uint64_t health_probe_misses() const {
+    return metrics.CounterValue(obs::metric::kHealthProbeMisses);
+  }
+  uint64_t suspicions() const {            // peers that crossed the threshold
+    return metrics.CounterValue(obs::metric::kHealthSuspicions);
+  }
+  uint64_t health_false_positives() const {  // suspicions that recanted
+    return metrics.CounterValue(obs::metric::kHealthFalsePositives);
+  }
+  uint64_t fence_events() const {          // minority-side self-fences
+    return metrics.CounterValue(obs::metric::kHealthFenceEvents);
+  }
+  uint64_t quarantines() const {           // suspects excluded by the engine
+    return metrics.CounterValue(obs::metric::kHealthQuarantines);
+  }
+  uint64_t rejoins() const {               // quarantined nodes welcomed back
+    return metrics.CounterValue(obs::metric::kHealthRejoins);
   }
 
   // --- DES-kernel accessors ------------------------------------------------
@@ -327,10 +361,19 @@ class RecoveryCoordinator {
   /// when no such round exists (recovery then restarts from empty state).
   uint64_t LatestRecoverableRound(const std::vector<bool>& alive) const;
 
-  /// Excludes `node` from future LatestRecoverableRound requirements: its
-  /// partitions were recovered onto an heir, which snapshots them from now
-  /// on as part of its own blobs.
-  void RetireNode(int node);
+  /// Excludes `node` from LatestRecoverableRound requirements for rounds
+  /// AFTER `retirement_round`: its partitions were recovered onto an heir,
+  /// which snapshots them from then on as part of its own blobs. Rounds at
+  /// or before the retirement round still require the retired node's own
+  /// blob (held by a live node) — they predate the heir's takeover.
+  void RetireNode(int node, uint64_t retirement_round);
+
+  /// Reverses RetireNode when a quarantined node rejoins after a partition
+  /// heals: the node snapshots its own partitions again from the rollback
+  /// round onward. Also clears any terminal mark — post-rejoin the node's
+  /// input is replayed, so the old terminal snapshot no longer stands in
+  /// for later rounds.
+  void UnretireNode(int node);
 
   /// Drops every blob for rounds > `round` (and terminal marks past it).
   /// Called when recovery rolls the run back to round `round`: the later
@@ -368,6 +411,7 @@ class RecoveryCoordinator {
   std::vector<std::map<uint64_t, Blob>> blobs_;  // per node: round -> blob
   std::vector<int64_t> final_from_;              // -1 = not terminal yet
   std::vector<bool> retired_;
+  std::vector<uint64_t> retire_round_;           // valid while retired_[n]
   uint64_t checkpoints_taken_ = 0;
   obs::Counter* checkpoints_counter_ = nullptr;  // registry handle, optional
 };
@@ -489,6 +533,7 @@ class RunTelemetry {
       t->SetTrackName(n, obs::kTrackEngine, "engine");
       t->SetTrackName(n, obs::kTrackChannel, "channel");
       t->SetTrackName(n, obs::kTrackRecovery, "recovery");
+      t->SetTrackName(n, obs::kTrackHealth, "health");
     }
   }
 

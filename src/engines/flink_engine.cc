@@ -925,7 +925,7 @@ void BuildAttempt(FlinkRun* run, uint64_t round) {
   if (!run->alive.empty()) {
     for (int n = 0; n < config.nodes; ++n) {
       if (!run->alive[n] && !run->retired[n]) {
-        run->coordinator->RetireNode(n);
+        run->coordinator->RetireNode(n, round);
         run->retired[n] = true;
       }
     }
@@ -957,6 +957,12 @@ RunStats FlinkLikeEngine::Run(const core::QuerySpec& query,
 
   RunStats stats;
   stats.engine = std::string(name());
+  if (config.health.enabled) {
+    stats.status = Status::Unimplemented(
+        "health monitoring requires the Slash engine's quarantine/recovery "
+        "path");
+    return stats;
+  }
 
   RunTelemetry telemetry(config);
   obs::MetricsRegistry* registry = telemetry.registry();

@@ -101,6 +101,15 @@ RunStats LightSaberEngine::Run(const core::QuerySpec& query,
                   "(paper Sec. 8.2.4)");
   SLASH_CHECK_MSG(config.nodes == 1, "LightSaber is a single-node engine");
 
+  if (config.health.enabled) {
+    RunStats stats;
+    stats.engine = std::string(name());
+    stats.status = Status::Unimplemented(
+        "health monitoring requires the Slash engine's quarantine/recovery "
+        "path");
+    return stats;
+  }
+
   LightSaberRun run;
   run.query = &query;
   run.workload = &workload;

@@ -142,6 +142,7 @@ struct SlashRun {
   std::unique_ptr<RecoveryCoordinator> coordinator;
   std::vector<bool> alive;
   std::vector<bool> retired;   // dead and already recovered from
+  std::vector<uint64_t> retire_round;  // valid while retired[n]
   std::vector<int> owner;      // partition -> leading node
   std::vector<int> flow_home;  // flow -> node reading it
   int attempt = 1;
@@ -149,10 +150,20 @@ struct SlashRun {
   bool in_teardown = false;
   Nanos recovery_start = 0;
   uint64_t records_at_crash = 0;
+  // Failure detection (health.enabled): the monitor, the engine's view of
+  // which nodes it quarantined or which self-fenced, and flap suppression.
+  std::unique_ptr<health::HealthMonitor> health;
+  std::vector<bool> quarantined;
+  std::vector<bool> fenced;
+  std::vector<uint32_t> quarantine_count;  // per node, for flap suppression
+  int workers_running = 0;
+  uint64_t restore_floor = 0;  // records_in right after the last restore
   // Stats.
   uint64_t records_in = 0;
   uint64_t records_replayed = 0;
   uint64_t recoveries = 0;
+  uint64_t rejoins = 0;
+  uint64_t fence_suppressions = 0;
   Nanos recovery_ns = 0;
   uint64_t bytes_replicated = 0;
   // Observability handles (resolved once in Run; tracer null when disabled).
@@ -174,6 +185,12 @@ struct SlashRun {
 };
 
 void BuildAttempt(SlashRun* run, uint64_t round);
+void ArmRecoveryWatchdog(SlashRun* run);
+
+// A node quarantined more than this many times stays out for good: a
+// flapping link (e.g. a permanent one-way drop) would otherwise cycle
+// quarantine -> rejoin -> quarantine forever. Survivors carry its load.
+constexpr uint32_t kMaxQuarantinesForRejoin = 2;
 
 /// Aborts the run cleanly after an unrecoverable fault: records the cause
 /// and wakes every parked coroutine so it can observe `failed` and unwind
@@ -182,6 +199,7 @@ void FailRun(SlashRun* run, const Status& cause) {
   if (run->failed) return;
   run->failed = true;
   run->failure = cause;
+  if (run->health != nullptr) run->health->Stop();
   for (NodeState* ns : run->nodes) {
     if (ns != nullptr) ns->activity->Notify();
   }
@@ -195,6 +213,14 @@ void FailRun(SlashRun* run, const Status& cause) {
 /// Emits and retires every bucket of the partitions this node leads whose
 /// trigger watermark passed min(V).
 void TryTrigger(SlashRun* run, NodeState* ns, perf::CpuContext* cpu) {
+  if (run->fenced[ns->node]) {
+    // Fencing invariant: a node without majority contact must not emit.
+    // Reached only in the narrow window before the worker observes the
+    // fence and parks; the suppressed windows re-fire on unfence (the
+    // trigger watermarks make emission idempotent catch-up).
+    ++run->fence_suppressions;
+    return;
+  }
   const int64_t wm = ns->vclock.Min();
   for (int p = 0; p < run->config.nodes; ++p) {
     if (!ns->ssb->leads(p)) continue;
@@ -216,6 +242,10 @@ bool SnapshotReady(const SlashRun* run, const NodeState* ns) {
   if (!run->checkpointing() || run->failed || ns->terminal_snapshotted) {
     return false;
   }
+  // A fenced node must not cut (= commit) a round: the majority side may be
+  // recovering past it right now, and a commit here would be the epoch-
+  // committed-twice split-brain the fence exists to prevent.
+  if (run->fenced[ns->node]) return false;
   const uint64_t boundary = (ns->snapshots_taken + 1) * run->interval();
   if (ns->epoch_seq < boundary && !ns->final_bumped) return false;
   for (const InChannel& ic : ns->in) {
@@ -230,6 +260,8 @@ bool SnapshotReady(const SlashRun* run, const NodeState* ns) {
 /// input and every inbound channel are fully drained the snapshot is
 /// terminal — it stands in for every later round.
 void TakeSnapshot(SlashRun* run, NodeState* ns, perf::CpuContext* cpu) {
+  SLASH_CHECK_MSG(!run->fenced[ns->node],
+                  "fenced node " << ns->node << " attempted to cut a snapshot");
   // At the barrier every node has merged exactly the same per-peer epoch
   // prefix, so fire any due windows now: the snapshot then captures state,
   // trigger watermarks and sink consistently *after* them.
@@ -599,6 +631,7 @@ sim::Task ReplicaReceiver(SlashRun* run, int src, int holder, RdmaChannel* ch,
 /// shipping queued chunks — the compute/RDMA coroutine interleaving of
 /// Sec. 5.3.
 sim::Task Worker(SlashRun* run, NodeState* ns, int w, int attempt) {
+  ++run->workers_running;
   perf::CpuContext* cpu = ns->worker_cpus[w].get();
   core::RecordPipeline pipeline(run->query, cpu, run->config.execution);
   std::vector<Lane>& lanes = ns->worker_lanes[w];
@@ -648,6 +681,15 @@ sim::Task Worker(SlashRun* run, NodeState* ns, int w, int attempt) {
   while (!halted() &&
          (more || !ns->channels_done() || drained_seq < ns->epoch_seq ||
           !ns->final_bumped || !send_queue.empty())) {
+    // Self-fenced (no majority contact): park without processing, draining,
+    // committing, or emitting until the fence lifts or the attempt is torn
+    // down. The health monitor keeps ticking, so a healed link unfences.
+    if (run->fenced[ns->node]) {
+      const Nanos wait_start = run->sim.now();
+      co_await ns->activity->Wait();
+      cpu->ChargeWait(run->sim.now() - wait_start);
+      continue;
+    }
     // Serialize this worker's share of any newly announced epoch (frees
     // the fragments for fresh RMWs immediately) and ship whatever chunks
     // current credits allow — without ever stalling the core.
@@ -766,7 +808,7 @@ sim::Task Worker(SlashRun* run, NodeState* ns, int w, int attempt) {
       co_await cpu->Sync();
     }
   }
-  if (!halted()) {
+  if (!halted() && !run->fenced[ns->node]) {
     // Fully drained: cut any outstanding boundary/terminal snapshot, then
     // fire the final safety trigger — whichever worker observes global
     // completion last emits the remaining windows (idempotent via
@@ -775,6 +817,100 @@ sim::Task Worker(SlashRun* run, NodeState* ns, int w, int attempt) {
     TryTrigger(run, ns, cpu);
   }
   co_await cpu->Sync();
+  --run->workers_running;
+  if (run->health != nullptr && run->workers_running == 0 &&
+      run->attempt == attempt && !run->recovering && !run->failed) {
+    // Last worker of the surviving attempt is out: stop the heartbeat so
+    // the event queue can drain. (A failed run stops it in FailRun; workers
+    // of a torn-down attempt never match the current attempt.)
+    run->health->Stop();
+  }
+}
+
+/// Tears the current attempt down: every channel of the attempt dies
+/// (survivors' channels carry in-flight epochs that are ahead of the
+/// rollback point). Coroutines observe the attempt bump and unwind; close
+/// handlers must not fail the run while we do this on purpose.
+void TearDownAttempt(SlashRun* run) {
+  run->in_teardown = true;
+  for (size_t i = run->attempt_channel_start; i < run->channels.size(); ++i) {
+    run->channels[i]->Abort(
+        Status::Unavailable("attempt torn down for crash recovery"));
+  }
+  for (NodeState* ns : run->nodes) {
+    if (ns != nullptr) ns->activity->Notify();
+  }
+  for (auto& rs : run->repl_storage) rs->event->Notify();
+  run->in_teardown = false;
+}
+
+/// Schedules the rebuild of the next attempt at rollback round `round`
+/// after the modeled recovery delay (channel setup + restore streaming),
+/// and arms the progress watchdog over it.
+void ScheduleRebuild(SlashRun* run, uint64_t round, int trace_node) {
+  uint64_t restore_bytes = 0;
+  for (int n = 0; n < run->config.nodes; ++n) {
+    const std::vector<uint8_t>* blob = run->coordinator->BlobFor(n, round);
+    if (blob != nullptr) restore_bytes += blob->size();
+  }
+  uint64_t new_channels = 0;
+  for (int h = 0; h < run->config.nodes; ++h) {
+    if (!run->alive[h]) continue;
+    for (int p = 0; p < run->config.nodes; ++p) {
+      if (run->owner[p] != h) ++new_channels;
+    }
+  }
+  const Nanos delay = kChannelSetupCost * Nanos(new_channels) +
+                      Nanos(restore_bytes / kRestoreBytesPerNs);
+  run->sim.ScheduleAt(run->sim.now() + delay, [run, round, trace_node] {
+    run->recovery_ns += run->sim.now() - run->recovery_start;
+    if (run->tracer != nullptr) {
+      run->tracer->End(run->sim.now(), run->trace_recovery, run->trace_cat,
+                       trace_node, obs::kTrackRecovery);
+    }
+    BuildAttempt(run, round);
+    run->recovering = false;
+  });
+  ArmRecoveryWatchdog(run);
+}
+
+/// Common recovery entry for declared crashes and quarantined suspects:
+/// `failed_nodes` were just excluded (run->alive already updated). Rolls
+/// every survivor back to the latest round with a live copy of every
+/// node's snapshot and hands each failed node's partitions and flows to an
+/// heir holding its replica.
+void StartRecovery(SlashRun* run, const std::vector<int>& failed_nodes) {
+  const int trace_node = failed_nodes.front();
+  run->recovering = true;
+  ++run->recoveries;
+  ++run->attempt;
+  run->recovery_start = run->sim.now();
+  run->records_at_crash = run->records_in;
+  if (run->tracer != nullptr) {
+    run->tracer->Begin(run->sim.now(), run->trace_recovery, run->trace_cat,
+                       trace_node, obs::kTrackRecovery);
+  }
+  TearDownAttempt(run);
+  const uint64_t round = run->coordinator->LatestRecoverableRound(run->alive);
+  for (int node : failed_nodes) {
+    int heir = run->coordinator->FirstLiveHolder(node, round, run->alive);
+    if (heir < 0) {
+      for (int i = 1; i <= run->config.nodes && heir < 0; ++i) {
+        const int cand = (node + i) % run->config.nodes;
+        if (run->alive[cand]) heir = cand;
+      }
+    }
+    for (int p = 0; p < run->config.nodes; ++p) {
+      if (run->owner[p] == node) run->owner[p] = heir;
+    }
+    for (size_t f = 0; f < run->flow_home.size(); ++f) {
+      if (run->flow_home[f] == node) run->flow_home[f] = heir;
+    }
+  }
+  // Rounds past the rollback point describe the torn-down timeline; the new
+  // attempt regenerates them under the post-recovery partition placement.
+  run->coordinator->DiscardRoundsAfter(round);
+  ScheduleRebuild(run, round, trace_node);
 }
 
 /// Fabric crash callback: turns a kNodeCrash fault into either a clean
@@ -788,6 +924,9 @@ void OnNodeCrash(SlashRun* run, int node) {
                      "ingestion source node crashed: no upstream to replay"));
     return;
   }
+  // A crash of an already-quarantined node changes nothing: its partitions
+  // were re-homed when it was suspected. (It can simply never rejoin.)
+  if (!run->alive[node]) return;
   if (!run->checkpointing()) {
     FailRun(run,
             Status::Unavailable("node crashed with checkpointing disabled"));
@@ -805,78 +944,141 @@ void OnNodeCrash(SlashRun* run, int node) {
     FailRun(run, Status::Unavailable("last node crashed: no survivors"));
     return;
   }
-  run->recovering = true;
-  ++run->recoveries;
+  StartRecovery(run, {node});
+}
+
+/// HealthMonitor accusation: a majority-side monitor reports `suspects`
+/// unreachable. Quarantines them and runs the exact crash-recovery path —
+/// epoch-aligned rollback, heirs, replay. Unlike a declared crash, a
+/// quarantined node may later rejoin (the monitor keeps probing it).
+void OnSuspicion(SlashRun* run, int monitor, const std::vector<int>& suspects) {
+  if (run->failed || run->recovering || run->in_teardown) return;
+  // A quarantined node's opinion must not drive cluster decisions.
+  if (monitor < run->config.nodes && run->quarantined[monitor]) return;
+  std::vector<int> fresh;
+  for (int s : suspects) {
+    if (s >= 0 && s < run->config.nodes && run->alive[s] &&
+        !run->quarantined[s]) {
+      fresh.push_back(s);
+    }
+  }
+  if (fresh.empty()) return;
+  if (!run->checkpointing()) {
+    FailRun(run, Status::Unavailable(
+                     "node suspected unreachable with checkpointing "
+                     "disabled: nothing to recover from"));
+    return;
+  }
+  for (int s : fresh) {
+    run->quarantined[s] = true;
+    ++run->quarantine_count[s];
+    run->health->SetQuarantined(s, true);
+    run->alive[s] = false;
+  }
+  int live = 0;
+  for (int n = 0; n < run->config.nodes; ++n) live += run->alive[n] ? 1 : 0;
+  if (live == 0) {
+    FailRun(run, Status::Unavailable("every node suspected: no survivors"));
+    return;
+  }
+  StartRecovery(run, fresh);
+}
+
+/// A node lost contact with the majority and fenced itself: park its
+/// workers (they check the flag and wait on the node's activity event).
+void OnSelfFence(SlashRun* run, int node) {
+  if (run->failed || node >= run->config.nodes) return;
+  run->fenced[node] = true;
+  if (run->nodes[node] != nullptr) run->nodes[node]->activity->Notify();
+}
+
+void OnUnfence(SlashRun* run, int node) {
+  if (run->failed || node >= run->config.nodes) return;
+  run->fenced[node] = false;
+  if (run->nodes[node] != nullptr) run->nodes[node]->activity->Notify();
+}
+
+/// A quarantined node answered a liveness probe within the rpc deadline:
+/// the partition healed (or the gray episode ended). Rejoin it via the
+/// snapshot-restore path: roll the cluster back to the latest round that
+/// includes the node's own blobs, restore its identity placement, replay.
+void OnRejoin(SlashRun* run, int node) {
+  if (run->failed || run->recovering || run->in_teardown) return;
+  if (node >= run->config.nodes || !run->quarantined[node]) return;
+  if (run->fabric->node_dead(node)) return;  // actually crashed: stays out
+  if (run->health->fenced(node)) return;     // it cannot see the majority yet
+  if (run->quarantine_count[node] > kMaxQuarantinesForRejoin) return;  // flaps
+  run->quarantined[node] = false;
+  run->health->SetQuarantined(node, false);
+  run->alive[node] = true;
+  run->retired[node] = false;
+  run->coordinator->UnretireNode(node);
+  ++run->rejoins;
   ++run->attempt;
+  run->recovering = true;
   run->recovery_start = run->sim.now();
   run->records_at_crash = run->records_in;
   if (run->tracer != nullptr) {
     run->tracer->Begin(run->sim.now(), run->trace_recovery, run->trace_cat,
                        node, obs::kTrackRecovery);
   }
-
-  // Tear the whole attempt down: every channel of the current attempt dies
-  // (the crash flushes QPs touching the dead node anyway, and survivors'
-  // channels carry in-flight epochs that are ahead of the rollback point).
-  // Coroutines observe the attempt bump and unwind; close handlers must not
-  // fail the run while we do this on purpose.
-  run->in_teardown = true;
-  for (size_t i = run->attempt_channel_start; i < run->channels.size(); ++i) {
-    run->channels[i]->Abort(
-        Status::Unavailable("attempt torn down for crash recovery"));
-  }
-  for (NodeState* ns : run->nodes) {
-    if (ns != nullptr) ns->activity->Notify();
-  }
-  for (auto& rs : run->repl_storage) rs->event->Notify();
-  run->in_teardown = false;
-
-  // Plan the new attempt: roll every survivor back to the latest round with
-  // a live copy of every node's snapshot, and hand the dead node's
-  // partitions and flows to an heir that holds its replica.
-  const uint64_t round = run->coordinator->LatestRecoverableRound(run->alive);
-  int heir = run->coordinator->FirstLiveHolder(node, round, run->alive);
-  // Rounds past the rollback point describe the torn-down timeline; the new
-  // attempt regenerates them under the post-recovery partition placement.
-  run->coordinator->DiscardRoundsAfter(round);
-  if (heir < 0) {
-    for (int i = 1; i <= run->config.nodes && heir < 0; ++i) {
-      const int cand = (node + i) % run->config.nodes;
-      if (run->alive[cand]) heir = cand;
-    }
-  }
-  for (int p = 0; p < run->config.nodes; ++p) {
-    if (run->owner[p] == node) run->owner[p] = heir;
-  }
+  TearDownAttempt(run);
+  // The rejoined node takes its identity placement back: its own partition
+  // and the flows that originally homed on it.
+  run->owner[node] = node;
   for (size_t f = 0; f < run->flow_home.size(); ++f) {
-    if (run->flow_home[f] == node) run->flow_home[f] = heir;
+    if (int(f) / run->config.workers_per_node == node) {
+      run->flow_home[f] = node;
+    }
   }
+  const uint64_t round = run->coordinator->LatestRecoverableRound(run->alive);
+  run->coordinator->DiscardRoundsAfter(round);
+  ScheduleRebuild(run, round, node);
+}
 
-  // Recovery takes virtual time: re-connecting the attempt's channels and
-  // streaming the restored snapshot bytes back into memory.
-  uint64_t restore_bytes = 0;
-  for (int n = 0; n < run->config.nodes; ++n) {
-    const std::vector<uint8_t>* blob = run->coordinator->BlobFor(n, round);
-    if (blob != nullptr) restore_bytes += blob->size();
-  }
-  uint64_t new_channels = 0;
-  for (int h = 0; h < run->config.nodes; ++h) {
-    if (!run->alive[h]) continue;
-    for (int p = 0; p < run->config.nodes; ++p) {
-      if (run->owner[p] != h) ++new_channels;
-    }
-  }
-  const Nanos delay = kChannelSetupCost * Nanos(new_channels) +
-                      Nanos(restore_bytes / kRestoreBytesPerNs);
-  run->sim.ScheduleAt(run->sim.now() + delay, [run, round, node] {
-    run->recovery_ns += run->sim.now() - run->recovery_start;
+/// One poll of the recovery watchdog; re-arms itself while the attempt is
+/// still stuck and the deadline has not passed.
+void PollRecoveryWatchdog(SlashRun* run, int attempt, Nanos deadline_at) {
+  if (run->failed || run->attempt != attempt) return;
+  const bool stuck =
+      run->recovering ||
+      (run->workers_running > 0 && run->records_in <= run->restore_floor);
+  if (!stuck) return;  // restored and progressing: the watchdog stands down
+  if (run->sim.now() >= deadline_at) {
     if (run->tracer != nullptr) {
-      run->tracer->End(run->sim.now(), run->trace_recovery, run->trace_cat,
-                       node, obs::kTrackRecovery);
+      run->tracer->InstantNamed(run->sim.now(), "recovery.watchdog_abort",
+                                "health", 0, obs::kTrackHealth);
     }
-    BuildAttempt(run, round);
-    run->recovering = false;
-  });
+    FailRun(run, Status::DeadlineExceeded(
+                     "recovery round made no progress within "
+                     "health.recovery_deadline"));
+    return;
+  }
+  const Nanos interval = run->config.health.heartbeat_interval * 4;
+  run->sim.ScheduleAt(std::min(run->sim.now() + interval, deadline_at),
+                      [run, attempt, deadline_at] {
+                        PollRecoveryWatchdog(run, attempt, deadline_at);
+                      });
+}
+
+/// Progress watchdog (health.recovery_deadline): a recovery round that is
+/// still in flight — or whose rebuilt attempt has made no input progress —
+/// when the deadline expires aborts the run with kDeadlineExceeded instead
+/// of spinning. Armed per attempt; a later attempt supersedes it. Polls on
+/// a heartbeat-scale cadence rather than one far-future event: the DES has
+/// no event cancellation, and a single shot at the full deadline would pin
+/// the drain time (and thus the reported makespan) to the deadline.
+void ArmRecoveryWatchdog(SlashRun* run) {
+  if (run->health == nullptr) return;
+  const Nanos deadline = run->config.health.recovery_deadline;
+  if (deadline <= 0) return;
+  const int attempt = run->attempt;
+  const Nanos deadline_at = run->sim.now() + deadline;
+  const Nanos interval = run->config.health.heartbeat_interval * 4;
+  run->sim.ScheduleAt(std::min(run->sim.now() + interval, deadline_at),
+                      [run, attempt, deadline_at] {
+                        PollRecoveryWatchdog(run, attempt, deadline_at);
+                      });
 }
 
 /// Builds one execution attempt: fresh node states (restored from the
@@ -915,6 +1117,8 @@ void BuildAttempt(SlashRun* run, uint64_t round) {
     for (int w = 0; w < config.workers_per_node; ++w) {
       ns->worker_cpus.push_back(std::make_unique<perf::CpuContext>(
           &run->sim, config.cost_model, config.cpu_ghz));
+      // Gray-node faults (kNodeSlow) stretch this node's compute too.
+      ns->worker_cpus.back()->BindSpeedDial(run->fabric->speed_dial(n));
     }
     nodes[n] = ns.get();
     run->node_storage.push_back(std::move(ns));
@@ -936,7 +1140,11 @@ void BuildAttempt(SlashRun* run, uint64_t round) {
     };
     std::vector<SinkAccum> sinks(config.nodes);
     for (int n = 0; n < config.nodes; ++n) {
-      if (run->retired[n]) continue;
+      // A node retired by an earlier crash/quarantine is skipped only for
+      // rounds past its retirement — its content lives on in its heirs'
+      // blobs from then on. At or before the retirement round its own blob
+      // is still the source of truth (restored onto its heir below).
+      if (run->retired[n] && round > run->retire_round[n]) continue;
       const std::vector<uint8_t>* blob = run->coordinator->BlobFor(n, round);
       SLASH_CHECK_MSG(blob != nullptr,
                       "recoverable round " << round
@@ -1040,6 +1248,8 @@ void BuildAttempt(SlashRun* run, uint64_t round) {
         lane.ingest = ch.get();
         run->generator_cpus.push_back(std::make_unique<perf::CpuContext>(
             &run->sim, config.cost_model, config.cpu_ghz));
+        run->generator_cpus.back()->BindSpeedDial(
+            run->fabric->speed_dial(config.nodes + n));
         run->sim.Spawn(Generator(run, ch.get(), lane.flow, lane.consumed,
                                  run->generator_cpus.back().get(), attempt));
         run->channels.push_back(std::move(ch));
@@ -1096,9 +1306,11 @@ void BuildAttempt(SlashRun* run, uint64_t round) {
         run->repl_cpus.push_back(std::make_unique<perf::CpuContext>(
             &run->sim, config.cost_model, config.cpu_ghz));
         perf::CpuContext* send_cpu = run->repl_cpus.back().get();
+        send_cpu->BindSpeedDial(run->fabric->speed_dial(n));
         run->repl_cpus.push_back(std::make_unique<perf::CpuContext>(
             &run->sim, config.cost_model, config.cpu_ghz));
         perf::CpuContext* recv_cpu = run->repl_cpus.back().get();
+        recv_cpu->BindSpeedDial(run->fabric->speed_dial(t));
         run->sim.Spawn(Replicator(run, rs.get(), ch.get(), send_cpu, attempt));
         run->sim.Spawn(
             ReplicaReceiver(run, n, t, ch.get(), recv_cpu, attempt));
@@ -1121,9 +1333,14 @@ void BuildAttempt(SlashRun* run, uint64_t round) {
   for (int n = 0; n < config.nodes; ++n) {
     if (!run->alive[n] && !run->retired[n]) {
       run->retired[n] = true;
-      run->coordinator->RetireNode(n);
+      run->retire_round[n] = round;
+      run->coordinator->RetireNode(n, round);
     }
   }
+
+  // Watchdog baseline: input progress beyond this level proves the rebuilt
+  // attempt is actually running.
+  run->restore_floor = run->records_in;
 }
 
 }  // namespace
@@ -1159,6 +1376,13 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
     run.injector =
         std::make_unique<sim::FaultInjector>(&run.sim, *config.fault_plan);
     run.sim.set_fault_injector(run.injector.get());
+  }
+  if (config.health.enabled) {
+    const Status health_status = config.health.Validate();
+    if (!health_status.ok()) {
+      stats.status = health_status;
+      return stats;
+    }
   }
 
   // Register the observability plane before building the fabric so the
@@ -1198,6 +1422,10 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
   run.coordinator->AttachMetrics(registry);
   run.alive.assign(config.nodes, true);
   run.retired.assign(config.nodes, false);
+  run.retire_round.assign(config.nodes, 0);
+  run.quarantined.assign(config.nodes, false);
+  run.fenced.assign(config.nodes, false);
+  run.quarantine_count.assign(config.nodes, 0);
   run.owner.resize(config.nodes);
   for (int p = 0; p < config.nodes; ++p) run.owner[p] = p;
   run.flow_home.resize(size_t(run.total_workers()));
@@ -1206,6 +1434,32 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
   }
 
   BuildAttempt(&run, /*round=*/0);
+
+  // The monitor is constructed after the first attempt so its probe QPs
+  // number after the data plane's (QPNs are assigned in Connect order);
+  // health off keeps every baseline byte-identical.
+  if (config.health.enabled) {
+    health::HealthMonitor::Callbacks callbacks;
+    SlashRun* rp = &run;
+    callbacks.on_suspect = [rp](int monitor, const std::vector<int>& s) {
+      OnSuspicion(rp, monitor, s);
+    };
+    callbacks.on_self_fence = [rp](int node) { OnSelfFence(rp, node); };
+    callbacks.on_unfence = [rp](int node) { OnUnfence(rp, node); };
+    callbacks.on_liveness_resumed = [rp](int node) { OnRejoin(rp, node); };
+    run.health = std::make_unique<health::HealthMonitor>(
+        run.fabric.get(), config.health, config.nodes, std::move(callbacks));
+    run.health->Start();
+    if (config.health.run_deadline > 0) {
+      run.sim.ScheduleAt(config.health.run_deadline, [rp] {
+        if (rp->health != nullptr) rp->health->Stop();
+        if (!rp->failed && (rp->workers_running > 0 || rp->recovering)) {
+          FailRun(rp, Status::DeadlineExceeded(
+                          "run exceeded its virtual-time deadline"));
+        }
+      });
+    }
+  }
 
   TimedSimRun(&run.sim, registry, &stats.sim_events_per_sec_wall);
   // An aborted run legitimately strands coroutines that were mid-protocol
@@ -1243,6 +1497,11 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
   registry->GetCounter(obs::metric::kRecoveries)->Add(run.recoveries);
   registry->GetCounter(obs::metric::kRecoveryNs)
       ->Add(uint64_t(run.recovery_ns));
+  if (run.health != nullptr) {
+    registry->GetCounter(obs::metric::kHealthRejoins)->Add(run.rejoins);
+    registry->GetCounter(obs::metric::kHealthFenceSuppressions)
+        ->Add(run.fence_suppressions);
+  }
   registry->GetCounter(obs::metric::kRecordsReplayed)
       ->Add(run.records_replayed);
   obs::Counter* emitted = registry->GetCounter(obs::metric::kRecordsEmitted);

@@ -323,6 +323,15 @@ RunStats UpParEngine::Run(const core::QuerySpec& query,
   run.senders_per_node = config.workers_per_node / 2;
   run.receivers_per_node = config.workers_per_node - run.senders_per_node;
 
+  if (config.health.enabled) {
+    RunStats stats;
+    stats.engine = std::string(name());
+    stats.status = Status::Unimplemented(
+        "health monitoring requires the Slash engine's quarantine/recovery "
+        "path");
+    return stats;
+  }
+
   RunTelemetry telemetry(config);
   obs::MetricsRegistry* registry = telemetry.registry();
 

@@ -65,6 +65,20 @@ inline constexpr std::string_view kRecoveries = "recovery.count";
 inline constexpr std::string_view kRecoveryNs = "recovery.total_ns";
 inline constexpr std::string_view kRecordsReplayed =
     "recovery.records_replayed";
+// Failure-detection instruments (src/health/). Only registered when
+// HealthConfig::enabled is set, mirroring the connection-scaling opt-in:
+// runs without the detector keep byte-identical snapshots.
+inline constexpr std::string_view kHealthProbesSent = "health.probes_sent";
+inline constexpr std::string_view kHealthProbeMisses = "health.probe_misses";
+inline constexpr std::string_view kHealthSuspicions = "health.suspicions";
+inline constexpr std::string_view kHealthFalsePositives =
+    "health.false_positives";
+inline constexpr std::string_view kHealthSuspicion = "health.suspicion";
+inline constexpr std::string_view kHealthFenceEvents = "health.fence_events";
+inline constexpr std::string_view kHealthFenceSuppressions =
+    "health.fence_suppressions";
+inline constexpr std::string_view kHealthQuarantines = "health.quarantines";
+inline constexpr std::string_view kHealthRejoins = "health.rejoins";
 inline constexpr std::string_view kSimEventsFired = "sim.events_fired";
 inline constexpr std::string_view kSimPoolHitRate = "sim.pool_hit_rate";
 inline constexpr std::string_view kSimEventBytes =

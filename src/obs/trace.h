@@ -34,6 +34,7 @@ enum Track : int {
   kTrackEngine = 0,    // engine control flow: epochs, barriers, windows
   kTrackChannel = 1,   // data plane: transfers, QP retries
   kTrackRecovery = 2,  // checkpoint / replication / recovery phases
+  kTrackHealth = 3,    // failure detection: probes, suspicion, fencing
 };
 
 /// Virtual-time tracer with a fixed-capacity ring buffer. When the ring is

@@ -175,12 +175,22 @@ class CpuContext {
     return static_cast<Nanos>(pending_cycles_ * ns_per_cycle_);
   }
 
-  /// Awaitable that consumes the pending time as simulated delay.
+  /// Awaitable that consumes the pending time as simulated delay. When a
+  /// speed dial is bound and dialed above 1.0 (gray-node fault), the owed
+  /// time stretches by that factor: the same work takes longer, the
+  /// counters stay identical.
   auto Sync() {
-    const Nanos d = pending_nanos();
+    Nanos d = pending_nanos();
     pending_cycles_ = 0;
+    if (speed_dial_ != nullptr && *speed_dial_ > 1.0) {
+      d = static_cast<Nanos>(double(d) * *speed_dial_);
+    }
     return sim_->Delay(d);
   }
+
+  /// Binds this context to a per-node slowdown dial (rdma::Fabric::
+  /// speed_dial). The pointee must outlive the context; nullptr unbinds.
+  void BindSpeedDial(const double* dial) { speed_dial_ = dial; }
 
   const Counters& counters() const { return counters_; }
   Counters& counters() { return counters_; }
@@ -191,6 +201,7 @@ class CpuContext {
  private:
   sim::Simulator* sim_;
   const CostModel* model_;
+  const double* speed_dial_ = nullptr;
   double ns_per_cycle_;
   double pending_cycles_ = 0;
   Counters counters_;

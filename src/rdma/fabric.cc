@@ -16,6 +16,8 @@ Fabric::Fabric(sim::Simulator* sim, const FabricConfig& config)
   pds_.reserve(config.nodes);
   nics_.reserve(config.nodes);
   dead_.assign(config.nodes, false);
+  partition_side_.assign(config.nodes, 0);
+  node_speed_.assign(config.nodes, 1.0);
   qp_per_node_.assign(config.nodes, 0);
   for (int n = 0; n < config.nodes; ++n) {
     pds_.push_back(std::make_unique<ProtectionDomain>(n));
@@ -88,6 +90,8 @@ QpEndpoint* Fabric::MakeEndpoint(int node, bool hub) {
 QpPair Fabric::Connect(int node_a, int node_b) {
   SLASH_CHECK_MSG(!dead_[node_a] && !dead_[node_b],
                   "Connect() touching a crashed node");
+  SLASH_CHECK_MSG(!Partitioned(node_a, node_b),
+                  "Connect() across an active network partition");
   QpEndpoint* a = MakeEndpoint(node_a, /*hub=*/false);
   QpEndpoint* b = MakeEndpoint(node_b, /*hub=*/false);
   a->peer_ = b;
@@ -98,6 +102,8 @@ QpPair Fabric::Connect(int node_a, int node_b) {
 Flow* Fabric::OpenFlow(int producer_node, int consumer_node) {
   SLASH_CHECK_MSG(!dead_[producer_node] && !dead_[consumer_node],
                   "OpenFlow() touching a crashed node");
+  SLASH_CHECK_MSG(!Partitioned(producer_node, consumer_node),
+                  "OpenFlow() across an active network partition");
   const uint32_t id = static_cast<uint32_t>(flows_.size());
   QpEndpoint* fwd_from = nullptr;
   QpEndpoint* fwd_to = nullptr;
@@ -322,6 +328,38 @@ void Fabric::CrashNode(int node) {
   }
 }
 
+void Fabric::PartitionNodes(const std::vector<int>& side_a) {
+  partition_active_ = true;
+  std::fill(partition_side_.begin(), partition_side_.end(), 0);
+  for (int n : side_a) {
+    SLASH_CHECK_GE(n, 0);
+    SLASH_CHECK_LT(n, config_.nodes);
+    partition_side_[n] = 1;
+    TraceFault("fabric.partition", n);
+  }
+}
+
+void Fabric::HealPartition() {
+  partition_active_ = false;
+  for (int n = 0; n < config_.nodes; ++n) {
+    if (partition_side_[n]) TraceFault("fabric.partition_heal", n);
+  }
+  std::fill(partition_side_.begin(), partition_side_.end(), 0);
+}
+
+bool Fabric::Partitioned(int a, int b) const {
+  if (!partition_active_) return false;
+  return partition_side_[a] != partition_side_[b];
+}
+
+void Fabric::SetNodeSpeedFactor(int node, double factor) {
+  SLASH_CHECK_GE(factor, 1.0);
+  TraceFault(factor > 1.0 ? "fabric.node_slow" : "fabric.node_restore_speed",
+             node);
+  node_speed_[node] = factor;
+  nic(node)->set_speed_factor(factor);
+}
+
 void Fabric::FlushWr(QpEndpoint* from, WorkType type, uint64_t wr_id,
                      uint64_t len) {
   // Flush asynchronously at the current time: a poller parked on the CQ is
@@ -471,8 +509,9 @@ Status Fabric::ExecuteRead(QpEndpoint* from, QpEndpoint* to, MemorySpan local,
   if (sim::FaultInjector* inj = injector()) {
     // One decision covers the whole request/response exchange: a drop on
     // either leg surfaces identically to the requester.
-    const auto fault =
-        inj->OnTransfer(from->node(), to->node(), from->qp_num(), len);
+    const auto fault = inj->OnTransfer(from->node(), to->node(),
+                                       from->qp_num(), len,
+                                       /*round_trip=*/true);
     if (fault.drop) {
       const Nanos req_tx =
           nic(from->node())->ReserveTx(now, kReadRequestBytes);

@@ -205,6 +205,20 @@ class Fabric : public sim::FaultTarget {
   void SetNicBandwidthScale(int node, double scale) override;
   void PauseNode(int node, Nanos until) override;
   void CrashNode(int node) override;
+  void PartitionNodes(const std::vector<int>& side_a) override;
+  void HealPartition() override;
+  void SetNodeSpeedFactor(int node, double factor) override;
+
+  /// True while an active network partition separates `a` and `b`. Control
+  /// plane operations (Connect/OpenFlow) across an active cut are refused
+  /// with a check failure; data plane transfers are dropped by the injector.
+  bool Partitioned(int a, int b) const;
+
+  /// Gray-node speed dial for `node`: 1.0 at full speed, > 1.0 while a
+  /// kNodeSlow fault is active. The pointer stays valid for the fabric's
+  /// lifetime, so perf::CpuContext can bind it and scale compute costs in
+  /// lockstep with the NIC slowdown.
+  const double* speed_dial(int node) const { return &node_speed_[node]; }
 
  private:
   friend class QpEndpoint;
@@ -272,6 +286,12 @@ class Fabric : public sim::FaultTarget {
   std::vector<std::unique_ptr<Nic>> nics_;
   std::vector<std::unique_ptr<QpEndpoint>> endpoints_;
   std::vector<bool> dead_;
+  // Active bipartition: 0 = side B / no cut, 1 = side A. Sized at
+  // construction; node_speed_ never reallocates (speed_dial hands out
+  // stable pointers).
+  bool partition_active_ = false;
+  std::vector<char> partition_side_;
+  std::vector<double> node_speed_;
   std::function<void(int)> crash_handler_;
   uint32_t next_qp_num_ = 1;
   BufferPool buffer_pool_;

@@ -9,9 +9,12 @@
 namespace slash::rdma {
 
 Nanos Nic::TransferDuration(uint64_t bytes) const {
-  return config_.per_message_overhead + qp_fetch_overhead_ +
-         static_cast<Nanos>(double(bytes) /
-                            (config_.bandwidth_bps * bandwidth_scale_) * 1e9);
+  const Nanos base =
+      config_.per_message_overhead + qp_fetch_overhead_ +
+      static_cast<Nanos>(double(bytes) /
+                         (config_.bandwidth_bps * bandwidth_scale_) * 1e9);
+  if (speed_factor_ == 1.0) return base;
+  return static_cast<Nanos>(double(base) * speed_factor_);
 }
 
 void Nic::set_active_qps(uint32_t count) {
@@ -23,6 +26,11 @@ void Nic::set_active_qps(uint32_t count) {
 void Nic::set_bandwidth_scale(double scale) {
   SLASH_CHECK_GT(scale, 0.0);
   bandwidth_scale_ = scale;
+}
+
+void Nic::set_speed_factor(double factor) {
+  SLASH_CHECK_GE(factor, 1.0);
+  speed_factor_ = factor;
 }
 
 void Nic::PauseUntil(Nanos until) {

@@ -76,6 +76,13 @@ class Nic {
   /// start no earlier than `until`.
   void PauseUntil(Nanos until);
 
+  /// Fault injection: gray-node slowdown. Multiplies every subsequent
+  /// transfer duration (overhead and serialization alike) by `factor`
+  /// (>= 1); 1.0 restores full speed. Unlike set_bandwidth_scale this
+  /// models the whole NIC path crawling, not just the line rate.
+  void set_speed_factor(double factor);
+  double speed_factor() const { return speed_factor_; }
+
   uint64_t tx_bytes() const { return tx_bytes_; }
   uint64_t rx_bytes() const { return rx_bytes_; }
   uint64_t tx_messages() const { return tx_messages_; }
@@ -103,6 +110,7 @@ class Nic {
   uint32_t active_qps_ = 0;
   Nanos qp_fetch_overhead_ = 0;
   double bandwidth_scale_ = 1.0;
+  double speed_factor_ = 1.0;
   Nanos tx_free_ = 0;
   Nanos rx_free_ = 0;
   uint64_t tx_bytes_ = 0;

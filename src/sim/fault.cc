@@ -22,9 +22,31 @@ std::string_view FaultKindName(FaultKind kind) {
       return "transfer_delay";
     case FaultKind::kNodeCrash:
       return "node_crash";
+    case FaultKind::kNetworkPartition:
+      return "network_partition";
+    case FaultKind::kPartitionHeal:
+      return "partition_heal";
+    case FaultKind::kNodeSlow:
+      return "node_slow";
+    case FaultKind::kNodeRestoreSpeed:
+      return "node_restore_speed";
+    case FaultKind::kLinkDropOneWay:
+      return "link_drop_one_way";
   }
   return "unknown";
 }
+
+namespace {
+
+// Bitmask of the partition side for the fault trace (nodes >= 64 fold onto
+// the low bits; the mask is a trace detail, not the enforcement state).
+int64_t SideMask(const std::vector<int>& side) {
+  uint64_t mask = 0;
+  for (int n : side) mask |= uint64_t(1) << (n & 63);
+  return int64_t(mask);
+}
+
+}  // namespace
 
 Status FaultPlan::Validate(int nodes) const {
   auto sorted_by = [](const auto& vec, auto time_of, std::string_view what)
@@ -69,6 +91,17 @@ Status FaultPlan::Validate(int nodes) const {
       delay_rules, [](const DelayRule& f) { return f.from; }, "delay_rule"));
   SLASH_RETURN_IF_ERROR(sorted_by(
       node_crashes, [](const NodeCrash& f) { return f.at; }, "node_crash"));
+  SLASH_RETURN_IF_ERROR(sorted_by(
+      partitions, [](const NetworkPartition& f) { return f.at; },
+      "network_partition"));
+  SLASH_RETURN_IF_ERROR(sorted_by(
+      partition_heals, [](const PartitionHeal& f) { return f.at; },
+      "partition_heal"));
+  SLASH_RETURN_IF_ERROR(sorted_by(
+      node_slows, [](const NodeSlow& f) { return f.at; }, "node_slow"));
+  SLASH_RETURN_IF_ERROR(sorted_by(
+      one_way_drops, [](const LinkDropOneWay& f) { return f.from; },
+      "link_drop_one_way"));
 
   for (const NicDegrade& f : nic_degrades) {
     SLASH_RETURN_IF_ERROR(node_in_range(f.node, "nic_degrade"));
@@ -107,6 +140,87 @@ Status FaultPlan::Validate(int nodes) const {
             "fault plan: overlapping pauses of node " +
             std::to_string(node_pauses[i].node));
       }
+    }
+  }
+
+  // Partition sides must be non-empty strict subsets of the fabric with no
+  // duplicate members: anything else is either a no-op cut or ambiguous.
+  for (const NetworkPartition& f : partitions) {
+    if (f.side_a.empty()) {
+      return Status::InvalidArgument(
+          "fault plan: network_partition side_a is empty");
+    }
+    std::vector<bool> seen(size_t(nodes), false);
+    for (int n : f.side_a) {
+      SLASH_RETURN_IF_ERROR(node_in_range(n, "network_partition"));
+      if (seen[size_t(n)]) {
+        return Status::InvalidArgument(
+            "fault plan: network_partition side_a lists node " +
+            std::to_string(n) + " twice");
+      }
+      seen[size_t(n)] = true;
+    }
+    if (int(f.side_a.size()) >= nodes) {
+      return Status::InvalidArgument(
+          "fault plan: network_partition side_a must be a strict subset of "
+          "the fabric (got all " +
+          std::to_string(nodes) + " nodes)");
+    }
+  }
+
+  // Partitions and heals must alternate in time: P, H, P, H, ... The i-th
+  // heal closes the i-th partition; a trailing partition without a heal is
+  // permanent. Anything else is an overlapping cut or a dangling heal.
+  if (partition_heals.size() > partitions.size()) {
+    return Status::InvalidArgument(
+        "fault plan: partition_heal without a preceding network_partition");
+  }
+  for (size_t i = 0; i < partition_heals.size(); ++i) {
+    if (partition_heals[i].at <= partitions[i].at) {
+      return Status::InvalidArgument(
+          "fault plan: partition_heal scheduled at or before its "
+          "network_partition");
+    }
+    if (i + 1 < partitions.size() &&
+        partitions[i + 1].at <= partition_heals[i].at) {
+      return Status::InvalidArgument(
+          "fault plan: overlapping network_partitions (next cut starts "
+          "before the previous heal)");
+    }
+  }
+  if (partition_heals.size() < partitions.size() &&
+      partitions.size() - partition_heals.size() > 1) {
+    return Status::InvalidArgument(
+        "fault plan: overlapping network_partitions (two un-healed cuts)");
+  }
+
+  for (const NodeSlow& f : node_slows) {
+    SLASH_RETURN_IF_ERROR(node_in_range(f.node, "node_slow"));
+    if (f.factor < 1.0) {
+      return Status::InvalidArgument(
+          "fault plan: node_slow factor must be >= 1");
+    }
+  }
+  // Overlapping slowdowns of the same node (duration 0 = forever) would
+  // make the restore ordering ambiguous; reject like overlapping pauses.
+  for (size_t i = 0; i < node_slows.size(); ++i) {
+    for (size_t j = i + 1; j < node_slows.size(); ++j) {
+      if (node_slows[i].node != node_slows[j].node) continue;
+      if (node_slows[i].duration == 0 ||
+          node_slows[j].at < node_slows[i].at + node_slows[i].duration) {
+        return Status::InvalidArgument(
+            "fault plan: overlapping slowdowns of node " +
+            std::to_string(node_slows[i].node));
+      }
+    }
+  }
+
+  for (const LinkDropOneWay& f : one_way_drops) {
+    SLASH_RETURN_IF_ERROR(node_in_range(f.src_node, "link_drop_one_way src"));
+    SLASH_RETURN_IF_ERROR(node_in_range(f.dst_node, "link_drop_one_way dst"));
+    if (f.src_node == f.dst_node) {
+      return Status::InvalidArgument(
+          "fault plan: link_drop_one_way src and dst are the same node");
     }
   }
   return Status::OK();
@@ -159,12 +273,49 @@ void FaultInjector::Attach(FaultTarget* target) {
       target_->CrashNode(f.node);
     });
   }
+  for (const FaultPlan::NetworkPartition& f : plan_.partitions) {
+    sim_->ScheduleAt(f.at, [this, f] {
+      Record(FaultKind::kNetworkPartition, int64_t(f.side_a.size()),
+             SideMask(f.side_a));
+      partition_active_ = true;
+      partition_side_a_ = f.side_a;
+      target_->PartitionNodes(f.side_a);
+    });
+  }
+  for (const FaultPlan::PartitionHeal& f : plan_.partition_heals) {
+    sim_->ScheduleAt(f.at, [this] {
+      Record(FaultKind::kPartitionHeal, 0, 0);
+      partition_active_ = false;
+      partition_side_a_.clear();
+      target_->HealPartition();
+    });
+  }
+  for (const FaultPlan::NodeSlow& f : plan_.node_slows) {
+    sim_->ScheduleAt(f.at, [this, f] {
+      Record(FaultKind::kNodeSlow, f.node, int64_t(f.factor * 1e6));
+      target_->SetNodeSpeedFactor(f.node, f.factor);
+    });
+    if (f.duration > 0) {
+      sim_->ScheduleAt(f.at + f.duration, [this, f] {
+        Record(FaultKind::kNodeRestoreSpeed, f.node, 0);
+        target_->SetNodeSpeedFactor(f.node, 1.0);
+      });
+    }
+  }
+  for (const FaultPlan::LinkDropOneWay& f : plan_.one_way_drops) {
+    // Mark the window opening in the trace so the schedule itself (not just
+    // per-transfer casualties) is part of the replay digest.
+    sim_->ScheduleAt(f.from, [this, f] {
+      Record(FaultKind::kLinkDropOneWay, f.src_node, f.dst_node);
+    });
+  }
 }
 
 FaultInjector::TransferFault FaultInjector::OnTransfer(int src_node,
                                                        int dst_node,
                                                        uint32_t qp_num,
-                                                       uint64_t bytes) {
+                                                       uint64_t bytes,
+                                                       bool round_trip) {
   TransferFault fault;
   const Nanos now = sim_->now();
   auto matches = [&](Nanos from, Nanos until, int src, int dst) {
@@ -174,6 +325,32 @@ FaultInjector::TransferFault FaultInjector::OnTransfer(int src_node,
     if (dst != kAnyNode && dst != dst_node) return false;
     return true;
   };
+  // Partition cuts and one-way dead links drop deterministically — no PRNG
+  // draw — so they compose with probabilistic rules without perturbing the
+  // seeded coin-flip sequence.
+  if (partition_active_ && Partitioned(src_node, dst_node)) {
+    ++dropped_transfers_;
+    fault.drop = true;
+    Record(FaultKind::kTransferDrop, qp_num, int64_t(bytes));
+    return fault;
+  }
+  auto in_window = [now](Nanos from, Nanos until) {
+    return now >= from && (until == 0 || now < until);
+  };
+  for (const FaultPlan::LinkDropOneWay& rule : plan_.one_way_drops) {
+    if (!in_window(rule.from, rule.until)) continue;
+    const bool forward =
+        rule.src_node == src_node && rule.dst_node == dst_node;
+    // A READ's response travels dst -> src: the round trip is lost if the
+    // reverse direction is dead too.
+    const bool reverse = round_trip && rule.src_node == dst_node &&
+                         rule.dst_node == src_node;
+    if (!forward && !reverse) continue;
+    ++dropped_transfers_;
+    fault.drop = true;
+    Record(FaultKind::kTransferDrop, qp_num, int64_t(bytes));
+    return fault;
+  }
   for (size_t i = 0; i < plan_.drop_rules.size(); ++i) {
     const FaultPlan::DropRule& rule = plan_.drop_rules[i];
     if (!matches(rule.from, rule.until, rule.src_node, rule.dst_node)) {
@@ -202,6 +379,17 @@ FaultInjector::TransferFault FaultInjector::OnTransfer(int src_node,
     Record(FaultKind::kTransferDelay, qp_num, fault.extra_delay);
   }
   return fault;
+}
+
+bool FaultInjector::Partitioned(int a, int b) const {
+  if (!partition_active_ || a == b) return false;
+  bool a_in = false;
+  bool b_in = false;
+  for (int n : partition_side_a_) {
+    a_in |= (n == a);
+    b_in |= (n == b);
+  }
+  return a_in != b_in;
 }
 
 void FaultInjector::Record(FaultKind kind, int64_t subject, int64_t detail) {

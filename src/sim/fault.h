@@ -110,23 +110,71 @@ struct FaultPlan {
     int node = 0;
   };
 
+  /// Bipartitions the cluster at virtual time `at`: every transfer crossing
+  /// the cut between `side_a` and its complement is dropped (reported to the
+  /// sender as retry-exhausted after `drop_report_delay`), in both
+  /// directions, until the matching PartitionHeal fires. Nodes keep running
+  /// — nothing errors, traffic just silently dies on the wire. `side_a`
+  /// must be a non-empty strict subset of [0, nodes).
+  struct NetworkPartition {
+    Nanos at = 0;
+    std::vector<int> side_a;
+  };
+
+  /// Heals the currently active partition at virtual time `at`. Partitions
+  /// and heals must alternate: P, H, P, H, ... A partition without a
+  /// following heal is permanent.
+  struct PartitionHeal {
+    Nanos at = 0;
+  };
+
+  /// A gray node: multiplies node `node`'s NIC transfer durations and CPU
+  /// compute costs by `factor` (>= 1) during [at, at + duration) without
+  /// erroring anything. duration == 0 means the slowdown is permanent.
+  struct NodeSlow {
+    Nanos at = 0;
+    int node = 0;
+    double factor = 10.0;
+    Nanos duration = 0;
+  };
+
+  /// Deterministically drops every transfer from `src_node` to `dst_node`
+  /// (that direction only) posted inside [from, until). until == 0 means
+  /// forever. Unlike DropRule this never consults the PRNG, so it composes
+  /// with probabilistic rules without perturbing their coin-flip sequence.
+  struct LinkDropOneWay {
+    Nanos from = 0;
+    Nanos until = 0;
+    int src_node = 0;
+    int dst_node = 0;
+  };
+
   std::vector<QpError> qp_errors;
   std::vector<NicDegrade> nic_degrades;
   std::vector<NodePause> node_pauses;
   std::vector<DropRule> drop_rules;
   std::vector<DelayRule> delay_rules;
   std::vector<NodeCrash> node_crashes;
+  std::vector<NetworkPartition> partitions;
+  std::vector<PartitionHeal> partition_heals;
+  std::vector<NodeSlow> node_slows;
+  std::vector<LinkDropOneWay> one_way_drops;
 
   bool empty() const {
     return qp_errors.empty() && nic_degrades.empty() && node_pauses.empty() &&
-           drop_rules.empty() && delay_rules.empty() && node_crashes.empty();
+           drop_rules.empty() && delay_rules.empty() && node_crashes.empty() &&
+           partitions.empty() && partition_heals.empty() &&
+           node_slows.empty() && one_way_drops.empty();
   }
 
   /// Checks the plan against a fabric of `nodes` nodes. Rejects unsorted
   /// schedules (each vector must be ordered by trigger time), overlapping
-  /// pauses of the same node, and node-targeted faults naming nodes outside
-  /// [0, nodes). Engines call this before arming the injector so a bad plan
-  /// fails the run with a clear error instead of corrupting it mid-flight.
+  /// pauses/slowdowns of the same node, node-targeted faults naming nodes
+  /// outside [0, nodes), malformed partition sides (empty, duplicated, or
+  /// non-strict subsets), heals with no preceding partition, and partitions
+  /// that overlap an un-healed predecessor. Engines call this before arming
+  /// the injector so a bad plan fails the run with a clear error instead of
+  /// corrupting it mid-flight.
   Status Validate(int nodes) const;
 };
 
@@ -146,6 +194,12 @@ class FaultTarget {
   virtual void PauseNode(int node, Nanos until) = 0;
   /// Kills `node` permanently: marks it dead, errors every QP touching it.
   virtual void CrashNode(int node) = 0;
+  /// Installs the bipartition cut: `side_a` vs its complement.
+  virtual void PartitionNodes(const std::vector<int>& side_a) = 0;
+  /// Removes the active bipartition cut.
+  virtual void HealPartition() = 0;
+  /// Multiplies `node`'s NIC and CPU costs by `factor` (1.0 restores).
+  virtual void SetNodeSpeedFactor(int node, double factor) = 0;
 };
 
 /// Kinds of injected events, for the trace.
@@ -158,6 +212,11 @@ enum class FaultKind : uint8_t {
   kTransferDrop,
   kTransferDelay,
   kNodeCrash,
+  kNetworkPartition,
+  kPartitionHeal,
+  kNodeSlow,
+  kNodeRestoreSpeed,
+  kLinkDropOneWay,
 };
 
 std::string_view FaultKindName(FaultKind kind);
@@ -189,13 +248,15 @@ class FaultInjector {
 
   /// Per-transfer decision, consulted synchronously by the fabric when a
   /// work request is posted. Deterministic: the seeded PRNG advances once
-  /// per probabilistic rule match, in DES order.
+  /// per probabilistic rule match, in DES order. `round_trip` marks
+  /// request/response operations (RDMA READ): the whole round trip is lost
+  /// if either direction of the cut/link is faulted.
   struct TransferFault {
     bool drop = false;
     Nanos extra_delay = 0;
   };
   TransferFault OnTransfer(int src_node, int dst_node, uint32_t qp_num,
-                           uint64_t bytes);
+                           uint64_t bytes, bool round_trip = false);
 
   /// Every event injected so far, in virtual-time order.
   const std::vector<FaultEvent>& trace() const { return trace_; }
@@ -213,12 +274,17 @@ class FaultInjector {
  private:
   void Record(FaultKind kind, int64_t subject, int64_t detail);
 
+  /// True while a NetworkPartition separates `a` and `b`.
+  bool Partitioned(int a, int b) const;
+
   Simulator* sim_;
   FaultPlan plan_;
   FaultTarget* target_ = nullptr;
   Rng rng_;
   std::vector<uint64_t> drops_used_;  // per drop rule
   std::vector<FaultEvent> trace_;
+  bool partition_active_ = false;
+  std::vector<int> partition_side_a_;
   uint64_t dropped_transfers_ = 0;
   uint64_t delayed_transfers_ = 0;
   uint64_t qp_errors_injected_ = 0;

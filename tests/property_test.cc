@@ -351,6 +351,74 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param));
     });
 
+// --- Gray-failure determinism (health monitor + new fault kinds) ------------
+
+// The failure detector's probes, suspicions, quarantines, and recoveries
+// are all DES events, so a health-instrumented run under partitions and
+// gray nodes must replay byte-for-byte: the full MetricsSnapshot — health
+// counters included — is the determinism oracle. (The larger randomized
+// sweep lives in the chaos tier; this keeps a seed in tier1.)
+class GrayFailureDeterminismSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GrayFailureDeterminismSweep, HealthRunsReplayByteIdentically) {
+  const int variant = GetParam();
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 500;
+  workloads::YsbWorkload workload(ycfg);
+
+  engines::ClusterConfig cfg;
+  cfg.nodes = 3;
+  cfg.workers_per_node = 2;
+  cfg.records_per_worker = 8000;
+  cfg.channel.slot_bytes = 16 * kKiB;
+  cfg.epoch_bytes = 64 * kKiB;
+  cfg.collect_rows = false;
+  cfg.checkpoint.enabled = true;
+  cfg.health.enabled = true;
+  cfg.health.heartbeat_interval = 20 * kMicrosecond;
+  cfg.health.probe_timeout = 10 * kMicrosecond;
+  cfg.health.suspicion_threshold = 4;
+  cfg.health.recovery_deadline = 10 * kMillisecond;
+  cfg.health.run_deadline = 100 * kMillisecond;
+
+  sim::FaultPlan plan;
+  switch (variant) {
+    case 0:  // healed partition
+      plan.partitions.push_back({.at = 150 * kMicrosecond, .side_a = {2}});
+      plan.partition_heals.push_back({.at = 450 * kMicrosecond});
+      break;
+    case 1:  // gray node for a window
+      plan.node_slows.push_back({.at = 100 * kMicrosecond,
+                                 .node = 1,
+                                 .factor = 40.0,
+                                 .duration = 200 * kMicrosecond});
+      break;
+    default:  // permanent one-way link drop
+      plan.one_way_drops.push_back(
+          {.from = 200 * kMicrosecond, .src_node = 0, .dst_node = 2});
+      break;
+  }
+  cfg.fault_plan = &plan;
+
+  engines::SlashEngine engine;
+  const engines::RunStats ra = engine.Run(workload.MakeQuery(), workload, cfg);
+  const engines::RunStats rb = engine.Run(workload.MakeQuery(), workload, cfg);
+
+  EXPECT_EQ(ra.status.code(), rb.status.code());
+  EXPECT_EQ(ra.metrics.ToJson(), rb.metrics.ToJson())
+      << "gray-failure replay diverged";
+  EXPECT_GT(ra.faults_injected(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(GrayFaults, GrayFailureDeterminismSweep,
+                         ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::string(
+                               info.param == 0   ? "partition_heal"
+                               : info.param == 1 ? "gray_node"
+                                                 : "one_way_drop");
+                         });
+
 // --- Snapshot/restore round-trip (checkpointing) ----------------------------
 
 // SnapshotPrimary → restore into a fresh backend must reproduce the primary

@@ -18,13 +18,20 @@ keyed by (series, x, metric). This tool diffs two such files:
     for presence and positivity, and only compared numerically when
     --wall-rel-tol is given (useful on a machine comparable to the one
     that produced the baseline; CI leaves it off).
+  * Tolerance-banded metrics: --rel-tol SUBSTR=FRAC (repeatable) relaxes
+    exact matching to a relative tolerance for any deterministic metric
+    whose name contains SUBSTR. Used for gate metrics that assert a
+    *bound* rather than a bit pattern — e.g. the failure detector's
+    "makespan overhead vs off [%]" must stay ~free, but its exact ratio
+    may legitimately drift when the cost model is retuned.
 
 Exit status: 0 when the current artifact matches the baseline, 1 on any
 difference, 2 on usage/IO errors. The diff is printed one finding per
 line so CI logs read directly.
 
 Usage:
-    tools/bench_compare.py BASELINE CURRENT [--wall-rel-tol FRAC] [--subset]
+    tools/bench_compare.py BASELINE CURRENT [--wall-rel-tol FRAC]
+        [--rel-tol SUBSTR=FRAC ...] [--subset]
 
     --subset   Allow CURRENT to cover only part of the baseline's keys
                (CI smoke runs a --benchmark_filter slice); missing keys
@@ -61,6 +68,31 @@ def is_wall_metric(metric):
     return "wall" in metric
 
 
+def parse_rel_tols(specs):
+    """Parses repeated SUBSTR=FRAC options into [(substr, frac)] pairs."""
+    tols = []
+    for spec in specs or []:
+        substr, sep, frac = spec.rpartition("=")
+        try:
+            frac_val = float(frac)
+        except ValueError:
+            frac_val = -1.0
+        if not sep or not substr or frac_val < 0:
+            print(f"error: bad --rel-tol {spec!r} (want SUBSTR=FRAC with "
+                  f"FRAC >= 0)", file=sys.stderr)
+            sys.exit(2)
+        tols.append((substr, frac_val))
+    return tols
+
+
+def rel_tol_for(metric, tols):
+    """First matching tolerance band for `metric`, or None for exact."""
+    for substr, frac in tols:
+        if substr in metric:
+            return frac
+    return None
+
+
 def fmt(key):
     series, x, metric = key
     return f"{series} / {x} / {metric}"
@@ -79,6 +111,15 @@ def main():
         "tolerance (e.g. 0.5); default: presence + positivity only",
     )
     ap.add_argument(
+        "--rel-tol",
+        action="append",
+        default=None,
+        metavar="SUBSTR=FRAC",
+        help="compare deterministic metrics whose name contains SUBSTR "
+        "within this relative tolerance instead of exactly; repeatable "
+        "(first matching SUBSTR wins)",
+    )
+    ap.add_argument(
         "--subset",
         action="store_true",
         help="allow the current file to cover a subset of the baseline "
@@ -86,6 +127,7 @@ def main():
     )
     args = ap.parse_args()
 
+    rel_tols = parse_rel_tols(args.rel_tol)
     base_name, base = load_points(args.baseline)
     cur_name, cur = load_points(args.current)
 
@@ -115,7 +157,15 @@ def main():
                     )
             compared += 1
         else:
-            if got != want:
+            tol = rel_tol_for(key[2], rel_tols)
+            if tol is not None:
+                rel = abs(got - want) / max(abs(want), 1e-300)
+                if rel > tol:
+                    failures.append(
+                        f"banded metric off by {rel:.1%} (> {tol:.1%}): "
+                        f"{fmt(key)}: baseline {want}, current {got}"
+                    )
+            elif got != want:
                 failures.append(
                     f"deterministic metric changed: {fmt(key)}: "
                     f"baseline {want!r}, current {got!r}"
