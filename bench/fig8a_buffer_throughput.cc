@@ -1,10 +1,15 @@
 // Figure 8a: throughput versus buffer size on the RO benchmark, for the
-// direct (Slash) and partitioned (RDMA UpPar) transfer modes on two nodes.
+// direct (Slash) and partitioned (RDMA UpPar) transfer modes on two nodes,
+// plus the verbs-batched direct mode (doorbell batching + inline sends).
 //
 // Paper shape: Slash reaches ~95% of the 11.8 GB/s achievable bandwidth
 // from 32 KiB buffers with two producer threads; RDMA UpPar plateaus
 // around 50% at the same thread count because per-record partitioning
-// saturates the sender CPU first.
+// saturates the sender CPU first. The batched series shows the batch-size
+// crossover: amortized doorbells and inline WQEs win while per-message
+// overhead dominates (small buffers), and give the lead back once
+// transfers are large enough that deferring the NIC start until the flush
+// costs more than the saved MMIOs.
 #include <benchmark/benchmark.h>
 
 #include <string>
@@ -17,41 +22,60 @@ namespace {
 
 SeriesTable* Table() {
   static SeriesTable* table =
-      new SeriesTable("Fig 8a: RO throughput vs buffer size (2 threads)");
+      new SeriesTable("Fig 8a: buffer throughput");
   return table;
 }
 
-void RunCase(benchmark::State& state, bool partitioned, uint64_t slot_kib) {
+enum class Mode { kDirect, kBatched, kPartitioned };
+
+const char* SeriesName(Mode mode) {
+  switch (mode) {
+    case Mode::kDirect: return "Slash";
+    case Mode::kBatched: return "Slash batched";
+    case Mode::kPartitioned: return "RDMA UpPar";
+  }
+  return "?";
+}
+
+void RunCase(benchmark::State& state, Mode mode, uint64_t slot_kib) {
   TransferConfig cfg;
   cfg.producers = 2;
   cfg.consumers = 10;
   cfg.slot_bytes = slot_kib * kKiB;
   cfg.records_per_producer = BenchRecords(400'000);
-  cfg.partitioned = partitioned;
+  cfg.partitioned = mode == Mode::kPartitioned;
+  if (mode == Mode::kBatched) {
+    cfg.post_batch = 4;                  // one doorbell per 4 queued WRs
+    cfg.inline_threshold = 4 * kKiB;     // small slots ride in the WQE
+  }
   TransferResult result;
   for (auto _ : state) {
     result = RunTransfer(cfg);
   }
+  RequireCompleted(result.status, std::string("fig8a/") + SeriesName(mode) +
+                                      "/" + std::to_string(slot_kib) + "KiB");
   state.counters["GB/s"] = result.goodput_gbytes_per_sec();
   state.counters["pct_line_rate"] = result.goodput_gbytes_per_sec() / 11.8 * 100.0;
-  Table()->Add(partitioned ? "RDMA UpPar" : "Slash",
-               std::to_string(slot_kib) + "KiB", "goodput [GB/s]",
-               result.goodput_gbytes_per_sec());
+  state.counters["Mrec/s"] = result.records_per_second() / 1e6;
+  Table()->Add(SeriesName(mode), std::to_string(slot_kib) + "KiB",
+               "goodput [GB/s]", result.goodput_gbytes_per_sec());
 }
 
 }  // namespace
 }  // namespace slash::bench
 
 int main(int argc, char** argv) {
-  for (const bool partitioned : {false, true}) {
+  using slash::bench::Mode;
+  for (const Mode mode :
+       {Mode::kDirect, Mode::kBatched, Mode::kPartitioned}) {
     for (const uint64_t kib : {1, 4, 16, 32, 64, 128, 256, 1024}) {
       const std::string name = std::string("fig8a/") +
-                               (partitioned ? "UpPar" : "Slash") + "/buffer:" +
+                               slash::bench::SeriesName(mode) + "/buffer:" +
                                std::to_string(kib) + "KiB";
       benchmark::RegisterBenchmark(
           name.c_str(),
-          [partitioned, kib](benchmark::State& state) {
-            slash::bench::RunCase(state, partitioned, kib);
+          [mode, kib](benchmark::State& state) {
+            slash::bench::RunCase(state, mode, kib);
           })
           ->Iterations(1)
           ->Unit(benchmark::kMillisecond);

@@ -1,8 +1,14 @@
 // Figure 8b: per-buffer transfer latency versus buffer size on the RO
-// benchmark (acquire-to-poll, two nodes).
+// benchmark (acquire-to-poll, two nodes), including the verbs-batched
+// direct mode.
 //
 // Paper shape: latencies stay below 100 us for buffers under 128 KiB and
 // reach ~1 ms at 1 MiB; RDMA UpPar runs ~10% above Slash at every size.
+// The batched series pays queueing delay for the doorbell amortization:
+// small buffers come out ahead (fewer MMIOs per delivered byte), large
+// buffers sit on the producer until the flush and report higher
+// acquire-to-poll latency — the same crossover as Fig 8a, seen from the
+// latency side.
 #include <benchmark/benchmark.h>
 
 #include <string>
@@ -15,46 +21,66 @@ namespace {
 
 SeriesTable* Table() {
   static SeriesTable* table =
-      new SeriesTable("Fig 8b: RO buffer latency vs buffer size");
+      new SeriesTable("Fig 8b: buffer latency");
   return table;
 }
 
-void RunCase(benchmark::State& state, bool partitioned, uint64_t slot_kib) {
+enum class Mode { kDirect, kBatched, kPartitioned };
+
+const char* SeriesName(Mode mode) {
+  switch (mode) {
+    case Mode::kDirect: return "Slash";
+    case Mode::kBatched: return "Slash batched";
+    case Mode::kPartitioned: return "RDMA UpPar";
+  }
+  return "?";
+}
+
+void RunCase(benchmark::State& state, Mode mode, uint64_t slot_kib) {
   TransferConfig cfg;
   cfg.producers = 2;
   cfg.consumers = 10;
   cfg.slot_bytes = slot_kib * kKiB;
   cfg.records_per_producer = BenchRecords(200'000);
-  cfg.partitioned = partitioned;
+  cfg.partitioned = mode == Mode::kPartitioned;
+  if (mode == Mode::kBatched) {
+    cfg.post_batch = 4;
+    cfg.inline_threshold = 4 * kKiB;
+  }
   TransferResult result;
   for (auto _ : state) {
     result = RunTransfer(cfg);
   }
+  RequireCompleted(result.status, std::string("fig8b/") + SeriesName(mode) +
+                                      "/" + std::to_string(slot_kib) + "KiB");
   const double p50_us =
       double(result.buffer_latency.Percentile(50)) / double(kMicrosecond);
   const double p99_us =
       double(result.buffer_latency.Percentile(99)) / double(kMicrosecond);
   state.counters["p50_us"] = p50_us;
   state.counters["p99_us"] = p99_us;
-  Table()->Add(partitioned ? "RDMA UpPar" : "Slash",
-               std::to_string(slot_kib) + "KiB", "latency p50 [us]", p50_us);
-  Table()->Add(partitioned ? "RDMA UpPar" : "Slash",
-               std::to_string(slot_kib) + "KiB", "latency p99 [us]", p99_us);
+  state.counters["Mrec/s"] = result.records_per_second() / 1e6;
+  Table()->Add(SeriesName(mode), std::to_string(slot_kib) + "KiB",
+               "latency p50 [us]", p50_us);
+  Table()->Add(SeriesName(mode), std::to_string(slot_kib) + "KiB",
+               "latency p99 [us]", p99_us);
 }
 
 }  // namespace
 }  // namespace slash::bench
 
 int main(int argc, char** argv) {
-  for (const bool partitioned : {false, true}) {
+  using slash::bench::Mode;
+  for (const Mode mode :
+       {Mode::kDirect, Mode::kBatched, Mode::kPartitioned}) {
     for (const uint64_t kib : {4, 16, 32, 64, 128, 256, 1024}) {
       const std::string name = std::string("fig8b/") +
-                               (partitioned ? "UpPar" : "Slash") + "/buffer:" +
+                               slash::bench::SeriesName(mode) + "/buffer:" +
                                std::to_string(kib) + "KiB";
       benchmark::RegisterBenchmark(
           name.c_str(),
-          [partitioned, kib](benchmark::State& state) {
-            slash::bench::RunCase(state, partitioned, kib);
+          [mode, kib](benchmark::State& state) {
+            slash::bench::RunCase(state, mode, kib);
           })
           ->Iterations(1)
           ->Unit(benchmark::kMillisecond);

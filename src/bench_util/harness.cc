@@ -28,11 +28,15 @@ uint64_t BenchRecords(uint64_t base) {
 
 void RequireCompleted(const engines::RunStats& stats,
                       const std::string& context) {
-  if (stats.ok()) return;
+  RequireCompleted(stats.status, context);
+}
+
+void RequireCompleted(const Status& status, const std::string& context) {
+  if (status.ok()) return;
   std::fprintf(stderr,
                "FATAL: benchmark run did not complete (%s): %s\n"
                "Refusing to report numbers from an aborted run.\n",
-               context.c_str(), stats.status.ToString().c_str());
+               context.c_str(), status.ToString().c_str());
   std::exit(1);
 }
 

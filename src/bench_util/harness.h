@@ -30,6 +30,10 @@ uint64_t BenchRecords(uint64_t base);
 void RequireCompleted(const engines::RunStats& stats,
                       const std::string& context);
 
+/// Same guard for harnesses that report a bare Status (e.g. the transfer
+/// harness behind Figs. 8-9 and the verbs ablations).
+void RequireCompleted(const Status& status, const std::string& context);
+
 /// The paper-figure series table now lives in the observability layer; the
 /// bench namespace keeps the historical name. Emission (text matrix,
 /// SLASH_BENCH_JSON artifact) goes through obs::Exporter.

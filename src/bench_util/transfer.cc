@@ -50,6 +50,8 @@ struct TransferRun {
   std::vector<std::unique_ptr<perf::CpuContext>> consumer_cpus;
   std::vector<std::unique_ptr<sim::Event>> consumer_events;
   std::unique_ptr<state::Partition> state;  // consumer-side RO count state
+  obs::MetricsRegistry registry;            // the run's metrics plane
+  obs::Counter* records_out = nullptr;      // "transfer.records_out"
   TransferResult result;
 };
 
@@ -186,6 +188,12 @@ sim::Task Producer(TransferRun* run, int p) {
     }
     co_await cpu->Sync();
   }
+  // Doorbell batching: ring out anything still queued before parking for
+  // good, or the tail (and the final markers) never leaves the producer.
+  for (int lane_id : my_lanes) {
+    Lane& lane = run->lanes[lane_id];
+    if (lane.push != nullptr) SLASH_CHECK(lane.push->Flush(cpu).ok());
+  }
 }
 
 /// Applies the RO stateful count to one received buffer.
@@ -194,7 +202,7 @@ void Consume(TransferRun* run, perf::CpuContext* cpu, const uint8_t* payload,
   core::RecordReader reader(payload, len);
   core::Record r;
   while (reader.Next(&r)) {
-    ++run->result.records;
+    run->records_out->Add(1);
     cpu->CountRecords(1);
     cpu->Charge(Op::kRecordParse);
     if (run->config.update_state) {
@@ -276,9 +284,15 @@ TransferResult RunTransfer(const TransferConfig& config) {
   fabric_config.connection = config.connection;
   run.fabric = std::make_unique<rdma::Fabric>(&run.sim, fabric_config);
 
+  run.sim.set_metrics(&run.registry);
+  run.records_out = run.registry.GetCounter("transfer.records_out");
+
   channel::ChannelConfig ch_cfg;
   ch_cfg.credits = config.credits;
   ch_cfg.slot_bytes = config.slot_bytes;
+  ch_cfg.post_batch = config.post_batch;
+  ch_cfg.inline_threshold = config.inline_threshold;
+  ch_cfg.send_threshold = config.send_threshold;
 
   state::PartitionConfig pcfg;
   pcfg.kind = state::StateKind::kAggregate;
@@ -313,6 +327,9 @@ TransferResult RunTransfer(const TransferConfig& config) {
                               ch_cfg));
       lane.push = run.push_channels.back().get();
       lane.push->AddDataObserver(run.consumer_events[c].get());
+      lane.push->SetCloseHandler([&run](const Status& cause) {
+        if (run.result.status.ok()) run.result.status = cause;
+      });
     }
     const int lane_id = static_cast<int>(run.lanes.size());
     run.lanes.push_back(lane);
@@ -357,6 +374,7 @@ TransferResult RunTransfer(const TransferConfig& config) {
 
   run.result.makespan = run.sim.Run();
   SLASH_CHECK_MSG(run.sim.pending_tasks() == 0, "transfer run deadlocked");
+  run.result.records = run.records_out->value();
   run.result.wire_bytes = run.fabric->total_tx_bytes();
   for (auto& cpu : run.producer_cpus) run.result.sender.Merge(cpu->counters());
   for (auto& cpu : run.consumer_cpus) {

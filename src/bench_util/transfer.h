@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "common/status.h"
 #include "common/units.h"
 #include "obs/metrics.h"
 #include "perf/cost_model.h"
@@ -44,12 +45,25 @@ struct TransferConfig {
   rdma::ConnectionConfig connection;  // flow->QP mapping (rdma/srq.h)
   double cpu_ghz = 2.4;
   uint64_t seed = 42;
+
+  /// Verbs-level batching knobs, forwarded to ChannelConfig (all opt-in;
+  /// defaults reproduce the unbatched protocol byte-for-byte).
+  uint32_t post_batch = 1;        // doorbell batching
+  uint32_t inline_threshold = 0;  // inline-send fast path
+  uint32_t send_threshold = 0;    // adaptive SEND vs WRITE transport
 };
 
 struct TransferResult {
+  /// OK for a completed run; the first channel error otherwise (benches
+  /// gate on this via RequireCompleted instead of silently reporting a
+  /// truncated transfer).
+  Status status;
   Nanos makespan = 0;
   uint64_t payload_bytes = 0;  // record bytes delivered
   uint64_t wire_bytes = 0;     // NIC transmit volume
+  /// Records delivered, read back from the run's obs counter
+  /// ("transfer.records_out") — the registry is the single source of truth
+  /// the engines also publish through.
   uint64_t records = 0;
   obs::Histogram buffer_latency;
   perf::Counters sender;

@@ -87,6 +87,45 @@ struct ChannelConfig {
   /// enable on channels whose consumer actually checkpoints, or the
   /// producer wedges permanently once the bound is hit.
   uint32_t replay_buffer_slots = 0;
+
+  // --- Verbs-level batching (all opt-in; the defaults keep the channel
+  // byte-identical to the unbatched protocol, including its cost-model
+  // charge sequence) -------------------------------------------------------
+
+  /// Doorbell batching: when > 1, Post() builds the work request
+  /// (kRdmaWqeBuild) and queues it instead of ringing the doorbell; the
+  /// doorbell (kRdmaDoorbell) rings once per Flush() — automatic when
+  /// `post_batch` WRs are queued or the producer runs out of credits,
+  /// explicit via Flush(). Amortizes the MMIO cost over the batch. Flush
+  /// additionally coalesces queued WRITEs to adjacent ring slots into one
+  /// spanning WRITE (the flat layout makes consecutive slots contiguous on
+  /// both sides), so a full batch of small slots pays one per-message NIC
+  /// overhead instead of `post_batch` — the main reason batching wins at
+  /// small buffer sizes. Message order and delivery semantics are
+  /// unchanged. Producers that can go idle must Flush() before parking, or
+  /// queued messages never leave.
+  uint32_t post_batch = 1;
+
+  /// Inline-send fast path: wire messages whose size is <= this are posted
+  /// inline — the payload is copied into the WQE at build time
+  /// (kRdmaInlineCopyPerByte per byte) and the NIC skips the payload DMA
+  /// fetch (NicConfig::inline_overhead_discount). For WRITEs the decision
+  /// is made at Flush() on the coalesced wire size; for SEND frames at
+  /// Post() on the frame size. 0 disables. Setting any of the batching
+  /// knobs switches Post() to the decomposed build+doorbell charging even
+  /// at post_batch = 1.
+  uint32_t inline_threshold = 0;
+
+  /// Adaptive transport selection: messages whose compact frame
+  /// (8-byte header + footer + payload) fits in `send_threshold` bytes go
+  /// as two-sided SENDs into a pre-posted receive ring on the consumer;
+  /// larger messages keep the one-sided WRITE into the mirror slot. Small
+  /// messages skip shipping the slot's unused tail; large ones keep the
+  /// zero-copy write path. 0 disables (always WRITE). Requires the
+  /// full-mesh connection mode (a dedicated consumer endpoint with a
+  /// private receive FIFO); a SEND that cannot be posted (e.g. its receive
+  /// buffer was lost with a dropped message) falls back to WRITE.
+  uint32_t send_threshold = 0;
 };
 
 /// Slot footer, stored in the last kFooterBytes of every slot and written
@@ -103,6 +142,11 @@ struct SlotFooter {
 };
 
 inline constexpr uint64_t kFooterBytes = sizeof(SlotFooter);
+
+/// Adaptive-transport SEND frames are [message number | footer | payload]:
+/// the 8-byte message number maps an out-of-ring-order arrival back to its
+/// queue slot and doubles as the frame-valid flag (0 = empty ring entry).
+inline constexpr uint64_t kSendHeaderBytes = 8;
 
 /// A writable slot handed to the producer.
 struct SlotRef {
@@ -177,6 +221,18 @@ class RdmaChannel {
   /// call only when has_credit()).
   Status PostExternal(rdma::MemorySpan payload, uint64_t user_tag,
                       int64_t watermark, perf::CpuContext* cpu);
+
+  /// Rings the doorbell for every queued work request (doorbell batching;
+  /// no-op when nothing is queued). Charges one kRdmaDoorbell and posts
+  /// the WRs in order — SEND frames individually (per the transport
+  /// decision recorded at Post() time), WRITEs coalesced: runs of adjacent
+  /// ring slots merge into one spanning WRITE. Producers must call this
+  /// before parking (end of input, waiting on something other than
+  /// credits) so queued messages drain.
+  Status Flush(perf::CpuContext* cpu);
+
+  /// Work requests built but not yet doorbelled (doorbell batching).
+  size_t pending_posts() const { return pending_.size(); }
 
   /// True when at least one credit is available.
   bool has_credit() const;
@@ -304,6 +360,12 @@ class RdmaChannel {
   bool OnProducerCompletion(const rdma::Completion& c);
   bool OnConsumerCompletion(const rdma::Completion& c);
 
+  // Drains SEND-delivered frames from the receive ring into their queue
+  // slots (adaptive transport), re-arming each consumed receive. Called by
+  // TryPoll before the in-order footer poll; frames may arrive in any ring
+  // entry, the embedded message number maps them to their slot.
+  void DrainRecvRing(perf::CpuContext* cpu);
+
   // Re-posts the transfer identified by `wr_id` (scheduled after backoff).
   void RetryPost(uint64_t wr_id);
   // Re-posts the latest cumulative credit count (idempotent).
@@ -326,7 +388,15 @@ class RdmaChannel {
   // Observability handles, resolved once at Create() from the simulator's
   // registered plane (see Simulator::set_metrics/set_tracer). Null when
   // that plane is absent/disabled, so each publish point is one branch.
+  // The batching instruments are additionally gated on batched_mode_ so
+  // default-config runs register no new metrics.
   obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* batches_counter_ = nullptr;
+  obs::Counter* doorbells_counter_ = nullptr;
+  obs::Counter* inline_counter_ = nullptr;
+  obs::Counter* transport_send_counter_ = nullptr;
+  obs::Counter* transport_write_counter_ = nullptr;
+  obs::Counter* coalesced_counter_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   uint32_t trace_transfer_ = 0;  // interned names (hot path emits by id)
   uint32_t trace_retry_ = 0;
@@ -346,6 +416,30 @@ class RdmaChannel {
   // Zero-copy payload spans of in-flight external messages, indexed by
   // slot; valid until the slot's credit returns (needed for retries).
   std::vector<rdma::MemorySpan> external_spans_;
+
+  // Verbs-level batching state. batched_mode_ is true when any batching
+  // knob is set: Post() then charges the decomposed kRdmaWqeBuild +
+  // kRdmaDoorbell sequence instead of the fused kRdmaPost (numerically
+  // different even at post_batch = 1, which is why it is opt-in).
+  struct PendingWr {
+    uint64_t msg = 0;           // 1-based message number
+    uint32_t slot = 0;          // staging/queue slot index
+    uint32_t payload_len = 0;
+    bool send_transport = false;  // SEND frame vs slot WRITE
+    bool inline_send = false;     // payload embedded in the WQE
+  };
+  bool batched_mode_ = false;
+  std::vector<PendingWr> pending_;            // capacity reserved at Create
+  // Slots covered by the last wire WRITE that started at each slot index
+  // (WR coalescing merges adjacent-slot WRs into one spanning WRITE at
+  // Flush). RetryPost consults this to re-post a failed merged transfer in
+  // full. Entries are only read for in-flight messages, whose slots cannot
+  // be reused (credits return in order), so overwriting at the next post
+  // of the same slot is safe. Sized `credits` at Create; runs never cross
+  // the ring wrap.
+  std::vector<uint32_t> merged_run_len_;
+  rdma::MemoryRegion* send_staging_ = nullptr;  // producer compact SEND frames
+  rdma::MemoryRegion* recv_ring_ = nullptr;     // consumer receive ring
   // Upstream replay buffer (bounded; see ChannelConfig::replay_buffer_slots).
   std::deque<RetainedMessage> retained_;
   uint64_t retained_bytes_ = 0;

@@ -8,6 +8,7 @@
 
 #include "core/pipeline.h"
 #include "core/record.h"
+#include "core/record_batch.h"
 #include "engines/trigger.h"
 #include "state/partition.h"
 
@@ -47,6 +48,27 @@ sim::Task Worker(LightSaberRun* run, int w) {
                                         run->config.records_per_worker,
                                         run->config.seed);
   state::Partition* partial = run->partials[w].get();
+  // Columnar staging (config.operator_batch > 1): source records are
+  // appended charge-free into a SoA RecordBatch and replayed in append
+  // order through the scalar per-record sequence, so charges (and virtual
+  // time) stay byte-identical across batch sizes (DESIGN.md §11).
+  const uint32_t operator_batch =
+      std::max<uint32_t>(1u, run->config.operator_batch);
+  core::RecordBatch staged(operator_batch);
+  auto replay = [&] {
+    for (uint32_t i = 0; i < staged.size(); ++i) {
+      Record cur = staged.Get(i);
+      const uint16_t wire_size = run->workload->wire_size(cur.stream_id);
+      cpu->ChargeBytes(Op::kSourceReadPerByte, wire_size);
+      if (!pipeline.Process(&cur)) continue;
+      pipeline.ChargeStatefulPrologue();
+      cpu->Charge(Op::kIndexProbe);
+      cpu->Charge(Op::kStateRmw);
+      partial->UpdateAggregate(
+          {cur.key, run->query->window.BucketOf(cur.timestamp)}, cur.value);
+    }
+    staged.Clear();
+  };
   Record r;
   bool more = true;
   while (more) {
@@ -54,15 +76,10 @@ sim::Task Worker(LightSaberRun* run, int w) {
     while (batch_records < run->config.source_batch &&
            (more = source->Next(&r))) {
       ++batch_records;
-      const uint16_t wire_size = run->workload->wire_size(r.stream_id);
-      cpu->ChargeBytes(Op::kSourceReadPerByte, wire_size);
-      if (!pipeline.Process(&r)) continue;
-      pipeline.ChargeStatefulPrologue();
-      cpu->Charge(Op::kIndexProbe);
-      cpu->Charge(Op::kStateRmw);
-      partial->UpdateAggregate(
-          {r.key, run->query->window.BucketOf(r.timestamp)}, r.value);
+      staged.Append(r);
+      if (staged.full()) replay();
     }
+    replay();
     run->records_in += batch_records;
     cpu->CountRecords(batch_records);
     co_await cpu->Sync();

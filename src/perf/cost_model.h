@@ -70,6 +70,29 @@ enum class Op : uint8_t {
   // Managed-runtime overhead (Flink-like engine only).
   kRuntimeOverhead,     // per-record JVM-style overhead (boxing, virtual calls)
 
+  // Verbs-level batching (appended so existing Op indices stay stable).
+  // kRdmaPost models the unbatched post: one WQE build plus one MMIO
+  // doorbell per work request. Doorbell batching splits the same work into
+  // per-WR builds plus ONE doorbell per flushed chain, so the amortized
+  // per-WR cost drops as the chain grows. The split is only charged when a
+  // channel actually batches (post_batch > 1): summing the parts does not
+  // bit-reproduce kRdmaPost, so default-configured runs keep charging it.
+  kRdmaWqeBuild,        // building one WQE in the send queue (no doorbell)
+  kRdmaDoorbell,        // one MMIO doorbell ringing a queued WR chain
+  kRdmaInlineCopyPerByte, // copying payload bytes into the WQE (inline send)
+
+  // Vectorized operator path (columnar micro-batches, opt-in bench/kernel
+  // charging — see workloads/batch_kernels.h). Costs are per *record* in a
+  // batch: amortized dispatch, predicated filters instead of branches,
+  // software-prefetched index probes that overlap the DRAM misses the
+  // scalar path eats serially.
+  kBatchSetup,          // per-batch loop setup / column pointer materialization
+  kVecRecordParse,      // columnar field load (no per-record dispatch)
+  kVecFilterBranch,     // predicated filter evaluation over a column
+  kVecHashCompute,      // unrolled key hashing over a column
+  kVecIndexProbe,       // prefetch-overlapped hash-index probe
+  kVecStateRmw,         // grouped aggregate RMW with probe already resident
+
   kNumOps,
 };
 

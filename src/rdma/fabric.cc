@@ -215,9 +215,10 @@ bool Fabric::DemuxFlowCompletion(const Completion& c) {
 
 Status Flow::PostToConsumer(MemorySpan local, RemoteKey rkey,
                             uint64_t remote_offset, uint64_t wr_id,
-                            bool signaled) {
+                            bool signaled, bool inline_send) {
   return fwd_from_->PostWriteTo(fwd_to_, local, rkey, remote_offset,
-                                Tag(wr_id, /*reverse=*/false), signaled);
+                                Tag(wr_id, /*reverse=*/false), signaled,
+                                inline_send);
 }
 
 Status Flow::PostToProducer(MemorySpan local, RemoteKey rkey,
@@ -228,9 +229,10 @@ Status Flow::PostToProducer(MemorySpan local, RemoteKey rkey,
 }
 
 Status Flow::SendToConsumer(MemorySpan local, uint64_t wr_id, bool signaled,
-                            uint32_t immediate, bool has_immediate) {
+                            uint32_t immediate, bool has_immediate,
+                            bool inline_send) {
   return fwd_from_->PostSendTo(fwd_to_, local, Tag(wr_id, /*reverse=*/false),
-                               signaled, immediate, has_immediate);
+                               signaled, immediate, has_immediate, inline_send);
 }
 
 uint64_t Fabric::total_tx_bytes() const {
@@ -377,7 +379,7 @@ void Fabric::FlushWr(QpEndpoint* from, WorkType type, uint64_t wr_id,
 Status Fabric::ExecuteWrite(QpEndpoint* from, QpEndpoint* to, MemorySpan local,
                             RemoteKey rkey, uint64_t remote_offset,
                             uint64_t wr_id, bool signaled, uint32_t immediate,
-                            bool has_immediate) {
+                            bool has_immediate, bool inline_send) {
   MemoryRegion* remote = pd(to->node())->FindByRkey(rkey.rkey);
   if (remote == nullptr) {
     return Status::NotFound("unknown rkey on destination node");
@@ -397,7 +399,7 @@ Status Fabric::ExecuteWrite(QpEndpoint* from, QpEndpoint* to, MemorySpan local,
 
   const Nanos now = sim_->now();
   const Nanos lat = config_.nic.wire_latency;
-  const Nanos tx_end = nic(from->node())->ReserveTx(now, len);
+  const Nanos tx_end = nic(from->node())->ReserveTx(now, len, inline_send);
 
   if (sim::FaultInjector* inj = injector()) {
     const auto fault =
@@ -556,7 +558,7 @@ Status Fabric::ExecuteRead(QpEndpoint* from, QpEndpoint* to, MemorySpan local,
 
 Status Fabric::ExecuteSend(QpEndpoint* from, QpEndpoint* to, MemorySpan local,
                            uint64_t wr_id, bool signaled, uint32_t immediate,
-                           bool has_immediate) {
+                           bool has_immediate, bool inline_send) {
   if (from->state_ == QpState::kError || to->state_ == QpState::kError) {
     FlushWr(from, WorkType::kSend, wr_id, local.length);
     return Status::OK();
@@ -585,7 +587,7 @@ Status Fabric::ExecuteSend(QpEndpoint* from, QpEndpoint* to, MemorySpan local,
   const Nanos now = sim_->now();
   const Nanos lat = config_.nic.wire_latency;
   const uint64_t len = local.length;
-  const Nanos tx_end = nic(from->node())->ReserveTx(now, len);
+  const Nanos tx_end = nic(from->node())->ReserveTx(now, len, inline_send);
 
   Nanos extra_delay = 0;
   if (sim::FaultInjector* inj = injector()) {

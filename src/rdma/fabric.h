@@ -77,9 +77,12 @@ class Flow {
   QpEndpoint* producer_endpoint() const { return fwd_from_; }
   QpEndpoint* consumer_endpoint() const { return fwd_to_; }
 
-  /// One-sided write, producer side -> consumer node.
+  /// One-sided write, producer side -> consumer node. `inline_send` marks
+  /// a WR whose payload the poster embedded in the WQE: the sending NIC
+  /// skips the payload DMA fetch (NicConfig::inline_overhead_discount).
   Status PostToConsumer(MemorySpan local, RemoteKey rkey,
-                        uint64_t remote_offset, uint64_t wr_id, bool signaled);
+                        uint64_t remote_offset, uint64_t wr_id, bool signaled,
+                        bool inline_send = false);
 
   /// One-sided write, consumer side -> producer node (credit returns).
   Status PostToProducer(MemorySpan local, RemoteKey rkey,
@@ -88,7 +91,8 @@ class Flow {
   /// Two-sided send, producer side -> consumer node (consumes a posted
   /// receive: the consumer endpoint's private FIFO, or its node SRQ).
   Status SendToConsumer(MemorySpan local, uint64_t wr_id, bool signaled,
-                        uint32_t immediate = 0, bool has_immediate = false);
+                        uint32_t immediate = 0, bool has_immediate = false,
+                        bool inline_send = false);
 
   /// Handlers for completions of work this flow posted (producer-direction
   /// posts report to the producer handler, consumer-direction posts to the
@@ -229,12 +233,13 @@ class Fabric : public sim::FaultTarget {
   // connected QPs, the flow's destination for hub endpoints).
   Status ExecuteWrite(QpEndpoint* from, QpEndpoint* to, MemorySpan local,
                       RemoteKey rkey, uint64_t remote_offset, uint64_t wr_id,
-                      bool signaled, uint32_t immediate, bool has_immediate);
+                      bool signaled, uint32_t immediate, bool has_immediate,
+                      bool inline_send = false);
   Status ExecuteRead(QpEndpoint* from, QpEndpoint* to, MemorySpan local,
                      RemoteKey rkey, uint64_t remote_offset, uint64_t wr_id);
   Status ExecuteSend(QpEndpoint* from, QpEndpoint* to, MemorySpan local,
                      uint64_t wr_id, bool signaled, uint32_t immediate,
-                     bool has_immediate);
+                     bool has_immediate, bool inline_send = false);
 
   // Schedules an immediate flush completion for a WR posted while (or
   // delivered after) the QP entered the error state. Error completions are

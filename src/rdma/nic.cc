@@ -8,9 +8,13 @@
 
 namespace slash::rdma {
 
-Nanos Nic::TransferDuration(uint64_t bytes) const {
+Nanos Nic::TransferDuration(uint64_t bytes, bool inline_send) const {
+  const Nanos overhead =
+      inline_send ? std::max<Nanos>(0, config_.per_message_overhead -
+                                           config_.inline_overhead_discount)
+                  : config_.per_message_overhead;
   const Nanos base =
-      config_.per_message_overhead + qp_fetch_overhead_ +
+      overhead + qp_fetch_overhead_ +
       static_cast<Nanos>(double(bytes) /
                          (config_.bandwidth_bps * bandwidth_scale_) * 1e9);
   if (speed_factor_ == 1.0) return base;
@@ -38,9 +42,9 @@ void Nic::PauseUntil(Nanos until) {
   rx_free_ = std::max(rx_free_, until);
 }
 
-Nanos Nic::ReserveTx(Nanos now, uint64_t bytes) {
+Nanos Nic::ReserveTx(Nanos now, uint64_t bytes, bool inline_send) {
   const Nanos start = std::max(now, tx_free_);
-  tx_free_ = start + TransferDuration(bytes);
+  tx_free_ = start + TransferDuration(bytes, inline_send);
   tx_bytes_ += bytes;
   ++tx_messages_;
   if (tx_counter_ != nullptr) tx_counter_->Add(bytes);

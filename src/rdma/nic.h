@@ -31,6 +31,14 @@ struct NicConfig {
   /// Fixed per-message NIC processing overhead (WQE fetch, DMA setup).
   Nanos per_message_overhead = 60;
 
+  /// NIC-side benefit of an inline send: the payload travels inside the
+  /// WQE, so the NIC skips the payload DMA fetch. Subtracted from
+  /// per_message_overhead (floor 0) for transfers posted with the inline
+  /// flag; everything else (serialization, wire latency) is unchanged.
+  /// The CPU-side cost of building the inline WQE is charged separately
+  /// (perf::Op::kRdmaInlineCopyPerByte).
+  Nanos inline_overhead_discount = 30;
+
   /// QP-context cache pressure model (opt-in; see rdma/srq.h). When
   /// `qp_cache_entries` > 0 and a node has more live QPs than fit, every
   /// message pays the deterministic expected context-fetch cost
@@ -54,7 +62,9 @@ class Nic {
 
   /// Reserves the transmit path for a message of `bytes` starting no
   /// earlier than `now`. Returns the time the last byte leaves the NIC.
-  Nanos ReserveTx(Nanos now, uint64_t bytes);
+  /// `inline_send` applies NicConfig::inline_overhead_discount (the WQE
+  /// carried the payload, so there is no payload DMA fetch).
+  Nanos ReserveTx(Nanos now, uint64_t bytes, bool inline_send = false);
 
   /// Reserves the receive path for a message whose last byte reaches this
   /// NIC no earlier than `earliest`. Returns delivery-complete time.
@@ -62,7 +72,7 @@ class Nic {
 
   /// Duration the wire transfer of `bytes` occupies the link at the
   /// current (possibly degraded) line rate.
-  Nanos TransferDuration(uint64_t bytes) const;
+  Nanos TransferDuration(uint64_t bytes, bool inline_send = false) const;
 
   /// Fault injection: scales the effective line rate. 1.0 restores full
   /// bandwidth; values in (0, 1) model a flapping/congested link. Already

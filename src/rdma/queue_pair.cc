@@ -70,13 +70,14 @@ Status QpEndpoint::PostWriteWithImm(MemorySpan local, RemoteKey rkey,
 
 Status QpEndpoint::PostWriteTo(QpEndpoint* to, MemorySpan local, RemoteKey rkey,
                                uint64_t remote_offset, uint64_t wr_id,
-                               bool signaled) {
+                               bool signaled, bool inline_send) {
   if (to == nullptr) {
     return Status::InvalidArgument("endpoint has no destination");
   }
   SLASH_RETURN_IF_ERROR(ValidateLocal(local));
   return fabric_->ExecuteWrite(this, to, local, rkey, remote_offset, wr_id,
-                               signaled, 0, /*has_immediate=*/false);
+                               signaled, 0, /*has_immediate=*/false,
+                               inline_send);
 }
 
 Status QpEndpoint::PostWriteWithImmTo(QpEndpoint* to, MemorySpan local,
@@ -88,7 +89,8 @@ Status QpEndpoint::PostWriteWithImmTo(QpEndpoint* to, MemorySpan local,
   }
   SLASH_RETURN_IF_ERROR(ValidateLocal(local));
   return fabric_->ExecuteWrite(this, to, local, rkey, remote_offset, wr_id,
-                               signaled, immediate, /*has_immediate=*/true);
+                               signaled, immediate, /*has_immediate=*/true,
+                               /*inline_send=*/false);
 }
 
 Status QpEndpoint::PostRead(MemorySpan local, RemoteKey rkey,
@@ -107,13 +109,13 @@ Status QpEndpoint::PostSend(MemorySpan local, uint64_t wr_id, bool signaled,
 
 Status QpEndpoint::PostSendTo(QpEndpoint* to, MemorySpan local, uint64_t wr_id,
                               bool signaled, uint32_t immediate,
-                              bool has_immediate) {
+                              bool has_immediate, bool inline_send) {
   if (to == nullptr) {
     return Status::InvalidArgument("endpoint has no destination");
   }
   SLASH_RETURN_IF_ERROR(ValidateLocal(local));
   return fabric_->ExecuteSend(this, to, local, wr_id, signaled, immediate,
-                              has_immediate);
+                              has_immediate, inline_send);
 }
 
 void QpEndpoint::EnterErrorState() {

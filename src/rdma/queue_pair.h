@@ -161,15 +161,19 @@ class QpEndpoint {
   /// Explicit-destination variants of the verbs, used by flows over shared
   /// (hub) endpoints, where one endpoint carries traffic to many
   /// destinations (rdma/srq.h). The peer-based verbs above are exactly
-  /// PostXxxTo(peer(), ...).
+  /// PostXxxTo(peer(), ...). `inline_send` marks a WR whose payload was
+  /// embedded in the WQE by the poster (payload small enough for the
+  /// device's inline limit): the sending NIC skips the payload DMA fetch
+  /// (NicConfig::inline_overhead_discount); semantics are unchanged.
   Status PostWriteTo(QpEndpoint* to, MemorySpan local, RemoteKey rkey,
-                     uint64_t remote_offset, uint64_t wr_id, bool signaled);
+                     uint64_t remote_offset, uint64_t wr_id, bool signaled,
+                     bool inline_send = false);
   Status PostWriteWithImmTo(QpEndpoint* to, MemorySpan local, RemoteKey rkey,
                             uint64_t remote_offset, uint64_t wr_id,
                             bool signaled, uint32_t immediate);
   Status PostSendTo(QpEndpoint* to, MemorySpan local, uint64_t wr_id,
                     bool signaled, uint32_t immediate = 0,
-                    bool has_immediate = false);
+                    bool has_immediate = false, bool inline_send = false);
 
   /// Posts a receive buffer for inbound SENDs. On an SRQ-attached endpoint
   /// this fails: buffers must be posted to the node's shared receive queue.

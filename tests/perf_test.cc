@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <new>
 
+#include "channel/rdma_channel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "perf/cost_model.h"
 #include "perf/counters.h"
+#include "rdma/fabric.h"
 #include "sim/simulator.h"
 
 // Global allocator overrides for THIS TEST BINARY ONLY: every heap
@@ -285,6 +288,86 @@ TEST(AllocTrackerTest, EventPathStaysAllocationFreeWithMetricsEnabled) {
   EXPECT_EQ(tracer.size() + tracer.dropped(), 100000u);
   sim.Run();
   EXPECT_EQ(sim.pending_tasks(), 0);
+}
+
+// --- Batched channel steady-state guard --------------------------------------
+
+sim::Task BatchedEchoProducer(channel::RdmaChannel* ch, CpuContext* cpu,
+                              uint64_t count, uint64_t payload_len) {
+  for (uint64_t i = 0; i < count; ++i) {
+    channel::SlotRef slot;
+    while (!ch->TryAcquire(&slot, cpu)) {
+      co_await ch->credit_event().Wait();
+    }
+    std::memset(slot.payload, int(i % 251), payload_len);
+    SLASH_CHECK(ch->Post(slot, payload_len, i, 0, cpu).ok());
+    co_await cpu->Sync();
+  }
+  SLASH_CHECK(ch->Flush(cpu).ok());
+}
+
+sim::Task BatchedEchoConsumer(channel::RdmaChannel* ch, CpuContext* cpu,
+                              uint64_t count, uint64_t* received) {
+  for (uint64_t i = 0; i < count; ++i) {
+    channel::InboundBuffer buffer;
+    while (!ch->TryPoll(&buffer, cpu)) {
+      co_await ch->data_event().Wait();
+    }
+    // Branch on the payload (no gtest in the armed region: EXPECT allocates).
+    if (buffer.payload[0] == uint8_t(buffer.user_tag % 251)) ++*received;
+    SLASH_CHECK(ch->Release(buffer, cpu).ok());
+    co_await cpu->Sync();
+  }
+}
+
+// The batched channel data path (doorbell batching + inline sends) must be
+// allocation-free once warm, like the bare event path above: the pending-WR
+// queue is reserved at Create, WRITEs/credit updates are unsignaled (no
+// completion-queue churn), and retry state only materializes on faults.
+TEST(AllocTrackerTest, BatchedChannelPathIsAllocationFreeInSteadyState) {
+  sim::Simulator sim;
+  rdma::Fabric fabric(&sim, [] {
+    rdma::FabricConfig cfg;
+    cfg.nodes = 2;
+    return cfg;
+  }());
+  CpuContext producer_cpu(&sim, &CostModel::Default());
+  CpuContext consumer_cpu(&sim, &CostModel::Default());
+  channel::ChannelConfig cfg;
+  cfg.credits = 8;
+  cfg.slot_bytes = 4096;
+  cfg.post_batch = 8;           // doorbell batching on
+  cfg.inline_threshold = 4096;  // every slot WRITE goes inline
+  auto ch = channel::RdmaChannel::Create(&fabric, 0, 1, cfg);
+
+  // Sized so the echo outlasts warmup + armed region: WR coalescing merges
+  // each 8-WR batch into one wire WRITE, so a message costs only a few sim
+  // steps.
+  constexpr uint64_t kMessages = 100000;
+  uint64_t received = 0;
+  sim.Spawn(BatchedEchoProducer(ch.get(), &producer_cpu, kMessages, 64));
+  sim.Spawn(BatchedEchoConsumer(ch.get(), &consumer_cpu, kMessages,
+                                &received));
+
+  uint64_t warmed = 0;
+  while (warmed < 100000 && sim.Step()) ++warmed;
+  ASSERT_EQ(warmed, 100000u) << "echo run too short to reach steady state";
+
+  AllocTracker::Arm();
+  uint64_t armed = 0;
+  while (armed < 100000 && sim.Step()) ++armed;
+  AllocTracker::Disarm();
+
+  EXPECT_EQ(armed, 100000u) << "echo run drained inside the armed region";
+  EXPECT_EQ(AllocTracker::allocations(), 0u)
+      << "batched channel path allocated " << AllocTracker::bytes()
+      << " bytes";
+
+  sim.Run();  // drain the rest of the echo
+  EXPECT_EQ(sim.pending_tasks(), 0);
+  EXPECT_EQ(received, kMessages);
+  EXPECT_EQ(ch->sent_count(), kMessages);
+  EXPECT_EQ(ch->pending_posts(), 0u);
 }
 
 TEST(CpuContextTest, CustomModelOverridesCosts) {

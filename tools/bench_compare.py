@@ -31,12 +31,19 @@ line so CI logs read directly.
 
 Usage:
     tools/bench_compare.py BASELINE CURRENT [--wall-rel-tol FRAC]
-        [--rel-tol SUBSTR=FRAC ...] [--subset]
+        [--rel-tol SUBSTR=FRAC ...] [--subset] [--allow-new-fields]
 
     --subset   Allow CURRENT to cover only part of the baseline's keys
                (CI smoke runs a --benchmark_filter slice); missing keys
                are not failures, but keys absent from the BASELINE still
                are. Without it, key sets must match exactly.
+
+    --allow-new-fields
+               Accept datapoints present in CURRENT but absent from the
+               BASELINE. Without it, every added (series, x, metric) is
+               listed and fails the check — the escape hatch exists for
+               the one CI run that lands a PR adding new bench series,
+               after which the regenerated baseline must be committed.
 """
 
 import argparse
@@ -125,6 +132,13 @@ def main():
         help="allow the current file to cover a subset of the baseline "
         "(filtered CI smoke runs)",
     )
+    ap.add_argument(
+        "--allow-new-fields",
+        action="store_true",
+        help="accept datapoints present in the current artifact but absent "
+        "from the baseline (for the one run landing a PR that adds bench "
+        "series/metrics; commit the regenerated baseline right after)",
+    )
     args = ap.parse_args()
 
     rel_tols = parse_rel_tols(args.rel_tol)
@@ -135,8 +149,15 @@ def main():
     if base_name != cur_name:
         failures.append(f"table name differs: {base_name!r} vs {cur_name!r}")
 
-    for key in sorted(set(cur) - set(base)):
-        failures.append(f"unexpected new datapoint (not in baseline): {fmt(key)}")
+    added = sorted(set(cur) - set(base))
+    if added and not args.allow_new_fields:
+        failures.append(
+            f"{len(added)} field(s) in the current artifact are absent from "
+            f"the baseline — if this PR intentionally adds bench "
+            f"series/metrics, re-run with --allow-new-fields and commit the "
+            f"regenerated baseline:"
+        )
+        failures.extend(f"  added field: {fmt(key)}" for key in added)
     if not args.subset:
         for key in sorted(set(base) - set(cur)):
             failures.append(f"missing datapoint: {fmt(key)}")
