@@ -31,6 +31,15 @@ void RequireCompleted(const engines::RunStats& stats,
   RequireCompleted(stats.status, context);
 }
 
+void RequireCompleted(const engines::MultiRunStats& stats,
+                      const std::string& context) {
+  RequireCompleted(stats.status, context);
+  for (size_t j = 0; j < stats.jobs.size(); ++j) {
+    RequireCompleted(stats.jobs[j].status,
+                     context + " job#" + std::to_string(j));
+  }
+}
+
 void RequireCompleted(const Status& status, const std::string& context) {
   if (status.ok()) return;
   std::fprintf(stderr,

@@ -34,6 +34,11 @@ void RequireCompleted(const engines::RunStats& stats,
 /// harness behind Figs. 8-9 and the verbs ablations).
 void RequireCompleted(const Status& status, const std::string& context);
 
+/// Same guard for a multi-job run (SlashEngine::RunJobs): the cluster
+/// status and every per-tenant job status must be OK.
+void RequireCompleted(const engines::MultiRunStats& stats,
+                      const std::string& context);
+
 /// The paper-figure series table now lives in the observability layer; the
 /// bench namespace keeps the historical name. Emission (text matrix,
 /// SLASH_BENCH_JSON artifact) goes through obs::Exporter.

@@ -60,6 +60,13 @@ std::unique_ptr<RdmaChannel> RdmaChannel::Create(rdma::Fabric* fabric,
                            config.send_threshold > 0;
 
   RdmaChannel* ch = channel.get();
+  if (config.quota != nullptr) {
+    // A producer denied by the quota parks on this channel's credit event
+    // (or on an engine event registered via AddCreditObserver); waking it
+    // when ANY channel of the tenant releases quota units is what keeps a
+    // quota-parked producer from deadlocking.
+    config.quota->AddObserver(&channel->credit_event_);
+  }
   if (channel->batched_mode_) {
     channel->pending_.reserve(std::max<uint32_t>(config.post_batch, 1));
   }
@@ -96,10 +103,8 @@ std::unique_ptr<RdmaChannel> RdmaChannel::Create(rdma::Fabric* fabric,
     ch->data_event_.Notify();
     for (sim::Event* observer : ch->data_observers_) observer->Notify();
   });
-  channel->credit_mr_->AddRemoteWriteListener([ch](uint64_t, uint64_t) {
-    ch->credit_event_.Notify();
-    for (sim::Event* observer : ch->credit_observers_) observer->Notify();
-  });
+  channel->credit_mr_->AddRemoteWriteListener(
+      [ch](uint64_t, uint64_t) { ch->OnCreditReturn(); });
   // Every completion of work this channel posts routes back through the
   // flow to the retry machinery (channel writes are unsignaled: the only
   // completions are error reports and acks of retried transfers), even
@@ -110,25 +115,32 @@ std::unique_ptr<RdmaChannel> RdmaChannel::Create(rdma::Fabric* fabric,
       [ch](const rdma::Completion& c) { return ch->OnConsumerCompletion(c); });
 
   // Resolve observability handles once; publish points are one branch each.
+  // Channels of a tenant-carrying job label their counters {tenant=...} so
+  // multi-job snapshots split per job; the default empty tenant keeps the
+  // unlabeled instruments (byte-identical single-job snapshots).
   sim::Simulator* sim = fabric->simulator();
   if (obs::MetricsRegistry* registry = sim->metrics()) {
+    const obs::LabelSet labels =
+        config.tenant.empty()
+            ? obs::LabelSet{}
+            : obs::LabelSet{{obs::kLabelTenant, config.tenant}};
     channel->retries_counter_ =
-        registry->GetCounter(obs::metric::kChannelRetries);
+        registry->GetCounter(obs::metric::kChannelRetries, labels);
     if (channel->batched_mode_) {
       // Opt-in instruments: never registered on default-config channels so
       // the canonical engine snapshots stay byte-identical.
       channel->batches_counter_ =
-          registry->GetCounter(obs::metric::kChannelBatches);
+          registry->GetCounter(obs::metric::kChannelBatches, labels);
       channel->doorbells_counter_ =
-          registry->GetCounter(obs::metric::kChannelDoorbells);
+          registry->GetCounter(obs::metric::kChannelDoorbells, labels);
       channel->inline_counter_ =
-          registry->GetCounter(obs::metric::kChannelInlineSends);
+          registry->GetCounter(obs::metric::kChannelInlineSends, labels);
       channel->transport_send_counter_ =
-          registry->GetCounter(obs::metric::kChannelTransportSend);
+          registry->GetCounter(obs::metric::kChannelTransportSend, labels);
       channel->transport_write_counter_ =
-          registry->GetCounter(obs::metric::kChannelTransportWrite);
+          registry->GetCounter(obs::metric::kChannelTransportWrite, labels);
       channel->coalesced_counter_ =
-          registry->GetCounter(obs::metric::kChannelCoalescedSlots);
+          registry->GetCounter(obs::metric::kChannelCoalescedSlots, labels);
     }
   }
   if (obs::Tracer* tracer = sim->tracer()) {
@@ -171,6 +183,13 @@ bool RdmaChannel::TryAcquire(SlotRef* out, perf::CpuContext* cpu) {
       retained_.size() >= config_.replay_buffer_slots) {
     // Replay buffer full: the producer may not outrun the consumer's
     // checkpoints by more than the bound.
+    cpu->Charge(perf::Op::kPollPause);
+    return false;
+  }
+  if (config_.quota != nullptr && !config_.quota->TryCharge()) {
+    // Tenant over its NIC-credit quota: back-pressure exactly like credit
+    // exhaustion. The quota's observers fire on every release, so parked
+    // producers re-check.
     cpu->Charge(perf::Op::kPollPause);
     return false;
   }
@@ -615,10 +634,28 @@ void RdmaChannel::PostExternalFooter(uint64_t msg) {
   if (!status.ok()) CloseChannel(status);
 }
 
+void RdmaChannel::OnCreditReturn() {
+  if (config_.quota != nullptr) {
+    const uint64_t acked = released_acked();
+    if (acked > quota_released_) {
+      config_.quota->Release(acked - quota_released_);
+      quota_released_ = acked;
+    }
+  }
+  credit_event_.Notify();
+  for (sim::Event* observer : credit_observers_) observer->Notify();
+}
+
 void RdmaChannel::CloseChannel(const Status& status) {
   if (broken_) return;
   broken_ = true;
   channel_status_ = status;
+  if (config_.quota != nullptr && acquired_count_ > quota_released_) {
+    // Credits held by a dead channel never come back on the wire; return
+    // them to the tenant so its surviving channels are not starved.
+    config_.quota->Release(acquired_count_ - quota_released_);
+    quota_released_ = acquired_count_;
+  }
   if (tracer_ != nullptr) {
     tracer_->Instant(sim_->now(), trace_close_, trace_cat_, producer_node_,
                      obs::kTrackChannel);

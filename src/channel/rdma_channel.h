@@ -49,6 +49,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -63,6 +64,53 @@ class Tracer;
 }  // namespace slash::obs
 
 namespace slash::channel {
+
+/// A per-tenant cap on NIC credits in flight across every channel of one
+/// job (multi-tenant execution, DESIGN.md §12). Each TryAcquire charges one
+/// unit; the unit returns when the slot's credit is acked back to the
+/// producer (or the channel closes). A producer denied by the quota parks
+/// exactly like one that is out of channel credits; registered observers
+/// are notified on every Release so parked parties re-check.
+///
+/// The quota is engine-owned and outlives every channel that references it.
+class CreditQuota {
+ public:
+  explicit CreditQuota(uint32_t limit) : limit_(limit) {}
+
+  CreditQuota(const CreditQuota&) = delete;
+  CreditQuota& operator=(const CreditQuota&) = delete;
+
+  /// Charges one credit if the tenant is under its limit; counts a denial
+  /// and returns false otherwise.
+  bool TryCharge() {
+    if (in_flight_ >= limit_) {
+      ++denials_;
+      return false;
+    }
+    ++in_flight_;
+    return true;
+  }
+
+  /// Returns `n` charged credits and wakes every observer.
+  void Release(uint64_t n) {
+    in_flight_ -= (n < in_flight_) ? n : in_flight_;
+    for (sim::Event* observer : observers_) observer->Notify();
+  }
+
+  /// Registers an event notified on every Release. Observers must outlive
+  /// the quota's last Release (engine-owned events do).
+  void AddObserver(sim::Event* event) { observers_.push_back(event); }
+
+  uint32_t limit() const { return limit_; }
+  uint64_t in_flight() const { return in_flight_; }
+  uint64_t denials() const { return denials_; }
+
+ private:
+  uint32_t limit_;
+  uint64_t in_flight_ = 0;
+  uint64_t denials_ = 0;
+  std::vector<sim::Event*> observers_;
+};
 
 /// Channel sizing parameters. The paper's best configuration is c = 8
 /// credits with 32-64 KiB buffers (Sec. 8.3.2).
@@ -126,6 +174,19 @@ struct ChannelConfig {
   /// private receive FIFO); a SEND that cannot be posted (e.g. its receive
   /// buffer was lost with a dropped message) falls back to WRITE.
   uint32_t send_threshold = 0;
+
+  // --- Multi-tenant execution (engines/job.h) ------------------------------
+
+  /// Per-tenant NIC-credit quota shared by every channel of one job, or
+  /// nullptr (no quota — the single-job default, byte-identical to the
+  /// pre-quota protocol). Non-owning; the engine owns the quota.
+  CreditQuota* quota = nullptr;
+
+  /// Tenant carried by this channel. When non-empty the channel's obs
+  /// counters are labeled {tenant=...} so multi-job snapshots split per
+  /// job; empty (the default) keeps the unlabeled instruments and hence
+  /// byte-identical single-job snapshots.
+  std::string tenant;
 };
 
 /// Slot footer, stored in the last kFooterBytes of every slot and written
@@ -370,6 +431,10 @@ class RdmaChannel {
   void RetryPost(uint64_t wr_id);
   // Re-posts the latest cumulative credit count (idempotent).
   void RetryCreditWrite();
+
+  // Producer-side reaction to the consumer's credit write: returns newly
+  // acked credits to the tenant quota, then wakes parked producers.
+  void OnCreditReturn();
   // Posts the deferred footer of external message `msg` (after its payload
   // was acked; keeps the footer-last guarantee even when transfers can be
   // lost and re-sent out of order).
@@ -411,6 +476,9 @@ class RdmaChannel {
   rdma::MemoryRegion* credit_mr_ = nullptr; // cumulative release counter
   uint64_t sent_count_ = 0;
   uint64_t acquired_count_ = 0;
+  // Credits already returned to the tenant quota (cumulative, mirrors
+  // released_acked(); only meaningful when config_.quota is set).
+  uint64_t quota_released_ = 0;
   sim::Event credit_event_;
   std::vector<sim::Event*> credit_observers_;
   // Zero-copy payload spans of in-flight external messages, indexed by

@@ -10,12 +10,21 @@
 #define SLASH_CORE_ORACLE_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/query.h"
 #include "core/result_sink.h"
 
 namespace slash::core {
+
+/// Factory creating the generator for flow `flow` of `total_flows`. This is
+/// the source half of a job: engines::JobSpec carries one (via its Workload)
+/// and the oracle consumes one directly — both bind a Workload's MakeFlow
+/// to a fixed record count and seed (workloads::Workload::Sources).
+using SourceFactory =
+    std::function<std::unique_ptr<RecordSource>(int flow, int total_flows)>;
 
 struct OracleOutput {
   uint64_t count = 0;

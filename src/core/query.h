@@ -1,12 +1,17 @@
-// The query model: continuous queries as a chain of stateless operators
-// feeding one stateful windowed operator (paper Sec. 2.2 / 5.2).
+// The query model: the declarative description of one continuous query
+// (paper Sec. 2.2 / 5.2).
 //
-// Slash translates a streaming query into operator pipelines terminated by
-// a soft pipeline breaker (the window trigger). The benchmarks' queries all
-// share the shape  source -> [filter] -> [project] -> windowed agg | join,
-// which QuerySpec captures declaratively; each engine interprets it with
-// its own execution strategy (Slash: shared mutable state; UpPar/Flink:
-// re-partitioning; LightSaber: single-node late merge).
+// A QuerySpec is authored by the workloads and LOWERED into the logical
+// plan DAG of src/plan/ (plan::Planner::Lower): source -> [filter] ->
+// [project] -> repartition -> window aggregate | join -> sink. The plan is
+// validated structurally, compiled back through the operator registry
+// (plan::Compile) into the flat spec the engines' RecordPipeline
+// interprets, and executed as one job of a JobSpec (engines/job.h) —
+// possibly alongside other tenants' jobs on the same fabric. Each engine
+// realizes the plan with its own execution strategy (Slash: shared mutable
+// state, the repartition node is a no-op; UpPar/Flink: hash exchange;
+// LightSaber: single-node late merge), and the lowering round-trip is
+// byte-identical: Compile(Lower(q)) reproduces q's run exactly.
 #ifndef SLASH_CORE_QUERY_H_
 #define SLASH_CORE_QUERY_H_
 
@@ -31,10 +36,6 @@ class RecordSource {
   /// non-decreasing within a flow.
   virtual bool Next(Record* out) = 0;
 };
-
-/// Factory creating the generator for flow `flow` of `total_flows`.
-using SourceFactory =
-    std::function<std::unique_ptr<RecordSource>(int flow, int total_flows)>;
 
 /// A declarative continuous query.
 struct QuerySpec {

@@ -6,6 +6,17 @@
 
 namespace slash::engines {
 
+RunStats Engine::Run(const core::QuerySpec& query,
+                     const workloads::Workload& workload,
+                     const ClusterConfig& config) {
+  JobSpec job;
+  job.plan = plan::Planner::Lower(query);
+  job.sources = &workload;
+  job.cluster = config;
+  job.config = JobConfig(config);
+  return Run(job);
+}
+
 RecoveryCoordinator::RecoveryCoordinator(int nodes)
     : nodes_(nodes), blobs_(nodes), final_from_(nodes, -1),
       retired_(nodes, false), retire_round_(nodes, 0) {}
@@ -31,9 +42,10 @@ void RecoveryCoordinator::RecordLocal(int node, uint64_t round,
   if (checkpoints_counter_ != nullptr) checkpoints_counter_->Add(1);
 }
 
-void RecoveryCoordinator::AttachMetrics(obs::MetricsRegistry* registry) {
+void RecoveryCoordinator::AttachMetrics(obs::MetricsRegistry* registry,
+                                        const obs::LabelSet& labels) {
   checkpoints_counter_ =
-      registry->GetCounter(obs::metric::kCheckpointsTaken);
+      registry->GetCounter(obs::metric::kCheckpointsTaken, labels);
 }
 
 void RecoveryCoordinator::RecordReplica(int node, uint64_t round, int holder) {

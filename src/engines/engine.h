@@ -31,6 +31,7 @@
 #include "core/pipeline.h"
 #include "core/query.h"
 #include "core/result_sink.h"
+#include "engines/job.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -42,126 +43,9 @@
 
 namespace slash::engines {
 
-/// Epoch-aligned checkpointing and crash recovery (Slash and Flink-like
-/// engines). When enabled, every node snapshots the partitions it leads at
-/// checkpoint boundaries aligned with the epoch/barrier protocol,
-/// replicates the snapshot over the network to `replication_factor` peers,
-/// and a kNodeCrash mid-run triggers recovery instead of an abort: the dead
-/// node's partitions move to a surviving heir, every node rolls back to the
-/// latest fully replicated checkpoint round, and the lost input is replayed
-/// deterministically from the sources.
-struct CheckpointConfig {
-  bool enabled = false;
-
-  /// Slash: a checkpoint round every `interval_epochs` state-backend
-  /// epochs (round r is taken when a node's epoch sequence reaches
-  /// r * interval_epochs, aligned across nodes by the epoch protocol).
-  uint32_t interval_epochs = 1;
-
-  /// Peers each snapshot is replicated to (1 or 2). With n live nodes the
-  /// peers of node p are (p+1) mod n and, for factor 2, (p+2) mod n.
-  int replication_factor = 1;
-
-  /// Bound (in messages) of the upstream replay buffer retained on ingest
-  /// channels between checkpoints; producers back-pressure at the bound.
-  uint32_t replay_buffer_slots = 32;
-
-  /// Flink-like: each sender emits a checkpoint barrier after every
-  /// `interval_records` records it consumed (0 = derive a default of
-  /// records_per_worker / 4 at run time).
-  uint64_t interval_records = 0;
-};
-
-/// Simulated cluster and engine configuration.
-///
-/// Defaults model the paper's testbed (Sec. 8.1.1): 10-core 2.4 GHz nodes,
-/// ConnectX-4 EDR NICs at the measured 11.8 GB/s, c = 8 credits, 64 KiB
-/// buffers. Input sizes and the epoch length are scaled down from the
-/// paper's 1 GB/thread and 64 MiB so simulated runs complete quickly; both
-/// are configurable.
-struct ClusterConfig {
-  int nodes = 2;
-  int workers_per_node = 10;
-  uint64_t records_per_worker = 20'000;
-  double cpu_ghz = 2.4;
-
-  channel::ChannelConfig channel;  // credits = 8, 64 KiB slots
-  rdma::NicConfig nic;             // 11.8 GB/s, ~1 us
-  rdma::SocketConfig socket;       // IPoIB penalties (Flink-like only)
-  /// How channel flows map onto QPs (rdma/srq.h): full-mesh (default),
-  /// per-node SRQ transports, or shared QP pools. A resource knob, not a
-  /// semantics knob — result_checksum and the canonical MetricsSnapshot
-  /// are byte-identical across modes at equal seed.
-  rdma::ConnectionConfig connection;
-
-  /// Epoch length in processed input bytes (paper default 64 MiB; scaled).
-  uint64_t epoch_bytes = 4 * kMiB;
-
-  /// Records deserialized per scheduling quantum of a worker coroutine.
-  uint64_t source_batch = 512;
-
-  /// Columnar micro-batch capacity of the operator pipeline: workers stage
-  /// up to this many records into a core::RecordBatch (SoA columns, pooled)
-  /// before running the processing stage over the batch. A scheduling/
-  /// layout knob, not a semantics knob — the per-record charge sequence is
-  /// preserved element-by-element, so result_checksum, the canonical
-  /// MetricsSnapshot and the virtual-time makespan are byte-identical
-  /// across batch sizes at equal seed (asserted by the batch sweep in
-  /// tests/property_test.cc). 1 (default) degenerates to the original
-  /// record-at-a-time path.
-  uint32_t operator_batch = 1;
-
-  /// State backend sizing.
-  uint64_t state_lss_capacity = 1ULL << 20;
-  size_t state_index_buckets = 1ULL << 14;
-
-  uint64_t seed = 42;
-
-  /// Pipeline execution strategy (Sec. 5.3): interpreted (default) or
-  /// compiled/fused.
-  core::ExecutionStrategy execution = core::ExecutionStrategy::kInterpreted;
-
-  /// Slash only: ingest streams over RDMA channels from dedicated source
-  /// nodes (the paper's Fig. 1 architecture — "data ingestion ... at full
-  /// RDMA network speed") instead of reading pre-generated data from local
-  /// memory (the evaluation methodology of Sec. 8.2.1). Doubles the
-  /// simulated node count: one generator node per executor node.
-  bool rdma_ingestion = false;
-
-  /// Keep emitted result rows (tests); digests are always collected.
-  bool collect_rows = false;
-
-  /// Optional deterministic fault plan. When set (and non-empty), the
-  /// engine registers a sim::FaultInjector before building the fabric;
-  /// transient faults are absorbed by channel retry (results identical to
-  /// the fault-free run), permanent ones abort the run cleanly with
-  /// RunStats::status set — unless checkpointing is enabled, in which case
-  /// a node crash is recovered and the run completes with correct results.
-  /// Not owned; must outlive the Run() call.
-  const sim::FaultPlan* fault_plan = nullptr;
-
-  /// Checkpointing / crash recovery (Slash and Flink-like engines).
-  CheckpointConfig checkpoint;
-
-  /// Failure detection and self-healing (Slash engine only; other engines
-  /// reject `health.enabled` with kUnimplemented). When enabled alongside
-  /// checkpointing, a deterministic HealthMonitor probes per-node liveness
-  /// words over one-sided RDMA READs; a suspected node is quarantined and
-  /// recovered exactly like a declared crash, a healed node rejoins via
-  /// snapshot restore, and a minority partition self-fences so no epoch can
-  /// commit twice.
-  health::HealthConfig health;
-
-  /// Optional caller-provided tracer (not owned; must outlive Run). When
-  /// set, the engine emits its trace here and does NOT write SLASH_TRACE
-  /// files — tests use this to capture traces programmatically. When null,
-  /// the engine owns an internal tracer that is enabled iff the SLASH_TRACE
-  /// environment variable names a directory, and writes
-  /// TRACE_<engine>_<k>.json / METRICS_<engine>_<k>.json there on return.
-  obs::Tracer* tracer = nullptr;
-
-  const perf::CostModel* cost_model = &perf::CostModel::Default();
-};
+// CheckpointConfig, ClusterConfig, JobConfig, and JobSpec live in
+// engines/job.h (the job model); this header re-exports them via the
+// include above.
 
 /// Outcome of one engine run: a thin, stable view over the run's metrics
 /// registry. Engines publish every tally as a named instrument (the
@@ -322,17 +206,47 @@ struct RunStats {
   }
 };
 
+/// Aggregate outcome of a multi-job run (SlashEngine::RunJobs): the
+/// cluster-wide stats plus one per-tenant RunStats view per submitted job,
+/// in submission order. Each job view's metrics are the cluster snapshot
+/// filtered to that job's tenant label (shared/unlabeled instruments are
+/// retained), so the RunStats accessors work unchanged on it.
+struct MultiRunStats {
+  /// OK when every job completed; the first terminal error otherwise.
+  Status status;
+  bool ok() const { return status.ok(); }
+
+  /// The whole cluster: every instrument of the shared run.
+  RunStats cluster;
+
+  /// Per-job views, one per JobSpec in submission order.
+  std::vector<RunStats> jobs;
+};
+
 /// A System under Test.
+///
+/// The primary entry point is job-oriented: Run(JobSpec) compiles the
+/// job's logical plan through the operator registry and executes it. The
+/// positional (query, workload, config) overload is a compatibility shim
+/// that lowers the query into a plan and builds the equivalent JobSpec —
+/// byte-identical results (asserted by tests/plan_test.cc). Derived
+/// classes implement the JobSpec overload and pull the shim into scope
+/// with `using Engine::Run;`.
 class Engine {
  public:
   virtual ~Engine() = default;
 
   virtual std::string_view name() const = 0;
 
-  /// Executes `query` over `workload` on a cluster described by `config`.
-  virtual RunStats Run(const core::QuerySpec& query,
-                       const workloads::Workload& workload,
-                       const ClusterConfig& config) = 0;
+  /// Executes one job: compiles job.plan and runs it over job.sources on
+  /// the cluster described by job.cluster + job.config.
+  virtual RunStats Run(const JobSpec& job) = 0;
+
+  /// Single-query convenience shim: lowers `query` (plan::Planner::Lower)
+  /// into the equivalent JobSpec with an empty tenant and no quota.
+  RunStats Run(const core::QuerySpec& query,
+               const workloads::Workload& workload,
+               const ClusterConfig& config);
 };
 
 // ---------------------------------------------------------------------------
@@ -406,9 +320,11 @@ class RecoveryCoordinator {
   uint64_t checkpoints_taken() const { return checkpoints_taken_; }
 
   /// Publishes coordinator activity into the run's registry: every
-  /// RecordLocal bumps obs::metric::kCheckpointsTaken, so the snapshot
-  /// count reaches RunStats without engine-side copying.
-  void AttachMetrics(obs::MetricsRegistry* registry);
+  /// RecordLocal bumps obs::metric::kCheckpointsTaken (under `labels`,
+  /// e.g. {tenant=...} for multi-job runs), so the snapshot count reaches
+  /// RunStats without engine-side copying.
+  void AttachMetrics(obs::MetricsRegistry* registry,
+                     const obs::LabelSet& labels = {});
 
  private:
   struct Blob {

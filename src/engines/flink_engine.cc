@@ -997,9 +997,21 @@ void BuildAttempt(FlinkRun* run, uint64_t round) {
 
 }  // namespace
 
-RunStats FlinkLikeEngine::Run(const core::QuerySpec& query,
-                              const workloads::Workload& workload,
-                              const ClusterConfig& config) {
+RunStats FlinkLikeEngine::Run(const JobSpec& job) {
+  core::QuerySpec query;
+  ClusterConfig config;
+  if (Status prepared = PrepareJob(job, &query, &config); !prepared.ok()) {
+    RunStats stats;
+    stats.engine = std::string(name());
+    stats.status = prepared;
+    return stats;
+  }
+  return RunQuery(query, *job.sources, config);
+}
+
+RunStats FlinkLikeEngine::RunQuery(const core::QuerySpec& query,
+                                   const workloads::Workload& workload,
+                                   const ClusterConfig& config) {
   SLASH_CHECK_MSG(config.workers_per_node >= 2,
                   "re-partitioning engines need at least one sender and one "
                   "receiver per node");

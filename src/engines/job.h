@@ -1,0 +1,275 @@
+// The job model (DESIGN.md §12): what one tenant submits to an engine.
+//
+// A JobSpec pairs a tenant name with a logical plan (src/plan/), the
+// workload supplying its sources, an optional NIC-credit quota, and the
+// split configuration:
+//
+//   * ClusterConfig — the simulated cluster itself: topology, CPU clock,
+//     NIC/socket models, connection scaling, fault plan, health detection.
+//     One per cluster; shared by every job running on it.
+//   * JobConfig — per-job execution knobs: input size, channel sizing,
+//     epoch length, batching, state sizing, seed, execution strategy,
+//     checkpoint policy, tracer.
+//
+// ClusterConfig (below) is retained in its historical combined form — the
+// legacy per-job fields it carries still work everywhere — and
+// JobConfig(const ClusterConfig&) + EffectiveConfig() convert losslessly
+// between the two, so the old single-job call sites keep compiling while
+// new multi-job call sites pass one ClusterConfig and N JobConfigs. The
+// migration note lives in DESIGN.md §12.
+#ifndef SLASH_ENGINES_JOB_H_
+#define SLASH_ENGINES_JOB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "channel/rdma_channel.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "core/oracle.h"
+#include "core/pipeline.h"
+#include "core/query.h"
+#include "health/health.h"
+#include "obs/trace.h"
+#include "perf/cost_model.h"
+#include "plan/plan.h"
+#include "plan/registry.h"
+#include "rdma/fabric.h"
+#include "rdma/socket_transport.h"
+#include "sim/fault.h"
+#include "workloads/workload.h"
+
+namespace slash::engines {
+
+/// Epoch-aligned checkpointing and crash recovery (Slash and Flink-like
+/// engines). When enabled, every node snapshots the partitions it leads at
+/// checkpoint boundaries aligned with the epoch/barrier protocol,
+/// replicates the snapshot over the network to `replication_factor` peers,
+/// and a kNodeCrash mid-run triggers recovery instead of an abort: the dead
+/// node's partitions move to a surviving heir, every node rolls back to the
+/// latest fully replicated checkpoint round, and the lost input is replayed
+/// deterministically from the sources.
+struct CheckpointConfig {
+  bool enabled = false;
+
+  /// Slash: a checkpoint round every `interval_epochs` state-backend
+  /// epochs (round r is taken when a node's epoch sequence reaches
+  /// r * interval_epochs, aligned across nodes by the epoch protocol).
+  uint32_t interval_epochs = 1;
+
+  /// Peers each snapshot is replicated to (1 or 2). With n live nodes the
+  /// peers of node p are (p+1) mod n and, for factor 2, (p+2) mod n.
+  int replication_factor = 1;
+
+  /// Bound (in messages) of the upstream replay buffer retained on ingest
+  /// channels between checkpoints; producers back-pressure at the bound.
+  uint32_t replay_buffer_slots = 32;
+
+  /// Flink-like: each sender emits a checkpoint barrier after every
+  /// `interval_records` records it consumed (0 = derive a default of
+  /// records_per_worker / 4 at run time).
+  uint64_t interval_records = 0;
+};
+
+/// Simulated cluster and engine configuration.
+///
+/// Defaults model the paper's testbed (Sec. 8.1.1): 10-core 2.4 GHz nodes,
+/// ConnectX-4 EDR NICs at the measured 11.8 GB/s, c = 8 credits, 64 KiB
+/// buffers. Input sizes and the epoch length are scaled down from the
+/// paper's 1 GB/thread and 64 MiB so simulated runs complete quickly; both
+/// are configurable.
+///
+/// Historically this struct carried both the cluster AND the per-job knobs;
+/// the per-job half now also exists as JobConfig (below), and the two
+/// convert losslessly (JobConfig's compatibility constructor /
+/// EffectiveConfig). Single-job call sites keep passing one ClusterConfig;
+/// multi-job call sites pass one cluster-level ClusterConfig plus a
+/// JobConfig per JobSpec.
+struct ClusterConfig {
+  // --- Cluster level: topology, hardware models, cluster-wide services ---
+  int nodes = 2;
+  int workers_per_node = 10;
+  double cpu_ghz = 2.4;
+
+  rdma::NicConfig nic;             // 11.8 GB/s, ~1 us
+  rdma::SocketConfig socket;       // IPoIB penalties (Flink-like only)
+  /// How channel flows map onto QPs (rdma/srq.h): full-mesh (default),
+  /// per-node SRQ transports, or shared QP pools. A resource knob, not a
+  /// semantics knob — result_checksum and the canonical MetricsSnapshot
+  /// are byte-identical across modes at equal seed.
+  rdma::ConnectionConfig connection;
+
+  /// Optional deterministic fault plan. When set (and non-empty), the
+  /// engine registers a sim::FaultInjector before building the fabric;
+  /// transient faults are absorbed by channel retry (results identical to
+  /// the fault-free run), permanent ones abort the run cleanly with
+  /// RunStats::status set — unless checkpointing is enabled, in which case
+  /// a node crash is recovered and the run completes with correct results.
+  /// Not owned; must outlive the Run() call.
+  const sim::FaultPlan* fault_plan = nullptr;
+
+  /// Failure detection and self-healing (Slash engine only; other engines
+  /// reject `health.enabled` with kUnimplemented). When enabled alongside
+  /// checkpointing, a deterministic HealthMonitor probes per-node liveness
+  /// words over one-sided RDMA READs; a suspected node is quarantined and
+  /// recovered exactly like a declared crash, a healed node rejoins via
+  /// snapshot restore, and a minority partition self-fences so no epoch can
+  /// commit twice.
+  health::HealthConfig health;
+
+  const perf::CostModel* cost_model = &perf::CostModel::Default();
+
+  // --- Per-job level (legacy placement; the JobConfig copy of these wins
+  // when a JobSpec carries one — see EffectiveConfig) ---------------------
+  uint64_t records_per_worker = 20'000;
+
+  channel::ChannelConfig channel;  // credits = 8, 64 KiB slots
+
+  /// Epoch length in processed input bytes (paper default 64 MiB; scaled).
+  uint64_t epoch_bytes = 4 * kMiB;
+
+  /// Records deserialized per scheduling quantum of a worker coroutine.
+  uint64_t source_batch = 512;
+
+  /// Columnar micro-batch capacity of the operator pipeline: workers stage
+  /// up to this many records into a core::RecordBatch (SoA columns, pooled)
+  /// before running the processing stage over the batch. A scheduling/
+  /// layout knob, not a semantics knob — the per-record charge sequence is
+  /// preserved element-by-element, so result_checksum, the canonical
+  /// MetricsSnapshot and the virtual-time makespan are byte-identical
+  /// across batch sizes at equal seed (asserted by the batch sweep in
+  /// tests/property_test.cc). 1 (default) degenerates to the original
+  /// record-at-a-time path.
+  uint32_t operator_batch = 1;
+
+  /// State backend sizing.
+  uint64_t state_lss_capacity = 1ULL << 20;
+  size_t state_index_buckets = 1ULL << 14;
+
+  uint64_t seed = 42;
+
+  /// Pipeline execution strategy (Sec. 5.3): interpreted (default) or
+  /// compiled/fused.
+  core::ExecutionStrategy execution = core::ExecutionStrategy::kInterpreted;
+
+  /// Slash only: ingest streams over RDMA channels from dedicated source
+  /// nodes (the paper's Fig. 1 architecture — "data ingestion ... at full
+  /// RDMA network speed") instead of reading pre-generated data from local
+  /// memory (the evaluation methodology of Sec. 8.2.1). Doubles the
+  /// simulated node count: one generator node per executor node.
+  bool rdma_ingestion = false;
+
+  /// Keep emitted result rows (tests); digests are always collected.
+  bool collect_rows = false;
+
+  /// Checkpointing / crash recovery (Slash and Flink-like engines).
+  CheckpointConfig checkpoint;
+
+  /// Optional caller-provided tracer (not owned; must outlive Run). When
+  /// set, the engine emits its trace here and does NOT write SLASH_TRACE
+  /// files — tests use this to capture traces programmatically. When null,
+  /// the engine owns an internal tracer that is enabled iff the SLASH_TRACE
+  /// environment variable names a directory, and writes
+  /// TRACE_<engine>_<k>.json / METRICS_<engine>_<k>.json there on return.
+  obs::Tracer* tracer = nullptr;
+};
+
+/// The per-job execution knobs, split out of ClusterConfig: everything a
+/// tenant may choose independently of its neighbors on the same cluster.
+/// Deliberately ABSENT here: fault_plan and health — those are properties
+/// of the shared cluster, not of one job, which is the point of the split.
+struct JobConfig {
+  uint64_t records_per_worker = 20'000;
+  channel::ChannelConfig channel;
+  uint64_t epoch_bytes = 4 * kMiB;
+  uint64_t source_batch = 512;
+  uint32_t operator_batch = 1;
+  uint64_t state_lss_capacity = 1ULL << 20;
+  size_t state_index_buckets = 1ULL << 14;
+  uint64_t seed = 42;
+  core::ExecutionStrategy execution = core::ExecutionStrategy::kInterpreted;
+  bool rdma_ingestion = false;
+  bool collect_rows = false;
+  CheckpointConfig checkpoint;
+  obs::Tracer* tracer = nullptr;
+
+  JobConfig() = default;
+
+  /// Compatibility constructor: lifts the per-job half out of a legacy
+  /// combined ClusterConfig. EffectiveConfig(legacy, JobConfig(legacy))
+  /// round-trips to `legacy` field-for-field.
+  explicit JobConfig(const ClusterConfig& legacy)
+      : records_per_worker(legacy.records_per_worker),
+        channel(legacy.channel),
+        epoch_bytes(legacy.epoch_bytes),
+        source_batch(legacy.source_batch),
+        operator_batch(legacy.operator_batch),
+        state_lss_capacity(legacy.state_lss_capacity),
+        state_index_buckets(legacy.state_index_buckets),
+        seed(legacy.seed),
+        execution(legacy.execution),
+        rdma_ingestion(legacy.rdma_ingestion),
+        collect_rows(legacy.collect_rows),
+        checkpoint(legacy.checkpoint),
+        tracer(legacy.tracer) {}
+};
+
+/// Overlays `job`'s per-job knobs onto a copy of `cluster`: the combined
+/// view the engine internals still consume. Lossless in both directions
+/// with JobConfig's compatibility constructor.
+ClusterConfig EffectiveConfig(const ClusterConfig& cluster,
+                              const JobConfig& job);
+
+/// Source half of a job, re-exported next to JobSpec (it moved here from
+/// core/query.h conceptually; the alias lives in core/oracle.h because the
+/// sequential oracle consumes it too).
+using SourceFactory = core::SourceFactory;
+
+/// One tenant's job: the unit of submission to Engine::Run and
+/// SlashEngine::RunJobs.
+struct JobSpec {
+  /// Tenant name, the label on every job-scoped metric and trace track.
+  /// May be empty for single-job runs (then no tenant labels are emitted
+  /// and the snapshot is byte-identical to the legacy path); multi-job
+  /// runs require unique non-empty tenants.
+  std::string tenant;
+
+  /// The logical plan to execute (author directly or lower a QuerySpec via
+  /// plan::Planner::Lower). Compiled through the default OperatorRegistry
+  /// at submission.
+  plan::LogicalPlan plan;
+
+  /// Supplies the job's record generators and wire sizes. Not owned; must
+  /// outlive the run.
+  const workloads::Workload* sources = nullptr;
+
+  /// Per-tenant NIC-credit quota: the maximum channel credits this job may
+  /// hold in flight across ALL of its channels at once, enforced at
+  /// TryAcquire by a channel::CreditQuota. 0 = unlimited (no quota object
+  /// is created, keeping the channel hot path byte-identical).
+  uint32_t quota = 0;
+
+  /// The shared cluster (single-job path; RunJobs takes one cluster for
+  /// all jobs instead).
+  ClusterConfig cluster;
+
+  /// This job's execution knobs.
+  JobConfig config;
+};
+
+/// Compiles and validates `job` into what the engine loops consume: the
+/// flat query (plan -> registry -> QuerySpec), the combined effective
+/// config, and (when `sources` is non-null) the bound source factory.
+/// Fails on a null workload, an invalid plan, or an unregistered node kind.
+Status PrepareJob(const JobSpec& job, core::QuerySpec* query,
+                  ClusterConfig* config,
+                  core::SourceFactory* sources = nullptr);
+
+/// Convenience builder for the common case: lower `workload`'s query.
+JobSpec MakeJobSpec(std::string tenant, const workloads::Workload& workload,
+                    const ClusterConfig& cluster, const JobConfig& config,
+                    uint32_t quota = 0);
+
+}  // namespace slash::engines
+
+#endif  // SLASH_ENGINES_JOB_H_

@@ -110,9 +110,21 @@ sim::Task Worker(LightSaberRun* run, int w) {
 
 }  // namespace
 
-RunStats LightSaberEngine::Run(const core::QuerySpec& query,
-                               const workloads::Workload& workload,
-                               const ClusterConfig& config) {
+RunStats LightSaberEngine::Run(const JobSpec& job) {
+  core::QuerySpec query;
+  ClusterConfig config;
+  if (Status prepared = PrepareJob(job, &query, &config); !prepared.ok()) {
+    RunStats stats;
+    stats.engine = std::string(name());
+    stats.status = prepared;
+    return stats;
+  }
+  return RunQuery(query, *job.sources, config);
+}
+
+RunStats LightSaberEngine::RunQuery(const core::QuerySpec& query,
+                                    const workloads::Workload& workload,
+                                    const ClusterConfig& config) {
   SLASH_CHECK_MSG(!query.is_join(),
                   "LightSaber does not support join operators "
                   "(paper Sec. 8.2.4)");

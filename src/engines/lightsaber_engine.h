@@ -21,11 +21,16 @@ class LightSaberEngine : public Engine {
  public:
   std::string_view name() const override { return "LightSaber"; }
 
-  /// Runs on a single node; `config.nodes` must be 1. Joins are
+  using Engine::Run;  // the (query, workload, config) compatibility shim
+
+  /// Runs on a single node; the cluster must have nodes == 1. Joins are
   /// unsupported (check-fails), matching the real system.
-  RunStats Run(const core::QuerySpec& query,
-               const workloads::Workload& workload,
-               const ClusterConfig& config) override;
+  RunStats Run(const JobSpec& job) override;
+
+ private:
+  RunStats RunQuery(const core::QuerySpec& query,
+                    const workloads::Workload& workload,
+                    const ClusterConfig& config);
 };
 
 }  // namespace slash::engines

@@ -121,14 +121,28 @@ struct NodeState {
   }
 };
 
+// One job's full execution state. The DES and the fabric are NOT owned:
+// Run() owns one pair per single-job run, RunJobs() shares one pair across
+// every concurrent job (DESIGN.md §12) — which is the whole point of the
+// multi-tenant design: fairness falls out of one timestamp-ordered event
+// queue, and the NIC model contends naturally because every job's channels
+// live on the same simulated fabric.
 struct SlashRun {
   const core::QuerySpec* query;
   const workloads::Workload* workload;
   ClusterConfig config;
   state::SsbConfig ssb_config;
-  sim::Simulator sim;
+  sim::Simulator* sim = nullptr;
+  rdma::Fabric* fabric = nullptr;
   std::unique_ptr<sim::FaultInjector> injector;
-  std::unique_ptr<rdma::Fabric> fabric;
+  // Multi-tenant identity: a non-empty tenant labels this job's instruments
+  // {tenant=...} and gives it dedicated trace tracks; the quota (job.quota
+  // > 0) caps the job's in-flight NIC credits across all of its channels.
+  std::string tenant;
+  std::unique_ptr<channel::CreditQuota> quota;
+  int track_engine = obs::kTrackEngine;
+  int track_recovery = obs::kTrackRecovery;
+  Nanos drained_at = 0;  // virtual time when the last worker exited
   std::vector<std::unique_ptr<RdmaChannel>> channels;
   size_t attempt_channel_start = 0;  // first channel of the current attempt
   // All NodeStates ever built (coroutines of a torn-down attempt may still
@@ -229,8 +243,8 @@ void TryTrigger(SlashRun* run, NodeState* ns, perf::CpuContext* cpu) {
     TriggerWindows(*run->query, wm, ns->ssb->local(p), &ns->sink, cpu,
                    &ns->trigger_wms[p]);
     if (run->tracer != nullptr && ns->trigger_wms[p] != before) {
-      run->tracer->Instant(run->sim.now(), run->trace_window, run->trace_cat,
-                           ns->node, obs::kTrackEngine);
+      run->tracer->Instant(run->sim->now(), run->trace_window, run->trace_cat,
+                           ns->node, run->track_engine);
     }
   }
 }
@@ -307,8 +321,8 @@ void TakeSnapshot(SlashRun* run, NodeState* ns, perf::CpuContext* cpu) {
 
   const bool terminal = ns->final_bumped && ns->channels_done();
   if (run->tracer != nullptr) {
-    run->tracer->Instant(run->sim.now(), run->trace_snapshot, run->trace_cat,
-                         ns->node, obs::kTrackRecovery);
+    run->tracer->Instant(run->sim->now(), run->trace_snapshot, run->trace_cat,
+                         ns->node, run->track_recovery);
   }
   run->coordinator->RecordLocal(ns->node, round, blob);
   if (terminal) {
@@ -356,7 +370,7 @@ bool PollAndMerge(SlashRun* run, NodeState* ns, perf::CpuContext* cpu) {
     InboundBuffer buffer;
     while (ic.ch->TryPoll(&buffer, cpu)) {
       progressed = true;
-      run->latency->Record(run->sim.now() - buffer.send_time);
+      run->latency->Record(run->sim->now() - buffer.send_time);
       state::DeltaEnvelope envelope;
       SLASH_CHECK(ns->ssb
                       ->MergeIntoPrimary(buffer.payload, buffer.payload_len,
@@ -475,8 +489,8 @@ bool PumpSendQueue(SlashRun* run, NodeState* ns,
 /// observe the new sequence number.
 void BumpEpoch(SlashRun* run, NodeState* ns) {
   if (run->tracer != nullptr) {
-    run->tracer->Instant(run->sim.now(), run->trace_epoch, run->trace_cat,
-                         ns->node, obs::kTrackEngine);
+    run->tracer->Instant(run->sim->now(), run->trace_epoch, run->trace_cat,
+                         ns->node, run->track_engine);
   }
   ns->ssb->BeginEpoch();
   ++ns->epoch_seq;
@@ -505,9 +519,9 @@ sim::Task Generator(SlashRun* run, RdmaChannel* ch, uint64_t flow,
     SlotRef slot;
     while (!ch->TryAcquire(&slot, cpu)) {
       if (run->failed || run->attempt != attempt || ch->broken()) co_return;
-      const Nanos wait_start = run->sim.now();
+      const Nanos wait_start = run->sim->now();
       co_await ch->credit_event().Wait();
-      cpu->ChargeWait(run->sim.now() - wait_start);
+      cpu->ChargeWait(run->sim->now() - wait_start);
     }
     core::RecordWriter writer(slot.payload, ch->payload_capacity());
     do {
@@ -529,9 +543,9 @@ sim::Task Generator(SlashRun* run, RdmaChannel* ch, uint64_t flow,
   SlotRef final_slot;
   while (!ch->TryAcquire(&final_slot, cpu)) {
     if (run->failed || run->attempt != attempt || ch->broken()) co_return;
-    const Nanos wait_start = run->sim.now();
+    const Nanos wait_start = run->sim->now();
     co_await ch->credit_event().Wait();
-    cpu->ChargeWait(run->sim.now() - wait_start);
+    cpu->ChargeWait(run->sim->now() - wait_start);
   }
   if (!ch->Post(final_slot, 0, /*user_tag=*/1,
                 /*watermark=*/core::kWatermarkMax, cpu)
@@ -565,9 +579,9 @@ sim::Task Replicator(SlashRun* run, ReplState* rs, RdmaChannel* ch,
           if (run->failed || run->attempt != attempt || ch->broken()) {
             co_return;
           }
-          const Nanos wait_start = run->sim.now();
+          const Nanos wait_start = run->sim->now();
           co_await ch->credit_event().Wait();
-          cpu->ChargeWait(run->sim.now() - wait_start);
+          cpu->ChargeWait(run->sim->now() - wait_start);
         }
         const uint64_t len = std::min(cap, uint64_t(item.bytes.size()) - off);
         std::memcpy(slot.payload, item.bytes.data() + off, len);
@@ -585,16 +599,16 @@ sim::Task Replicator(SlashRun* run, ReplState* rs, RdmaChannel* ch,
       continue;
     }
     if (rs->terminal) break;
-    const Nanos wait_start = run->sim.now();
+    const Nanos wait_start = run->sim->now();
     co_await rs->event->Wait();
-    cpu->ChargeWait(run->sim.now() - wait_start);
+    cpu->ChargeWait(run->sim->now() - wait_start);
   }
   SlotRef slot;
   while (!ch->TryAcquire(&slot, cpu)) {
     if (run->failed || run->attempt != attempt || ch->broken()) co_return;
-    const Nanos wait_start = run->sim.now();
+    const Nanos wait_start = run->sim->now();
     co_await ch->credit_event().Wait();
-    cpu->ChargeWait(run->sim.now() - wait_start);
+    cpu->ChargeWait(run->sim->now() - wait_start);
   }
   if (!ch->Post(slot, 0, kReplTerminal, /*watermark=*/0, cpu).ok()) co_return;
   co_await cpu->Sync();
@@ -610,9 +624,9 @@ sim::Task ReplicaReceiver(SlashRun* run, int src, int holder, RdmaChannel* ch,
     InboundBuffer buffer;
     if (!ch->TryPoll(&buffer, cpu)) {
       if (ch->broken()) co_return;
-      const Nanos wait_start = run->sim.now();
+      const Nanos wait_start = run->sim->now();
       co_await ch->data_event().Wait();
-      cpu->ChargeWait(run->sim.now() - wait_start);
+      cpu->ChargeWait(run->sim->now() - wait_start);
       continue;
     }
     const uint64_t tag = buffer.user_tag;
@@ -712,9 +726,9 @@ sim::Task Worker(SlashRun* run, NodeState* ns, int w, int attempt) {
     // committing, or emitting until the fence lifts or the attempt is torn
     // down. The health monitor keeps ticking, so a healed link unfences.
     if (run->fenced[ns->node]) {
-      const Nanos wait_start = run->sim.now();
+      const Nanos wait_start = run->sim->now();
       co_await ns->activity->Wait();
-      cpu->ChargeWait(run->sim.now() - wait_start);
+      cpu->ChargeWait(run->sim->now() - wait_start);
       continue;
     }
     // Serialize this worker's share of any newly announced epoch (frees
@@ -835,9 +849,9 @@ sim::Task Worker(SlashRun* run, NodeState* ns, int w, int attempt) {
       // data arrives, a new epoch is announced, or a snapshot lifts the
       // suppression. The exit- and snapshot-readiness checks in the
       // condition guarantee we never park past the last event.
-      const Nanos wait_start = run->sim.now();
+      const Nanos wait_start = run->sim->now();
       co_await ns->activity->Wait();
-      cpu->ChargeWait(run->sim.now() - wait_start);
+      cpu->ChargeWait(run->sim->now() - wait_start);
     } else {
       co_await cpu->Sync();
     }
@@ -852,6 +866,13 @@ sim::Task Worker(SlashRun* run, NodeState* ns, int w, int attempt) {
   }
   co_await cpu->Sync();
   --run->workers_running;
+  if (run->workers_running == 0 && run->attempt == attempt &&
+      !run->recovering && !run->failed) {
+    // Per-job drain point (obs::metric::kJobDrainNs): in a multi-job run
+    // the shared makespan is the LAST job's drain, so each job records its
+    // own.
+    run->drained_at = run->sim->now();
+  }
   if (run->health != nullptr && run->workers_running == 0 &&
       run->attempt == attempt && !run->recovering && !run->failed) {
     // Last worker of the surviving attempt is out: stop the heartbeat so
@@ -896,11 +917,11 @@ void ScheduleRebuild(SlashRun* run, uint64_t round, int trace_node) {
   }
   const Nanos delay = kChannelSetupCost * Nanos(new_channels) +
                       Nanos(restore_bytes / kRestoreBytesPerNs);
-  run->sim.ScheduleAt(run->sim.now() + delay, [run, round, trace_node] {
-    run->recovery_ns += run->sim.now() - run->recovery_start;
+  run->sim->ScheduleAt(run->sim->now() + delay, [run, round, trace_node] {
+    run->recovery_ns += run->sim->now() - run->recovery_start;
     if (run->tracer != nullptr) {
-      run->tracer->End(run->sim.now(), run->trace_recovery, run->trace_cat,
-                       trace_node, obs::kTrackRecovery);
+      run->tracer->End(run->sim->now(), run->trace_recovery, run->trace_cat,
+                       trace_node, run->track_recovery);
     }
     BuildAttempt(run, round);
     run->recovering = false;
@@ -918,11 +939,11 @@ void StartRecovery(SlashRun* run, const std::vector<int>& failed_nodes) {
   run->recovering = true;
   ++run->recoveries;
   ++run->attempt;
-  run->recovery_start = run->sim.now();
+  run->recovery_start = run->sim->now();
   run->records_at_crash = run->records_in;
   if (run->tracer != nullptr) {
-    run->tracer->Begin(run->sim.now(), run->trace_recovery, run->trace_cat,
-                       trace_node, obs::kTrackRecovery);
+    run->tracer->Begin(run->sim->now(), run->trace_recovery, run->trace_cat,
+                       trace_node, run->track_recovery);
   }
   TearDownAttempt(run);
   const uint64_t round = run->coordinator->LatestRecoverableRound(run->alive);
@@ -1050,11 +1071,11 @@ void OnRejoin(SlashRun* run, int node) {
   ++run->rejoins;
   ++run->attempt;
   run->recovering = true;
-  run->recovery_start = run->sim.now();
+  run->recovery_start = run->sim->now();
   run->records_at_crash = run->records_in;
   if (run->tracer != nullptr) {
-    run->tracer->Begin(run->sim.now(), run->trace_recovery, run->trace_cat,
-                       node, obs::kTrackRecovery);
+    run->tracer->Begin(run->sim->now(), run->trace_recovery, run->trace_cat,
+                       node, run->track_recovery);
   }
   TearDownAttempt(run);
   // The rejoined node takes its identity placement back: its own partition
@@ -1078,9 +1099,9 @@ void PollRecoveryWatchdog(SlashRun* run, int attempt, Nanos deadline_at) {
       run->recovering ||
       (run->workers_running > 0 && run->records_in <= run->restore_floor);
   if (!stuck) return;  // restored and progressing: the watchdog stands down
-  if (run->sim.now() >= deadline_at) {
+  if (run->sim->now() >= deadline_at) {
     if (run->tracer != nullptr) {
-      run->tracer->InstantNamed(run->sim.now(), "recovery.watchdog_abort",
+      run->tracer->InstantNamed(run->sim->now(), "recovery.watchdog_abort",
                                 "health", 0, obs::kTrackHealth);
     }
     FailRun(run, Status::DeadlineExceeded(
@@ -1089,7 +1110,7 @@ void PollRecoveryWatchdog(SlashRun* run, int attempt, Nanos deadline_at) {
     return;
   }
   const Nanos interval = run->config.health.heartbeat_interval * 4;
-  run->sim.ScheduleAt(std::min(run->sim.now() + interval, deadline_at),
+  run->sim->ScheduleAt(std::min(run->sim->now() + interval, deadline_at),
                       [run, attempt, deadline_at] {
                         PollRecoveryWatchdog(run, attempt, deadline_at);
                       });
@@ -1107,9 +1128,9 @@ void ArmRecoveryWatchdog(SlashRun* run) {
   const Nanos deadline = run->config.health.recovery_deadline;
   if (deadline <= 0) return;
   const int attempt = run->attempt;
-  const Nanos deadline_at = run->sim.now() + deadline;
+  const Nanos deadline_at = run->sim->now() + deadline;
   const Nanos interval = run->config.health.heartbeat_interval * 4;
-  run->sim.ScheduleAt(std::min(run->sim.now() + interval, deadline_at),
+  run->sim->ScheduleAt(std::min(run->sim->now() + interval, deadline_at),
                       [run, attempt, deadline_at] {
                         PollRecoveryWatchdog(run, attempt, deadline_at);
                       });
@@ -1140,7 +1161,10 @@ void BuildAttempt(SlashRun* run, uint64_t round) {
     ns->worker_watermarks.assign(config.workers_per_node, core::kWatermarkMin);
     ns->worker_lanes.resize(config.workers_per_node);
     ns->out.assign(config.nodes, nullptr);
-    ns->activity = std::make_unique<sim::Event>(&run->sim);
+    ns->activity = std::make_unique<sim::Event>(run->sim);
+    // Workers blocked by the tenant quota park on their node's activity
+    // event; quota releases (from any of the job's channels) must wake them.
+    if (run->quota != nullptr) run->quota->AddObserver(ns->activity.get());
     ns->sink = core::ResultSink(config.collect_rows);
     ns->epoch_seq = round * interval;
     ns->snapshots_taken = round;
@@ -1150,7 +1174,7 @@ void BuildAttempt(SlashRun* run, uint64_t round) {
     }
     for (int w = 0; w < config.workers_per_node; ++w) {
       ns->worker_cpus.push_back(std::make_unique<perf::CpuContext>(
-          &run->sim, config.cost_model, config.cpu_ghz));
+          run->sim, config.cost_model, config.cpu_ghz));
       // Gray-node faults (kNodeSlow) stretch this node's compute too.
       ns->worker_cpus.back()->BindSpeedDial(run->fabric->speed_dial(n));
     }
@@ -1240,7 +1264,7 @@ void BuildAttempt(SlashRun* run, uint64_t round) {
       const int leader = run->owner[p];
       if (leader == h) continue;
       auto ch =
-          RdmaChannel::Create(run->fabric.get(), h, leader, config.channel);
+          RdmaChannel::Create(run->fabric, h, leader, config.channel);
       helper->out[p] = ch.get();
       nodes[leader]->in.push_back(
           InChannel{h, p, ch.get(), round * interval, false});
@@ -1273,7 +1297,7 @@ void BuildAttempt(SlashRun* run, uint64_t round) {
       lane.consumed = flow_offset[flows[i]];
       lane.last_ts = flow_last_ts[flows[i]];
       if (config.rdma_ingestion) {
-        auto ch = RdmaChannel::Create(run->fabric.get(), config.nodes + n, n,
+        auto ch = RdmaChannel::Create(run->fabric, config.nodes + n, n,
                                       ingest_config);
         ch->AddDataObserver(ns->activity.get());
         ch->SetCloseHandler([run](const Status& cause) {
@@ -1281,10 +1305,10 @@ void BuildAttempt(SlashRun* run, uint64_t round) {
         });
         lane.ingest = ch.get();
         run->generator_cpus.push_back(std::make_unique<perf::CpuContext>(
-            &run->sim, config.cost_model, config.cpu_ghz));
+            run->sim, config.cost_model, config.cpu_ghz));
         run->generator_cpus.back()->BindSpeedDial(
             run->fabric->speed_dial(config.nodes + n));
-        run->sim.Spawn(Generator(run, ch.get(), lane.flow, lane.consumed,
+        run->sim->Spawn(Generator(run, ch.get(), lane.flow, lane.consumed,
                                  run->generator_cpus.back().get(), attempt));
         run->channels.push_back(std::move(ch));
       } else {
@@ -1326,27 +1350,27 @@ void BuildAttempt(SlashRun* run, uint64_t round) {
       NodeState* ns = nodes[n];
       if (ns == nullptr) continue;
       auto rs = std::make_unique<ReplState>();
-      rs->event = std::make_unique<sim::Event>(&run->sim);
+      rs->event = std::make_unique<sim::Event>(run->sim);
       ns->repl = rs.get();
       int made = 0;
       for (int i = 1; i < config.nodes && made < targets; ++i) {
         const int t = (n + i) % config.nodes;
         if (!run->alive[t]) continue;
         auto ch =
-            RdmaChannel::Create(run->fabric.get(), n, t, config.channel);
+            RdmaChannel::Create(run->fabric, n, t, config.channel);
         ch->SetCloseHandler([run](const Status& cause) {
           if (!run->in_teardown) FailRun(run, cause);
         });
         run->repl_cpus.push_back(std::make_unique<perf::CpuContext>(
-            &run->sim, config.cost_model, config.cpu_ghz));
+            run->sim, config.cost_model, config.cpu_ghz));
         perf::CpuContext* send_cpu = run->repl_cpus.back().get();
         send_cpu->BindSpeedDial(run->fabric->speed_dial(n));
         run->repl_cpus.push_back(std::make_unique<perf::CpuContext>(
-            &run->sim, config.cost_model, config.cpu_ghz));
+            run->sim, config.cost_model, config.cpu_ghz));
         perf::CpuContext* recv_cpu = run->repl_cpus.back().get();
         recv_cpu->BindSpeedDial(run->fabric->speed_dial(t));
-        run->sim.Spawn(Replicator(run, rs.get(), ch.get(), send_cpu, attempt));
-        run->sim.Spawn(
+        run->sim->Spawn(Replicator(run, rs.get(), ch.get(), send_cpu, attempt));
+        run->sim->Spawn(
             ReplicaReceiver(run, n, t, ch.get(), recv_cpu, attempt));
         run->channels.push_back(std::move(ch));
         ++made;
@@ -1358,7 +1382,7 @@ void BuildAttempt(SlashRun* run, uint64_t round) {
   for (int n = 0; n < config.nodes; ++n) {
     if (nodes[n] == nullptr) continue;
     for (int w = 0; w < config.workers_per_node; ++w) {
-      run->sim.Spawn(Worker(run, nodes[n], w, attempt));
+      run->sim->Spawn(Worker(run, nodes[n], w, attempt));
     }
   }
 
@@ -1377,18 +1401,170 @@ void BuildAttempt(SlashRun* run, uint64_t round) {
   run->restore_floor = run->records_in;
 }
 
+/// Labels carried by this job's instruments: empty for a single-job run
+/// with no tenant (snapshots stay byte-identical to the legacy path),
+/// {tenant=...} otherwise.
+obs::LabelSet JobLabels(const SlashRun& run) {
+  if (run.tenant.empty()) return obs::LabelSet{};
+  return obs::LabelSet{{obs::kLabelTenant, run.tenant}};
+}
+
+/// Resolves the job's observability handles (histogram, tracer interns)
+/// from the already-registered telemetry plane.
+void ResolveObs(SlashRun* run, obs::MetricsRegistry* registry) {
+  run->latency = registry->GetHistogram(obs::metric::kTransferLatencyNs);
+  run->tracer = run->sim->tracer();
+  if (run->tracer != nullptr) {
+    run->trace_epoch = run->tracer->Intern("engine.epoch");
+    run->trace_snapshot = run->tracer->Intern("checkpoint.snapshot");
+    run->trace_window = run->tracer->Intern("engine.window_fire");
+    run->trace_recovery = run->tracer->Intern("recovery");
+    run->trace_cat = run->tracer->Intern("slash");
+  }
+}
+
+/// Per-job setup shared by Run and RunJobs: derives the SSB config, seeds
+/// the recovery control plane and the identity placement, threads the
+/// tenant identity and quota into the job's channel config, and builds
+/// attempt 1. The fabric and obs handles must already be wired up.
+void SetUpJob(SlashRun* run, obs::MetricsRegistry* registry) {
+  const ClusterConfig& config = run->config;
+
+  // Every channel of this job inherits the tenant label and the shared
+  // credit quota (both no-ops for a legacy run: empty tenant, no quota).
+  run->config.channel.tenant = run->tenant;
+  run->config.channel.quota = run->quota.get();
+
+  run->ssb_config = [&] {
+    state::SsbConfig c;
+    c.nodes = config.nodes;
+    c.kind = run->query->is_join() ? state::StateKind::kAppend
+                                   : state::StateKind::kAggregate;
+    c.lss_capacity = config.state_lss_capacity;
+    c.index_buckets = config.state_index_buckets;
+    c.epoch_bytes = config.epoch_bytes;
+    return c;
+  }();
+
+  run->coordinator = std::make_unique<RecoveryCoordinator>(config.nodes);
+  run->coordinator->AttachMetrics(registry, JobLabels(*run));
+  run->alive.assign(config.nodes, true);
+  run->retired.assign(config.nodes, false);
+  run->retire_round.assign(config.nodes, 0);
+  run->quarantined.assign(config.nodes, false);
+  run->fenced.assign(config.nodes, false);
+  run->quarantine_count.assign(config.nodes, 0);
+  run->owner.resize(config.nodes);
+  for (int p = 0; p < config.nodes; ++p) run->owner[p] = p;
+  run->flow_home.resize(size_t(run->total_workers()));
+  for (int f = 0; f < run->total_workers(); ++f) {
+    run->flow_home[f] = f / config.workers_per_node;
+  }
+
+  BuildAttempt(run, /*round=*/0);
+}
+
+/// Publishes everything one job tallied itself into the registry, under the
+/// job's labels. Channel retries and NIC tx bytes were published live; the
+/// drain time and quota denials are opt-in instruments that only register
+/// for jobs that carry a tenant / quota, so legacy snapshots keep their
+/// exact instrument set.
+void PublishJobStats(SlashRun& run, obs::MetricsRegistry* registry,
+                     RunStats* stats) {
+  const obs::LabelSet labels = JobLabels(run);
+  if (!run.failed) {
+    // Only the surviving attempt's channels can owe credits; channels of a
+    // torn-down attempt legitimately strand some mid-transfer.
+    uint64_t credits = 0;
+    for (size_t i = run.attempt_channel_start; i < run.channels.size(); ++i) {
+      credits += run.channels[i]->credits_outstanding();
+    }
+    registry->GetCounter(obs::metric::kChannelCreditsOutstanding, labels)
+        ->Add(credits);
+  }
+  if (run.injector) {
+    registry->GetCounter(obs::metric::kFaultsInjected, labels)
+        ->Add(run.injector->trace().size());
+    registry->GetCounter(obs::metric::kFaultTraceDigest, labels)
+        ->Add(run.injector->trace_digest());
+  }
+  registry->GetCounter(obs::metric::kRecordsIn, labels)->Add(run.records_in);
+  registry->GetCounter(obs::metric::kCheckpointBytesReplicated, labels)
+      ->Add(run.bytes_replicated);
+  registry->GetCounter(obs::metric::kRecoveries, labels)->Add(run.recoveries);
+  registry->GetCounter(obs::metric::kRecoveryNs, labels)
+      ->Add(uint64_t(run.recovery_ns));
+  if (run.health != nullptr) {
+    registry->GetCounter(obs::metric::kHealthRejoins, labels)
+        ->Add(run.rejoins);
+    registry->GetCounter(obs::metric::kHealthFenceSuppressions, labels)
+        ->Add(run.fence_suppressions);
+  }
+  registry->GetCounter(obs::metric::kRecordsReplayed, labels)
+      ->Add(run.records_replayed);
+  obs::Counter* emitted =
+      registry->GetCounter(obs::metric::kRecordsEmitted, labels);
+  obs::Counter* checksum =
+      registry->GetCounter(obs::metric::kResultChecksum, labels);
+  for (NodeState* ns : run.nodes) {
+    if (ns == nullptr) continue;
+    emitted->Add(ns->sink.count());
+    checksum->Add(ns->sink.checksum());
+    if (run.config.collect_rows) {
+      const auto& rows = ns->sink.rows();
+      stats->rows.insert(stats->rows.end(), rows.begin(), rows.end());
+    }
+  }
+  // CPU counters accumulate across every attempt — a torn-down attempt
+  // still burned the cycles.
+  perf::Counters* workers = registry->GetCpu(
+      obs::metric::kCpu, labels.With(obs::kLabelRole, "worker"));
+  for (auto& ns : run.node_storage) {
+    for (auto& cpu : ns->worker_cpus) workers->Merge(cpu->counters());
+  }
+  if (!run.generator_cpus.empty()) {
+    perf::Counters* generators = registry->GetCpu(
+        obs::metric::kCpu, labels.With(obs::kLabelRole, "generator"));
+    for (auto& cpu : run.generator_cpus) generators->Merge(cpu->counters());
+  }
+  if (!run.repl_cpus.empty()) {
+    perf::Counters* replication = registry->GetCpu(
+        obs::metric::kCpu, labels.With(obs::kLabelRole, "replication"));
+    for (auto& cpu : run.repl_cpus) replication->Merge(cpu->counters());
+  }
+  if (!run.tenant.empty()) {
+    registry->GetCounter(obs::metric::kJobDrainNs, labels)
+        ->Add(uint64_t(run.drained_at));
+  }
+  if (run.quota != nullptr) {
+    registry->GetCounter(obs::metric::kChannelQuotaDenials, labels)
+        ->Add(run.quota->denials());
+  }
+}
+
 }  // namespace
 
-RunStats SlashEngine::Run(const core::QuerySpec& query,
-                          const workloads::Workload& workload,
-                          const ClusterConfig& config) {
-  SlashRun run;
-  run.query = &query;
-  run.workload = &workload;
-  run.config = config;
-
+RunStats SlashEngine::Run(const JobSpec& job) {
   RunStats stats;
   stats.engine = std::string(name());
+
+  core::QuerySpec query;
+  ClusterConfig config;
+  if (Status prepared = PrepareJob(job, &query, &config); !prepared.ok()) {
+    stats.status = prepared;
+    return stats;
+  }
+
+  sim::Simulator sim;
+  SlashRun run;
+  run.sim = &sim;
+  run.query = &query;
+  run.workload = job.sources;
+  run.config = config;
+  run.tenant = job.tenant;
+  if (job.quota > 0) {
+    run.quota = std::make_unique<channel::CreditQuota>(job.quota);
+  }
 
   RunTelemetry telemetry(config);
   obs::MetricsRegistry* registry = telemetry.registry();
@@ -1408,8 +1584,8 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
       return stats;
     }
     run.injector =
-        std::make_unique<sim::FaultInjector>(&run.sim, *config.fault_plan);
-    run.sim.set_fault_injector(run.injector.get());
+        std::make_unique<sim::FaultInjector>(&sim, *config.fault_plan);
+    sim.set_fault_injector(run.injector.get());
   }
   if (config.health.enabled) {
     const Status health_status = config.health.Validate();
@@ -1421,53 +1597,20 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
 
   // Register the observability plane before building the fabric so the
   // per-node NIC counters and channel handles wire themselves up.
-  telemetry.Register(&run.sim);
+  telemetry.Register(&sim);
   telemetry.NameNodes(fabric_nodes);
-  run.latency = registry->GetHistogram(obs::metric::kTransferLatencyNs);
-  run.tracer = run.sim.tracer();
-  if (run.tracer != nullptr) {
-    run.trace_epoch = run.tracer->Intern("engine.epoch");
-    run.trace_snapshot = run.tracer->Intern("checkpoint.snapshot");
-    run.trace_window = run.tracer->Intern("engine.window_fire");
-    run.trace_recovery = run.tracer->Intern("recovery");
-    run.trace_cat = run.tracer->Intern("slash");
-  }
+  ResolveObs(&run, registry);
 
   rdma::FabricConfig fabric_config;
   fabric_config.nodes = fabric_nodes;
   fabric_config.nic = config.nic;
   fabric_config.connection = config.connection;
-  run.fabric = std::make_unique<rdma::Fabric>(&run.sim, fabric_config);
-  run.fabric->SetNodeCrashHandler(
+  rdma::Fabric fabric(&sim, fabric_config);
+  run.fabric = &fabric;
+  fabric.SetNodeCrashHandler(
       [run_ptr = &run](int node) { OnNodeCrash(run_ptr, node); });
 
-  run.ssb_config = [&] {
-    state::SsbConfig c;
-    c.nodes = config.nodes;
-    c.kind = query.is_join() ? state::StateKind::kAppend
-                             : state::StateKind::kAggregate;
-    c.lss_capacity = config.state_lss_capacity;
-    c.index_buckets = config.state_index_buckets;
-    c.epoch_bytes = config.epoch_bytes;
-    return c;
-  }();
-
-  run.coordinator = std::make_unique<RecoveryCoordinator>(config.nodes);
-  run.coordinator->AttachMetrics(registry);
-  run.alive.assign(config.nodes, true);
-  run.retired.assign(config.nodes, false);
-  run.retire_round.assign(config.nodes, 0);
-  run.quarantined.assign(config.nodes, false);
-  run.fenced.assign(config.nodes, false);
-  run.quarantine_count.assign(config.nodes, 0);
-  run.owner.resize(config.nodes);
-  for (int p = 0; p < config.nodes; ++p) run.owner[p] = p;
-  run.flow_home.resize(size_t(run.total_workers()));
-  for (int f = 0; f < run.total_workers(); ++f) {
-    run.flow_home[f] = f / config.workers_per_node;
-  }
-
-  BuildAttempt(&run, /*round=*/0);
+  SetUpJob(&run, registry);
 
   // The monitor is constructed after the first attempt so its probe QPs
   // number after the data plane's (QPNs are assigned in Connect order);
@@ -1482,10 +1625,10 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
     callbacks.on_unfence = [rp](int node) { OnUnfence(rp, node); };
     callbacks.on_liveness_resumed = [rp](int node) { OnRejoin(rp, node); };
     run.health = std::make_unique<health::HealthMonitor>(
-        run.fabric.get(), config.health, config.nodes, std::move(callbacks));
+        run.fabric, config.health, config.nodes, std::move(callbacks));
     run.health->Start();
     if (config.health.run_deadline > 0) {
-      run.sim.ScheduleAt(config.health.run_deadline, [rp] {
+      sim.ScheduleAt(config.health.run_deadline, [rp] {
         if (rp->health != nullptr) rp->health->Stop();
         if (!rp->failed && (rp->workers_running > 0 || rp->recovering)) {
           FailRun(rp, Status::DeadlineExceeded(
@@ -1495,79 +1638,175 @@ RunStats SlashEngine::Run(const core::QuerySpec& query,
     }
   }
 
-  TimedSimRun(&run.sim, registry, &stats.sim_events_per_sec_wall);
+  TimedSimRun(&sim, registry, &stats.sim_events_per_sec_wall);
   // An aborted run legitimately strands coroutines that were mid-protocol
   // when their channel died; only a *completed* run must fully drain.
-  SLASH_CHECK_MSG(run.failed || run.sim.pending_tasks() == 0,
-                  "Slash run deadlocked with " << run.sim.pending_tasks()
+  SLASH_CHECK_MSG(run.failed || sim.pending_tasks() == 0,
+                  "Slash run deadlocked with " << sim.pending_tasks()
                                                << " pending tasks");
 
   stats.status = run.failed ? run.failure : Status::OK();
-  // Channel retries and NIC tx bytes were published live; everything the
-  // run tallied itself lands in the registry here.
-  if (!run.failed) {
-    // Only the surviving attempt's channels can owe credits; channels of a
-    // torn-down attempt legitimately strand some mid-transfer.
-    uint64_t credits = 0;
-    for (size_t i = run.attempt_channel_start; i < run.channels.size(); ++i) {
-      credits += run.channels[i]->credits_outstanding();
-    }
-    registry->GetCounter(obs::metric::kChannelCreditsOutstanding)
-        ->Add(credits);
-  }
-  if (run.injector) {
-    registry->GetCounter(obs::metric::kFaultsInjected)
-        ->Add(run.injector->trace().size());
-    registry->GetCounter(obs::metric::kFaultTraceDigest)
-        ->Add(run.injector->trace_digest());
-  }
-  registry->GetCounter(obs::metric::kRecordsIn)->Add(run.records_in);
-  if (const auto& pool = run.fabric->buffer_pool();
+  PublishJobStats(run, registry, &stats);
+  if (const auto& pool = fabric.buffer_pool();
       pool.hits() + pool.misses() > 0) {
     registry->GetGauge(obs::metric::kBufferPoolHitRate)->Set(pool.hit_rate());
   }
-  registry->GetCounter(obs::metric::kCheckpointBytesReplicated)
-      ->Add(run.bytes_replicated);
-  registry->GetCounter(obs::metric::kRecoveries)->Add(run.recoveries);
-  registry->GetCounter(obs::metric::kRecoveryNs)
-      ->Add(uint64_t(run.recovery_ns));
-  if (run.health != nullptr) {
-    registry->GetCounter(obs::metric::kHealthRejoins)->Add(run.rejoins);
-    registry->GetCounter(obs::metric::kHealthFenceSuppressions)
-        ->Add(run.fence_suppressions);
-  }
-  registry->GetCounter(obs::metric::kRecordsReplayed)
-      ->Add(run.records_replayed);
-  obs::Counter* emitted = registry->GetCounter(obs::metric::kRecordsEmitted);
-  obs::Counter* checksum = registry->GetCounter(obs::metric::kResultChecksum);
-  for (NodeState* ns : run.nodes) {
-    if (ns == nullptr) continue;
-    emitted->Add(ns->sink.count());
-    checksum->Add(ns->sink.checksum());
-    if (config.collect_rows) {
-      const auto& rows = ns->sink.rows();
-      stats.rows.insert(stats.rows.end(), rows.begin(), rows.end());
-    }
-  }
-  // CPU counters accumulate across every attempt — a torn-down attempt
-  // still burned the cycles.
-  perf::Counters* workers =
-      registry->GetCpu(obs::metric::kCpu, {{obs::kLabelRole, "worker"}});
-  for (auto& ns : run.node_storage) {
-    for (auto& cpu : ns->worker_cpus) workers->Merge(cpu->counters());
-  }
-  if (!run.generator_cpus.empty()) {
-    perf::Counters* generators =
-        registry->GetCpu(obs::metric::kCpu, {{obs::kLabelRole, "generator"}});
-    for (auto& cpu : run.generator_cpus) generators->Merge(cpu->counters());
-  }
-  if (!run.repl_cpus.empty()) {
-    perf::Counters* replication = registry->GetCpu(
-        obs::metric::kCpu, {{obs::kLabelRole, "replication"}});
-    for (auto& cpu : run.repl_cpus) replication->Merge(cpu->counters());
-  }
   telemetry.Finish(&stats);
   return stats;
+}
+
+MultiRunStats SlashEngine::RunJobs(const std::vector<JobSpec>& jobs,
+                                   const ClusterConfig& cluster) {
+  MultiRunStats multi;
+  multi.cluster.engine = std::string(name());
+  if (jobs.empty()) {
+    multi.status = Status::InvalidArgument("RunJobs needs at least one job");
+    multi.cluster.status = multi.status;
+    return multi;
+  }
+  // Fault injection and health detection reason about one job's ownership
+  // map and recovery rounds; neither concept is defined across tenants yet.
+  if (cluster.fault_plan != nullptr && !cluster.fault_plan->empty()) {
+    multi.status = Status::Unimplemented(
+        "fault injection in a multi-job run (use Run for a single job)");
+    multi.cluster.status = multi.status;
+    return multi;
+  }
+  if (cluster.health.enabled) {
+    multi.status = Status::Unimplemented(
+        "health monitoring in a multi-job run (use Run for a single job)");
+    multi.cluster.status = multi.status;
+    return multi;
+  }
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    if (jobs[j].tenant.empty()) {
+      multi.status = Status::InvalidArgument(
+          "every job of a multi-job run needs a non-empty tenant");
+      multi.cluster.status = multi.status;
+      return multi;
+    }
+    for (size_t k = 0; k < j; ++k) {
+      if (jobs[k].tenant == jobs[j].tenant) {
+        multi.status = Status::InvalidArgument(
+            "duplicate tenant '" + jobs[j].tenant + "' in a multi-job run");
+        multi.cluster.status = multi.status;
+        return multi;
+      }
+    }
+  }
+
+  // Compile every plan and overlay each job's knobs on the SHARED cluster
+  // description: one fabric, one node set — job.cluster is ignored here.
+  std::vector<core::QuerySpec> queries(jobs.size());
+  std::vector<ClusterConfig> configs(jobs.size());
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    JobSpec on_cluster = jobs[j];
+    on_cluster.cluster = cluster;
+    if (Status prepared = PrepareJob(on_cluster, &queries[j], &configs[j]);
+        !prepared.ok()) {
+      multi.status = prepared;
+      multi.cluster.status = multi.status;
+      return multi;
+    }
+  }
+
+  sim::Simulator sim;
+  RunTelemetry telemetry(cluster);
+  obs::MetricsRegistry* registry = telemetry.registry();
+
+  // One shared set of source nodes as soon as any job ingests over RDMA.
+  bool any_ingestion = false;
+  for (const ClusterConfig& c : configs) any_ingestion |= c.rdma_ingestion;
+  const int fabric_nodes =
+      any_ingestion ? 2 * cluster.nodes : cluster.nodes;
+
+  telemetry.Register(&sim);
+  telemetry.NameNodes(fabric_nodes);
+
+  // Stable addresses: coroutines and close handlers capture SlashRun*.
+  std::vector<std::unique_ptr<SlashRun>> runs;
+  runs.reserve(jobs.size());
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    auto run = std::make_unique<SlashRun>();
+    run->sim = &sim;
+    run->query = &queries[j];
+    run->workload = jobs[j].sources;
+    run->config = configs[j];
+    run->tenant = jobs[j].tenant;
+    if (jobs[j].quota > 0) {
+      run->quota = std::make_unique<channel::CreditQuota>(jobs[j].quota);
+    }
+    // Dedicated trace tracks per job, named after the tenant, so one trace
+    // file shows every job's epochs and recovery side by side.
+    run->track_engine = obs::kTrackHealth + 1 + int(2 * j);
+    run->track_recovery = obs::kTrackHealth + 2 + int(2 * j);
+    if (obs::Tracer* tracer = telemetry.tracer(); tracer->enabled()) {
+      for (int n = 0; n < fabric_nodes; ++n) {
+        tracer->SetTrackName(n, run->track_engine,
+                             "engine/" + jobs[j].tenant);
+        tracer->SetTrackName(n, run->track_recovery,
+                             "recovery/" + jobs[j].tenant);
+      }
+    }
+    ResolveObs(run.get(), registry);
+    runs.push_back(std::move(run));
+  }
+
+  rdma::FabricConfig fabric_config;
+  fabric_config.nodes = fabric_nodes;
+  fabric_config.nic = cluster.nic;
+  fabric_config.connection = cluster.connection;
+  rdma::Fabric fabric(&sim, fabric_config);
+  // No injector is installed (validated above), so this cannot fire today;
+  // it still fails every job loudly rather than hanging if it ever does.
+  fabric.SetNodeCrashHandler([&runs](int) {
+    for (auto& r : runs) {
+      if (!r->failed) {
+        FailRun(r.get(),
+                Status::Unimplemented("node crash in a multi-job run"));
+      }
+    }
+  });
+
+  for (auto& run : runs) {
+    run->fabric = &fabric;
+    SetUpJob(run.get(), registry);
+  }
+
+  // One DES drives every job's coroutines: fairness is the timestamp order
+  // of the shared event queue, contention is the shared NIC model.
+  TimedSimRun(&sim, registry, &multi.cluster.sim_events_per_sec_wall);
+  bool all_ok = true;
+  for (auto& run : runs) all_ok = all_ok && !run->failed;
+  SLASH_CHECK_MSG(!all_ok || sim.pending_tasks() == 0,
+                  "multi-job run deadlocked with " << sim.pending_tasks()
+                                                   << " pending tasks");
+
+  multi.jobs.resize(jobs.size());
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    SlashRun& run = *runs[j];
+    RunStats& stats = multi.jobs[j];
+    stats.engine = std::string(name());
+    stats.status = run.failed ? run.failure : Status::OK();
+    if (!stats.ok() && multi.status.ok()) multi.status = stats.status;
+    PublishJobStats(run, registry, &stats);
+  }
+  if (const auto& pool = fabric.buffer_pool();
+      pool.hits() + pool.misses() > 0) {
+    registry->GetGauge(obs::metric::kBufferPoolHitRate)->Set(pool.hit_rate());
+  }
+  multi.cluster.status = multi.status;
+  telemetry.Finish(&multi.cluster);
+  // Per-job views: the cluster snapshot filtered to each tenant's label
+  // (shared, unlabeled instruments — makespan, NIC bytes, DES counters —
+  // are retained, so the RunStats accessors work unchanged).
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    multi.jobs[j].metrics =
+        multi.cluster.metrics.SelectLabel(obs::kLabelTenant, jobs[j].tenant);
+    multi.jobs[j].sim_events_per_sec_wall =
+        multi.cluster.sim_events_per_sec_wall;
+  }
+  return multi;
 }
 
 }  // namespace slash::engines

@@ -21,6 +21,8 @@
 #ifndef SLASH_ENGINES_SLASH_ENGINE_H_
 #define SLASH_ENGINES_SLASH_ENGINE_H_
 
+#include <vector>
+
 #include "engines/engine.h"
 
 namespace slash::engines {
@@ -29,9 +31,24 @@ class SlashEngine : public Engine {
  public:
   std::string_view name() const override { return "Slash"; }
 
-  RunStats Run(const core::QuerySpec& query,
-               const workloads::Workload& workload,
-               const ClusterConfig& config) override;
+  using Engine::Run;  // the (query, workload, config) compatibility shim
+
+  /// Runs one job. A non-empty job.tenant labels every job-scoped metric
+  /// and trace track {tenant=...}; job.quota > 0 caps the job's in-flight
+  /// NIC credits. With an empty tenant and no quota the run is
+  /// byte-identical to the legacy (query, workload, config) path.
+  RunStats Run(const JobSpec& job) override;
+
+  /// Multi-query multi-tenant execution (DESIGN.md §12): runs all `jobs`
+  /// concurrently on ONE simulated cluster — one DES, one fabric, one
+  /// node set described by `cluster` — with per-tenant NIC-credit quotas
+  /// and per-tenant metric/trace labeling. Jobs must carry unique,
+  /// non-empty tenants. Fault plans and health detection are per-cluster
+  /// single-job constructs and are rejected with kUnimplemented here.
+  /// Fair scheduling falls out of the DES: every job's coroutines
+  /// interleave on the shared timestamp-ordered event queue.
+  MultiRunStats RunJobs(const std::vector<JobSpec>& jobs,
+                        const ClusterConfig& cluster);
 };
 
 }  // namespace slash::engines

@@ -56,6 +56,29 @@ std::string_view LabelSet::Get(std::string_view k) const {
   return {};
 }
 
+LabelSet LabelSet::With(std::string_view k, std::string_view v) const {
+  LabelSet out;
+  out.entries_.reserve(entries_.size() + 1);
+  bool replaced = false;
+  for (const auto& [key, value] : entries_) {
+    if (key == k) {
+      out.entries_.emplace_back(key, std::string(v));
+      replaced = true;
+    } else {
+      out.entries_.emplace_back(key, value);
+    }
+  }
+  if (!replaced) out.entries_.emplace_back(k, v);
+  std::sort(out.entries_.begin(), out.entries_.end());
+  for (const auto& [key, value] : out.entries_) {
+    if (!out.key_.empty()) out.key_.push_back(',');
+    out.key_.append(key);
+    out.key_.push_back('=');
+    out.key_.append(value);
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Histogram
 // ---------------------------------------------------------------------------
@@ -288,6 +311,17 @@ void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
               if (a.name != b.name) return a.name < b.name;
               return a.labels.key() < b.labels.key();
             });
+}
+
+MetricsSnapshot MetricsSnapshot::SelectLabel(std::string_view key,
+                                             std::string_view value) const {
+  MetricsSnapshot out;
+  out.entries_.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    const std::string_view got = e.labels.Get(key);
+    if (got.empty() || got == value) out.entries_.push_back(e);
+  }
+  return out;
 }
 
 std::string MetricsSnapshot::ToJson() const {

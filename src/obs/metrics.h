@@ -91,6 +91,12 @@ inline constexpr std::string_view kHealthFenceSuppressions =
     "health.fence_suppressions";
 inline constexpr std::string_view kHealthQuarantines = "health.quarantines";
 inline constexpr std::string_view kHealthRejoins = "health.rejoins";
+// Multi-tenant instruments (engines/job.h). Only registered for jobs that
+// carry a non-empty tenant, so single-job snapshots stay byte-identical
+// with the pre-plan-layer paths.
+inline constexpr std::string_view kJobDrainNs = "job.drain_ns";
+inline constexpr std::string_view kChannelQuotaDenials =
+    "channel.quota_denials";
 inline constexpr std::string_view kSimEventsFired = "sim.events_fired";
 inline constexpr std::string_view kSimPoolHitRate = "sim.pool_hit_rate";
 inline constexpr std::string_view kSimEventBytes =
@@ -103,6 +109,7 @@ inline constexpr std::string_view kLabelEngine = "engine";
 inline constexpr std::string_view kLabelNode = "node";
 inline constexpr std::string_view kLabelRole = "role";
 inline constexpr std::string_view kLabelOperator = "operator";
+inline constexpr std::string_view kLabelTenant = "tenant";
 
 /// An immutable, canonically ordered set of key=value labels. Two LabelSets
 /// with the same pairs produce the same key() regardless of construction
@@ -125,6 +132,9 @@ class LabelSet {
 
   /// The value for `k`, or "" when absent.
   std::string_view Get(std::string_view k) const;
+
+  /// A copy of this set with `k`=`v` added (or replaced).
+  LabelSet With(std::string_view k, std::string_view v) const;
 
   bool operator==(const LabelSet& other) const { return key_ == other.key_; }
 
@@ -247,6 +257,13 @@ class MetricsSnapshot {
   /// perf::Counters::Merge). Associative and commutative, so sharded
   /// snapshots can be combined in any order.
   void Merge(const MetricsSnapshot& other);
+
+  /// The per-tenant view used by multi-job RunStats: keeps entries whose
+  /// labels either lack `key` entirely (shared/cluster-level instruments)
+  /// or carry `key`=`value`; drops everything labeled with a different
+  /// value. Preserves canonical order.
+  MetricsSnapshot SelectLabel(std::string_view key,
+                              std::string_view value) const;
 
   /// Canonical JSON: entries sorted by (name, labels), doubles printed
   /// round-trip exact. Byte-identical across same-seed runs.

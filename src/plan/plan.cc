@@ -1,0 +1,199 @@
+#include "plan/plan.h"
+
+#include <algorithm>
+
+namespace slash::plan {
+
+std::string_view NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kSource:
+      return "source";
+    case NodeKind::kFilter:
+      return "filter";
+    case NodeKind::kProject:
+      return "project";
+    case NodeKind::kRepartition:
+      return "repartition";
+    case NodeKind::kWindowAggregate:
+      return "window_aggregate";
+    case NodeKind::kWindowJoin:
+      return "window_join";
+    case NodeKind::kSink:
+      return "sink";
+  }
+  return "unknown";
+}
+
+int32_t LogicalPlan::Add(PlanNode node) {
+  node.id = int32_t(nodes_.size());
+  if (node.name.empty()) node.name = std::string(NodeKindName(node.kind));
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+void LogicalPlan::Connect(int32_t from, int32_t to) {
+  edges_.emplace_back(from, to);
+}
+
+const PlanNode* LogicalPlan::FindKind(NodeKind kind) const {
+  for (const PlanNode& node : nodes_) {
+    if (node.kind == kind) return &node;
+  }
+  return nullptr;
+}
+
+Status LogicalPlan::TopoOrder(std::vector<int32_t>* order) const {
+  const int32_t n = int32_t(nodes_.size());
+  for (const auto& [from, to] : edges_) {
+    if (from < 0 || from >= n || to < 0 || to >= n) {
+      return Status::InvalidArgument(
+          "plan '" + name + "': dangling edge " + std::to_string(from) +
+          " -> " + std::to_string(to) + " references a missing node");
+    }
+  }
+  std::vector<int32_t> in_degree(size_t(n), 0);
+  for (const auto& [from, to] : edges_) ++in_degree[size_t(to)];
+  // Kahn with a sorted ready set: smallest id first, so the order is a
+  // deterministic function of the plan alone.
+  std::vector<int32_t> ready;
+  for (int32_t i = 0; i < n; ++i) {
+    if (in_degree[size_t(i)] == 0) ready.push_back(i);
+  }
+  order->clear();
+  order->reserve(size_t(n));
+  while (!ready.empty()) {
+    const auto it = std::min_element(ready.begin(), ready.end());
+    const int32_t node = *it;
+    ready.erase(it);
+    order->push_back(node);
+    for (const auto& [from, to] : edges_) {
+      if (from != node) continue;
+      if (--in_degree[size_t(to)] == 0) ready.push_back(to);
+    }
+  }
+  if (int32_t(order->size()) != n) {
+    return Status::InvalidArgument("plan '" + name +
+                                   "': cycle detected in the operator DAG");
+  }
+  return Status::OK();
+}
+
+Status LogicalPlan::Validate() const {
+  if (nodes_.empty()) {
+    return Status::InvalidArgument("plan '" + name + "' has no nodes");
+  }
+  std::vector<int32_t> order;
+  if (Status topo = TopoOrder(&order); !topo.ok()) return topo;
+
+  int sources = 0, sinks = 0, stateful = 0;
+  for (const PlanNode& node : nodes_) {
+    switch (node.kind) {
+      case NodeKind::kSource:
+        ++sources;
+        break;
+      case NodeKind::kSink:
+        ++sinks;
+        break;
+      case NodeKind::kWindowAggregate:
+      case NodeKind::kWindowJoin:
+        ++stateful;
+        break;
+      default:
+        break;
+    }
+  }
+  if (sources != 1) {
+    return Status::InvalidArgument("plan '" + name + "' must have exactly " +
+                                   "one source node (got " +
+                                   std::to_string(sources) + ")");
+  }
+  if (sinks != 1) {
+    return Status::InvalidArgument("plan '" + name + "' must have exactly " +
+                                   "one sink node (got " +
+                                   std::to_string(sinks) + ")");
+  }
+  if (stateful != 1) {
+    return Status::InvalidArgument(
+        "plan '" + name + "' must have exactly one stateful window " +
+        "operator (got " + std::to_string(stateful) + ")");
+  }
+
+  // Arity: the source feeds, the sink terminates, everything participates.
+  const size_t n = nodes_.size();
+  std::vector<int> in_degree(n, 0), out_degree(n, 0);
+  for (const auto& [from, to] : edges_) {
+    ++out_degree[size_t(from)];
+    ++in_degree[size_t(to)];
+  }
+  for (const PlanNode& node : nodes_) {
+    const size_t i = size_t(node.id);
+    if (node.kind == NodeKind::kSource && in_degree[i] != 0) {
+      return Status::InvalidArgument("plan '" + name +
+                                     "': source node has an inbound edge");
+    }
+    if (node.kind == NodeKind::kSink && out_degree[i] != 0) {
+      return Status::InvalidArgument("plan '" + name +
+                                     "': sink node has an outbound edge");
+    }
+    if (node.kind != NodeKind::kSource && in_degree[i] == 0) {
+      return Status::InvalidArgument(
+          "plan '" + name + "': node " + std::to_string(node.id) + " (" +
+          std::string(NodeKindName(node.kind)) + ") is unreachable");
+    }
+    if (node.kind != NodeKind::kSink && out_degree[i] == 0) {
+      return Status::InvalidArgument(
+          "plan '" + name + "': node " + std::to_string(node.id) + " (" +
+          std::string(NodeKindName(node.kind)) + ") feeds nothing");
+    }
+  }
+  return Status::OK();
+}
+
+LogicalPlan Planner::Lower(const core::QuerySpec& query) {
+  LogicalPlan plan;
+  plan.name = query.name;
+
+  int32_t tail = plan.Add(PlanNode{.kind = NodeKind::kSource});
+  if (query.filter) {
+    PlanNode filter{.kind = NodeKind::kFilter};
+    filter.filter = query.filter;
+    const int32_t id = plan.Add(std::move(filter));
+    plan.Connect(tail, id);
+    tail = id;
+  }
+  if (query.project) {
+    PlanNode project{.kind = NodeKind::kProject};
+    project.project = query.project;
+    const int32_t id = plan.Add(std::move(project));
+    plan.Connect(tail, id);
+    tail = id;
+  }
+  // The explicit repartition marker: under Slash it compiles to nothing
+  // (shared-state execution never shuffles records); the re-partitioning
+  // engines realize it as their sender->receiver hash exchange.
+  {
+    const int32_t id = plan.Add(PlanNode{.kind = NodeKind::kRepartition});
+    plan.Connect(tail, id);
+    tail = id;
+  }
+  {
+    PlanNode window;
+    window.window = query.window;
+    if (query.is_join()) {
+      window.kind = NodeKind::kWindowJoin;
+      window.left_stream = query.left_stream;
+      window.right_stream = query.right_stream;
+    } else {
+      window.kind = NodeKind::kWindowAggregate;
+      window.agg = query.agg;
+    }
+    const int32_t id = plan.Add(std::move(window));
+    plan.Connect(tail, id);
+    tail = id;
+  }
+  const int32_t sink = plan.Add(PlanNode{.kind = NodeKind::kSink});
+  plan.Connect(tail, sink);
+  return plan;
+}
+
+}  // namespace slash::plan

@@ -1,0 +1,119 @@
+// The logical query plan (DESIGN.md §12): a small DAG of typed operator
+// nodes that sits between the declarative core::QuerySpec and the engines.
+//
+// Queries are authored (or lowered by the Planner) into a LogicalPlan,
+// validated structurally (acyclicity, edge sanity, per-kind arity), and
+// compiled through the OperatorRegistry (plan/registry.h) into the flat
+// QuerySpec the engines' pipelines interpret. Keeping the plan declarative
+// — plain nodes and edges, no execution state — is what lets later work
+// rewrite it at runtime (elasticity, operator fusion) without touching the
+// engines.
+//
+// The supported node kinds mirror the paper's query shape: one source,
+// a chain of stateless stages (filter, project), an explicit repartition
+// marker (the engines decide whether it is a real shuffle — UpPar/Flink —
+// or a no-op under Slash's shared-state execution), exactly one stateful
+// windowed operator (aggregate or join), and one sink.
+#ifndef SLASH_PLAN_PLAN_H_
+#define SLASH_PLAN_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query.h"
+
+namespace slash::plan {
+
+enum class NodeKind : uint8_t {
+  kSource = 0,
+  kFilter = 1,
+  kProject = 2,
+  kRepartition = 3,
+  kWindowAggregate = 4,
+  kWindowJoin = 5,
+  kSink = 6,
+};
+
+std::string_view NodeKindName(NodeKind kind);
+
+/// One operator of the logical plan. Only the fields matching `kind` are
+/// meaningful; the rest keep their defaults.
+struct PlanNode {
+  int32_t id = -1;  // assigned by LogicalPlan::Add
+  NodeKind kind = NodeKind::kSource;
+  std::string name;
+
+  /// kFilter: stateless predicate.
+  std::function<bool(const core::Record&)> filter;
+
+  /// kProject: stateless transformation.
+  std::function<void(core::Record*)> project;
+
+  /// kWindowAggregate / kWindowJoin: the stateful operator's window.
+  core::WindowSpec window = core::WindowSpec::Tumbling(1000);
+
+  /// kWindowAggregate: aggregation function.
+  state::AggKind agg = state::AggKind::kSum;
+
+  /// kWindowJoin: join sides by stream id.
+  uint16_t left_stream = 0;
+  uint16_t right_stream = 1;
+};
+
+/// The plan DAG: nodes plus directed edges. Purely declarative — Validate
+/// checks structure, TopoOrder linearizes it deterministically, and
+/// plan::Compile (registry.h) folds it into an executable QuerySpec.
+class LogicalPlan {
+ public:
+  std::string name;
+
+  /// Adds a node, assigns and returns its id (dense, starting at 0).
+  int32_t Add(PlanNode node);
+
+  /// Adds the directed edge `from` -> `to`. Endpoints are validated lazily
+  /// by Validate(), so plans under construction may reference ids not
+  /// added yet.
+  void Connect(int32_t from, int32_t to);
+
+  const std::vector<PlanNode>& nodes() const { return nodes_; }
+  const std::vector<std::pair<int32_t, int32_t>>& edges() const {
+    return edges_;
+  }
+
+  /// Structural validation: every edge endpoint exists (no dangling
+  /// edges), the graph is acyclic, exactly one source (in-degree 0 by
+  /// kind), exactly one sink, exactly one stateful window operator, and
+  /// every node is reachable on the source->sink spine (no orphans).
+  Status Validate() const;
+
+  /// Deterministic topological order (Kahn's algorithm, smallest node id
+  /// first among the ready set). Fails on cycles or dangling edges.
+  Status TopoOrder(std::vector<int32_t>* order) const;
+
+  /// The first node of `kind` in id order, or nullptr.
+  const PlanNode* FindKind(NodeKind kind) const;
+
+ private:
+  std::vector<PlanNode> nodes_;
+  std::vector<std::pair<int32_t, int32_t>> edges_;
+};
+
+/// Lowers the declarative QuerySpec into its canonical plan: a linear
+/// source -> [filter] -> [project] -> repartition -> window -> sink chain.
+/// Every query the workloads produce is expressible this way, and
+/// compiling the lowered plan back (plan::Compile) reproduces the spec
+/// exactly — the byte-identity bridge between the legacy Run(query, ...)
+/// path and the JobSpec path.
+class Planner {
+ public:
+  static LogicalPlan Lower(const core::QuerySpec& query);
+};
+
+}  // namespace slash::plan
+
+#endif  // SLASH_PLAN_PLAN_H_

@@ -1,0 +1,166 @@
+#include "plan/registry.h"
+
+#include <string>
+#include <utility>
+
+namespace slash::plan {
+
+namespace {
+
+/// Structural nodes (source, repartition, sink) contribute nothing to the
+/// flat spec: the engines realize them through their own execution
+/// strategy (Slash: shared state, no shuffle; UpPar/Flink: hash exchange).
+class StructuralExecNode : public ExecNode {
+ public:
+  explicit StructuralExecNode(NodeKind kind) : kind_(kind) {}
+  NodeKind kind() const override { return kind_; }
+  Status Fold(core::QuerySpec*) const override { return Status::OK(); }
+
+ private:
+  NodeKind kind_;
+};
+
+class FilterExecNode : public ExecNode {
+ public:
+  explicit FilterExecNode(const PlanNode& node) : filter_(node.filter) {}
+  NodeKind kind() const override { return NodeKind::kFilter; }
+  Status Fold(core::QuerySpec* spec) const override {
+    if (spec->filter) {
+      return Status::InvalidArgument(
+          "QuerySpec lowering supports at most one filter node");
+    }
+    if (!filter_) {
+      return Status::InvalidArgument("filter node has no predicate");
+    }
+    spec->filter = filter_;
+    return Status::OK();
+  }
+
+ private:
+  std::function<bool(const core::Record&)> filter_;
+};
+
+class ProjectExecNode : public ExecNode {
+ public:
+  explicit ProjectExecNode(const PlanNode& node) : project_(node.project) {}
+  NodeKind kind() const override { return NodeKind::kProject; }
+  Status Fold(core::QuerySpec* spec) const override {
+    if (spec->project) {
+      return Status::InvalidArgument(
+          "QuerySpec lowering supports at most one project node");
+    }
+    if (!project_) {
+      return Status::InvalidArgument("project node has no transformation");
+    }
+    spec->project = project_;
+    return Status::OK();
+  }
+
+ private:
+  std::function<void(core::Record*)> project_;
+};
+
+class WindowAggregateExecNode : public ExecNode {
+ public:
+  explicit WindowAggregateExecNode(const PlanNode& node)
+      : window_(node.window), agg_(node.agg) {}
+  NodeKind kind() const override { return NodeKind::kWindowAggregate; }
+  Status Fold(core::QuerySpec* spec) const override {
+    spec->type = core::QuerySpec::Type::kAggregate;
+    spec->window = window_;
+    spec->agg = agg_;
+    return Status::OK();
+  }
+
+ private:
+  core::WindowSpec window_;
+  state::AggKind agg_;
+};
+
+class WindowJoinExecNode : public ExecNode {
+ public:
+  explicit WindowJoinExecNode(const PlanNode& node)
+      : window_(node.window),
+        left_(node.left_stream),
+        right_(node.right_stream) {}
+  NodeKind kind() const override { return NodeKind::kWindowJoin; }
+  Status Fold(core::QuerySpec* spec) const override {
+    spec->type = core::QuerySpec::Type::kJoin;
+    spec->window = window_;
+    spec->left_stream = left_;
+    spec->right_stream = right_;
+    return Status::OK();
+  }
+
+ private:
+  core::WindowSpec window_;
+  uint16_t left_;
+  uint16_t right_;
+};
+
+}  // namespace
+
+void OperatorRegistry::Register(NodeKind kind, Factory factory) {
+  factories_[kind] = std::move(factory);
+}
+
+bool OperatorRegistry::Knows(NodeKind kind) const {
+  return factories_.count(kind) > 0;
+}
+
+std::unique_ptr<ExecNode> OperatorRegistry::Make(const PlanNode& node) const {
+  const auto it = factories_.find(node.kind);
+  if (it == factories_.end()) return nullptr;
+  return it->second(node);
+}
+
+const OperatorRegistry& OperatorRegistry::Default() {
+  static const OperatorRegistry* registry = [] {
+    auto* r = new OperatorRegistry();
+    for (NodeKind kind : {NodeKind::kSource, NodeKind::kRepartition,
+                          NodeKind::kSink}) {
+      r->Register(kind, [kind](const PlanNode&) {
+        return std::make_unique<StructuralExecNode>(kind);
+      });
+    }
+    r->Register(NodeKind::kFilter, [](const PlanNode& node) {
+      return std::make_unique<FilterExecNode>(node);
+    });
+    r->Register(NodeKind::kProject, [](const PlanNode& node) {
+      return std::make_unique<ProjectExecNode>(node);
+    });
+    r->Register(NodeKind::kWindowAggregate, [](const PlanNode& node) {
+      return std::make_unique<WindowAggregateExecNode>(node);
+    });
+    r->Register(NodeKind::kWindowJoin, [](const PlanNode& node) {
+      return std::make_unique<WindowJoinExecNode>(node);
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+Status Compile(const LogicalPlan& plan, const OperatorRegistry& registry,
+               core::QuerySpec* out) {
+  if (Status valid = plan.Validate(); !valid.ok()) return valid;
+  std::vector<int32_t> order;
+  if (Status topo = plan.TopoOrder(&order); !topo.ok()) return topo;
+
+  core::QuerySpec spec;
+  spec.name = plan.name;
+  for (int32_t id : order) {
+    const PlanNode& node = plan.nodes()[size_t(id)];
+    std::unique_ptr<ExecNode> exec = registry.Make(node);
+    if (exec == nullptr) {
+      return Status::InvalidArgument(
+          "no operator registered for plan-node kind '" +
+          std::string(NodeKindName(node.kind)) + "' (node " +
+          std::to_string(node.id) + " of plan '" + plan.name + "')");
+    }
+    if (Status folded = exec->Fold(&spec); !folded.ok()) return folded;
+  }
+  *out = std::move(spec);
+  return Status::OK();
+}
+
+}  // namespace slash::plan

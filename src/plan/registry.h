@@ -1,0 +1,69 @@
+// The operator registry: maps plan-node kinds to deterministic exec-node
+// factories, and compiles a validated LogicalPlan into the flat
+// core::QuerySpec the engines' RecordPipeline interprets.
+//
+// An ExecNode is the executable form of one plan node. Compilation walks
+// the plan in deterministic topological order and lets each exec node fold
+// itself into the QuerySpec under construction; a kind with no registered
+// factory rejects the plan with kInvalidArgument (the unknown-operator
+// guard tested by tests/plan_test.cc). The default registry covers every
+// kind the Planner emits, so Compile(Planner::Lower(q)) == q for all
+// existing queries.
+#ifndef SLASH_PLAN_REGISTRY_H_
+#define SLASH_PLAN_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/status.h"
+#include "plan/plan.h"
+
+namespace slash::plan {
+
+/// The executable form of one plan node. Fold() contributes the node's
+/// behavior to the QuerySpec under construction; deterministic by
+/// construction (no hidden state, no randomness).
+class ExecNode {
+ public:
+  virtual ~ExecNode() = default;
+
+  virtual NodeKind kind() const = 0;
+
+  /// Folds this node into `spec`. Fails when the flat QuerySpec cannot
+  /// express the node (e.g. a second filter in one plan).
+  virtual Status Fold(core::QuerySpec* spec) const = 0;
+};
+
+/// Registry of exec-node factories by node kind.
+class OperatorRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<ExecNode>(const PlanNode& node)>;
+
+  /// Registers (or replaces) the factory for `kind`.
+  void Register(NodeKind kind, Factory factory);
+
+  bool Knows(NodeKind kind) const;
+
+  /// Instantiates the exec node for `node`, or nullptr when its kind has
+  /// no registered factory.
+  std::unique_ptr<ExecNode> Make(const PlanNode& node) const;
+
+  /// The process-wide default registry: every kind the Planner emits.
+  static const OperatorRegistry& Default();
+
+ private:
+  std::map<NodeKind, Factory> factories_;
+};
+
+/// Compiles `plan` into the flat QuerySpec executed by the engines:
+/// validates the DAG, walks it in deterministic topological order, and
+/// folds each node through its registered exec node. `*out` is fully
+/// overwritten on success.
+Status Compile(const LogicalPlan& plan, const OperatorRegistry& registry,
+               core::QuerySpec* out);
+
+}  // namespace slash::plan
+
+#endif  // SLASH_PLAN_REGISTRY_H_

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string_view>
 
+#include "core/oracle.h"
 #include "core/query.h"
 
 namespace slash::workloads {

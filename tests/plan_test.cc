@@ -1,0 +1,299 @@
+// Query-plan layer tests (DESIGN.md §12): structural validation of the
+// logical-plan DAG, operator-registry compilation, and the byte-identity
+// bridge — lowering a QuerySpec into a plan and compiling it back must
+// reproduce the exact results (checksum, rows, canonical MetricsSnapshot)
+// of the original query on every engine, so the legacy Run(query,
+// workload, config) shim and the JobSpec path are interchangeable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/oracle.h"
+#include "engines/flink_engine.h"
+#include "engines/lightsaber_engine.h"
+#include "engines/slash_engine.h"
+#include "engines/uppar_engine.h"
+#include "plan/plan.h"
+#include "plan/registry.h"
+#include "workloads/cluster_monitoring.h"
+#include "workloads/nexmark.h"
+#include "workloads/ysb.h"
+
+namespace slash::plan {
+namespace {
+
+using engines::ClusterConfig;
+using engines::JobConfig;
+using engines::JobSpec;
+using engines::RunStats;
+
+ClusterConfig SmallCluster(int nodes, int workers, uint64_t records) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.workers_per_node = workers;
+  cfg.records_per_worker = records;
+  cfg.channel.slot_bytes = 16 * kKiB;
+  cfg.epoch_bytes = 64 * kKiB;
+  cfg.state_lss_capacity = 1 << 16;
+  cfg.state_index_buckets = 1 << 10;
+  cfg.collect_rows = true;
+  return cfg;
+}
+
+// --- DAG structure ----------------------------------------------------------
+
+TEST(LogicalPlanTest, LowerProducesTheCanonicalChain) {
+  workloads::YsbWorkload workload;
+  const core::QuerySpec query = workload.MakeQuery();
+  const LogicalPlan plan = Planner::Lower(query);
+
+  EXPECT_EQ(plan.name, query.name);
+  EXPECT_TRUE(plan.Validate().ok()) << plan.Validate().ToString();
+  ASSERT_NE(plan.FindKind(NodeKind::kSource), nullptr);
+  ASSERT_NE(plan.FindKind(NodeKind::kRepartition), nullptr);
+  ASSERT_NE(plan.FindKind(NodeKind::kWindowAggregate), nullptr);
+  ASSERT_NE(plan.FindKind(NodeKind::kSink), nullptr);
+  EXPECT_EQ(plan.FindKind(NodeKind::kWindowJoin), nullptr);
+  // A linear chain: edges == nodes - 1, and the topo order is 0..n-1
+  // because Lower appends in chain order.
+  EXPECT_EQ(plan.edges().size(), plan.nodes().size() - 1);
+  std::vector<int32_t> order;
+  ASSERT_TRUE(plan.TopoOrder(&order).ok());
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], int32_t(i));
+  }
+}
+
+TEST(LogicalPlanTest, LowerMarksJoinsAsJoins) {
+  workloads::Nb8Workload workload;
+  const LogicalPlan plan = Planner::Lower(workload.MakeQuery());
+  EXPECT_TRUE(plan.Validate().ok());
+  EXPECT_NE(plan.FindKind(NodeKind::kWindowJoin), nullptr);
+  EXPECT_EQ(plan.FindKind(NodeKind::kWindowAggregate), nullptr);
+}
+
+TEST(LogicalPlanTest, CycleIsRejected) {
+  LogicalPlan plan;
+  const int32_t a = plan.Add({.kind = NodeKind::kSource});
+  const int32_t b = plan.Add({.kind = NodeKind::kWindowAggregate});
+  const int32_t c = plan.Add({.kind = NodeKind::kSink});
+  plan.Connect(a, b);
+  plan.Connect(b, c);
+  plan.Connect(c, b);  // back edge
+  std::vector<int32_t> order;
+  const Status status = plan.TopoOrder(&order);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("cycle"), std::string::npos)
+      << status.ToString();
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(LogicalPlanTest, DanglingEdgeIsRejected) {
+  LogicalPlan plan;
+  const int32_t a = plan.Add({.kind = NodeKind::kSource});
+  plan.Connect(a, 99);
+  std::vector<int32_t> order;
+  EXPECT_FALSE(plan.TopoOrder(&order).ok());
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(LogicalPlanTest, ArityViolationsAreRejected) {
+  // Two stateful operators on one spine.
+  {
+    LogicalPlan plan;
+    const int32_t src = plan.Add({.kind = NodeKind::kSource});
+    const int32_t agg1 = plan.Add({.kind = NodeKind::kWindowAggregate});
+    const int32_t agg2 = plan.Add({.kind = NodeKind::kWindowAggregate});
+    const int32_t sink = plan.Add({.kind = NodeKind::kSink});
+    plan.Connect(src, agg1);
+    plan.Connect(agg1, agg2);
+    plan.Connect(agg2, sink);
+    EXPECT_FALSE(plan.Validate().ok());
+  }
+  // An orphan node off the spine.
+  {
+    LogicalPlan plan;
+    const int32_t src = plan.Add({.kind = NodeKind::kSource});
+    const int32_t agg = plan.Add({.kind = NodeKind::kWindowAggregate});
+    const int32_t sink = plan.Add({.kind = NodeKind::kSink});
+    plan.Add({.kind = NodeKind::kFilter});  // never connected
+    plan.Connect(src, agg);
+    plan.Connect(agg, sink);
+    EXPECT_FALSE(plan.Validate().ok());
+  }
+  // An empty plan.
+  EXPECT_FALSE(LogicalPlan{}.Validate().ok());
+}
+
+// --- Registry compilation ---------------------------------------------------
+
+TEST(OperatorRegistryTest, UnknownKindIsRejected) {
+  workloads::YsbWorkload workload;
+  const LogicalPlan plan = Planner::Lower(workload.MakeQuery());
+  OperatorRegistry empty;  // nothing registered
+  core::QuerySpec spec;
+  const Status status = Compile(plan, empty, &spec);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("no operator registered"),
+            std::string::npos)
+      << status.ToString();
+}
+
+TEST(OperatorRegistryTest, DefaultRegistryKnowsEveryKind) {
+  const OperatorRegistry& registry = OperatorRegistry::Default();
+  for (NodeKind kind :
+       {NodeKind::kSource, NodeKind::kFilter, NodeKind::kProject,
+        NodeKind::kRepartition, NodeKind::kWindowAggregate,
+        NodeKind::kWindowJoin, NodeKind::kSink}) {
+    EXPECT_TRUE(registry.Knows(kind)) << NodeKindName(kind);
+  }
+}
+
+// Compile(Lower(q)) must reproduce q semantically: the sequential oracle
+// over the compiled spec matches the oracle over the original, for every
+// workload query shape in the repo.
+TEST(PlannerTest, LowerCompileRoundTripsEveryWorkloadQuery) {
+  const std::vector<std::unique_ptr<workloads::Workload>> workloads = [] {
+    std::vector<std::unique_ptr<workloads::Workload>> w;
+    w.push_back(std::make_unique<workloads::YsbWorkload>());
+    w.push_back(std::make_unique<workloads::CmWorkload>());
+    w.push_back(std::make_unique<workloads::Nb7Workload>());
+    w.push_back(std::make_unique<workloads::Nb8Workload>());
+    w.push_back(std::make_unique<workloads::Nb11Workload>());
+    return w;
+  }();
+  for (const auto& workload : workloads) {
+    const core::QuerySpec original = workload->MakeQuery();
+    core::QuerySpec compiled;
+    ASSERT_TRUE(Compile(Planner::Lower(original), OperatorRegistry::Default(),
+                        &compiled)
+                    .ok())
+        << original.name;
+    const int flows = 4;
+    const core::SourceFactory sources = workload->Sources(500, /*seed=*/7);
+    const core::OracleOutput a = core::ComputeOracle(original, sources, flows);
+    const core::OracleOutput b = core::ComputeOracle(compiled, sources, flows);
+    EXPECT_EQ(a.records_in, b.records_in) << original.name;
+    EXPECT_EQ(a.count, b.count) << original.name;
+    EXPECT_EQ(a.checksum, b.checksum) << original.name;
+    EXPECT_EQ(a.rows, b.rows) << original.name;
+  }
+}
+
+// --- Engine byte-identity: legacy shim vs explicit JobSpec ------------------
+
+void ExpectShimEqualsJobSpec(engines::Engine* engine,
+                             const workloads::Workload& workload,
+                             const ClusterConfig& cfg) {
+  const core::QuerySpec query = workload.MakeQuery();
+  const RunStats legacy = engine->Run(query, workload, cfg);
+
+  JobSpec job;
+  job.plan = Planner::Lower(query);
+  job.sources = &workload;
+  job.cluster = cfg;
+  job.config = JobConfig(cfg);
+  const RunStats via_job = engine->Run(job);
+
+  ASSERT_TRUE(legacy.ok()) << legacy.status.ToString();
+  ASSERT_TRUE(via_job.ok()) << via_job.status.ToString();
+  EXPECT_EQ(legacy.result_checksum(), via_job.result_checksum())
+      << engine->name();
+  EXPECT_EQ(legacy.metrics.ToJson(), via_job.metrics.ToJson())
+      << engine->name();
+
+  // Both match the sequential oracle (P2 holds through the plan layer).
+  const core::OracleOutput oracle = core::ComputeOracle(
+      query, workload.Sources(cfg.records_per_worker, cfg.seed),
+      cfg.nodes * cfg.workers_per_node);
+  EXPECT_EQ(via_job.records_in(), oracle.records_in) << engine->name();
+  EXPECT_EQ(via_job.records_emitted(), oracle.count) << engine->name();
+  EXPECT_EQ(via_job.result_checksum(), oracle.checksum) << engine->name();
+  std::vector<core::WindowResult> rows = via_job.rows;
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, oracle.rows) << engine->name();
+}
+
+TEST(JobSpecEquivalenceTest, SlashYsb) {
+  workloads::YsbWorkload workload;
+  engines::SlashEngine engine;
+  ExpectShimEqualsJobSpec(&engine, workload, SmallCluster(2, 4, 2000));
+}
+
+TEST(JobSpecEquivalenceTest, SlashNb8Join) {
+  workloads::Nb8Workload workload;
+  engines::SlashEngine engine;
+  ExpectShimEqualsJobSpec(&engine, workload, SmallCluster(2, 2, 1500));
+}
+
+TEST(JobSpecEquivalenceTest, UpParCm) {
+  workloads::CmWorkload workload;
+  engines::UpParEngine engine;
+  ExpectShimEqualsJobSpec(&engine, workload, SmallCluster(2, 4, 2000));
+}
+
+TEST(JobSpecEquivalenceTest, FlinkYsb) {
+  workloads::YsbWorkload workload;
+  engines::FlinkLikeEngine engine;
+  ExpectShimEqualsJobSpec(&engine, workload, SmallCluster(2, 2, 1000));
+}
+
+TEST(JobSpecEquivalenceTest, LightSaberNb7) {
+  workloads::Nb7Workload workload;
+  engines::LightSaberEngine engine;
+  ExpectShimEqualsJobSpec(&engine, workload, SmallCluster(1, 4, 2000));
+}
+
+// A malformed JobSpec fails cleanly with a status, not a crash.
+TEST(JobSpecEquivalenceTest, InvalidPlanReportsStatus) {
+  workloads::YsbWorkload workload;
+  engines::SlashEngine engine;
+  JobSpec job;  // empty plan, no nodes
+  job.sources = &workload;
+  job.cluster = SmallCluster(2, 2, 100);
+  job.config = JobConfig(job.cluster);
+  const RunStats stats = engine.Run(job);
+  EXPECT_FALSE(stats.ok());
+
+  JobSpec no_sources;
+  no_sources.plan = Planner::Lower(workload.MakeQuery());
+  no_sources.cluster = job.cluster;
+  const RunStats stats2 = engine.Run(no_sources);
+  EXPECT_FALSE(stats2.ok());
+}
+
+// --- Tenant labels and quotas on the single-job path ------------------------
+
+TEST(TenantJobTest, TenantAndQuotaPreserveResults) {
+  workloads::YsbWorkload workload;
+  const ClusterConfig cfg = SmallCluster(2, 4, 2000);
+  const core::QuerySpec query = workload.MakeQuery();
+  const core::OracleOutput oracle = core::ComputeOracle(
+      query, workload.Sources(cfg.records_per_worker, cfg.seed),
+      cfg.nodes * cfg.workers_per_node);
+
+  engines::SlashEngine engine;
+  JobSpec job = engines::MakeJobSpec("acme", workload, cfg, JobConfig(cfg),
+                                     /*quota=*/4);
+  const RunStats stats = engine.Run(job);
+  ASSERT_TRUE(stats.ok()) << stats.status.ToString();
+
+  // A quota throttles the job's NIC credits; it must never change results.
+  EXPECT_EQ(stats.records_in(), oracle.records_in);
+  EXPECT_EQ(stats.result_checksum(), oracle.checksum);
+
+  // The tenant label and the opt-in instruments are present.
+  const obs::MetricsSnapshot own =
+      stats.metrics.SelectLabel(obs::kLabelTenant, "acme");
+  EXPECT_EQ(own.CounterValue(obs::metric::kRecordsIn), oracle.records_in);
+  const obs::MetricsSnapshot other =
+      stats.metrics.SelectLabel(obs::kLabelTenant, "nobody");
+  EXPECT_EQ(other.CounterValue(obs::metric::kRecordsIn), 0u);
+  EXPECT_NE(stats.metrics.ToJson().find("job.drain_ns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slash::plan

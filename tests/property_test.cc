@@ -24,6 +24,8 @@
 #include "sim/fault.h"
 #include "state/log_store.h"
 #include "state/state_backend.h"
+#include "workloads/cluster_monitoring.h"
+#include "workloads/nexmark.h"
 #include "workloads/ysb.h"
 
 namespace slash {
@@ -670,6 +672,79 @@ INSTANTIATE_TEST_SUITE_P(Engines, BatchSizeSweep, ::testing::Values(0, 1, 2, 3, 
                              default: return std::string("lightsaber");
                            }
                          });
+
+// --- Multi-job determinism (DESIGN.md §12) ----------------------------------
+//
+// N heterogeneous tenant jobs on ONE simulated cluster must (a) replay
+// byte-identically at equal seed — per-tenant snapshot views included —
+// and (b) produce, per tenant, exactly the results the same job computes
+// when it runs the cluster alone: co-location and quota throttling shift
+// virtual time, never results.
+
+TEST(MultiJobDeterminism, ConcurrentJobsReplayByteIdenticallyAndMatchSolo) {
+  workloads::YsbWorkload ysb;
+  workloads::CmWorkload cm;
+  workloads::Nb8Workload nb8;
+
+  engines::ClusterConfig cluster;
+  cluster.nodes = 2;
+  cluster.workers_per_node = 2;
+  cluster.channel.slot_bytes = 16 * kKiB;
+  cluster.epoch_bytes = 64 * kKiB;
+  cluster.state_lss_capacity = 1 << 16;
+  cluster.state_index_buckets = 1 << 10;
+
+  engines::JobConfig jcfg(cluster);
+  jcfg.records_per_worker = 1200;
+
+  std::vector<engines::JobSpec> jobs;
+  jobs.push_back(engines::MakeJobSpec("t0", ysb, cluster, jcfg, /*quota=*/8));
+  jobs.push_back(engines::MakeJobSpec("t1", cm, cluster, jcfg, /*quota=*/4));
+  jobs.push_back(engines::MakeJobSpec("t2", nb8, cluster, jcfg));
+
+  engines::SlashEngine engine;
+  const engines::MultiRunStats first = engine.RunJobs(jobs, cluster);
+  const engines::MultiRunStats second = engine.RunJobs(jobs, cluster);
+  ASSERT_TRUE(first.ok()) << first.status.ToString();
+  ASSERT_TRUE(second.ok()) << second.status.ToString();
+  ASSERT_EQ(first.jobs.size(), jobs.size());
+
+  // Byte-identical replay: the cluster snapshot and every tenant view.
+  EXPECT_EQ(first.cluster.metrics.ToJson(), second.cluster.metrics.ToJson());
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    EXPECT_EQ(first.jobs[j].metrics.ToJson(),
+              second.jobs[j].metrics.ToJson());
+  }
+
+  // Per-tenant results equal the solo run of the identical job.
+  uint64_t records_sum = 0;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    const engines::RunStats solo = engine.Run(jobs[j]);
+    ASSERT_TRUE(solo.ok()) << solo.status.ToString();
+    EXPECT_EQ(first.jobs[j].result_checksum(), solo.result_checksum())
+        << jobs[j].tenant;
+    EXPECT_EQ(first.jobs[j].records_in(), solo.records_in())
+        << jobs[j].tenant;
+    EXPECT_EQ(first.jobs[j].records_emitted(), solo.records_emitted())
+        << jobs[j].tenant;
+    records_sum += first.jobs[j].records_in();
+  }
+  // The cluster view aggregates across tenants (CounterValue sums label
+  // sets of one instrument).
+  EXPECT_EQ(first.cluster.records_in(), records_sum);
+
+  // Quotas registered their opt-in instruments under the tenant label.
+  EXPECT_NE(first.cluster.metrics.ToJson().find("job.drain_ns"),
+            std::string::npos);
+
+  // Validation: duplicate tenants are rejected up front.
+  std::vector<engines::JobSpec> dup = {jobs[0], jobs[0]};
+  EXPECT_FALSE(engine.RunJobs(dup, cluster).ok());
+  // ... and so is an empty tenant.
+  engines::JobSpec anonymous = jobs[0];
+  anonymous.tenant.clear();
+  EXPECT_FALSE(engine.RunJobs({anonymous}, cluster).ok());
+}
 
 }  // namespace
 }  // namespace slash
