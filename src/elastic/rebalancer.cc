@@ -1,0 +1,76 @@
+#include "elastic/rebalancer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace slash::elastic {
+
+std::vector<int> Rebalancer::PlacePartitions(
+    const std::vector<bool>& active, const std::vector<uint64_t>& load) {
+  const int nodes = int(active.size());
+  SLASH_CHECK(load.empty() || int(load.size()) == nodes);
+  auto load_of = [&](int p) -> uint64_t {
+    return load.empty() ? 0 : load[size_t(p)];
+  };
+
+  std::vector<int> owner(size_t(nodes), -1);
+  std::vector<uint64_t> assigned(size_t(nodes), 0);  // per active node
+  std::vector<int> orphans;
+  for (int p = 0; p < nodes; ++p) {
+    if (active[size_t(p)]) {
+      owner[size_t(p)] = p;
+      assigned[size_t(p)] = load_of(p);
+    } else {
+      orphans.push_back(p);
+    }
+  }
+  SLASH_CHECK_LT(orphans.size(), size_t(nodes));  // at least one active node
+
+  // Heaviest orphan first so the greedy pass approximates balance; ties by
+  // id keep the order (and thus the placement) deterministic.
+  std::sort(orphans.begin(), orphans.end(), [&](int a, int b) {
+    if (load_of(a) != load_of(b)) return load_of(a) > load_of(b);
+    return a < b;
+  });
+  for (int p : orphans) {
+    int best = -1;
+    for (int n = 0; n < nodes; ++n) {
+      if (!active[size_t(n)]) continue;
+      if (best < 0 || assigned[size_t(n)] < assigned[size_t(best)]) best = n;
+    }
+    owner[size_t(p)] = best;
+    assigned[size_t(best)] += load_of(p);
+  }
+  return owner;
+}
+
+std::vector<int> Rebalancer::PlaceFlows(const std::vector<bool>& active,
+                                        int workers_per_node,
+                                        int total_flows) {
+  const int nodes = int(active.size());
+  SLASH_CHECK_GT(workers_per_node, 0);
+  std::vector<int> home(size_t(total_flows), -1);
+  std::vector<uint64_t> count(size_t(nodes), 0);
+  for (int f = 0; f < total_flows; ++f) {
+    const int identity = f / workers_per_node;
+    if (identity < nodes && active[size_t(identity)]) {
+      home[size_t(f)] = identity;
+      ++count[size_t(identity)];
+    }
+  }
+  for (int f = 0; f < total_flows; ++f) {
+    if (home[size_t(f)] >= 0) continue;
+    int best = -1;
+    for (int n = 0; n < nodes; ++n) {
+      if (!active[size_t(n)]) continue;
+      if (best < 0 || count[size_t(n)] < count[size_t(best)]) best = n;
+    }
+    SLASH_CHECK_GE(best, 0);
+    home[size_t(f)] = best;
+    ++count[size_t(best)];
+  }
+  return home;
+}
+
+}  // namespace slash::elastic

@@ -1,0 +1,45 @@
+// Deterministic placement policy for elastic membership changes.
+//
+// Invariant the whole handoff protocol leans on: an ACTIVE node always owns
+// its identity partition (owner[p] == p whenever node p is active), because
+// the state backend of node p natively leads partition p — only partitions
+// whose home node is inactive ("orphans") are ever placed elsewhere. The
+// rebalancer decides where orphans go, consuming the skew/load signal the
+// engine accumulates from merged delta entry counts (published through
+// src/obs as elastic.partition_load).
+//
+// Pure functions of (active set, load vector): no clock, no RNG, no engine
+// state — the same inputs always produce the same placement, which is what
+// keeps two replays of one reconfiguration plan byte-identical.
+#ifndef SLASH_ELASTIC_REBALANCER_H_
+#define SLASH_ELASTIC_REBALANCER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace slash::elastic {
+
+class Rebalancer {
+ public:
+  /// Places every partition of a provisioned-at-max cluster over the active
+  /// subset. active[p] → owner[p] = p (identity). Orphans are sorted by
+  /// load descending (ties by partition id ascending) and greedily assigned
+  /// to the active node with the least accumulated load, seeding each
+  /// active node with its identity partition's load; ties break towards the
+  /// lowest node id. `load` may be empty (uniform) or sized to the
+  /// partition count. At least one node must be active.
+  static std::vector<int> PlacePartitions(const std::vector<bool>& active,
+                                          const std::vector<uint64_t>& load);
+
+  /// Homes every input flow over the active subset. A flow's identity home
+  /// is flow / workers_per_node; active homes keep their flows, orphan
+  /// flows (inactive home) are assigned round-robin by ascending flow id to
+  /// the active node with the fewest flows so far (ties towards the lowest
+  /// node id), counting identity flows as base load.
+  static std::vector<int> PlaceFlows(const std::vector<bool>& active,
+                                     int workers_per_node, int total_flows);
+};
+
+}  // namespace slash::elastic
+
+#endif  // SLASH_ELASTIC_REBALANCER_H_

@@ -19,7 +19,8 @@ RunStats Engine::Run(const core::QuerySpec& query,
 
 RecoveryCoordinator::RecoveryCoordinator(int nodes)
     : nodes_(nodes), blobs_(nodes), final_from_(nodes, -1),
-      retired_(nodes, false), retire_round_(nodes, 0) {}
+      retired_(nodes, false), retire_round_(nodes, 0),
+      join_round_(nodes, 0) {}
 
 void RecoveryCoordinator::RecordLocal(int node, uint64_t round,
                                       std::vector<uint8_t> bytes) {
@@ -99,6 +100,9 @@ uint64_t RecoveryCoordinator::LatestRecoverableRound(
       // the retirement round the retired node's blob (on a live holder) is
       // still required.
       if (retired_[node] && k > retire_round_[node]) continue;
+      // An elastic joiner has no blobs at or before its join round — its
+      // partitions up to then live in the pre-join owners' blobs.
+      if (k <= join_round_[node]) continue;
       const Blob* blob = FindBlob(node, k);
       if (blob == nullptr) {
         all_restorable = false;
@@ -130,6 +134,17 @@ void RecoveryCoordinator::UnretireNode(int node) {
   final_from_[node] = -1;
 }
 
+void RecoveryCoordinator::JoinNode(int node, uint64_t join_round) {
+  SLASH_CHECK_GE(node, 0);
+  SLASH_CHECK_LT(node, nodes_);
+  retired_[node] = false;
+  retire_round_[node] = 0;
+  join_round_[node] = join_round;
+  // The joiner starts snapshotting from join_round + 1; any stale terminal
+  // mark from a pre-provisioning retirement must not stand in for them.
+  final_from_[node] = -1;
+}
+
 void RecoveryCoordinator::DiscardRoundsAfter(uint64_t round) {
   for (int node = 0; node < nodes_; ++node) {
     std::map<uint64_t, Blob>& rounds = blobs_[node];
@@ -138,6 +153,10 @@ void RecoveryCoordinator::DiscardRoundsAfter(uint64_t round) {
         static_cast<uint64_t>(final_from_[node]) > round) {
       final_from_[node] = -1;
     }
+    // A rollback below a node's join round re-runs the handoff epochs: the
+    // joiner regenerates blobs from the rollback round onward, so they must
+    // be required (and restorable) again from there.
+    join_round_[node] = std::min(join_round_[node], round);
   }
 }
 

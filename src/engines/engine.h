@@ -153,6 +153,37 @@ struct RunStats {
     return metrics.CounterValue(obs::metric::kHealthRejoins);
   }
 
+  // --- Elastic reconfiguration accessors (zero when reconfig is off) -------
+
+  uint64_t reconfigs() const {             // join + leave events executed
+    return metrics.CounterValue(obs::metric::kElasticReconfigs);
+  }
+  uint64_t elastic_joins() const {         // nodes that joined mid-run
+    return metrics.CounterValue(obs::metric::kElasticJoins);
+  }
+  uint64_t elastic_leaves() const {        // nodes that left gracefully
+    return metrics.CounterValue(obs::metric::kElasticLeaves);
+  }
+  uint64_t elastic_deferrals() const {     // events retried (engine busy)
+    return metrics.CounterValue(obs::metric::kElasticDeferrals);
+  }
+  Nanos handoff_ns() const {               // virtual time in handoff pauses
+    return Nanos(metrics.CounterValue(obs::metric::kElasticHandoffNs));
+  }
+  uint64_t partitions_moved() const {      // partitions that changed owner
+    return metrics.CounterValue(obs::metric::kElasticPartitionsMoved);
+  }
+  uint64_t state_bytes_moved() const {     // SSB bytes READ during handoffs
+    return metrics.CounterValue(obs::metric::kElasticStateBytesMoved);
+  }
+  uint64_t records_migrated() const {      // source records re-homed to a
+    return metrics.CounterValue(            // different ingesting node
+        obs::metric::kElasticRecordsMigrated);
+  }
+  uint64_t reconfig_trace_digest() const { // FNV-1a over the event trace
+    return metrics.CounterValue(obs::metric::kElasticTraceDigest);
+  }
+
   // --- DES-kernel accessors ------------------------------------------------
 
   uint64_t sim_events_fired() const {
@@ -297,8 +328,19 @@ class RecoveryCoordinator {
   /// heals: the node snapshots its own partitions again from the rollback
   /// round onward. Also clears any terminal mark — post-rejoin the node's
   /// input is replayed, so the old terminal snapshot no longer stands in
-  /// for later rounds.
+  /// for later rounds. Leaves any elastic join round (JoinNode) intact.
   void UnretireNode(int node);
+
+  /// Elastic scale-out (src/elastic/): node `node` joins the running job at
+  /// round `join_round`. Clears its retirement and records that the node
+  /// has no blobs for rounds at or before the join — its partitions up to
+  /// then live in the pre-join owners' blobs, so LatestRecoverableRound
+  /// must not require the joiner's own copy for them (and restore must not
+  /// look for one). Rounds after the join round require its blobs normally.
+  void JoinNode(int node, uint64_t join_round);
+
+  /// Node `node`'s join round (0 for nodes active since round 0).
+  uint64_t join_round(int node) const { return join_round_[node]; }
 
   /// Drops every blob for rounds > `round` (and terminal marks past it).
   /// Called when recovery rolls the run back to round `round`: the later
@@ -339,6 +381,7 @@ class RecoveryCoordinator {
   std::vector<int64_t> final_from_;              // -1 = not terminal yet
   std::vector<bool> retired_;
   std::vector<uint64_t> retire_round_;           // valid while retired_[n]
+  std::vector<uint64_t> join_round_;             // 0 = active since round 0
   uint64_t checkpoints_taken_ = 0;
   obs::Counter* checkpoints_counter_ = nullptr;  // registry handle, optional
 };
@@ -461,6 +504,7 @@ class RunTelemetry {
       t->SetTrackName(n, obs::kTrackChannel, "channel");
       t->SetTrackName(n, obs::kTrackRecovery, "recovery");
       t->SetTrackName(n, obs::kTrackHealth, "health");
+      t->SetTrackName(n, obs::kTrackElastic, "elastic");
     }
   }
 

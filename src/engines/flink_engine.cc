@@ -1030,6 +1030,11 @@ RunStats FlinkLikeEngine::RunQuery(const core::QuerySpec& query,
         "path");
     return stats;
   }
+  if (config.reconfig != nullptr) {
+    stats.status = Status::Unimplemented(
+        "elastic reconfiguration requires the Slash engine's handoff path");
+    return stats;
+  }
 
   RunTelemetry telemetry(config);
   obs::MetricsRegistry* registry = telemetry.registry();

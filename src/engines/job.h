@@ -27,6 +27,7 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "core/oracle.h"
+#include "elastic/reconfig.h"
 #include "core/pipeline.h"
 #include "core/query.h"
 #include "health/health.h"
@@ -116,6 +117,18 @@ struct ClusterConfig {
   /// snapshot restore, and a minority partition self-fences so no epoch can
   /// commit twice.
   health::HealthConfig health;
+
+  /// Elastic scale-out (Slash engine only; other engines reject a non-null
+  /// plan with kUnimplemented). When set, `nodes` is the provisioned
+  /// maximum: the run starts on the plan's initial_nodes (0 = all) and a
+  /// ReconfigCoordinator executes the plan's scheduled — or load-triggered —
+  /// join/leave events against the running job. Each membership change is a
+  /// handoff at a checkpoint boundary (requires checkpoint.enabled): state
+  /// partitions move to their new owners by one-sided READs of the
+  /// checkpoint blobs and the tail since the boundary is replayed, reusing
+  /// the recovery path as the consistency mechanism. Not owned; must
+  /// outlive the Run() call and have passed Validate(nodes).
+  const elastic::ReconfigPlan* reconfig = nullptr;
 
   const perf::CostModel* cost_model = &perf::CostModel::Default();
 

@@ -138,6 +138,13 @@ RunStats LightSaberEngine::RunQuery(const core::QuerySpec& query,
         "path");
     return stats;
   }
+  if (config.reconfig != nullptr) {
+    RunStats stats;
+    stats.engine = std::string(name());
+    stats.status = Status::Unimplemented(
+        "elastic reconfiguration requires the Slash engine's handoff path");
+    return stats;
+  }
 
   LightSaberRun run;
   run.query = &query;

@@ -12,7 +12,8 @@
 #include "core/pipeline.h"
 #include "core/record.h"
 #include "core/record_batch.h"
-#include "core/vector_clock.h"
+#include "elastic/coordinator.h"
+#include "elastic/rebalancer.h"
 #include "engines/trigger.h"
 #include "state/state_backend.h"
 
@@ -72,6 +73,14 @@ struct InChannel {
   RdmaChannel* ch = nullptr;
   uint64_t finals_merged = 0;  // epochs fully merged from this channel
   bool final_seen = false;     // end-of-stream delta received
+  // Low watermark of the last fully merged delta on *this* channel. Window
+  // triggering joins these per-channel values per led partition instead of
+  // keeping one clock entry per helper: helper deltas ship per partition,
+  // so when this node leads several partitions one partition's final chunk
+  // can announce an epoch watermark while a sibling partition's delta for
+  // the same epoch is still in flight — a per-helper clock would emit that
+  // sibling's windows before its below-watermark records merge.
+  int64_t wm = core::kWatermarkMin;
 };
 
 struct NodeState {
@@ -88,7 +97,15 @@ struct NodeState {
   uint64_t epoch_seq = 0;
   int64_t epoch_low_wm = core::kWatermarkMin;
   bool final_bumped = false;  // the end-of-stream epoch has been announced
-  core::VectorClock vclock;
+  // Per-worker drain progress (mirrors each worker's local drained_seq).
+  // Input admission at a checkpoint boundary must wait until EVERY worker
+  // has serialized its share of the announced epoch: a fragment is one
+  // mutable accumulator per partition, so a post-boundary record pushed
+  // before the assigned worker drains would contaminate the boundary
+  // epoch's delta — the leader would then snapshot state the helper's
+  // recorded input offsets do not cover, and replay after a rollback
+  // would double-count those records.
+  std::vector<uint64_t> worker_drained_seq;
   std::vector<int64_t> trigger_wms;  // per led partition
   core::ResultSink sink;
   // out[p]: channel towards partition p's current leader (nullptr when this
@@ -105,8 +122,6 @@ struct NodeState {
   // (releasing their credits) while waiting for its own send credits —
   // without this, two nodes draining towards each other can deadlock.
   std::unique_ptr<sim::Event> activity;
-
-  explicit NodeState(int nodes) : vclock(nodes) {}
 
   int64_t NodeLowWatermark() const {
     return *std::min_element(worker_watermarks.begin(),
@@ -171,6 +186,22 @@ struct SlashRun {
   std::vector<bool> quarantined;
   std::vector<bool> fenced;
   std::vector<uint32_t> quarantine_count;  // per node, for flap suppression
+  // Elastic reconfiguration (config.reconfig): the control plane executing
+  // the plan, the pre-handoff placement (for migration accounting), the
+  // engine's mirror of per-node join rounds, the per-partition load the
+  // Rebalancer consumes, and the handoff state machine. A handoff IS a
+  // recovery cycle (recovering = true) with reconfig_in_flight
+  // distinguishing it for accounting and crash fold-in.
+  std::unique_ptr<elastic::ReconfigCoordinator> reconfig_coord;
+  std::vector<int> prev_owner;
+  std::vector<int> prev_flow_home;
+  std::vector<uint64_t> join_round;      // mirrors coordinator join rounds
+  std::vector<uint64_t> partition_load;  // delta entries merged per partition
+  bool reconfig_in_flight = false;
+  Nanos handoff_ns = 0;
+  uint64_t partitions_moved = 0;
+  uint64_t state_bytes_moved = 0;
+  uint64_t records_migrated = 0;
   int workers_running = 0;
   uint64_t restore_floor = 0;  // records_in right after the last restore
   // Stats.
@@ -188,12 +219,14 @@ struct SlashRun {
   uint32_t trace_snapshot = 0;
   uint32_t trace_window = 0;
   uint32_t trace_recovery = 0;
+  uint32_t trace_handoff = 0;
   uint32_t trace_cat = 0;
   bool failed = false;
   Status failure;
 
   int total_workers() const { return config.nodes * config.workers_per_node; }
   bool checkpointing() const { return config.checkpoint.enabled; }
+  bool elastic() const { return config.reconfig != nullptr; }
   uint64_t interval() const {
     return std::max<uint32_t>(1u, config.checkpoint.interval_epochs);
   }
@@ -215,6 +248,7 @@ void FailRun(SlashRun* run, const Status& cause) {
   run->failed = true;
   run->failure = cause;
   if (run->health != nullptr) run->health->Stop();
+  if (run->reconfig_coord != nullptr) run->reconfig_coord->Stop();
   for (NodeState* ns : run->nodes) {
     if (ns != nullptr) ns->activity->Notify();
   }
@@ -236,9 +270,16 @@ void TryTrigger(SlashRun* run, NodeState* ns, perf::CpuContext* cpu) {
     ++run->fence_suppressions;
     return;
   }
-  const int64_t wm = ns->vclock.Min();
   for (int p = 0; p < run->config.nodes; ++p) {
     if (!ns->ssb->leads(p)) continue;
+    // Per-partition watermark: the local epoch low watermark joined with
+    // the last delta watermark delivered on each inbound channel feeding
+    // this partition (see the InChannel::wm comment for why a per-helper
+    // clock would be unsound here).
+    int64_t wm = ns->epoch_low_wm;
+    for (const InChannel& ic : ns->in) {
+      if (ic.partition == p) wm = std::min(wm, ic.wm);
+    }
     const int64_t before = ns->trigger_wms[p];
     TriggerWindows(*run->query, wm, ns->ssb->local(p), &ns->sink, cpu,
                    &ns->trigger_wms[p]);
@@ -377,11 +418,16 @@ bool PollAndMerge(SlashRun* run, NodeState* ns, perf::CpuContext* cpu) {
                                          &envelope)
                       .ok());
       cpu->Charge(Op::kCrdtMergePerPair, double(envelope.entry_count));
+      // Load signal for the Rebalancer: delta entries merged per partition
+      // (allocated only for elastic runs).
+      if (!run->partition_load.empty()) {
+        run->partition_load[ic.partition] += envelope.entry_count;
+      }
       const bool last_chunk = buffer.user_tag == 1;
       const int64_t watermark = buffer.watermark;
       SLASH_CHECK(ic.ch->Release(buffer, cpu).ok());
       if (last_chunk) {
-        ns->vclock.Update(ic.helper, watermark);
+        if (watermark > ic.wm) ic.wm = watermark;
         ++ic.finals_merged;
         if (watermark == core::kWatermarkMax) ic.final_seen = true;
         if (ckpt && !ic.final_seen && ic.finals_merged >= boundary) break;
@@ -495,7 +541,6 @@ void BumpEpoch(SlashRun* run, NodeState* ns) {
   ns->ssb->BeginEpoch();
   ++ns->epoch_seq;
   ns->epoch_low_wm = ns->NodeLowWatermark();
-  ns->vclock.Update(ns->node, ns->epoch_low_wm);
   ns->activity->Notify();  // wake idle workers to drain their shares
 }
 
@@ -736,9 +781,13 @@ sim::Task Worker(SlashRun* run, NodeState* ns, int w, int attempt) {
     // current credits allow — without ever stalling the core.
     if (drained_seq < ns->epoch_seq) {
       drained_seq = ns->epoch_seq;
+      ns->worker_drained_seq[w] = drained_seq;
       SerializeShare(run, ns, my_partitions, ns->epoch_low_wm, &send_queue,
                      cpu);
       TryTrigger(run, ns, cpu);
+      // Siblings may be parked waiting for this drain before they can admit
+      // post-epoch input (see the suppression condition below).
+      ns->activity->Notify();
     }
     const bool sent = PumpSendQueue(run, ns, &send_queue, cpu);
     // RDMA coroutine work: merge inbound delta chunks (cheap when none
@@ -752,10 +801,21 @@ sim::Task Worker(SlashRun* run, NodeState* ns, int w, int attempt) {
     // the boundary epoch, no worker may push post-boundary records into the
     // led primaries until the round's snapshot is cut — the input offsets
     // recorded in the blob must cover exactly the records whose remote
-    // contributions sit in epochs the barrier includes.
+    // contributions sit in epochs the barrier includes. The snapshot cut
+    // alone is not enough to re-admit input: a sibling worker may not have
+    // drained its share of the boundary epoch yet, and a partition fragment
+    // is one mutable accumulator — a post-boundary RMW pushed before that
+    // drain would ride inside the boundary delta, land in the LEADER's
+    // round blob, and be double-counted when a later rollback replays this
+    // node's input from the recorded offsets.
+    bool epoch_drained = true;
+    for (const uint64_t seq : ns->worker_drained_seq) {
+      epoch_drained = epoch_drained && seq >= ns->epoch_seq;
+    }
     const bool suppressed =
         run->checkpointing() &&
-        ns->epoch_seq >= (ns->snapshots_taken + 1) * run->interval();
+        (!epoch_drained ||
+         ns->epoch_seq >= (ns->snapshots_taken + 1) * run->interval());
 
     bool input_progress = false;
     if (more && !suppressed) {
@@ -880,6 +940,13 @@ sim::Task Worker(SlashRun* run, NodeState* ns, int w, int attempt) {
     // of a torn-down attempt never match the current attempt.)
     run->health->Stop();
   }
+  if (run->reconfig_coord != nullptr && run->workers_running == 0 &&
+      run->attempt == attempt && !run->recovering && !run->failed) {
+    // Same for the reconfiguration control plane: a drained job takes no
+    // further membership changes (late scheduled events are consumed as
+    // no-ops, but the trigger sampling chain must stop re-arming).
+    run->reconfig_coord->Stop();
+  }
 }
 
 /// Tears the current attempt down: every channel of the attempt dies
@@ -897,6 +964,50 @@ void TearDownAttempt(SlashRun* run) {
   }
   for (auto& rs : run->repl_storage) rs->event->Notify();
   run->in_teardown = false;
+}
+
+/// Completes a scheduled rebuild once the modeled recovery delay elapsed.
+/// A network partition that opened during the delay blocks completion —
+/// the new mesh would OpenFlow across the cut — so the attempt holds and
+/// re-polls until the cut heals; the recovery watchdog converts a cut that
+/// never heals into a clean deadline abort instead of a stuck rebuild.
+void FinishRebuild(SlashRun* run, uint64_t round, int trace_node,
+                   int attempt) {
+  // A crash during the wait superseded this rebuild (the fold-in path
+  // bumped the attempt and scheduled its own).
+  if (run->failed || run->attempt != attempt) return;
+  for (int a = 0; a < run->config.nodes; ++a) {
+    if (!run->alive[a]) continue;
+    for (int b = a + 1; b < run->config.nodes; ++b) {
+      if (!run->alive[b]) continue;
+      if (run->fabric->Partitioned(a, b)) {
+        const Nanos retry =
+            std::max<Nanos>(run->config.health.heartbeat_interval,
+                            10 * kMicrosecond);
+        run->sim->ScheduleAt(run->sim->now() + retry,
+                             [run, round, trace_node, attempt] {
+                               FinishRebuild(run, round, trace_node, attempt);
+                             });
+        return;
+      }
+    }
+  }
+  if (run->reconfig_in_flight) {
+    run->handoff_ns += run->sim->now() - run->recovery_start;
+    if (run->tracer != nullptr) {
+      run->tracer->End(run->sim->now(), run->trace_handoff, run->trace_cat,
+                       trace_node, obs::kTrackElastic);
+    }
+  } else {
+    run->recovery_ns += run->sim->now() - run->recovery_start;
+    if (run->tracer != nullptr) {
+      run->tracer->End(run->sim->now(), run->trace_recovery, run->trace_cat,
+                       trace_node, run->track_recovery);
+    }
+  }
+  BuildAttempt(run, round);
+  run->reconfig_in_flight = false;
+  run->recovering = false;
 }
 
 /// Schedules the rebuild of the next attempt at rollback round `round`
@@ -917,15 +1028,11 @@ void ScheduleRebuild(SlashRun* run, uint64_t round, int trace_node) {
   }
   const Nanos delay = kChannelSetupCost * Nanos(new_channels) +
                       Nanos(restore_bytes / kRestoreBytesPerNs);
-  run->sim->ScheduleAt(run->sim->now() + delay, [run, round, trace_node] {
-    run->recovery_ns += run->sim->now() - run->recovery_start;
-    if (run->tracer != nullptr) {
-      run->tracer->End(run->sim->now(), run->trace_recovery, run->trace_cat,
-                       trace_node, run->track_recovery);
-    }
-    BuildAttempt(run, round);
-    run->recovering = false;
-  });
+  const int attempt = run->attempt;
+  run->sim->ScheduleAt(run->sim->now() + delay,
+                       [run, round, trace_node, attempt] {
+                         FinishRebuild(run, round, trace_node, attempt);
+                       });
   ArmRecoveryWatchdog(run);
 }
 
@@ -965,6 +1072,11 @@ void StartRecovery(SlashRun* run, const std::vector<int>& failed_nodes) {
   // Rounds past the rollback point describe the torn-down timeline; the new
   // attempt regenerates them under the post-recovery partition placement.
   run->coordinator->DiscardRoundsAfter(round);
+  if (run->elastic()) {
+    for (int n = 0; n < run->config.nodes; ++n) {
+      run->join_round[n] = std::min<uint64_t>(run->join_round[n], round);
+    }
+  }
   ScheduleRebuild(run, round, trace_node);
 }
 
@@ -988,8 +1100,55 @@ void OnNodeCrash(SlashRun* run, int node) {
     return;
   }
   if (run->recovering) {
-    FailRun(run, Status::Unavailable(
-                     "node crashed while a recovery was already in flight"));
+    if (!run->reconfig_in_flight) {
+      FailRun(run, Status::Unavailable(
+                       "node crashed while a recovery was already in flight"));
+      return;
+    }
+    // Crash mid-handoff: fold both events into ONE fresh recovery. The
+    // attempt is already torn down (no second teardown); account the
+    // aborted handoff, re-pick the rollback round without the dead node,
+    // and re-home its partitions and flows onto an heir.
+    run->alive[node] = false;
+    int live = 0;
+    for (int n = 0; n < run->config.nodes; ++n) live += run->alive[n] ? 1 : 0;
+    if (live == 0) {
+      FailRun(run, Status::Unavailable("last node crashed: no survivors"));
+      return;
+    }
+    run->handoff_ns += run->sim->now() - run->recovery_start;
+    if (run->tracer != nullptr) {
+      run->tracer->End(run->sim->now(), run->trace_handoff, run->trace_cat,
+                       node, obs::kTrackElastic);
+    }
+    run->reconfig_in_flight = false;
+    ++run->recoveries;
+    ++run->attempt;
+    run->recovery_start = run->sim->now();
+    if (run->tracer != nullptr) {
+      run->tracer->Begin(run->sim->now(), run->trace_recovery, run->trace_cat,
+                         node, run->track_recovery);
+    }
+    const uint64_t round =
+        run->coordinator->LatestRecoverableRound(run->alive);
+    int heir = run->coordinator->FirstLiveHolder(node, round, run->alive);
+    if (heir < 0) {
+      for (int i = 1; i <= run->config.nodes && heir < 0; ++i) {
+        const int cand = (node + i) % run->config.nodes;
+        if (run->alive[cand]) heir = cand;
+      }
+    }
+    for (int p = 0; p < run->config.nodes; ++p) {
+      if (run->owner[p] == node) run->owner[p] = heir;
+    }
+    for (size_t f = 0; f < run->flow_home.size(); ++f) {
+      if (run->flow_home[f] == node) run->flow_home[f] = heir;
+    }
+    run->coordinator->DiscardRoundsAfter(round);
+    for (int n = 0; n < run->config.nodes; ++n) {
+      run->join_round[n] = std::min<uint64_t>(run->join_round[n], round);
+    }
+    ScheduleRebuild(run, round, node);
     return;
   }
   run->alive[node] = false;
@@ -1088,7 +1247,125 @@ void OnRejoin(SlashRun* run, int node) {
   }
   const uint64_t round = run->coordinator->LatestRecoverableRound(run->alive);
   run->coordinator->DiscardRoundsAfter(round);
+  if (run->elastic()) {
+    for (int n = 0; n < run->config.nodes; ++n) {
+      run->join_round[n] = std::min<uint64_t>(run->join_round[n], round);
+    }
+  }
   ScheduleRebuild(run, round, node);
+}
+
+/// Shared epilogue of a join/leave handoff: re-place orphan partitions and
+/// flows over the new active set by observed load, count the moves, roll
+/// the blob store back, and schedule the rebuild. `run->alive` already
+/// reflects the new membership; `round` is the handoff's rollback round.
+void FinishMembershipChange(SlashRun* run, int node, uint64_t round) {
+  run->prev_owner = run->owner;
+  run->prev_flow_home = run->flow_home;
+  run->owner =
+      elastic::Rebalancer::PlacePartitions(run->alive, run->partition_load);
+  run->flow_home = elastic::Rebalancer::PlaceFlows(
+      run->alive, run->config.workers_per_node, run->total_workers());
+  for (int p = 0; p < run->config.nodes; ++p) {
+    if (run->owner[p] != run->prev_owner[p]) ++run->partitions_moved;
+  }
+  run->coordinator->DiscardRoundsAfter(round);
+  for (int n = 0; n < run->config.nodes; ++n) {
+    run->join_round[n] = std::min<uint64_t>(run->join_round[n], round);
+  }
+  ScheduleRebuild(run, round, node);
+}
+
+/// True while an active network partition separates any pair of the nodes
+/// that would participate in the attempt rebuilt for a membership change
+/// involving `node`: the live members plus the joiner/leaver itself (a
+/// leaver still serves its checkpoint blobs during the handoff). A change
+/// cannot reconfigure the mesh across a cut — OpenFlow/Connect across an
+/// active partition is a control-plane refusal — so the event defers until
+/// the cut heals (or, if it never does, until the run-deadline abort).
+bool PartitionBlocksMembership(const SlashRun* run, int node) {
+  for (int a = 0; a < run->config.nodes; ++a) {
+    if (!run->alive[a] && a != node) continue;
+    for (int b = a + 1; b < run->config.nodes; ++b) {
+      if (!run->alive[b] && b != node) continue;
+      if (run->fabric->Partitioned(a, b)) return true;
+    }
+  }
+  return false;
+}
+
+/// ReconfigCoordinator join callback. Returns false (defer + retry) while a
+/// recovery or an earlier handoff is in flight — handoffs are serialized —
+/// or while a network partition cuts the membership, and true when the
+/// event is consumed: executed, or moot (run over, already active, node
+/// actually dead). The handoff itself reuses the recovery machinery:
+/// epoch-aligned teardown, rollback to the latest recoverable round, state
+/// restore from checkpoint blobs by one-sided READs, deterministic tail
+/// replay — with a REBALANCED placement instead of an heir map.
+bool OnNodeJoin(SlashRun* run, int node) {
+  if (run->failed) return true;
+  if (run->recovering || run->in_teardown) return false;
+  if (run->workers_running == 0) return true;    // drained: nothing to join
+  if (run->alive[node]) return true;             // already a member
+  if (run->fabric->node_dead(node)) return true; // crashed: cannot join
+  if (PartitionBlocksMembership(run, node)) return false;
+  ++run->attempt;
+  run->recovering = true;
+  run->reconfig_in_flight = true;
+  run->recovery_start = run->sim->now();
+  run->records_at_crash = run->records_in;
+  if (run->tracer != nullptr) {
+    run->tracer->Begin(run->sim->now(), run->trace_handoff, run->trace_cat,
+                       node, obs::kTrackElastic);
+  }
+  TearDownAttempt(run);
+  run->alive[node] = true;
+  // The joiner is exempt from the round requirement (it was retired at
+  // round 0, or JoinNode below re-exempts it), so the rollback round is
+  // whatever the incumbents can restore — typically the latest boundary.
+  const uint64_t round = run->coordinator->LatestRecoverableRound(run->alive);
+  run->coordinator->JoinNode(node, round);
+  run->retired[node] = false;
+  run->retire_round[node] = 0;
+  run->join_round[node] = round;
+  if (run->health != nullptr) run->health->SetMembership(node, true);
+  FinishMembershipChange(run, node, round);
+  return true;
+}
+
+/// ReconfigCoordinator leave callback; same return contract as OnNodeJoin.
+/// A graceful leave differs from a crash in two ways: the rollback round is
+/// chosen while the leaver still counts as a live holder of its own blobs
+/// (it stays reachable for one-sided READs until the handoff completes),
+/// and the health monitor retires it from membership instead of accusing
+/// it — a planned departure is not a failure.
+bool OnNodeLeave(SlashRun* run, int node) {
+  if (run->failed) return true;
+  if (run->recovering || run->in_teardown) return false;
+  if (run->workers_running == 0) return true;  // drained: nothing to leave
+  if (!run->alive[node]) return true;          // already out
+  if (PartitionBlocksMembership(run, node)) return false;
+  int live = 0;
+  for (int n = 0; n < run->config.nodes; ++n) live += run->alive[n] ? 1 : 0;
+  const int floor = std::max(run->config.reconfig->min_active, 1);
+  if (live <= floor) return true;  // crashes ate the headroom: skip the leave
+  ++run->attempt;
+  run->recovering = true;
+  run->reconfig_in_flight = true;
+  run->recovery_start = run->sim->now();
+  run->records_at_crash = run->records_in;
+  if (run->tracer != nullptr) {
+    run->tracer->Begin(run->sim->now(), run->trace_handoff, run->trace_cat,
+                       node, obs::kTrackElastic);
+  }
+  TearDownAttempt(run);
+  const uint64_t round = run->coordinator->LatestRecoverableRound(run->alive);
+  run->alive[node] = false;
+  // BuildAttempt's auto-retire loop retires the leaver at `round`; from
+  // then on its partitions live in the new owners' blobs.
+  if (run->health != nullptr) run->health->SetMembership(node, false);
+  FinishMembershipChange(run, node, round);
+  return true;
 }
 
 /// One poll of the recovery watchdog; re-arms itself while the attempt is
@@ -1114,6 +1391,28 @@ void PollRecoveryWatchdog(SlashRun* run, int attempt, Nanos deadline_at) {
                       [run, attempt, deadline_at] {
                         PollRecoveryWatchdog(run, attempt, deadline_at);
                       });
+}
+
+/// One poll of the whole-run deadline (health.run_deadline); re-arms while
+/// the run is still in flight. Polls on a heartbeat-scale cadence rather
+/// than one shot at the far-future deadline for the same reason as the
+/// recovery watchdog below: the DES has no event cancellation, and a
+/// single far-future event would pin a drained run's reported makespan to
+/// the deadline instead of the natural drain time.
+void PollRunDeadline(SlashRun* run, Nanos deadline_at) {
+  if (run->failed) return;
+  if (run->workers_running == 0 && !run->recovering) return;  // drained
+  if (run->sim->now() >= deadline_at) {
+    if (run->health != nullptr) run->health->Stop();
+    if (run->reconfig_coord != nullptr) run->reconfig_coord->Stop();
+    FailRun(run, Status::DeadlineExceeded(
+                     "run exceeded its virtual-time deadline"));
+    return;
+  }
+  const Nanos interval = run->config.health.heartbeat_interval * 4;
+  run->sim->ScheduleAt(
+      std::min(run->sim->now() + interval, deadline_at),
+      [run, deadline_at] { PollRunDeadline(run, deadline_at); });
 }
 
 /// Progress watchdog (health.recovery_deadline): a recovery round that is
@@ -1151,7 +1450,7 @@ void BuildAttempt(SlashRun* run, uint64_t round) {
   std::vector<NodeState*> nodes(config.nodes, nullptr);
   for (int n = 0; n < config.nodes; ++n) {
     if (!run->alive[n]) continue;
-    auto ns = std::make_unique<NodeState>(config.nodes);
+    auto ns = std::make_unique<NodeState>();
     ns->node = n;
     ns->ssb = std::make_unique<state::StateBackend>(n, run->ssb_config);
     for (int p = 0; p < config.nodes; ++p) {
@@ -1159,6 +1458,7 @@ void BuildAttempt(SlashRun* run, uint64_t round) {
     }
     ns->trigger_wms.assign(config.nodes, core::kWatermarkMin);
     ns->worker_watermarks.assign(config.workers_per_node, core::kWatermarkMin);
+    ns->worker_drained_seq.assign(config.workers_per_node, round * interval);
     ns->worker_lanes.resize(config.workers_per_node);
     ns->out.assign(config.nodes, nullptr);
     ns->activity = std::make_unique<sim::Event>(run->sim);
@@ -1168,10 +1468,6 @@ void BuildAttempt(SlashRun* run, uint64_t round) {
     ns->sink = core::ResultSink(config.collect_rows);
     ns->epoch_seq = round * interval;
     ns->snapshots_taken = round;
-    // Dead nodes never speak again; their entries must not hold Min() down.
-    for (int e = 0; e < config.nodes; ++e) {
-      if (!run->alive[e]) ns->vclock.Update(e, core::kWatermarkMax);
-    }
     for (int w = 0; w < config.workers_per_node; ++w) {
       ns->worker_cpus.push_back(std::make_unique<perf::CpuContext>(
           run->sim, config.cost_model, config.cpu_ghz));
@@ -1203,6 +1499,10 @@ void BuildAttempt(SlashRun* run, uint64_t round) {
       // blobs from then on. At or before the retirement round its own blob
       // is still the source of truth (restored onto its heir below).
       if (run->retired[n] && round > run->retire_round[n]) continue;
+      // An elastic joiner has no blobs at or before its join round: its
+      // partitions restore from the pre-join owners' blobs instead
+      // (mirrors the coordinator's round requirement exactly).
+      if (run->elastic() && round <= run->join_round[n]) continue;
       const std::vector<uint8_t>* blob = run->coordinator->BlobFor(n, round);
       SLASH_CHECK_MSG(blob != nullptr,
                       "recoverable round " << round
@@ -1221,6 +1521,11 @@ void BuildAttempt(SlashRun* run, uint64_t round) {
         SLASH_CHECK(
             leader->ssb->RestorePartition(p, state.data(), state.size()).ok());
         leader->trigger_wms[p] = wm;
+        // Handoff accounting: a partition restoring onto a NEW owner is
+        // state that moved across the fabric (one-sided READ volume).
+        if (run->reconfig_in_flight && run->owner[p] != run->prev_owner[p]) {
+          run->state_bytes_moved += state.size();
+        }
       }
       const uint64_t nflows = reader.U64();
       for (uint64_t i = 0; i < nflows; ++i) {
@@ -1252,6 +1557,15 @@ void BuildAttempt(SlashRun* run, uint64_t round) {
     for (uint64_t off : flow_offset) restored_records += off;
     run->records_replayed += run->records_at_crash - restored_records;
     run->records_in = restored_records;
+  }
+  // Handoff accounting: a flow restoring onto a new home re-reads its
+  // checkpointed prefix on the new node — those records migrated.
+  if (run->reconfig_in_flight) {
+    for (size_t f = 0; f < run->flow_home.size(); ++f) {
+      if (run->flow_home[f] != run->prev_flow_home[f]) {
+        run->records_migrated += flow_offset[f];
+      }
+    }
   }
 
   // The state-synchronization mesh: one channel per (helper, partition), so
@@ -1419,6 +1733,7 @@ void ResolveObs(SlashRun* run, obs::MetricsRegistry* registry) {
     run->trace_snapshot = run->tracer->Intern("checkpoint.snapshot");
     run->trace_window = run->tracer->Intern("engine.window_fire");
     run->trace_recovery = run->tracer->Intern("recovery");
+    run->trace_handoff = run->tracer->Intern("elastic.handoff");
     run->trace_cat = run->tracer->Intern("slash");
   }
 }
@@ -1459,6 +1774,26 @@ void SetUpJob(SlashRun* run, obs::MetricsRegistry* registry) {
   run->flow_home.resize(size_t(run->total_workers()));
   for (int f = 0; f < run->total_workers(); ++f) {
     run->flow_home[f] = f / config.workers_per_node;
+  }
+
+  // Elastic runs start on the plan's initial subset of the provisioned
+  // `nodes` maximum: the rest begin inactive (auto-retired at round 0 by
+  // BuildAttempt), with their identity partitions and flows re-placed over
+  // the active set. The full flow set runs regardless of membership, which
+  // is why an elastic run's results equal the static run's.
+  if (run->elastic()) {
+    const int initial = run->config.reconfig->initial_nodes == 0
+                            ? config.nodes
+                            : run->config.reconfig->initial_nodes;
+    for (int n = initial; n < config.nodes; ++n) run->alive[n] = false;
+    run->join_round.assign(size_t(config.nodes), 0);
+    run->partition_load.assign(size_t(config.nodes), 0);
+    run->prev_owner = run->owner;
+    run->prev_flow_home = run->flow_home;
+    run->owner =
+        elastic::Rebalancer::PlacePartitions(run->alive, run->partition_load);
+    run->flow_home = elastic::Rebalancer::PlaceFlows(
+        run->alive, config.workers_per_node, run->total_workers());
   }
 
   BuildAttempt(run, /*round=*/0);
@@ -1502,6 +1837,33 @@ void PublishJobStats(SlashRun& run, obs::MetricsRegistry* registry,
   }
   registry->GetCounter(obs::metric::kRecordsReplayed, labels)
       ->Add(run.records_replayed);
+  if (run.reconfig_coord != nullptr) {
+    const elastic::ReconfigCoordinator& coord = *run.reconfig_coord;
+    registry->GetCounter(obs::metric::kElasticReconfigs, labels)
+        ->Add(coord.joins_executed() + coord.leaves_executed());
+    registry->GetCounter(obs::metric::kElasticJoins, labels)
+        ->Add(coord.joins_executed());
+    registry->GetCounter(obs::metric::kElasticLeaves, labels)
+        ->Add(coord.leaves_executed());
+    registry->GetCounter(obs::metric::kElasticDeferrals, labels)
+        ->Add(coord.deferrals());
+    registry->GetCounter(obs::metric::kElasticHandoffNs, labels)
+        ->Add(uint64_t(run.handoff_ns));
+    registry->GetCounter(obs::metric::kElasticPartitionsMoved, labels)
+        ->Add(run.partitions_moved);
+    registry->GetCounter(obs::metric::kElasticStateBytesMoved, labels)
+        ->Add(run.state_bytes_moved);
+    registry->GetCounter(obs::metric::kElasticRecordsMigrated, labels)
+        ->Add(run.records_migrated);
+    registry->GetCounter(obs::metric::kElasticTraceDigest, labels)
+        ->Add(coord.trace_digest());
+    for (int p = 0; p < run.config.nodes; ++p) {
+      registry
+          ->GetGauge(obs::metric::kElasticPartitionLoad,
+                     labels.With("partition", std::to_string(p)))
+          ->Set(double(run.partition_load[size_t(p)]));
+    }
+  }
   obs::Counter* emitted =
       registry->GetCounter(obs::metric::kRecordsEmitted, labels);
   obs::Counter* checksum =
@@ -1594,6 +1956,24 @@ RunStats SlashEngine::Run(const JobSpec& job) {
       return stats;
     }
   }
+  if (config.reconfig != nullptr) {
+    Status reconfig_status = config.reconfig->Validate(config.nodes);
+    if (reconfig_status.ok() && config.fault_plan != nullptr &&
+        !config.fault_plan->empty()) {
+      reconfig_status =
+          config.reconfig->ValidateWithFaults(*config.fault_plan,
+                                              config.nodes);
+    }
+    if (reconfig_status.ok() && !config.checkpoint.enabled) {
+      reconfig_status = Status::InvalidArgument(
+          "elastic reconfiguration requires checkpointing: handoffs restore "
+          "state from checkpoint blobs and replay the tail");
+    }
+    if (!reconfig_status.ok()) {
+      stats.status = reconfig_status;
+      return stats;
+    }
+  }
 
   // Register the observability plane before building the fabric so the
   // per-node NIC counters and channel handles wire themselves up.
@@ -1626,16 +2006,33 @@ RunStats SlashEngine::Run(const JobSpec& job) {
     callbacks.on_liveness_resumed = [rp](int node) { OnRejoin(rp, node); };
     run.health = std::make_unique<health::HealthMonitor>(
         run.fabric, config.health, config.nodes, std::move(callbacks));
+    // Provisioned-but-inactive nodes of an elastic run are not members yet:
+    // they must not be probed, accused, or counted toward quorum until
+    // their join executes.
+    for (int n = 0; n < config.nodes; ++n) {
+      if (!run.alive[n]) run.health->SetMembership(n, false);
+    }
     run.health->Start();
     if (config.health.run_deadline > 0) {
-      sim.ScheduleAt(config.health.run_deadline, [rp] {
-        if (rp->health != nullptr) rp->health->Stop();
-        if (!rp->failed && (rp->workers_running > 0 || rp->recovering)) {
-          FailRun(rp, Status::DeadlineExceeded(
-                          "run exceeded its virtual-time deadline"));
-        }
-      });
+      const Nanos deadline_at = config.health.run_deadline;
+      sim.ScheduleAt(
+          std::min(config.health.heartbeat_interval * 4, deadline_at),
+          [rp, deadline_at] { PollRunDeadline(rp, deadline_at); });
     }
+  }
+
+  // The reconfiguration control plane starts after the health monitor so
+  // membership callbacks find it constructed; scheduled joins/leaves and
+  // the load trigger all run on the shared DES clock.
+  if (config.reconfig != nullptr) {
+    SlashRun* rp = &run;
+    elastic::ReconfigCoordinator::Callbacks reconfig_callbacks;
+    reconfig_callbacks.on_join = [rp](int n) { return OnNodeJoin(rp, n); };
+    reconfig_callbacks.on_leave = [rp](int n) { return OnNodeLeave(rp, n); };
+    reconfig_callbacks.sample_records = [rp] { return rp->records_in; };
+    run.reconfig_coord = std::make_unique<elastic::ReconfigCoordinator>(
+        &sim, config.reconfig, config.nodes, std::move(reconfig_callbacks));
+    run.reconfig_coord->Start();
   }
 
   TimedSimRun(&sim, registry, &stats.sim_events_per_sec_wall);
@@ -1675,6 +2072,13 @@ MultiRunStats SlashEngine::RunJobs(const std::vector<JobSpec>& jobs,
   if (cluster.health.enabled) {
     multi.status = Status::Unimplemented(
         "health monitoring in a multi-job run (use Run for a single job)");
+    multi.cluster.status = multi.status;
+    return multi;
+  }
+  if (cluster.reconfig != nullptr) {
+    multi.status = Status::Unimplemented(
+        "elastic reconfiguration in a multi-job run (use Run for a single "
+        "job)");
     multi.cluster.status = multi.status;
     return multi;
   }
@@ -1738,8 +2142,8 @@ MultiRunStats SlashEngine::RunJobs(const std::vector<JobSpec>& jobs,
     }
     // Dedicated trace tracks per job, named after the tenant, so one trace
     // file shows every job's epochs and recovery side by side.
-    run->track_engine = obs::kTrackHealth + 1 + int(2 * j);
-    run->track_recovery = obs::kTrackHealth + 2 + int(2 * j);
+    run->track_engine = obs::kTrackElastic + 1 + int(2 * j);
+    run->track_recovery = obs::kTrackElastic + 2 + int(2 * j);
     if (obs::Tracer* tracer = telemetry.tracer(); tracer->enabled()) {
       for (int n = 0; n < fabric_nodes; ++n) {
         tracer->SetTrackName(n, run->track_engine,

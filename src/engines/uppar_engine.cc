@@ -386,6 +386,13 @@ RunStats UpParEngine::RunQuery(const core::QuerySpec& query,
         "path");
     return stats;
   }
+  if (config.reconfig != nullptr) {
+    RunStats stats;
+    stats.engine = std::string(name());
+    stats.status = Status::Unimplemented(
+        "elastic reconfiguration requires the Slash engine's handoff path");
+    return stats;
+  }
 
   RunTelemetry telemetry(config);
   obs::MetricsRegistry* registry = telemetry.registry();

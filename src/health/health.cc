@@ -64,6 +64,8 @@ HealthMonitor::HealthMonitor(rdma::Fabric* fabric, const HealthConfig& config,
   SLASH_CHECK(config_.Validate().ok());
   quarantined_.assign(nodes_, false);
   fenced_.assign(nodes_, false);
+  member_.assign(nodes_, true);
+  tick_armed_.assign(nodes_, false);
   liveness_.resize(nodes_);
   landing_.resize(nodes_);
   for (int n = 0; n < nodes_; ++n) {
@@ -110,8 +112,11 @@ HealthMonitor::HealthMonitor(rdma::Fabric* fabric, const HealthConfig& config,
 
 void HealthMonitor::Start() {
   sim::Simulator* sim = fabric_->simulator();
+  started_ = true;
   const Nanos first = sim->now() + config_.heartbeat_interval;
   for (int m = 0; m < nodes_; ++m) {
+    if (!member_[m]) continue;  // armed on SetMembership(m, true)
+    tick_armed_[m] = true;
     sim->ScheduleAt(first, [this, m] { Tick(m); });
   }
 }
@@ -141,19 +146,56 @@ void HealthMonitor::SetQuarantined(int node, bool quarantined) {
   }
 }
 
+void HealthMonitor::SetMembership(int node, bool member) {
+  SLASH_CHECK_GE(node, 0);
+  SLASH_CHECK_LT(node, nodes_);
+  if (member_[node] == member) return;
+  member_[node] = member;
+  // Fresh slate in both directions: the node's rows and columns must not
+  // carry evidence from before the membership change. Clearing
+  // `outstanding` also voids in-flight probes (their completions read as
+  // stale).
+  for (int m = 0; m < nodes_; ++m) {
+    if (m == node) continue;
+    for (PeerProbe* probe : {&probes_[m][node], &probes_[node][m]}) {
+      probe->missed = 0;
+      probe->suspect = false;
+      probe->outstanding = false;
+      if (probe->gauge != nullptr) probe->gauge->Set(0);
+    }
+  }
+  if (member) {
+    fenced_[node] = false;
+    TraceInstant("health.member_join", node);
+    if (started_ && !stopped_ && !tick_armed_[node] &&
+        !fabric_->node_dead(node)) {
+      tick_armed_[node] = true;
+      sim::Simulator* sim = fabric_->simulator();
+      sim->ScheduleAt(sim->now() + config_.heartbeat_interval,
+                      [this, node] { Tick(node); });
+    }
+  } else {
+    TraceInstant("health.member_leave", node);
+  }
+}
+
 void HealthMonitor::Tick(int monitor) {
   if (stopped_) return;
   // A crashed node's heartbeat stops with it — no bump, no probes, no
-  // re-arm. Fenced and quarantined nodes keep ticking: a fenced minority
-  // must notice the heal, and a quarantined node's liveness word is what
-  // the survivors' rejoin probes read.
-  if (fabric_->node_dead(monitor)) return;
+  // re-arm. So does a non-member's (elastic leave; re-armed if it rejoins).
+  // Fenced and quarantined nodes keep ticking: a fenced minority must
+  // notice the heal, and a quarantined node's liveness word is what the
+  // survivors' rejoin probes read.
+  if (fabric_->node_dead(monitor) || !member_[monitor]) {
+    tick_armed_[monitor] = false;
+    return;
+  }
   sim::Simulator* sim = fabric_->simulator();
   const Nanos now = sim->now();
   StoreWord(liveness_[monitor]->data(),
             LoadWord(liveness_[monitor]->data()) + 1);
   for (int p = 0; p < nodes_; ++p) {
-    if (p == monitor) continue;
+    if (p == monitor || !member_[p]) continue;
     PeerProbe& probe = probes_[monitor][p];
     if (probe.outstanding && now - probe.sent_at >= config_.probe_timeout) {
       // Abandoned: the rpc deadline passed with no completion. A late
@@ -185,6 +227,9 @@ void HealthMonitor::Tick(int monitor) {
 bool HealthMonitor::OnProbeCompletion(int monitor, int peer,
                                       const rdma::Completion& c) {
   if (stopped_) return true;
+  // Either endpoint leaving between post and completion makes the probe
+  // moot — its result is neither progress nor gray evidence.
+  if (!member_[monitor] || !member_[peer]) return true;
   PeerProbe& probe = probes_[monitor][peer];
   if (!probe.outstanding || c.wr_id != probe.outstanding_seq) {
     return true;  // stale (abandoned) probe
@@ -245,8 +290,12 @@ void HealthMonitor::Progress(int monitor, int peer) {
 void HealthMonitor::Evaluate(int monitor) {
   std::vector<int> fresh;
   int unreachable = 0;
+  int members = 0;
   for (int p = 0; p < nodes_; ++p) {
-    if (p == monitor) continue;
+    if (member_[p]) ++members;
+  }
+  for (int p = 0; p < nodes_; ++p) {
+    if (p == monitor || !member_[p]) continue;
     const PeerProbe& probe = probes_[monitor][p];
     // Reachability is judged on *any* miss evidence, not the full
     // suspicion threshold: a cut-off node's peers cross the threshold a
@@ -259,8 +308,11 @@ void HealthMonitor::Evaluate(int monitor) {
       fresh.push_back(p);
     }
   }
-  const int reachable = nodes_ - unreachable;  // counting this node itself
-  const int majority = nodes_ / 2 + 1;
+  // Majority is over current MEMBERS, not provisioned nodes: a planned
+  // leave shrinks the denominator, so graceful departures never push the
+  // survivors below quorum the way failures do.
+  const int reachable = members - unreachable;  // counting this node itself
+  const int majority = members / 2 + 1;
   if (reachable >= majority) {
     if (fenced_[monitor]) {
       fenced_[monitor] = false;

@@ -129,6 +129,15 @@ class HealthMonitor {
   void SetQuarantined(int node, bool quarantined);
   bool quarantined(int node) const { return quarantined_[node]; }
 
+  /// Elastic membership: a planned leave RETIRES `node` from the detector's
+  /// view — it stops probing, stops being probed, and drops out of the
+  /// majority denominator — so a graceful departure is never accused as a
+  /// failure and never shrinks the survivors' quorum. A join (or a node
+  /// activated after Start) re-admits it with a clean probe slate and arms
+  /// its heartbeat tick. Every node is a member by default.
+  void SetMembership(int node, bool member);
+  bool member(int node) const { return member_[node]; }
+
   /// True while `node` has self-fenced (no majority contact).
   bool fenced(int node) const { return fenced_[node]; }
 
@@ -171,11 +180,14 @@ class HealthMonitor {
   int nodes_;
   Callbacks callbacks_;
   bool stopped_ = false;
+  bool started_ = false;
   std::vector<rdma::MemoryRegion*> liveness_;  // [node]: own heartbeat word
   std::vector<rdma::MemoryRegion*> landing_;   // [node]: read landing slots
   std::vector<std::vector<PeerProbe>> probes_;  // [monitor][peer]
   std::vector<bool> quarantined_;
   std::vector<bool> fenced_;
+  std::vector<bool> member_;      // false = elastically retired/not yet joined
+  std::vector<bool> tick_armed_;  // a Tick event chain exists for this node
   uint64_t probes_sent_ = 0;
   uint64_t probe_misses_ = 0;
   uint64_t suspicions_ = 0;

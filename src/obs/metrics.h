@@ -91,6 +91,24 @@ inline constexpr std::string_view kHealthFenceSuppressions =
     "health.fence_suppressions";
 inline constexpr std::string_view kHealthQuarantines = "health.quarantines";
 inline constexpr std::string_view kHealthRejoins = "health.rejoins";
+// Elastic-reconfiguration instruments (src/elastic/). Only registered when
+// ClusterConfig::reconfig is set, mirroring the health/connection opt-ins:
+// static-membership runs keep byte-identical snapshots.
+inline constexpr std::string_view kElasticReconfigs = "elastic.reconfigs";
+inline constexpr std::string_view kElasticJoins = "elastic.joins";
+inline constexpr std::string_view kElasticLeaves = "elastic.leaves";
+inline constexpr std::string_view kElasticDeferrals = "elastic.deferrals";
+inline constexpr std::string_view kElasticHandoffNs = "elastic.handoff_ns";
+inline constexpr std::string_view kElasticPartitionsMoved =
+    "elastic.partitions_moved";
+inline constexpr std::string_view kElasticStateBytesMoved =
+    "elastic.state_bytes_moved";
+inline constexpr std::string_view kElasticRecordsMigrated =
+    "elastic.records_migrated";
+inline constexpr std::string_view kElasticTraceDigest =
+    "elastic.trace_digest";
+inline constexpr std::string_view kElasticPartitionLoad =
+    "elastic.partition_load";
 // Multi-tenant instruments (engines/job.h). Only registered for jobs that
 // carry a non-empty tenant, so single-job snapshots stay byte-identical
 // with the pre-plan-layer paths.

@@ -35,6 +35,7 @@ enum Track : int {
   kTrackChannel = 1,   // data plane: transfers, QP retries
   kTrackRecovery = 2,  // checkpoint / replication / recovery phases
   kTrackHealth = 3,    // failure detection: probes, suspicion, fencing
+  kTrackElastic = 4,   // reconfiguration: join/leave events, handoffs
 };
 
 /// Virtual-time tracer with a fixed-capacity ring buffer. When the ring is

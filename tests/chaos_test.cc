@@ -1,10 +1,12 @@
-// Chaos tier: randomized FaultPlan sweeps over the gray-failure kinds.
+// Chaos tier: randomized FaultPlan sweeps over the gray-failure kinds,
+// alone and combined with randomized elastic membership schedules.
 //
 // Each seed derives a different deterministic schedule of network
 // partitions (with or without heals), gray-node slowdowns, and one-way link
-// drops, then runs the Slash engine with the failure detector on and a
-// virtual-time run deadline armed. The sweep asserts the three robustness
-// contracts:
+// drops — and, in the reconfiguration sweep, joins/leaves whose handoffs
+// overlap those fault windows — then runs the Slash engine with the failure
+// detector on and a virtual-time run deadline armed. The sweeps assert the
+// three robustness contracts:
 //   1. No hang: every run terminates — either OK or with a clean Status
 //      (kDeadlineExceeded from the watchdog / run deadline, kUnavailable
 //      when the schedule was genuinely unsurvivable). Never a CHECK crash,
@@ -22,6 +24,7 @@
 
 #include "common/random.h"
 #include "core/oracle.h"
+#include "elastic/reconfig.h"
 #include "engines/slash_engine.h"
 #include "sim/fault.h"
 #include "workloads/ysb.h"
@@ -157,6 +160,102 @@ TEST(ChaosSweepTest, RandomGrayFailureSchedulesNeverHangOrCorrupt) {
   EXPECT_GT(completed, kSeeds / 2)
       << "chaos sweep aborted too often (completed=" << completed
       << " aborted=" << aborted << ")";
+}
+
+// --- Reconfiguration x gray-failure sweep -----------------------------------
+
+/// Derives a deterministic membership schedule from `seed`: a join of the
+/// provisioned spare, a leave of the highest active node, or both. Placed
+/// across [15%, 70%] of the fault-free makespan so handoffs overlap the
+/// fault windows ChaosPlan derives from the same seed space.
+elastic::ReconfigPlan ChaosReconfigPlan(uint64_t seed, int nodes,
+                                        Nanos makespan, Rng* rng) {
+  elastic::ReconfigPlan plan;
+  auto at = [&](double lo, double hi) {
+    return Nanos(double(makespan) * (lo + (hi - lo) * rng->NextDouble()));
+  };
+  switch (rng->NextBounded(3)) {
+    case 0:  // scale-out: the spare joins mid-run
+      plan.initial_nodes = nodes - 1;
+      plan.joins.push_back({.at = at(0.15, 0.5), .node = nodes - 1});
+      break;
+    case 1:  // scale-in: the top node leaves mid-run
+      plan.leaves.push_back({.at = at(0.15, 0.5), .node = nodes - 1});
+      break;
+    default:  // join, then a different node leaves later
+      plan.initial_nodes = nodes - 1;
+      plan.joins.push_back({.at = at(0.15, 0.4), .node = nodes - 1});
+      plan.leaves.push_back({.at = at(0.5, 0.7), .node = nodes - 2});
+      break;
+  }
+  return plan;
+}
+
+TEST(ChaosSweepTest, ReconfigUnderGrayFailuresStaysDeterministic) {
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 300;
+  workloads::YsbWorkload workload(ycfg);
+  ClusterConfig cfg = ChaosCluster();
+  cfg.nodes = 4;  // room for a provisioned spare
+
+  SlashEngine engine;
+  const RunStats clean = engine.Run(workload.MakeQuery(), workload, cfg);
+  ASSERT_TRUE(clean.ok()) << clean.status.message();
+  const Nanos makespan = clean.makespan();
+  const core::OracleOutput oracle = core::ComputeOracle(
+      workload.MakeQuery(),
+      workload.Sources(cfg.records_per_worker, cfg.seed),
+      cfg.nodes * cfg.workers_per_node);
+
+  int completed = 0;
+  int aborted = 0;
+  int skipped = 0;
+  uint64_t reconfigs_executed = 0;
+  for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+    SCOPED_TRACE("reconfig chaos seed " + std::to_string(seed));
+    Rng rng(seed * 0xD1B54A32D192ED03ull + 7);
+    elastic::ReconfigPlan reconfig =
+        ChaosReconfigPlan(seed, cfg.nodes, makespan, &rng);
+    sim::FaultPlan faults = ChaosPlan(seed, cfg.nodes, makespan);
+    ASSERT_TRUE(reconfig.Validate(cfg.nodes).ok());
+    if (!reconfig.ValidateWithFaults(faults, cfg.nodes).ok()) {
+      // A membership event inside an un-healed partition window is a plan
+      // error by contract; this sweep covers runtime interleavings, not
+      // rejected plans (those have their own tests in the elastic tier).
+      ++skipped;
+      continue;
+    }
+    ClusterConfig chaos_cfg = cfg;
+    chaos_cfg.fault_plan = &faults;
+    chaos_cfg.reconfig = &reconfig;
+
+    const RunStats first =
+        engine.Run(workload.MakeQuery(), workload, chaos_cfg);
+    if (first.ok()) {
+      ++completed;
+      reconfigs_executed += first.reconfigs();
+      EXPECT_EQ(first.result_checksum(), oracle.checksum)
+          << "elastic run under faults diverged from the oracle";
+      EXPECT_EQ(first.records_emitted(), oracle.count);
+    } else {
+      ++aborted;
+      EXPECT_TRUE(first.status.code() == StatusCode::kUnavailable ||
+                  first.status.code() == StatusCode::kDeadlineExceeded)
+          << first.status.message();
+    }
+
+    const RunStats second =
+        engine.Run(workload.MakeQuery(), workload, chaos_cfg);
+    EXPECT_EQ(first.status.code(), second.status.code());
+    EXPECT_EQ(first.metrics.ToJson(), second.metrics.ToJson())
+        << "reconfig chaos replay diverged";
+  }
+
+  EXPECT_GT(completed, (kSeeds - skipped) / 2)
+      << "reconfig chaos sweep aborted too often (completed=" << completed
+      << " aborted=" << aborted << " skipped=" << skipped << ")";
+  EXPECT_GT(reconfigs_executed, 0u)
+      << "no seed ever executed a membership change";
 }
 
 }  // namespace

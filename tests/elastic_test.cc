@@ -1,0 +1,642 @@
+// Elastic reconfiguration tier: runtime node join/leave on a RUNNING Slash
+// job with live state migration (DESIGN.md §13).
+//
+// The contractual outcomes under test:
+//   * a scheduled NodeJoin activates a provisioned-but-inactive node
+//     mid-run: the handoff pauses at an epoch boundary, moves the node's
+//     partitions and flows onto it by one-sided READs of checkpoint blobs,
+//     replays the tail, and the run finishes byte-identical to the
+//     fault-free oracle — zero dropped records;
+//   * a scheduled NodeLeave retires an active node gracefully the same way
+//     (the leaver stays reachable through the handoff, so its blobs are
+//     still readable), with no recovery and no health accusation;
+//   * the ISSUE scenario — autoscale 4 -> 16 -> 8 under a scheduled plan —
+//     completes with oracle-identical output and byte-identical replays
+//     (result_checksum AND the full MetricsSnapshot JSON);
+//   * malformed plans are rejected at registration time, before any virtual
+//     time elapses: below-quorum leaves, joins of already-active nodes,
+//     membership events inside an un-healed network partition;
+//   * reconfiguration composes with checkpointing only (it IS the handoff
+//     mechanism), and only on the Slash engine — the baselines reject it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/oracle.h"
+#include "elastic/coordinator.h"
+#include "elastic/rebalancer.h"
+#include "elastic/reconfig.h"
+#include "engines/flink_engine.h"
+#include "engines/lightsaber_engine.h"
+#include "engines/slash_engine.h"
+#include "engines/uppar_engine.h"
+#include "sim/fault.h"
+#include "workloads/nexmark.h"
+#include "workloads/ysb.h"
+
+namespace slash {
+namespace {
+
+using engines::ClusterConfig;
+using engines::RunStats;
+using engines::SlashEngine;
+
+ClusterConfig ElasticCluster(int nodes, int workers, uint64_t records) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;  // provisioned maximum
+  cfg.workers_per_node = workers;
+  cfg.records_per_worker = records;
+  cfg.channel.slot_bytes = 16 * kKiB;
+  cfg.epoch_bytes = 64 * kKiB;
+  cfg.state_lss_capacity = 1 << 16;
+  cfg.state_index_buckets = 1 << 10;
+  cfg.collect_rows = true;
+  cfg.checkpoint.enabled = true;
+  return cfg;
+}
+
+core::OracleOutput Oracle(const workloads::Workload& workload,
+                          const ClusterConfig& cfg) {
+  return core::ComputeOracle(workload.MakeQuery(),
+                             workload.Sources(cfg.records_per_worker, cfg.seed),
+                             cfg.nodes * cfg.workers_per_node);
+}
+
+void ExpectMatchesOracle(const RunStats& stats,
+                         const core::OracleOutput& oracle) {
+  ASSERT_TRUE(stats.ok()) << stats.status.message();
+  EXPECT_EQ(stats.records_emitted(), oracle.count) << "records were dropped";
+  EXPECT_EQ(stats.result_checksum(), oracle.checksum) << "result rows differ";
+  std::vector<core::WindowResult> rows = stats.rows;
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, oracle.rows);
+}
+
+/// Fault-free, static-membership makespan of `cfg`: the yardstick used to
+/// place reconfiguration events at deterministic mid-run fractions without
+/// hard-coding virtual-time constants.
+Nanos StaticMakespan(SlashEngine& engine, const workloads::Workload& workload,
+                     ClusterConfig cfg) {
+  cfg.reconfig = nullptr;
+  const RunStats clean = engine.Run(workload.MakeQuery(), workload, cfg);
+  EXPECT_TRUE(clean.ok()) << clean.status.message();
+  EXPECT_GT(clean.makespan(), 0);
+  return clean.makespan();
+}
+
+// --- Scheduled join ---------------------------------------------------------
+
+TEST(ElasticJoinTest, JoinOnlyScalesOutToOracleResults) {
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 300;
+  workloads::YsbWorkload workload(ycfg);
+  ClusterConfig cfg = ElasticCluster(4, 2, 3000);
+
+  SlashEngine engine;
+  const Nanos makespan = StaticMakespan(engine, workload, cfg);
+
+  // Start on nodes {0,1}; activate 2 then 3 mid-run.
+  elastic::ReconfigPlan plan;
+  plan.initial_nodes = 2;
+  plan.joins.push_back({.at = Nanos(double(makespan) * 0.3), .node = 2});
+  plan.joins.push_back({.at = Nanos(double(makespan) * 0.6), .node = 3});
+  ASSERT_TRUE(plan.Validate(cfg.nodes).ok());
+  cfg.reconfig = &plan;
+
+  const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
+  ExpectMatchesOracle(stats, Oracle(workload, cfg));
+  EXPECT_EQ(stats.elastic_joins(), 2u);
+  EXPECT_EQ(stats.elastic_leaves(), 0u);
+  EXPECT_EQ(stats.reconfigs(), 2u);
+  EXPECT_EQ(stats.recoveries(), 0u) << "a planned join is not a failure";
+  EXPECT_GT(stats.handoff_ns(), 0);
+  EXPECT_GT(stats.partitions_moved(), 0u);
+  EXPECT_NE(stats.reconfig_trace_digest(), 0u);
+}
+
+TEST(ElasticJoinTest, LateJoinMovesCheckpointedStateAndInputIntervals) {
+  // A join after checkpoint rounds exist must restore the joiner's
+  // partitions from the incumbents' blobs (bytes READ across the fabric)
+  // and re-home flows whose checkpointed prefix the joiner re-reads.
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 300;
+  workloads::YsbWorkload workload(ycfg);
+  ClusterConfig cfg = ElasticCluster(3, 2, 4000);
+
+  SlashEngine engine;
+  const Nanos makespan = StaticMakespan(engine, workload, cfg);
+
+  elastic::ReconfigPlan plan;
+  plan.initial_nodes = 2;
+  plan.joins.push_back({.at = Nanos(double(makespan) * 0.6), .node = 2});
+  cfg.reconfig = &plan;
+
+  const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
+  ExpectMatchesOracle(stats, Oracle(workload, cfg));
+  EXPECT_EQ(stats.elastic_joins(), 1u);
+  EXPECT_GT(stats.checkpoints_taken(), 0u);
+  EXPECT_GT(stats.state_bytes_moved(), 0u)
+      << "the joiner's partitions should restore from incumbent blobs";
+  EXPECT_GT(stats.records_migrated(), 0u)
+      << "flows re-homed onto the joiner re-read their checkpointed prefix";
+}
+
+// --- Scheduled leave --------------------------------------------------------
+
+TEST(ElasticLeaveTest, LeaveOnlyScalesInToOracleResults) {
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 300;
+  workloads::YsbWorkload workload(ycfg);
+  ClusterConfig cfg = ElasticCluster(4, 2, 3000);
+
+  SlashEngine engine;
+  const Nanos makespan = StaticMakespan(engine, workload, cfg);
+
+  // All four start; 3 then 2 retire gracefully mid-run.
+  elastic::ReconfigPlan plan;
+  plan.leaves.push_back({.at = Nanos(double(makespan) * 0.35), .node = 3});
+  plan.leaves.push_back({.at = Nanos(double(makespan) * 0.65), .node = 2});
+  ASSERT_TRUE(plan.Validate(cfg.nodes).ok());
+  cfg.reconfig = &plan;
+
+  const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
+  ExpectMatchesOracle(stats, Oracle(workload, cfg));
+  EXPECT_EQ(stats.elastic_leaves(), 2u);
+  EXPECT_EQ(stats.elastic_joins(), 0u);
+  EXPECT_EQ(stats.recoveries(), 0u) << "a planned leave is not a failure";
+  EXPECT_GT(stats.partitions_moved(), 0u)
+      << "the leavers' partitions must move to surviving owners";
+}
+
+TEST(ElasticLeaveTest, LeaveDuringCheckpointTrafficStaysConsistent) {
+  // Per-epoch checkpointing keeps snapshot traffic continuous, so the
+  // leave lands while rounds are actively being recorded and replicated.
+  // The handoff's rollback/discard must not corrupt the blob store: the
+  // run still matches the oracle and later rounds regenerate cleanly.
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 300;
+  workloads::YsbWorkload workload(ycfg);
+  ClusterConfig cfg = ElasticCluster(3, 2, 4000);
+  cfg.checkpoint.interval_epochs = 1;
+  cfg.checkpoint.replication_factor = 2;
+
+  SlashEngine engine;
+  const Nanos makespan = StaticMakespan(engine, workload, cfg);
+
+  elastic::ReconfigPlan plan;
+  plan.leaves.push_back({.at = Nanos(double(makespan) * 0.5), .node = 1});
+  cfg.reconfig = &plan;
+
+  const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
+  ExpectMatchesOracle(stats, Oracle(workload, cfg));
+  EXPECT_EQ(stats.elastic_leaves(), 1u);
+  EXPECT_GT(stats.checkpoints_taken(), 0u);
+}
+
+// --- Join then leave --------------------------------------------------------
+
+TEST(ElasticJoinLeaveTest, JoinThenLeaveOfDifferentNodesMatchesOracle) {
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 300;
+  workloads::YsbWorkload workload(ycfg);
+  ClusterConfig cfg = ElasticCluster(4, 2, 3000);
+
+  SlashEngine engine;
+  const Nanos makespan = StaticMakespan(engine, workload, cfg);
+
+  // Grow {0,1,2} -> {0,1,2,3}, then shrink to {0,2,3}.
+  elastic::ReconfigPlan plan;
+  plan.initial_nodes = 3;
+  plan.joins.push_back({.at = Nanos(double(makespan) * 0.3), .node = 3});
+  plan.leaves.push_back({.at = Nanos(double(makespan) * 0.65), .node = 1});
+  ASSERT_TRUE(plan.Validate(cfg.nodes).ok());
+  cfg.reconfig = &plan;
+
+  const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
+  ExpectMatchesOracle(stats, Oracle(workload, cfg));
+  EXPECT_EQ(stats.elastic_joins(), 1u);
+  EXPECT_EQ(stats.elastic_leaves(), 1u);
+  EXPECT_EQ(stats.reconfigs(), 2u);
+}
+
+TEST(ElasticJoinLeaveTest, JoinWorksOnNexmarkJoinQuery) {
+  // The handoff machinery is query-agnostic: a two-stream join workload
+  // (keyed join state, two input kinds per flow) survives a mid-run join.
+  workloads::NexmarkConfig ncfg;
+  ncfg.sellers = 40;
+  workloads::Nb8Workload workload(ncfg);
+  ClusterConfig cfg = ElasticCluster(3, 2, 900);
+
+  SlashEngine engine;
+  const Nanos makespan = StaticMakespan(engine, workload, cfg);
+
+  elastic::ReconfigPlan plan;
+  plan.initial_nodes = 2;
+  plan.joins.push_back({.at = Nanos(double(makespan) * 0.4), .node = 2});
+  cfg.reconfig = &plan;
+
+  const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
+  ExpectMatchesOracle(stats, Oracle(workload, cfg));
+  EXPECT_EQ(stats.elastic_joins(), 1u);
+}
+
+// --- Planned leave is retirement, not failure (health integration) ----------
+
+TEST(ElasticHealthTest, PlannedLeaveRaisesNoSuspicionOrQuarantine) {
+  // With the failure detector on, a graceful leave must be communicated as
+  // a membership retirement: the departed node is dropped from the probe
+  // rotation and the majority denominator, never accused. Zero suspicions,
+  // zero quarantines, zero recoveries — and oracle-identical output.
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 300;
+  workloads::YsbWorkload workload(ycfg);
+  ClusterConfig cfg = ElasticCluster(4, 2, 3000);
+  cfg.health.enabled = true;
+  cfg.health.heartbeat_interval = 20 * kMicrosecond;
+  cfg.health.probe_timeout = 10 * kMicrosecond;
+  cfg.health.suspicion_threshold = 4;
+  cfg.health.recovery_deadline = 10 * kMillisecond;
+
+  SlashEngine engine;
+  const Nanos makespan = StaticMakespan(engine, workload, cfg);
+
+  elastic::ReconfigPlan plan;
+  plan.leaves.push_back({.at = Nanos(double(makespan) * 0.4), .node = 3});
+  cfg.reconfig = &plan;
+
+  const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
+  ExpectMatchesOracle(stats, Oracle(workload, cfg));
+  EXPECT_EQ(stats.elastic_leaves(), 1u);
+  EXPECT_EQ(stats.suspicions(), 0u)
+      << "the failure detector accused a node that left on purpose";
+  EXPECT_EQ(stats.quarantines(), 0u);
+  EXPECT_EQ(stats.recoveries(), 0u);
+  EXPECT_GT(stats.health_probes_sent(), 0u);
+}
+
+TEST(ElasticHealthTest, JoinerEntersTheProbeRotation) {
+  // A joiner becomes a health member: probes flow to and from it after the
+  // handoff, and its silence before the join is never counted against it.
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 300;
+  workloads::YsbWorkload workload(ycfg);
+  ClusterConfig cfg = ElasticCluster(3, 2, 3000);
+  cfg.health.enabled = true;
+  cfg.health.heartbeat_interval = 20 * kMicrosecond;
+  cfg.health.probe_timeout = 10 * kMicrosecond;
+  cfg.health.suspicion_threshold = 4;
+  cfg.health.recovery_deadline = 10 * kMillisecond;
+
+  SlashEngine engine;
+  const Nanos makespan = StaticMakespan(engine, workload, cfg);
+
+  elastic::ReconfigPlan plan;
+  plan.initial_nodes = 2;
+  plan.joins.push_back({.at = Nanos(double(makespan) * 0.4), .node = 2});
+  cfg.reconfig = &plan;
+
+  const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
+  ExpectMatchesOracle(stats, Oracle(workload, cfg));
+  EXPECT_EQ(stats.elastic_joins(), 1u);
+  EXPECT_EQ(stats.suspicions(), 0u)
+      << "pre-join silence must not be counted as probe misses";
+  EXPECT_EQ(stats.quarantines(), 0u);
+}
+
+// --- The ISSUE scenario: autoscale 4 -> 16 -> 8 -----------------------------
+
+TEST(ElasticAutoscaleTest, FourToSixteenToEightIsExactAndDeterministic) {
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 600;
+  workloads::YsbWorkload workload(ycfg);
+  ClusterConfig cfg = ElasticCluster(16, 1, 1500);
+
+  SlashEngine engine;
+  const Nanos makespan = StaticMakespan(engine, workload, cfg);
+
+  // Scale out 4 -> 16 across [8%, 30%] of the static makespan, then back
+  // down 16 -> 8 across [45%, 80%]. Handoffs are serialized by deferral,
+  // so closely spaced events simply queue behind each other.
+  elastic::ReconfigPlan plan;
+  plan.initial_nodes = 4;
+  plan.min_active = 4;
+  for (int i = 0; i < 12; ++i) {
+    const double f = 0.08 + 0.02 * double(i);
+    plan.joins.push_back({.at = Nanos(double(makespan) * f), .node = 4 + i});
+  }
+  for (int i = 0; i < 8; ++i) {
+    const double f = 0.45 + 0.05 * double(i);
+    plan.leaves.push_back({.at = Nanos(double(makespan) * f), .node = 15 - i});
+  }
+  ASSERT_TRUE(plan.Validate(cfg.nodes).ok());
+  cfg.reconfig = &plan;
+
+  const RunStats first = engine.Run(workload.MakeQuery(), workload, cfg);
+  ExpectMatchesOracle(first, Oracle(workload, cfg));
+  EXPECT_EQ(first.elastic_joins(), 12u);
+  EXPECT_EQ(first.elastic_leaves(), 8u);
+  EXPECT_EQ(first.reconfigs(), 20u);
+  EXPECT_EQ(first.recoveries(), 0u);
+  EXPECT_GT(first.handoff_ns(), 0);
+  EXPECT_GT(first.partitions_moved(), 0u);
+
+  // Byte-identical replay: the reconfiguration control plane is part of
+  // the deterministic surface — same plan, same seed, same everything.
+  const RunStats second = engine.Run(workload.MakeQuery(), workload, cfg);
+  ASSERT_TRUE(second.ok()) << second.status.message();
+  EXPECT_EQ(first.result_checksum(), second.result_checksum());
+  EXPECT_EQ(first.makespan(), second.makespan());
+  EXPECT_EQ(first.reconfig_trace_digest(), second.reconfig_trace_digest());
+  EXPECT_EQ(first.metrics.ToJson(), second.metrics.ToJson())
+      << "autoscale replay diverged";
+}
+
+// --- Load-triggered autoscaling ---------------------------------------------
+
+TEST(ElasticTriggerTest, LoadTriggerGrowsTheClusterUnderIngestPressure) {
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 300;
+  workloads::YsbWorkload workload(ycfg);
+  ClusterConfig cfg = ElasticCluster(4, 2, 4000);
+
+  // Any sustained ingest trips the grow threshold; the cluster should
+  // climb from 2 actives toward the max while records are flowing.
+  elastic::ReconfigPlan plan;
+  plan.initial_nodes = 2;
+  plan.trigger.enabled = true;
+  plan.trigger.interval = 20 * kMicrosecond;
+  plan.trigger.join_above = 1;
+  plan.trigger.cooldown_intervals = 1;
+  ASSERT_TRUE(plan.Validate(cfg.nodes).ok());
+  cfg.reconfig = &plan;
+
+  SlashEngine engine;
+  const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
+  ExpectMatchesOracle(stats, Oracle(workload, cfg));
+  EXPECT_GT(stats.elastic_joins(), 0u) << "the load trigger never fired";
+
+  const RunStats replay = engine.Run(workload.MakeQuery(), workload, cfg);
+  ASSERT_TRUE(replay.ok()) << replay.status.message();
+  EXPECT_EQ(stats.metrics.ToJson(), replay.metrics.ToJson())
+      << "trigger-driven autoscale replay diverged";
+}
+
+// --- Plan validation --------------------------------------------------------
+
+TEST(ReconfigPlanValidationTest, RejectsLeaveBelowQuorumFloor) {
+  elastic::ReconfigPlan plan;
+  plan.min_active = 3;
+  plan.leaves.push_back({.at = 100, .node = 3});
+  plan.leaves.push_back({.at = 200, .node = 2});  // would leave 2 < 3 active
+  const Status s = plan.Validate(4);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+
+  plan.leaves.pop_back();  // 4 -> 3 actives is exactly at the floor: fine
+  EXPECT_TRUE(plan.Validate(4).ok());
+}
+
+TEST(ReconfigPlanValidationTest, RejectsJoinOfAlreadyActiveNode) {
+  elastic::ReconfigPlan plan;  // initial_nodes = 0: everyone starts active
+  plan.joins.push_back({.at = 100, .node = 1});
+  EXPECT_FALSE(plan.Validate(4).ok());
+
+  elastic::ReconfigPlan partial;
+  partial.initial_nodes = 2;
+  partial.joins.push_back({.at = 100, .node = 1});  // 1 is already active
+  EXPECT_FALSE(partial.Validate(4).ok());
+
+  partial.joins[0].node = 2;  // 2 is genuinely inactive
+  EXPECT_TRUE(partial.Validate(4).ok());
+}
+
+TEST(ReconfigPlanValidationTest, RejectsStructurallyInvalidSchedules) {
+  // Leave of a node that is not active.
+  elastic::ReconfigPlan absent;
+  absent.initial_nodes = 2;
+  absent.leaves.push_back({.at = 100, .node = 3});
+  EXPECT_FALSE(absent.Validate(4).ok());
+
+  // Re-join after a planned leave.
+  elastic::ReconfigPlan rejoin;
+  rejoin.leaves.push_back({.at = 100, .node = 3});
+  rejoin.joins.push_back({.at = 200, .node = 3});
+  EXPECT_FALSE(rejoin.Validate(4).ok());
+
+  // Unsorted events, duplicate times, out-of-range nodes.
+  elastic::ReconfigPlan unsorted;
+  unsorted.initial_nodes = 1;
+  unsorted.joins.push_back({.at = 200, .node = 1});
+  unsorted.joins.push_back({.at = 100, .node = 2});
+  EXPECT_FALSE(unsorted.Validate(4).ok());
+
+  elastic::ReconfigPlan dup;
+  dup.initial_nodes = 2;
+  dup.joins.push_back({.at = 100, .node = 2});
+  dup.leaves.push_back({.at = 100, .node = 0});
+  EXPECT_FALSE(dup.Validate(4).ok());
+
+  elastic::ReconfigPlan range;
+  range.initial_nodes = 2;
+  range.joins.push_back({.at = 100, .node = 9});
+  EXPECT_FALSE(range.Validate(4).ok());
+
+  // initial_nodes below the quorum floor.
+  elastic::ReconfigPlan tiny;
+  tiny.initial_nodes = 1;
+  tiny.min_active = 2;
+  EXPECT_FALSE(tiny.Validate(4).ok());
+}
+
+TEST(ReconfigPlanValidationTest, RejectsMembershipEventsInsidePartitions) {
+  // A membership change scheduled inside an un-healed partition window
+  // cannot reach consensus and must fail cross-validation.
+  sim::FaultPlan faults;
+  faults.partitions.push_back({.at = 1000, .side_a = {0}});
+  faults.partition_heals.push_back({.at = 5000});
+
+  elastic::ReconfigPlan inside;
+  inside.initial_nodes = 2;
+  inside.joins.push_back({.at = 2000, .node = 2});
+  ASSERT_TRUE(inside.Validate(4).ok());
+  EXPECT_FALSE(inside.ValidateWithFaults(faults, 4).ok());
+
+  elastic::ReconfigPlan after_heal;
+  after_heal.initial_nodes = 2;
+  after_heal.joins.push_back({.at = 6000, .node = 2});
+  EXPECT_TRUE(after_heal.ValidateWithFaults(faults, 4).ok());
+
+  // A permanent partition blocks everything scheduled after it.
+  sim::FaultPlan permanent;
+  permanent.partitions.push_back({.at = 1000, .side_a = {0}});
+  EXPECT_FALSE(after_heal.ValidateWithFaults(permanent, 4).ok());
+
+  elastic::ReconfigPlan leave_inside;
+  leave_inside.leaves.push_back({.at = 2000, .node = 3});
+  ASSERT_TRUE(leave_inside.Validate(4).ok());
+  EXPECT_FALSE(leave_inside.ValidateWithFaults(faults, 4).ok());
+}
+
+TEST(ReconfigPlanValidationTest, RejectsMalformedTriggers) {
+  elastic::ReconfigPlan plan;
+  plan.trigger.enabled = true;
+  plan.trigger.interval = 0;
+  EXPECT_FALSE(plan.Validate(4).ok());
+
+  plan = elastic::ReconfigPlan{};
+  plan.trigger.enabled = true;
+  plan.trigger.min_active = 0;
+  EXPECT_FALSE(plan.Validate(4).ok());
+
+  plan = elastic::ReconfigPlan{};
+  plan.trigger.enabled = true;
+  plan.trigger.join_above = 10;
+  plan.trigger.leave_below = 20;  // inverted hysteresis band
+  EXPECT_FALSE(plan.Validate(4).ok());
+}
+
+// --- Registration-time rejection through the engines ------------------------
+
+TEST(ElasticRejectionTest, InvalidPlanFailsRunBeforeAnyVirtualTime) {
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 100;
+  workloads::YsbWorkload workload(ycfg);
+  ClusterConfig cfg = ElasticCluster(4, 2, 500);
+
+  elastic::ReconfigPlan plan;
+  plan.joins.push_back({.at = 100, .node = 1});  // already active
+  cfg.reconfig = &plan;
+
+  SlashEngine engine;
+  const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(stats.makespan(), 0);
+}
+
+TEST(ElasticRejectionTest, PlanOverlappingFaultPartitionFailsRun) {
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 100;
+  workloads::YsbWorkload workload(ycfg);
+  ClusterConfig cfg = ElasticCluster(4, 2, 500);
+
+  sim::FaultPlan faults;
+  faults.partitions.push_back({.at = 1000, .side_a = {0}});
+  cfg.fault_plan = &faults;
+
+  elastic::ReconfigPlan plan;
+  plan.initial_nodes = 3;
+  plan.joins.push_back({.at = 2000, .node = 3});  // inside the cut
+  cfg.reconfig = &plan;
+
+  SlashEngine engine;
+  const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ElasticRejectionTest, ReconfigWithoutCheckpointingIsRejected) {
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 100;
+  workloads::YsbWorkload workload(ycfg);
+  ClusterConfig cfg = ElasticCluster(4, 2, 500);
+  cfg.checkpoint.enabled = false;
+
+  elastic::ReconfigPlan plan;
+  plan.initial_nodes = 3;
+  plan.joins.push_back({.at = 1000, .node = 3});
+  cfg.reconfig = &plan;
+
+  SlashEngine engine;
+  const RunStats stats = engine.Run(workload.MakeQuery(), workload, cfg);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ElasticRejectionTest, BaselineEnginesRejectReconfiguration) {
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 100;
+  workloads::YsbWorkload workload(ycfg);
+
+  elastic::ReconfigPlan plan;
+  plan.initial_nodes = 1;
+  plan.joins.push_back({.at = 1000, .node = 1});
+
+  ClusterConfig cfg = ElasticCluster(2, 2, 500);
+  cfg.reconfig = &plan;
+
+  engines::FlinkLikeEngine flink;
+  RunStats stats = flink.Run(workload.MakeQuery(), workload, cfg);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status.code(), StatusCode::kUnimplemented);
+
+  engines::UpParEngine uppar;
+  ClusterConfig ucfg = cfg;
+  ucfg.checkpoint.enabled = false;
+  stats = uppar.Run(workload.MakeQuery(), workload, ucfg);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status.code(), StatusCode::kUnimplemented);
+
+  engines::LightSaberEngine lightsaber;
+  ClusterConfig lcfg = ElasticCluster(1, 2, 500);
+  elastic::ReconfigPlan lplan;
+  lplan.trigger.enabled = true;
+  lcfg.reconfig = &lplan;
+  lcfg.checkpoint.enabled = false;
+  stats = lightsaber.Run(workload.MakeQuery(), workload, lcfg);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status.code(), StatusCode::kUnimplemented);
+}
+
+// --- Rebalancer placement unit coverage -------------------------------------
+
+TEST(RebalancerTest, ActiveNodesKeepIdentityPartitions) {
+  const std::vector<bool> active = {true, false, true, true};
+  const std::vector<int> owner =
+      elastic::Rebalancer::PlacePartitions(active, {});
+  ASSERT_EQ(owner.size(), 4u);
+  EXPECT_EQ(owner[0], 0);
+  EXPECT_EQ(owner[2], 2);
+  EXPECT_EQ(owner[3], 3);
+  EXPECT_TRUE(owner[1] == 0 || owner[1] == 2 || owner[1] == 3);
+}
+
+TEST(RebalancerTest, OrphansGoToLeastLoadedActives) {
+  const std::vector<bool> active = {true, true, false, false};
+  // Node 0 already carries heavy load; both orphans should land on node 1
+  // first, then balance.
+  const std::vector<uint64_t> load = {1000, 10, 300, 200};
+  const std::vector<int> owner =
+      elastic::Rebalancer::PlacePartitions(active, load);
+  EXPECT_EQ(owner[2], 1);  // heaviest orphan -> least-loaded active
+  EXPECT_EQ(owner[3], 1);  // 10+300 still below 1000
+}
+
+TEST(RebalancerTest, PlacementIsDeterministicUnderTies) {
+  const std::vector<bool> active = {true, true, false, false};
+  const std::vector<uint64_t> load = {5, 5, 7, 7};
+  const std::vector<int> a = elastic::Rebalancer::PlacePartitions(active, load);
+  const std::vector<int> b = elastic::Rebalancer::PlacePartitions(active, load);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RebalancerTest, FlowsFollowIdentityThenBalance) {
+  const std::vector<bool> active = {true, false, true};
+  const std::vector<int> home =
+      elastic::Rebalancer::PlaceFlows(active, /*workers_per_node=*/2,
+                                      /*total_flows=*/6);
+  ASSERT_EQ(home.size(), 6u);
+  EXPECT_EQ(home[0], 0);
+  EXPECT_EQ(home[1], 0);
+  EXPECT_EQ(home[4], 2);
+  EXPECT_EQ(home[5], 2);
+  // Node 1's flows split across the actives.
+  EXPECT_TRUE(home[2] == 0 || home[2] == 2);
+  EXPECT_TRUE(home[3] == 0 || home[3] == 2);
+  EXPECT_NE(home[2], home[3]);
+}
+
+}  // namespace
+}  // namespace slash

@@ -304,6 +304,32 @@ TEST(HealthMonitorTest, HealUnfencesAndResumesLiveness) {
   for (int n : h.resumed) EXPECT_EQ(n, 2);
 }
 
+TEST(HealthMonitorTest, PlannedRetirementSilencesTheDetector) {
+  // Elastic scale-in regression: a node that LEFT via SetMembership(false)
+  // is retired, not dead. When it later becomes unreachable (here: a
+  // permanent cut at 1 ms), no monitor may accrue suspicion against it,
+  // no accusation may fire, and the retiree must not self-fence — a
+  // planned departure is not a failure. Contrast with
+  // PartitionDrivesMonotonicSuspicionAndMajorityAccuses above, where the
+  // same cut without the retirement accuses node 2.
+  sim::FaultPlan plan;
+  plan.partitions.push_back({.at = 1 * kMillisecond, .side_a = {2}});
+  health::HealthConfig hcfg;
+  hcfg.enabled = true;
+  MonitorHarness h(plan, 3, hcfg);
+  h.sim.ScheduleAt(500 * kMicrosecond,
+                   [&h] { h.monitor->SetMembership(2, false); });
+  h.RunFor(6 * kMillisecond);
+
+  EXPECT_EQ(h.monitor->suspicion(0, 2), 0u);
+  EXPECT_EQ(h.monitor->suspicion(1, 2), 0u);
+  EXPECT_EQ(h.monitor->suspicions(), 0u);
+  EXPECT_TRUE(h.accusations.empty())
+      << "a planned leave was accused as a failure";
+  EXPECT_TRUE(h.fences.empty()) << "a retired node self-fenced";
+  EXPECT_GT(h.monitor->probes_sent(), 0u);  // the survivors keep probing
+}
+
 // --- Engine integration ----------------------------------------------------
 
 ClusterConfig HealthCluster(int nodes, int workers, uint64_t records) {

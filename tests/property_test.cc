@@ -16,6 +16,7 @@
 
 #include "channel/rdma_channel.h"
 #include "common/random.h"
+#include "elastic/reconfig.h"
 #include "engines/flink_engine.h"
 #include "engines/lightsaber_engine.h"
 #include "engines/slash_engine.h"
@@ -422,6 +423,127 @@ INSTANTIATE_TEST_SUITE_P(GrayFaults, GrayFailureDeterminismSweep,
                                : info.param == 1 ? "gray_node"
                                                  : "one_way_drop");
                          });
+
+// --- Elastic reconfiguration determinism ------------------------------------
+
+// The reconfiguration control plane (scheduled joins/leaves, deferral
+// retries, the load trigger's sampling chain) runs on the shared DES
+// clock, so an elastic run must replay byte-for-byte: identical
+// MetricsSnapshot AND an identical reconfiguration event trace digest.
+class ReconfigDeterminismSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReconfigDeterminismSweep, ElasticRunsReplayByteIdentically) {
+  const int variant = GetParam();
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 400;
+  workloads::YsbWorkload workload(ycfg);
+
+  engines::ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.workers_per_node = 2;
+  cfg.records_per_worker = 4000;
+  cfg.channel.slot_bytes = 16 * kKiB;
+  cfg.epoch_bytes = 64 * kKiB;
+  cfg.collect_rows = false;
+  cfg.checkpoint.enabled = true;
+
+  engines::SlashEngine engine;
+  const engines::RunStats clean =
+      engine.Run(workload.MakeQuery(), workload, cfg);
+  ASSERT_TRUE(clean.ok()) << clean.status.message();
+  const Nanos makespan = clean.makespan();
+  ASSERT_GT(makespan, 0);
+
+  elastic::ReconfigPlan plan;
+  switch (variant) {
+    case 0:  // scale-out only
+      plan.initial_nodes = 2;
+      plan.joins.push_back({.at = Nanos(double(makespan) * 0.2), .node = 2});
+      plan.joins.push_back({.at = Nanos(double(makespan) * 0.5), .node = 3});
+      break;
+    case 1:  // scale-in only
+      plan.leaves.push_back({.at = Nanos(double(makespan) * 0.3), .node = 3});
+      plan.leaves.push_back({.at = Nanos(double(makespan) * 0.6), .node = 2});
+      break;
+    default:  // join then leave of the same node, load trigger armed
+      plan.initial_nodes = 3;
+      plan.joins.push_back({.at = Nanos(double(makespan) * 0.25), .node = 3});
+      plan.leaves.push_back({.at = Nanos(double(makespan) * 0.7), .node = 3});
+      plan.trigger.enabled = true;
+      plan.trigger.interval = 50 * kMicrosecond;
+      plan.trigger.join_above = ~uint64_t{0};  // sample, never act
+      plan.trigger.leave_below = 0;
+      break;
+  }
+  ASSERT_TRUE(plan.Validate(cfg.nodes).ok());
+  cfg.reconfig = &plan;
+
+  const engines::RunStats ra = engine.Run(workload.MakeQuery(), workload, cfg);
+  const engines::RunStats rb = engine.Run(workload.MakeQuery(), workload, cfg);
+
+  ASSERT_TRUE(ra.ok()) << ra.status.message();
+  ASSERT_TRUE(rb.ok()) << rb.status.message();
+  EXPECT_GT(ra.reconfigs(), 0u);
+  EXPECT_EQ(ra.reconfig_trace_digest(), rb.reconfig_trace_digest())
+      << "reconfiguration event trace diverged";
+  EXPECT_EQ(ra.metrics.ToJson(), rb.metrics.ToJson())
+      << "elastic replay diverged";
+}
+
+INSTANTIATE_TEST_SUITE_P(Reconfig, ReconfigDeterminismSweep,
+                         ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::string(
+                               info.param == 0   ? "scale_out"
+                               : info.param == 1 ? "scale_in"
+                                                 : "join_then_leave");
+                         });
+
+// An elastic run that grows onto its full provisioned cluster computes the
+// same results as the static run that started there: record count, result
+// checksum, and the full sorted row set. (Timing differs — the elastic run
+// pays handoffs — but the answer must not.)
+TEST(ElasticEqualsStatic, GrownClusterMatchesStaticResults) {
+  workloads::YsbConfig ycfg;
+  ycfg.key_range = 400;
+  workloads::YsbWorkload workload(ycfg);
+
+  engines::ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.workers_per_node = 2;
+  cfg.records_per_worker = 4000;
+  cfg.channel.slot_bytes = 16 * kKiB;
+  cfg.epoch_bytes = 64 * kKiB;
+  cfg.collect_rows = true;
+  cfg.checkpoint.enabled = true;
+
+  engines::SlashEngine engine;
+  const engines::RunStats fixed =
+      engine.Run(workload.MakeQuery(), workload, cfg);
+  ASSERT_TRUE(fixed.ok()) << fixed.status.message();
+  ASSERT_GT(fixed.makespan(), 0);
+
+  elastic::ReconfigPlan plan;
+  plan.initial_nodes = 2;
+  plan.joins.push_back(
+      {.at = Nanos(double(fixed.makespan()) * 0.2), .node = 2});
+  plan.joins.push_back(
+      {.at = Nanos(double(fixed.makespan()) * 0.4), .node = 3});
+  ASSERT_TRUE(plan.Validate(cfg.nodes).ok());
+  cfg.reconfig = &plan;
+
+  const engines::RunStats grown =
+      engine.Run(workload.MakeQuery(), workload, cfg);
+  ASSERT_TRUE(grown.ok()) << grown.status.message();
+  EXPECT_EQ(grown.elastic_joins(), 2u);
+  EXPECT_EQ(grown.records_emitted(), fixed.records_emitted());
+  EXPECT_EQ(grown.result_checksum(), fixed.result_checksum());
+  std::vector<core::WindowResult> grown_rows = grown.rows;
+  std::vector<core::WindowResult> fixed_rows = fixed.rows;
+  std::sort(grown_rows.begin(), grown_rows.end());
+  std::sort(fixed_rows.begin(), fixed_rows.end());
+  EXPECT_EQ(grown_rows, fixed_rows) << "elastic result rows diverged";
+}
 
 // --- Snapshot/restore round-trip (checkpointing) ----------------------------
 
